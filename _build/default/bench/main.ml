@@ -1,0 +1,159 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (paper-vs-measured side by side), runs the ablation
+   studies of DESIGN.md §5, and measures the analysis pipeline itself with
+   bechamel micro-benchmarks (one Test.make per table/figure driver).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table1     # one experiment
+     dune exec bench/main.exe -- --list  # available targets            *)
+
+open Dca_experiments
+
+let section title = Printf.printf "\n================ %s ================\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  result
+
+let run_table1 () =
+  section "Table I";
+  print_string (timed "table1" (fun () -> Tables.render_table1 (Tables.table1 ())))
+
+let run_table2 () =
+  section "Table II";
+  print_string (timed "table2" (fun () -> Tables.render_table2 (Tables.table2 ())))
+
+let run_table3 () =
+  section "Table III";
+  print_string (timed "table3" (fun () -> Tables.render_table3 (Tables.table3 ())))
+
+let run_table4 () =
+  section "Table IV";
+  print_string (timed "table4" (fun () -> Tables.render_table4 (Tables.table4 ())))
+
+let run_fig5 () =
+  section "Fig. 5";
+  print_string (timed "fig5" (fun () -> Figures.render_fig5 (Figures.fig5 ())))
+
+let run_fig6 () =
+  section "Fig. 6";
+  print_string (timed "fig6" (fun () -> Figures.render_fig6 (Figures.fig6 ())))
+
+let run_fig7 () =
+  section "Fig. 7";
+  print_string (timed "fig7" (fun () -> Figures.render_fig7 (Figures.fig7 ())))
+
+let run_ablation () =
+  section "Ablations (DESIGN.md §5)";
+  print_string (timed "verification" (fun () -> Ablation.render_verification (Ablation.verification ())));
+  print_newline ();
+  print_string (timed "schedules" (fun () -> Ablation.render_schedules (Ablation.schedules ())));
+  print_newline ();
+  print_string (timed "machine" (fun () -> Ablation.render_machine_sweep (Ablation.machine_sweep ())));
+  print_newline ();
+  print_string (timed "tolerance" (fun () -> Ablation.render_float_tolerance (Ablation.float_tolerance ())))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the pipeline                           *)
+(* ------------------------------------------------------------------ *)
+
+let quickstart_src =
+  {|
+  int array[32];
+  int total;
+  void main() {
+    int i;
+    for (i = 0; i < 32; i = i + 1) { array[i] = array[i] + i; }
+    for (i = 0; i < 32; i = i + 1) { total = total + array[i]; }
+    printi(total);
+  }
+  |}
+
+let bechamel_tests () =
+  let open Bechamel in
+  let compile () = ignore (Dca_ir.Lower.compile ~file:"<bench>" quickstart_src) in
+  let analyze =
+    let prog = Dca_ir.Lower.compile ~file:"<bench>" quickstart_src in
+    fun () -> ignore (Dca_analysis.Proginfo.analyze prog)
+  in
+  let interpret =
+    let prog = Dca_ir.Lower.compile ~file:"<bench>" quickstart_src in
+    fun () ->
+      let ctx = Dca_interp.Eval.create prog in
+      Dca_interp.Eval.run_main ctx
+  in
+  let dca_detect () =
+    ignore (Dca_core.Driver.analyze_source ~file:"<bench>" quickstart_src)
+  in
+  let profile =
+    let prog = Dca_ir.Lower.compile ~file:"<bench>" quickstart_src in
+    let info = Dca_analysis.Proginfo.analyze prog in
+    fun () -> ignore (Dca_profiling.Depprof.profile_program info)
+  in
+  let ep = Dca_progs.Registry.find_exn "EP" in
+  let table_probe name f = Test.make ~name (Staged.stage f) in
+  [
+    table_probe "frontend+lowering" compile;
+    table_probe "static-analyses" analyze;
+    table_probe "interpreter-run" interpret;
+    table_probe "dca-full-pipeline" dca_detect;
+    table_probe "dependence-profiler" profile;
+    (* one probe per table/figure driver: a full per-benchmark evaluation
+       is the unit of work behind each of them (EP = smallest NPB) *)
+    Test.make ~name:"table1-row(EP)" (Staged.stage (fun () -> ignore (Evaluation.evaluate ep)));
+  ]
+
+let run_perf () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some (est :: _) -> Printf.printf "  %-26s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
+        results)
+    (bechamel_tests ())
+
+let targets =
+  [
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("ablation", run_ablation);
+    ("perf", run_perf);
+  ]
+
+let run_all () = List.iter (fun (_, f) -> f ()) targets
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_all ()
+  | [ _; "--list" ] ->
+      List.iter (fun (name, _) -> print_endline name) targets;
+      print_endline "all"
+  | _ :: args ->
+      List.iter
+        (fun arg ->
+          if arg = "all" then run_all ()
+          else
+            match List.assoc_opt arg targets with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown target '%s' (use --list)\n" arg;
+                exit 1)
+        args
+  | [] -> run_all ()

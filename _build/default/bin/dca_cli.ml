@@ -1,0 +1,284 @@
+(* dca — command-line front end of the Dynamic Commutativity Analysis
+   reproduction.
+
+     dca list                      enumerate built-in benchmark programs
+     dca run <prog>                execute a MiniC program
+     dca ir <prog>                 dump the lowered IR
+     dca analyze <prog>            DCA verdict for every loop
+     dca tools <prog>              compare the five baseline detectors
+     dca speedup <prog>            plan + simulated multicore speedup
+
+   <prog> is a path to a .mc file or the name of a built-in benchmark. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Resolve a program argument to (name, source, input). *)
+let load prog =
+  match Dca_progs.Registry.find prog with
+  | Some bm ->
+      Ok (bm.Dca_progs.Benchmark.bm_name, bm.Dca_progs.Benchmark.bm_source, bm.Dca_progs.Benchmark.bm_input)
+  | None ->
+      if Sys.file_exists prog then Ok (Filename.basename prog, read_file prog, [])
+      else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" prog)
+
+let with_program prog f =
+  match load prog with
+  | Error msg ->
+      Printf.eprintf "dca: %s\n" msg;
+      1
+  | Ok (name, source, input) -> (
+      match f name source input with
+      | () -> 0
+      | exception Dca_frontend.Loc.Error (loc, msg) ->
+          Printf.eprintf "dca: %s: %s\n" (Dca_frontend.Loc.to_string loc) msg;
+          1
+      | exception Dca_interp.Eval.Trap msg ->
+          Printf.eprintf "dca: runtime trap: %s\n" msg;
+          1
+      | exception Dca_interp.Eval.Out_of_fuel ->
+          Printf.eprintf "dca: execution exceeded the fuel bound\n";
+          1)
+
+let prog_arg =
+  let doc = "Program: a .mc source file or a built-in benchmark name (see $(b,dca list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROG" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %-5s %s\n" "name" "suite" "description";
+    List.iter
+      (fun bm ->
+        Printf.printf "%-14s %-5s %s\n" bm.Dca_progs.Benchmark.bm_name
+          (match bm.Dca_progs.Benchmark.bm_suite with
+          | Dca_progs.Benchmark.Npb -> "NPB"
+          | Dca_progs.Benchmark.Plds -> "PLDS")
+          bm.Dca_progs.Benchmark.bm_description)
+      Dca_progs.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark programs")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run prog =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let ctx = Dca_interp.Eval.create ~input p in
+        Dca_interp.Eval.run_main ctx;
+        List.iter print_endline (Dca_interp.Eval.outputs ctx);
+        Printf.printf "(%d instructions executed)\n" (Dca_interp.Eval.steps ctx))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a MiniC program on the interpreter")
+    Term.(const run $ prog_arg)
+
+let ir_cmd =
+  let run prog =
+    with_program prog (fun _name source _input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        print_string (Dca_ir.Ir_printer.program_to_string p))
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered intermediate representation")
+    Term.(const run $ prog_arg)
+
+let shuffles_arg =
+  Arg.(value & opt int 3 & info [ "shuffles" ] ~docv:"N" ~doc:"Number of random shuffles to test.")
+
+let no_escalate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-escalate" ]
+        ~doc:"Disable whole-program verification; strict live-out digests only.")
+
+let analyze_cmd =
+  let run prog shuffles no_escalate =
+    with_program prog (fun _name source input ->
+        let config =
+          {
+            Dca_core.Commutativity.default_config with
+            Dca_core.Commutativity.cc_schedules = Dca_core.Schedule.presets ~shuffles ();
+            cc_escalate = not no_escalate;
+          }
+        in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let _, results = Dca_core.Driver.analyze_source ~config ~spec ~file:prog source in
+        Dca_core.Report.print results)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run Dynamic Commutativity Analysis on every loop of the program")
+    Term.(const run $ prog_arg $ shuffles_arg $ no_escalate_arg)
+
+let tools_cmd =
+  let run prog =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let info = Dca_analysis.Proginfo.analyze p in
+        let profile = Dca_profiling.Depprof.profile_program ~input info in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let dca = Dca_core.Driver.analyze_program ~spec info in
+        let tool_results =
+          List.map
+            (fun tool ->
+              (tool.Dca_baselines.Tool.tool_name, tool.Dca_baselines.Tool.tool_analyze info (Some profile)))
+            Dca_baselines.Registry.all
+        in
+        Printf.printf "%-26s %s\n" "loop"
+          (String.concat " "
+             (List.map (fun (n, _) -> Printf.sprintf "%-9s" n) tool_results @ [ "DCA" ]));
+        List.iter
+          (fun (r : Dca_core.Driver.loop_result) ->
+            let id = r.Dca_core.Driver.lr_loop.Dca_analysis.Loops.l_id in
+            let marks =
+              List.map
+                (fun (_, results) ->
+                  if List.mem id (Dca_baselines.Tool.parallel_ids results) then
+                    Printf.sprintf "%-9s" "yes"
+                  else Printf.sprintf "%-9s" ".")
+                tool_results
+            in
+            Printf.printf "%-26s %s %s\n" r.Dca_core.Driver.lr_label (String.concat " " marks)
+              (if Dca_core.Driver.is_commutative r then "yes" else "."))
+          dca)
+  in
+  Cmd.v
+    (Cmd.info "tools" ~doc:"Compare the five baseline detectors and DCA, loop by loop")
+    Term.(const run $ prog_arg)
+
+let workers_arg =
+  Arg.(value & opt int 72 & info [ "workers" ] ~docv:"P" ~doc:"Simulated worker count.")
+
+let speedup_cmd =
+  let run prog workers =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let info = Dca_analysis.Proginfo.analyze p in
+        let profile = Dca_profiling.Depprof.profile_program ~input info in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let dca = Dca_core.Driver.analyze_program ~spec info in
+        let machine = Dca_parallel.Machine.with_workers Dca_parallel.Machine.default workers in
+        let plan =
+          Dca_parallel.Planner.select ~machine info profile
+            ~detected:(Dca_core.Driver.commutative_ids dca)
+            ~strategy:Dca_parallel.Planner.Best_benefit
+        in
+        let result = Dca_parallel.Speedup.simulate ~machine info profile plan in
+        Printf.printf "parallel plan:\n%s\n" (Dca_parallel.Plan.to_string plan);
+        List.iter
+          (fun s ->
+            Printf.printf "  %-24s seq %12.0f  par %12.0f  saved %12.0f\n"
+              s.Dca_parallel.Speedup.ls_loop_id s.Dca_parallel.Speedup.ls_seq_cost
+              s.Dca_parallel.Speedup.ls_par_cost s.Dca_parallel.Speedup.ls_saved)
+          result.Dca_parallel.Speedup.sp_loops;
+        Printf.printf "sequential work: %.0f\nsimulated parallel time (%d workers): %.0f\nspeedup: %.2fx\n"
+          result.Dca_parallel.Speedup.sp_seq workers result.Dca_parallel.Speedup.sp_par
+          result.Dca_parallel.Speedup.sp_speedup)
+  in
+  Cmd.v
+    (Cmd.info "speedup"
+       ~doc:"Parallelize the DCA-commutative loops and report the simulated speedup")
+    Term.(const run $ prog_arg $ workers_arg)
+
+let advise_cmd =
+  let run prog =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let info = Dca_analysis.Proginfo.analyze p in
+        let profile = Dca_profiling.Depprof.profile_program ~input info in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let results = Dca_core.Driver.analyze_program ~spec info in
+        let advices = Dca_core.Advisor.advise info profile results in
+        print_string (Dca_core.Advisor.report advices))
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Full parallelism advisory: per loop, whether to parallelize (and with which OpenMP \
+          clauses), leave serial, or keep sequential — with the evidence")
+    Term.(const run $ prog_arg)
+
+let annotate_cmd =
+  let run prog =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let info = Dca_analysis.Proginfo.analyze p in
+        let profile = Dca_profiling.Depprof.profile_program ~input info in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let results = Dca_core.Driver.analyze_program ~spec info in
+        let plan =
+          Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
+            ~detected:(Dca_core.Driver.commutative_ids results)
+            ~strategy:Dca_parallel.Planner.Best_benefit
+        in
+        print_string (Dca_parallel.Codegen.annotate_source info ~source plan))
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Emit the source with OpenMP-style pragmas inserted above every loop DCA parallelizes")
+    Term.(const run $ prog_arg)
+
+let export_c_cmd =
+  let run prog =
+    with_program prog (fun _name source input ->
+        let p = Dca_ir.Lower.compile ~file:prog source in
+        let info = Dca_analysis.Proginfo.analyze p in
+        let profile = Dca_profiling.Depprof.profile_program ~input info in
+        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
+        let results = Dca_core.Driver.analyze_program ~spec info in
+        let plan =
+          Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
+            ~detected:(Dca_core.Driver.commutative_ids results)
+            ~strategy:Dca_parallel.Planner.Best_benefit
+        in
+        let ast = Dca_frontend.Parser.parse_program ~file:prog source in
+        let pragmas =
+          List.filter_map
+            (fun lp ->
+              match Dca_analysis.Proginfo.loop_by_id info lp.Dca_parallel.Plan.lp_loop_id with
+              | Some (_, loop) ->
+                  let line = loop.Dca_analysis.Loops.l_loc.Dca_frontend.Loc.line in
+                  (* block-scoped declarations are automatically private in C *)
+                  let inner = Dca_frontend.C_export.body_declared_names ast ~line in
+                  let privates =
+                    List.filter (fun n -> not (List.mem n inner)) lp.Dca_parallel.Plan.lp_private
+                  in
+                  let priv =
+                    match privates with
+                    | [] -> ""
+                    | l -> " private(" ^ String.concat ", " l ^ ")"
+                  in
+                  let reds =
+                    String.concat ""
+                      (List.map
+                         (fun (name, op) ->
+                           Printf.sprintf " reduction(%s:%s)"
+                             (Dca_analysis.Scalars.reduction_op_to_string op)
+                             name)
+                         lp.Dca_parallel.Plan.lp_reductions)
+                  in
+                  Some (line, Printf.sprintf "#pragma omp parallel for schedule(static)%s%s" priv reds)
+              | None -> None)
+            plan.Dca_parallel.Plan.plan_loops
+        in
+        print_string (Dca_frontend.C_export.export_source ~pragmas ~file:prog source))
+  in
+  Cmd.v
+    (Cmd.info "export-c"
+       ~doc:
+         "Export the program as compilable C99 with real OpenMP pragmas on every loop DCA           parallelizes (build with: cc -fopenmp prog.c -lm)")
+    Term.(const run $ prog_arg)
+
+let () =
+  let doc = "Loop parallelization using Dynamic Commutativity Analysis (CGO 2021 reproduction)" in
+  let info = Cmd.info "dca" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; ir_cmd; analyze_cmd; tools_cmd; speedup_cmd; advise_cmd; annotate_cmd; export_c_cmd ]))

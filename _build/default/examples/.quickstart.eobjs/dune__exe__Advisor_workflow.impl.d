@@ -1,0 +1,1 @@
+examples/advisor_workflow.ml: Dca_analysis Dca_core Dca_ir Dca_parallel Dca_profiling List Printf

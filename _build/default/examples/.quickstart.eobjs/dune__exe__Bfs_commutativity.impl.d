@@ -1,0 +1,1 @@
+examples/bfs_commutativity.ml: Commutativity Dca_analysis Dca_baselines Dca_core Dca_parallel Dca_profiling Dca_progs Driver Iterator_rec List Printf Report

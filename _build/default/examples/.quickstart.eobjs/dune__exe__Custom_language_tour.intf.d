@@ -1,0 +1,1 @@
+examples/custom_language_tour.mli:

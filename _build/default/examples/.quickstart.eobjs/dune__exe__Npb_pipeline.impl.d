@@ -1,0 +1,1 @@
+examples/npb_pipeline.ml: Array Dca_baselines Dca_core Dca_experiments Dca_parallel Dca_progs Evaluation Figures List Paper_data Printf Sys

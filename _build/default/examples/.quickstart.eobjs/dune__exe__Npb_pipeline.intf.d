@@ -1,0 +1,1 @@
+examples/npb_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dca_analysis Dca_baselines Dca_core Dca_ir Dca_profiling List Printf

@@ -1,0 +1,94 @@
+(* The semi-automatic workflow the paper envisions (§I, §IV-D): DCA as a
+   parallelism advisor with the user holding the final word.
+
+   The example takes a program with a mix of loops — hot and cold, ordered
+   and commutative, worklist and affine — and walks the full advisory:
+
+   1. detect (hierarchical, so inner loops of parallel outer loops are
+      skipped, §IV-E);
+   2. advise (per loop: parallelize / review / leave serial, with the
+      evidence and the detected parallel skeleton);
+   3. emit the OpenMP-annotated source the user would review and commit.
+
+   Run with:  dune exec examples/advisor_workflow.exe                     *)
+
+let source =
+  {|
+  struct task { int weight; struct task *next; }
+
+  float grid[32][32];
+  float total;
+  int   processed;
+  struct task *queue;
+
+  void enqueue(int w) {
+    struct task *t = new struct task;
+    t->weight = w;
+    t->next = queue;
+    queue = t;
+  }
+
+  void main() {
+    int i;
+    int j;
+    // hot stencil sweep: parallel nest
+    int step;
+    for (step = 0; step < 6; step = step + 1) {
+      for (i = 1; i < 31; i = i + 1) {
+        for (j = 1; j < 31; j = j + 1) {
+          grid[i][j] = grid[i][j] + 0.25 * hrand(step * 1024 + i * 32 + j);
+        }
+      }
+    }
+    // reduction over the grid
+    total = 0.0;
+    for (i = 0; i < 32; i = i + 1) {
+      for (j = 0; j < 32; j = j + 1) { total = total + grid[i][j]; }
+    }
+    // a worklist: tasks spawn smaller tasks
+    enqueue(16);
+    enqueue(12);
+    processed = 0;
+    while (queue) {
+      struct task *t = queue;
+      queue = t->next;
+      processed = processed + t->weight;
+      if (t->weight > 1) {
+        enqueue(t->weight / 2);
+      }
+    }
+    // an ordered recurrence: must stay sequential
+    float smooth = 0.0;
+    for (i = 0; i < 32; i = i + 1) {
+      smooth = smooth * 0.9 + grid[i][i] * itof(i);
+    }
+    print(total);
+    printi(processed);
+    print(smooth);
+  }
+  |}
+
+let () =
+  print_endline "=== Parallelism advisor workflow ===\n";
+  let prog = Dca_ir.Lower.compile ~file:"advisor.mc" source in
+  let info = Dca_analysis.Proginfo.analyze prog in
+
+  (* 1. hierarchical detection *)
+  let results = Dca_core.Driver.analyze_program ~hierarchical:true info in
+  Printf.printf "1. hierarchical detection (%d loops):\n" (List.length results);
+  Dca_core.Report.print results;
+
+  (* 2. the advisory *)
+  let profile = Dca_profiling.Depprof.profile_program info in
+  let advices = Dca_core.Advisor.advise info profile results in
+  print_endline "\n2. advisory:";
+  print_string (Dca_core.Advisor.report advices);
+
+  (* 3. the artifact the user reviews *)
+  let plan =
+    Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
+      ~detected:(Dca_core.Driver.commutative_ids results)
+      ~strategy:Dca_parallel.Planner.Best_benefit
+  in
+  print_endline "3. annotated source (review and commit):\n";
+  print_string (Dca_parallel.Codegen.annotate_source info ~source plan)

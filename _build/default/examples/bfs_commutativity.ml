@@ -1,0 +1,72 @@
+(* The paper's Fig. 2 walkthrough: BFS with frontier worklists.
+
+   This example opens DCA's hood on the hardest motivating case:
+   - iterator recognition finds the [pop]-driven iterator of the top-down
+     step (§IV-A1);
+   - the dynamic separability check catches the payload [push]es feeding
+     the iterator through memory, and slice promotion absorbs them;
+   - strict live-out digests differ after permutation (the next frontier
+     is a reordered list), so verification escalates to whole-program
+     output comparison — where the [dist] results agree (§IV-B3).
+
+   Run with:  dune exec examples/bfs_commutativity.exe                   *)
+
+open Dca_core
+
+let () =
+  print_endline "=== Fig. 2: BFS with frontier worklists ===\n";
+  let bm = Dca_progs.Registry.find_exn "BFS" in
+  let prog = Dca_progs.Benchmark.compile bm in
+  let info = Dca_analysis.Proginfo.analyze prog in
+
+  (* Static stage: iterator/payload separation of the top-down step. *)
+  let fi = Dca_analysis.Proginfo.func_info info "bfs" in
+  print_endline "Iterator/payload separation (before any promotion):";
+  List.iter
+    (fun l -> Printf.printf "  %s\n" (Iterator_rec.describe (Iterator_rec.separate fi l)))
+    (Dca_analysis.Loops.loops fi.Dca_analysis.Proginfo.fi_forest);
+
+  (* Dynamic stage: full DCA. *)
+  print_endline "\nDynamic commutativity testing:";
+  let results = Driver.analyze_program info in
+  List.iter
+    (fun (r : Driver.loop_result) ->
+      if r.Driver.lr_loop.Dca_analysis.Loops.l_func = "bfs" then begin
+        Printf.printf "  %s\n" (Report.summary_line r);
+        match r.Driver.lr_outcome with
+        | Some oc ->
+            if oc.Commutativity.oc_promotions > 0 then
+              print_endline
+                "      ^ the payload pushes into next_frontier fed the iterator's pops;\n\
+                \        DCA promoted them into the iterator slice and re-tested";
+            if oc.Commutativity.oc_escalated then
+              print_endline
+                "      ^ the permuted frontier is a reordered list, so the strict live-out\n\
+                \        digest differed; whole-program outputs (the dist array) matched"
+        | None -> ()
+      end)
+    results;
+
+  (* And what everything else says about the top-down step. *)
+  let profile = Dca_profiling.Depprof.profile_program info in
+  print_endline "\nThe five baselines on the same program (hot bfs loops):";
+  List.iter
+    (fun tool ->
+      let res = tool.Dca_baselines.Tool.tool_analyze info (Some profile) in
+      let bfs_loops =
+        List.filter (fun r -> r.Dca_baselines.Tool.bl_loop.Dca_analysis.Loops.l_func = "bfs") res
+      in
+      let found = List.length (List.filter Dca_baselines.Tool.is_parallel bfs_loops) in
+      Printf.printf "  %-14s %d/%d bfs loops parallel\n" tool.Dca_baselines.Tool.tool_name found
+        (List.length bfs_loops))
+    Dca_baselines.Registry.all;
+
+  (* Finally: what the parallelism is worth on the machine model. *)
+  let machine = Dca_parallel.Machine.default in
+  let plan =
+    Dca_parallel.Planner.select ~machine info profile ~detected:(Driver.commutative_ids results)
+      ~strategy:Dca_parallel.Planner.Best_benefit
+  in
+  let speedup = Dca_parallel.Speedup.simulate ~machine info profile plan in
+  Printf.printf "\nSimulated 72-worker speedup from the DCA plan: %.1fx (paper: ~21x on 72 cores)\n"
+    speedup.Dca_parallel.Speedup.sp_speedup

@@ -1,0 +1,92 @@
+(* A tour of the substrate: write your own MiniC program, inspect every
+   stage — tokens, AST, IR, CFG, loops, liveness, iterator recognition —
+   then execute it and test your own loop for commutativity under a custom
+   schedule set.
+
+   Run with:  dune exec examples/custom_language_tour.exe                *)
+
+open Dca_frontend
+open Dca_ir
+open Dca_analysis
+
+let source =
+  {|
+  // histogram of hash values, plus a running maximum
+  int bins[16];
+  int maxcount;
+
+  void main() {
+    int i;
+    for (i = 0; i < 200; i = i + 1) {
+      int b = ftoi(hrand(i) * 16.0);
+      if (b > 15) { b = 15; }
+      bins[b] = bins[b] + 1;
+      maxcount = imax(maxcount, bins[b]);
+    }
+    printi(maxcount);
+  }
+  |}
+
+let () =
+  print_endline "=== MiniC substrate tour ===\n";
+
+  (* 1. Lexing *)
+  let tokens = Lexer.tokenize ~file:"tour.mc" source in
+  Printf.printf "1. lexer: %d tokens, first five: %s\n" (List.length tokens)
+    (String.concat " " (List.map (fun (t, _) -> Token.to_string t) (Dca_support.Listx.take 5 tokens)));
+
+  (* 2. Parsing and type checking *)
+  let ast = Parser.parse_program ~file:"tour.mc" source in
+  Printf.printf "2. parser: %d globals, %d functions\n" (List.length ast.Ast.globals)
+    (List.length ast.Ast.funcs);
+  let tast = Typecheck.check_program ast in
+  Printf.printf "   typechecker: ok (%d checked functions)\n" (List.length tast.Tast.tp_funcs);
+
+  (* 3. Lowering to the IR *)
+  let prog = Lower.lower_program tast in
+  print_endline "3. IR for main:";
+  print_string (Ir_printer.func_to_string (Ir.find_func_exn prog "main"));
+
+  (* 4. CFG, loops, liveness *)
+  let info = Proginfo.analyze prog in
+  let fi = Proginfo.func_info info "main" in
+  List.iter
+    (fun l ->
+      let live_out = Liveness.loop_live_out fi.Proginfo.fi_live l in
+      Printf.printf "4. loop %s: header b%d, %d blocks, live-out scalars: %s\n"
+        l.Loops.l_id l.Loops.l_header
+        (Dca_support.Intset.cardinal l.Loops.l_blocks)
+        (String.concat ", "
+           (List.filter_map
+              (fun vid ->
+                Option.map (fun v -> v.Ir.vname) (Liveness.var_of_id fi.Proginfo.fi_live vid))
+              (Dca_support.Intset.elements live_out))))
+    (Loops.loops fi.Proginfo.fi_forest);
+
+  (* 5. Iterator recognition *)
+  List.iter
+    (fun l ->
+      Printf.printf "5. %s\n" (Dca_core.Iterator_rec.describe (Dca_core.Iterator_rec.separate fi l)))
+    (Loops.loops fi.Proginfo.fi_forest);
+
+  (* 6. Execute *)
+  let ctx = Dca_interp.Eval.create prog in
+  Dca_interp.Eval.run_main ctx;
+  Printf.printf "6. program output: %s (%d instructions)\n"
+    (String.concat ", " (Dca_interp.Eval.outputs ctx))
+    (Dca_interp.Eval.steps ctx);
+
+  (* 7. Commutativity with a custom, heavier schedule set *)
+  let config =
+    {
+      Dca_core.Commutativity.default_config with
+      Dca_core.Commutativity.cc_schedules = Dca_core.Schedule.presets ~shuffles:8 ~seed:7 ();
+    }
+  in
+  let results = Dca_core.Driver.analyze_program ~config info in
+  print_endline "7. DCA verdict under 8 random shuffles:";
+  Dca_core.Report.print results;
+  print_endline
+    "\nThe histogram updates collide across iterations (a RAW dependence on\n\
+     bins[b]) and maxcount is a running max — yet every interleaving yields\n\
+     the same bins and the same maximum, so the loop is commutative."

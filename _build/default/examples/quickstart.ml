@@ -1,0 +1,73 @@
+(* Quickstart: the paper's Fig. 1 in five minutes.
+
+   Two loops perform the same map operation — one over an array, one over
+   a linked list.  Dependence analysis handles the first and is inherently
+   defeated by the second ([ptr = ptr->next] is a cross-iteration RAW);
+   DCA detects both as commutative, uniformly.
+
+   Run with:  dune exec examples/quickstart.exe                          *)
+
+let source =
+  {|
+  struct node { int val; struct node *next; }
+
+  int array[64];
+  struct node *head;
+
+  void build_list() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      struct node *n = new struct node;
+      n->val = i;
+      n->next = head;
+      head = n;
+    }
+  }
+
+  void main() {
+    build_list();
+    // Fig. 1(a): array-based map loop
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      array[i] = array[i] + 1;
+    }
+    // Fig. 1(b): PLDS-based map loop -- same computation, defeats
+    // dependence analysis
+    struct node *ptr = head;
+    while (ptr) {
+      ptr->val = ptr->val + 1;
+      ptr = ptr->next;
+    }
+    printi(array[10]);
+    printi(head->val);
+  }
+  |}
+
+let () =
+  print_endline "=== DCA quickstart: the paper's Fig. 1 ===\n";
+
+  (* 1. Compile: parse, type-check, lower to the IR. *)
+  let prog = Dca_ir.Lower.compile ~file:"quickstart.mc" source in
+  let info = Dca_analysis.Proginfo.analyze prog in
+  Printf.printf "compiled: %d function(s), %d loop(s) total\n\n"
+    (List.length prog.Dca_ir.Ir.p_funcs)
+    (List.length (Dca_analysis.Proginfo.all_loops info));
+
+  (* 2. Run DCA on every loop. *)
+  let results = Dca_core.Driver.analyze_program info in
+  print_endline "DCA verdicts:";
+  Dca_core.Report.print results;
+
+  (* 3. Contrast with a dependence-based dynamic tool. *)
+  let profile = Dca_profiling.Depprof.profile_program info in
+  let dp = Dca_baselines.Depprofiling_tool.tool.Dca_baselines.Tool.tool_analyze info (Some profile) in
+  print_endline "\nDependence profiling (Tournavitis-style) verdicts:";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-24s %s\n" r.Dca_baselines.Tool.bl_label
+        (Dca_baselines.Tool.verdict_to_string r.Dca_baselines.Tool.bl_verdict))
+    dp;
+  print_endline
+    "\nNote how the PLDS loop (main, the while) is commutative for DCA but\n\
+     carries a fatal-looking RAW dependence for the dependence-based tool —\n\
+     exactly the paper's motivating observation."

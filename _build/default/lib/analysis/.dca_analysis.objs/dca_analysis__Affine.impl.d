@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Array Cfg Dca_frontend Dca_ir Dca_support Format Hashtbl Intset Ir List Loops Printf String

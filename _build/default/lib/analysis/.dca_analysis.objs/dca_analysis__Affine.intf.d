@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Dca_frontend Dca_ir Format Loops

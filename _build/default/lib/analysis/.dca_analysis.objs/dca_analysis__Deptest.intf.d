@@ -1,0 +1,1 @@
+lib/analysis/deptest.mli: Affine

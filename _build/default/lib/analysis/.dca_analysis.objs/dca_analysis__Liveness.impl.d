@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Dataflow Dca_ir Dca_support Hashtbl Intset Ir List Loops Option

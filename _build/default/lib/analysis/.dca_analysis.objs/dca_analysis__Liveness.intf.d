@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Dca_ir Dca_support Loops

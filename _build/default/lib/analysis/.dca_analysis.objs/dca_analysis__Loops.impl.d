@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dca_frontend Dca_ir Dca_support Dominance Hashtbl Intset Ir List Option Printf

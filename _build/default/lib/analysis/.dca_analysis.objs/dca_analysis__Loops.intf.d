@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Dca_frontend Dca_ir Dca_support

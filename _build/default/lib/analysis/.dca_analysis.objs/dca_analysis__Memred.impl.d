@@ -1,0 +1,1 @@
+lib/analysis/memred.ml: Affine Dca_ir Hashtbl Ir List Loops Option Scalars

@@ -1,0 +1,1 @@
+lib/analysis/memred.mli: Affine Dca_ir Loops Scalars

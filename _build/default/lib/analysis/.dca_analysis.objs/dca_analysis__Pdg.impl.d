@@ -1,0 +1,1 @@
+lib/analysis/pdg.ml: Array Cfg Dca_ir Dominance Hashtbl Ir List Printf Set

@@ -1,0 +1,1 @@
+lib/analysis/pdg.mli: Dca_ir Set

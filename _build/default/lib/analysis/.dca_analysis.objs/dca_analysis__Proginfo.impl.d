@@ -1,0 +1,1 @@
+lib/analysis/proginfo.ml: Affine Cfg Dca_frontend Dca_ir Hashtbl Ir List Liveness Loops Pdg Printf Purity

@@ -1,0 +1,1 @@
+lib/analysis/proginfo.mli: Affine Dca_ir Liveness Loops Pdg Purity

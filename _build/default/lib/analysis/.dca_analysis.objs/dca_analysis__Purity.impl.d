@@ -1,0 +1,1 @@
+lib/analysis/purity.ml: Array Ast Dca_frontend Dca_ir Hashtbl Ir List

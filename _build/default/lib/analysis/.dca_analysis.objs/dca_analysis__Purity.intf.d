@@ -1,0 +1,1 @@
+lib/analysis/purity.mli: Dca_ir

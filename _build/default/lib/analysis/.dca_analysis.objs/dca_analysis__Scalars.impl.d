@@ -1,0 +1,1 @@
+lib/analysis/scalars.ml: Affine Cfg Dca_ir Dca_support Hashtbl Intset Ir List Liveness Loops Option

@@ -1,0 +1,1 @@
+lib/analysis/scalars.mli: Affine Dca_ir Liveness Loops

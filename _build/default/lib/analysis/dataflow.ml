@@ -1,0 +1,47 @@
+open Dca_ir
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) = struct
+  type result = { inputs : D.t array; outputs : D.t array }
+
+  let solve order edges_in seed_pred seed transfer n =
+    let inputs = Array.make n D.bottom and outputs = Array.make n D.bottom in
+    let changed = ref true in
+    (* Round-robin in a good order converges in depth+2 passes for the
+       rapid frameworks we use (union-of-sets domains). *)
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          let incoming =
+            List.fold_left (fun acc p -> D.join acc outputs.(p)) D.bottom (edges_in b)
+          in
+          let incoming = if seed_pred b then D.join incoming seed else incoming in
+          let out = transfer b incoming in
+          if not (D.equal incoming inputs.(b)) then inputs.(b) <- incoming;
+          if not (D.equal out outputs.(b)) then begin
+            outputs.(b) <- out;
+            changed := true
+          end)
+        order
+    done;
+    { inputs; outputs }
+
+  let forward cfg ~entry ~transfer =
+    let n = Cfg.nblocks cfg in
+    solve (Cfg.reverse_postorder cfg) (Cfg.preds cfg)
+      (fun b -> b = Cfg.entry cfg)
+      entry transfer n
+
+  let backward cfg ~exit ~transfer =
+    let n = Cfg.nblocks cfg in
+    let exits = Cfg.exit_blocks cfg in
+    solve (Cfg.postorder cfg) (Cfg.succs cfg) (fun b -> List.mem b exits) exit transfer n
+end

@@ -1,0 +1,30 @@
+(** Generic iterative dataflow solver over a {!Dca_ir.Cfg.t}.
+
+    The solver iterates round-robin over the CFG in reverse postorder
+    (forward problems) or postorder (backward problems) until a fixpoint.
+    Domains must be join-semilattices with a bottom element and finite
+    ascending chains; the union-of-sets domains used here converge in a
+    few passes in these orders. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) : sig
+  type result = { inputs : D.t array; outputs : D.t array }
+  (** Per-block dataflow facts: for forward problems, [inputs] holds facts
+      at block entry; for backward problems, [inputs] holds facts at block
+      *exit* (the "input" of the backward transfer). *)
+
+  val forward : Dca_ir.Cfg.t -> entry:D.t -> transfer:(int -> D.t -> D.t) -> result
+  (** [transfer b fact] maps the fact at the entry of block [b] to the fact
+      at its exit. *)
+
+  val backward : Dca_ir.Cfg.t -> exit:D.t -> transfer:(int -> D.t -> D.t) -> result
+  (** [transfer b fact] maps the fact at the exit of block [b] to the fact
+      at its entry.  [exit] seeds blocks that end in [Ret]. *)
+end

@@ -1,0 +1,94 @@
+open Affine
+
+type verdict = No_dep | Dep of string
+
+let may_alias r1 r2 =
+  match (r1, r2) with
+  | Rglobal a, Rglobal b -> a = b
+  | Ralloc a, Ralloc b -> a = b
+  | Rparam a, Rparam b -> a = b
+  | Rglobal _, Ralloc _ | Ralloc _, Rglobal _ -> false
+  | Rglobal _, Rparam _ | Rparam _, Rglobal _ ->
+      (* a parameter may point into a global *)
+      true
+  | Ralloc _, Rparam _ | Rparam _, Ralloc _ -> true
+  | Runknown, _ | _, Runknown -> true
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Split an affine form into (coefficient of the tested loop's IV, rest). *)
+let split loop_id (a : affine) =
+  let c =
+    match List.assoc_opt (Tiv loop_id) a.coeffs with Some c -> c | None -> 0
+  in
+  let rest = List.filter (fun (t, _) -> t <> Tiv loop_id) a.coeffs in
+  (c, { coeffs = rest; const = a.const })
+
+let cross_iteration ~loop_id acc1 acc2 =
+  if not (may_alias acc1.acc_root acc2.acc_root) then No_dep
+  else
+    match (acc1.acc_subscript, acc2.acc_subscript) with
+    | None, _ | _, None -> Dep "non-affine subscript"
+    | Some s1, Some s2 ->
+        let c1, r1 = split loop_id s1 and c2, r2 = split loop_id s2 in
+        if c1 = c2 then
+          if affine_equal r1 r2 then
+            (* strong SIV: c*(x - y) = 0 *)
+            if c1 <> 0 then No_dep else Dep "loop-invariant address shared across iterations"
+          else begin
+            (* same stride, symbolically different remainder *)
+            let d = affine_sub r1 r2 in
+            match d.coeffs with
+            | [] ->
+                (* constant distance δ: dependence iff c | δ and δ ≠ 0;
+                   (δ = 0 was the affine_equal case) *)
+                if c1 = 0 then
+                  (* different fixed addresses *)
+                  No_dep
+                else if d.const mod c1 = 0 then Dep (Printf.sprintf "carried distance %d" (d.const / c1))
+                else No_dep
+            | _ -> Dep "symbolically differing subscripts"
+          end
+        else begin
+          (* weak SIV / MIV: fall back to a GCD test on the constants when
+             the symbolic parts agree *)
+          let d = affine_sub r1 r2 in
+          match d.coeffs with
+          | [] ->
+              let g = gcd c1 c2 in
+              if g <> 0 && d.const mod g <> 0 then No_dep else Dep "gcd test inconclusive"
+          | _ -> Dep "differing strides with symbolic remainder"
+        end
+
+let loop_has_dependence ~loop_id ?(exempt = fun _ _ -> false) accesses =
+  let rec pairs = function
+    | [] -> None
+    | a :: rest -> (
+        let conflict =
+          List.find_opt
+            (fun b ->
+              (a.acc_write || b.acc_write)
+              && (not (exempt a b))
+              &&
+              match cross_iteration ~loop_id a b with No_dep -> false | Dep _ -> true)
+            rest
+        in
+        match conflict with
+        | Some b -> (
+            match cross_iteration ~loop_id a b with
+            | Dep reason -> Some (a, b, reason)
+            | No_dep -> assert false)
+        | None -> pairs rest)
+  in
+  (* also a write access conflicting with itself across iterations *)
+  let self_conflict =
+    List.find_map
+      (fun a ->
+        if a.acc_write && not (exempt a a) then
+          match cross_iteration ~loop_id a a with
+          | Dep reason -> Some (a, a, reason)
+          | No_dep -> None
+        else None)
+      accesses
+  in
+  match self_conflict with Some _ as s -> s | None -> pairs accesses

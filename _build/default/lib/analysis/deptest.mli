@@ -1,0 +1,25 @@
+(** Static data-dependence tests between affine memory accesses, relative
+    to one tested loop (ZIV / strong-SIV / GCD, in the spirit of
+    Allen–Kennedy).  Used by the Polly-like and ICC-like baselines. *)
+
+type verdict =
+  | No_dep  (** provably no cross-iteration dependence *)
+  | Dep of string  (** may-dependence, with a reason for reports *)
+
+val may_alias : Affine.root -> Affine.root -> bool
+(** Two resolved roots may address the same object.  Distinct globals and
+    distinct allocation sites never alias; [Runknown] aliases everything. *)
+
+val cross_iteration : loop_id:string -> Affine.access -> Affine.access -> verdict
+(** May the two accesses touch the same cell in different iterations of
+    the tested loop?  At least one access is expected to be a write for
+    the result to matter; the test itself is access-kind agnostic. *)
+
+val loop_has_dependence :
+  loop_id:string ->
+  ?exempt:(Affine.access -> Affine.access -> bool) ->
+  Affine.access list ->
+  (Affine.access * Affine.access * string) option
+(** First offending pair among all read/write and write/write pairs, if
+    any; pairs satisfying [exempt] (recognized reduction load/store pairs)
+    are skipped. *)

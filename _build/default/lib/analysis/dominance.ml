@@ -1,0 +1,93 @@
+open Dca_ir
+
+type t = {
+  entry : int;
+  idom : int option array;
+  rpo_index : int array;  (** -1 for unreachable nodes *)
+  children : int list array;
+}
+
+let compute ~nnodes ~entry ~preds ~rpo =
+  let rpo_index = Array.make nnodes (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idom = Array.make nnodes None in
+  idom.(entry) <- Some entry;
+  let intersect a b =
+    (* walk up the (partial) dominator tree by rpo index *)
+    let rec go a b =
+      if a = b then a
+      else if rpo_index.(a) > rpo_index.(b) then
+        go (match idom.(a) with Some x -> x | None -> assert false) b
+      else go a (match idom.(b) with Some x -> x | None -> assert false)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed = List.filter (fun p -> idom.(p) <> None && rpo_index.(p) >= 0) (preds b) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> Some new_idom then begin
+                idom.(b) <- Some new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make nnodes [] in
+  Array.iteri
+    (fun b -> function
+      | Some d when d <> b -> children.(d) <- b :: children.(d)
+      | _ -> ())
+    idom;
+  (* entry's self-idom is an implementation artifact; expose None *)
+  let exposed = Array.mapi (fun b d -> if b = entry then None else d) idom in
+  { entry; idom = exposed; rpo_index; children }
+
+let of_cfg cfg =
+  compute
+    ~nnodes:(Cfg.nblocks cfg)
+    ~entry:(Cfg.entry cfg)
+    ~preds:(Cfg.preds cfg)
+    ~rpo:(Cfg.reverse_postorder cfg)
+
+(* Post-dominance: reverse edges and add a virtual exit node that succeeds
+   every Ret block (in the reversed graph: precedes them). *)
+let post_of_cfg cfg =
+  let n = Cfg.nblocks cfg in
+  let virtual_exit = n in
+  let exits = Cfg.exit_blocks cfg in
+  let rpreds b = if b = virtual_exit then [] else Cfg.succs cfg b @ (if List.mem b exits then [ virtual_exit ] else []) in
+  (* reverse postorder of the reversed graph, from the virtual exit *)
+  let visited = Array.make (n + 1) false in
+  let order = ref [] in
+  let rsuccs b =
+    if b = virtual_exit then exits
+    else Cfg.preds cfg b
+  in
+  let rec visit b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter visit (rsuccs b);
+      order := b :: !order
+    end
+  in
+  visit virtual_exit;
+  let rpo = !order in
+  (* In the reversed graph, predecessors are the original successors (plus
+     the virtual exit edge). *)
+  (compute ~nnodes:(n + 1) ~entry:virtual_exit ~preds:rpreds ~rpo, virtual_exit)
+
+let idom t b = t.idom.(b)
+
+let dominates t a b =
+  let rec go b = if a = b then true else match t.idom.(b) with Some d -> go d | None -> false in
+  go b
+
+let children t b = t.children.(b)

@@ -1,0 +1,28 @@
+(** Dominator trees via the Cooper–Harvey–Kennedy algorithm.
+
+    The module is graph-generic so the same code computes dominance on the
+    CFG and post-dominance on the reversed CFG (with a virtual exit that
+    fans in from every [Ret] block). *)
+
+type t
+
+val compute : nnodes:int -> entry:int -> preds:(int -> int list) -> rpo:int list -> t
+(** Generic entry point.  [rpo] must be a reverse postorder of the
+    reachable nodes starting with [entry]; [preds] gives predecessor lists
+    restricted to reachable nodes. *)
+
+val of_cfg : Dca_ir.Cfg.t -> t
+(** Dominance on a function's CFG. *)
+
+val post_of_cfg : Dca_ir.Cfg.t -> t * int
+(** Post-dominance: returns the tree and the id of the virtual exit node
+    (= number of blocks; it post-dominates everything). *)
+
+val idom : t -> int -> int option
+(** Immediate dominator ([None] for the entry and unreachable nodes). *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+
+val children : t -> int -> int list
+(** Dominator-tree children. *)

@@ -1,0 +1,148 @@
+open Dca_ir
+
+type kind = Global_scalar of int | Array_cell of { subscript : Affine.affine option }
+
+type rmw = { rmw_load : int; rmw_store : int; rmw_op : Scalars.reduction_op; rmw_kind : kind }
+
+(* Structural equivalence of address computations up to recomputation:
+   lowering re-emits the gep chain for the load and the store of
+   [a[f(i)] op= e], so the two address temporaries differ but their
+   definition trees agree.
+
+   Soundness: definitions are expanded only for compiler temporaries —
+   single-assignment values computed within the current iteration.  Named
+   variables compare by identity alone; expanding them would conflate the
+   values a loop-carried recurrence takes at different points (e.g. the
+   [i] of [rowstart[i]] with the [i+1] of [rowstart[i+1]] through the
+   step [i = i + 1], which would "recognize" a prefix sum as a
+   reduction). *)
+let rec operand_equiv unique_def depth a b =
+  depth < 12
+  &&
+  match (a, b) with
+  | Ir.Oint x, Ir.Oint y -> x = y
+  | Ir.Ofloat x, Ir.Ofloat y -> x = y
+  | Ir.Onull, Ir.Onull -> true
+  | Ir.Ovar v1, Ir.Ovar v2 -> (
+      v1.Ir.vid = v2.Ir.vid
+      || v1.Ir.vtemp && v2.Ir.vtemp
+         &&
+         match (unique_def v1.Ir.vid, unique_def v2.Ir.vid) with
+         | Some d1, Some d2 -> def_equiv unique_def (depth + 1) d1 d2
+         | _ -> false)
+  | _ -> false
+
+and def_equiv unique_def depth (d1 : Ir.instr) (d2 : Ir.instr) =
+  if d1.Ir.iid = d2.Ir.iid then true
+  else
+    let eq = operand_equiv unique_def depth in
+    match (d1.Ir.idesc, d2.Ir.idesc) with
+    | Ir.Gep (_, b1, i1, s1), Ir.Gep (_, b2, i2, s2) -> s1 = s2 && eq b1 b2 && eq i1 i2
+    | Ir.Gaddr (_, g1), Ir.Gaddr (_, g2) -> g1.Ir.vslot = g2.Ir.vslot
+    | Ir.Gload (_, g1), Ir.Gload (_, g2) -> g1.Ir.vslot = g2.Ir.vslot
+    | Ir.Load (_, p1), Ir.Load (_, p2) -> eq p1 p2
+    | Ir.Bin (_, op1, x1, y1), Ir.Bin (_, op2, x2, y2) -> op1 = op2 && eq x1 x2 && eq y1 y2
+    | Ir.Un (_, op1, x1), Ir.Un (_, op2, x2) -> op1 = op2 && eq x1 x2
+    | _ -> false
+
+let find cfg affine (l : Loops.loop) =
+  let instrs = Loops.instrs_of cfg l in
+  let unique_def =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun i ->
+        match Ir.def_of i.Ir.idesc with
+        | Some v ->
+            Hashtbl.replace tbl v.Ir.vid (if Hashtbl.mem tbl v.Ir.vid then None else Some i)
+        | None -> ())
+      instrs;
+    fun vid -> Option.join (Hashtbl.find_opt tbl vid)
+  in
+  let chase_def (op : Ir.operand) =
+    match op with Ir.Ovar v -> unique_def v.Ir.vid | _ -> None
+  in
+  let rmws = ref [] in
+  List.iter
+    (fun i ->
+      match i.Ir.idesc with
+      | Ir.Store (store_addr, stored) -> begin
+          (* stored value must combine a load through an equivalent address *)
+          match chase_def stored with
+          | Some comb -> begin
+              let load_through_same vid =
+                match unique_def vid with
+                | Some ({ Ir.idesc = Ir.Load (_, load_addr); _ } as ld)
+                  when operand_equiv unique_def 0 load_addr store_addr ->
+                    Some ld
+                | _ -> None
+              in
+              let candidate_loads =
+                Ir.uses_of comb.Ir.idesc |> List.filter_map (fun v -> load_through_same v.Ir.vid)
+              in
+              match candidate_loads with
+              | ld :: _ -> begin
+                  match
+                    (match Ir.def_of ld.Ir.idesc with
+                    | Some lv -> Scalars.combine_pattern lv.Ir.vid comb
+                    | None -> None)
+                  with
+                  | Some op ->
+                      let subscript =
+                        match chase_def store_addr with
+                        | Some { Ir.idesc = Ir.Gep (_, _, idx, _); _ } ->
+                            Affine.affine_of_operand affine l idx
+                        | _ -> None
+                      in
+                      rmws :=
+                        {
+                          rmw_load = ld.Ir.iid;
+                          rmw_store = i.Ir.iid;
+                          rmw_op = op;
+                          rmw_kind = Array_cell { subscript };
+                        }
+                        :: !rmws
+                  | None -> ()
+                end
+              | [] -> ()
+            end
+          | None -> ()
+        end
+      | Ir.Gstore (g, stored) -> begin
+          match chase_def stored with
+          | Some comb -> begin
+              let load_of_global vid =
+                match unique_def vid with
+                | Some ({ Ir.idesc = Ir.Gload (_, g'); _ } as ld) when g'.Ir.vslot = g.Ir.vslot ->
+                    Some ld
+                | _ -> None
+              in
+              let candidate_loads =
+                Ir.uses_of comb.Ir.idesc |> List.filter_map (fun v -> load_of_global v.Ir.vid)
+              in
+              match candidate_loads with
+              | ld :: _ -> begin
+                  match
+                    (match Ir.def_of ld.Ir.idesc with
+                    | Some lv -> Scalars.combine_pattern lv.Ir.vid comb
+                    | None -> None)
+                  with
+                  | Some op ->
+                      rmws :=
+                        {
+                          rmw_load = ld.Ir.iid;
+                          rmw_store = i.Ir.iid;
+                          rmw_op = op;
+                          rmw_kind = Global_scalar g.Ir.vslot;
+                        }
+                        :: !rmws
+                  | None -> ()
+                end
+              | [] -> ()
+            end
+          | None -> ()
+        end
+      | _ -> ())
+    instrs;
+  List.rev !rmws
+
+let iid_pairs rmws = List.map (fun r -> (r.rmw_load, r.rmw_store)) rmws

@@ -1,0 +1,24 @@
+(** Recognition of read-modify-write reduction idioms on memory: scalar
+    reductions on globals ([total = total + e] through Gload/Gstore),
+    array reductions ([a\[f(i)\] = a\[f(i)\] op e] through the same address
+    temporary) and histograms (the same with a data-dependent subscript).
+    Used by the Idioms baseline (Ginsbach–O'Boyle style) and by the
+    reduction filters of the dynamic baselines (Pottenger–Eigenmann). *)
+
+type kind =
+  | Global_scalar of int  (** global slot *)
+  | Array_cell of { subscript : Affine.affine option }
+      (** same-address load/store pair; [subscript = None] means a
+          data-dependent index, i.e. a histogram *)
+
+type rmw = {
+  rmw_load : int;  (** load (or Gload) instruction id *)
+  rmw_store : int;  (** store (or Gstore) instruction id *)
+  rmw_op : Scalars.reduction_op;
+  rmw_kind : kind;
+}
+
+val find : Dca_ir.Cfg.t -> Affine.t -> Loops.loop -> rmw list
+
+val iid_pairs : rmw list -> (int * int) list
+(** (load, store) id pairs, for filtering profiled RAW dependences. *)

@@ -1,0 +1,51 @@
+open Dca_ir
+
+type func_info = {
+  fi_func : Ir.func;
+  fi_cfg : Cfg.t;
+  fi_forest : Loops.forest;
+  fi_live : Liveness.t;
+  fi_affine : Affine.t;
+  fi_pdg : Pdg.t;
+}
+
+type t = {
+  prog : Ir.program;
+  infos : (string, func_info) Hashtbl.t;
+  order : string list;
+  pur : Purity.t;
+}
+
+let analyze prog =
+  let infos = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let cfg = Cfg.of_func f in
+      let forest = Loops.analyze cfg in
+      let live = Liveness.analyze cfg in
+      let affine = Affine.analyze cfg forest in
+      let pdg = Pdg.build cfg in
+      Hashtbl.replace infos f.Ir.fname
+        { fi_func = f; fi_cfg = cfg; fi_forest = forest; fi_live = live; fi_affine = affine; fi_pdg = pdg })
+    prog.Ir.p_funcs;
+  { prog; infos; order = List.map (fun f -> f.Ir.fname) prog.Ir.p_funcs; pur = Purity.analyze prog }
+
+let program t = t.prog
+let purity t = t.pur
+
+let func_info t name =
+  match Hashtbl.find_opt t.infos name with
+  | Some fi -> fi
+  | None -> invalid_arg (Printf.sprintf "Proginfo.func_info: unknown function '%s'" name)
+
+let funcs t = List.map (func_info t) t.order
+
+let all_loops t =
+  List.concat_map (fun fi -> List.map (fun l -> (fi, l)) (Loops.loops fi.fi_forest)) (funcs t)
+
+let loop_by_id t id =
+  List.find_opt (fun (_, l) -> l.Loops.l_id = id) (all_loops t)
+
+let loop_label t l =
+  ignore t;
+  Printf.sprintf "%s:%d(d%d)" l.Loops.l_func l.Loops.l_loc.Dca_frontend.Loc.line l.Loops.l_depth

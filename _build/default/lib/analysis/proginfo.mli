@@ -1,0 +1,32 @@
+(** Per-program analysis cache: CFGs, loop forests, liveness, affine
+    contexts, PDGs and purity summaries for every function, computed once
+    and shared by DCA, the baselines and the profilers. *)
+
+type func_info = {
+  fi_func : Dca_ir.Ir.func;
+  fi_cfg : Dca_ir.Cfg.t;
+  fi_forest : Loops.forest;
+  fi_live : Liveness.t;
+  fi_affine : Affine.t;
+  fi_pdg : Pdg.t;
+}
+
+type t
+
+val analyze : Dca_ir.Ir.program -> t
+
+val program : t -> Dca_ir.Ir.program
+val purity : t -> Purity.t
+val func_info : t -> string -> func_info
+(** Raises [Invalid_argument] for unknown functions. *)
+
+val funcs : t -> func_info list
+
+val all_loops : t -> (func_info * Loops.loop) list
+(** Every loop of the program, grouped by function in program order,
+    outermost first within a function. *)
+
+val loop_by_id : t -> string -> (func_info * Loops.loop) option
+
+val loop_label : t -> Loops.loop -> string
+(** Human-readable "func:line(depth d)" label for tables. *)

@@ -1,0 +1,1 @@
+lib/baselines/depprofiling_tool.ml: Dca_analysis Dca_support Dynamic_common Intset List Loops Memred Proginfo Scalars Tool

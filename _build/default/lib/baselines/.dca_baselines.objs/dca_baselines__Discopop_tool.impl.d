@@ -1,0 +1,1 @@
+lib/baselines/discopop_tool.ml: Affine Dca_analysis Dca_ir Dca_support Dynamic_common Intset List Loops Memred Proginfo Scalars Tool

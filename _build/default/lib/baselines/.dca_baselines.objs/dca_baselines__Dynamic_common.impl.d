@@ -1,0 +1,1 @@
+lib/baselines/dynamic_common.ml: Dca_analysis Dca_interp Dca_profiling Depprof Events List Loops Printf Static_common Tool

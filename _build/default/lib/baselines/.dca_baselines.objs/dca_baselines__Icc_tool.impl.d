@@ -1,0 +1,1 @@
+lib/baselines/icc_tool.ml: Affine Dca_analysis List Loops Memred Printf Proginfo Purity Static_common Tool

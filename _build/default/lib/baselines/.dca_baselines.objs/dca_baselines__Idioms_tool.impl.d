@@ -1,0 +1,1 @@
+lib/baselines/idioms_tool.ml: Affine Dca_analysis List Loops Memred Printf Proginfo Purity Scalars Static_common Tool

@@ -1,0 +1,1 @@
+lib/baselines/polly_tool.ml: Affine Dca_analysis Dca_frontend List Loops Memred Printf Proginfo Scalars Static_common Tool

@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Depprofiling_tool Discopop_tool Icc_tool Idioms_tool List Polly_tool Tool

@@ -1,0 +1,1 @@
+lib/baselines/static_common.ml: Affine Dca_analysis Dca_frontend Dca_ir Deptest Ir List Loops Memred Printf Proginfo Purity Scalars

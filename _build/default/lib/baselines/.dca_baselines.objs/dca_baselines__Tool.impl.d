@@ -1,0 +1,1 @@
+lib/baselines/tool.ml: Dca_analysis Dca_profiling List Loops Proginfo

@@ -1,0 +1,12 @@
+(** The five baselines of the paper's evaluation, and helpers to run them
+    together (the "Combined Static" column of Table III). *)
+
+let static_tools = [ Idioms_tool.tool; Polly_tool.tool; Icc_tool.tool ]
+let dynamic_tools = [ Depprofiling_tool.tool; Discopop_tool.tool ]
+let all = dynamic_tools @ static_tools
+
+let run tool info profile = tool.Tool.tool_analyze info profile
+
+(** Loops reported parallel by at least one of the given tools' results. *)
+let combined_parallel_ids (per_tool : Tool.result list list) =
+  List.concat_map Tool.parallel_ids per_tool |> List.sort_uniq compare

@@ -1,0 +1,32 @@
+(** Common shape of the five baseline parallelism detectors the paper
+    compares DCA against (§V-A).  Each tool maps every loop of a program to
+    a verdict; dynamic tools additionally consume a {!Dca_profiling.Depprof}
+    profile of the same workload DCA used. *)
+
+open Dca_analysis
+
+type verdict = Parallel | Not_parallel of string
+
+type result = { bl_loop : Loops.loop; bl_label : string; bl_verdict : verdict }
+
+type t = {
+  tool_name : string;
+  tool_static : bool;
+  tool_analyze : Proginfo.t -> Dca_profiling.Depprof.profile option -> result list;
+}
+
+let is_parallel r = match r.bl_verdict with Parallel -> true | Not_parallel _ -> false
+
+let parallel_ids results =
+  List.filter_map (fun r -> if is_parallel r then Some r.bl_loop.Loops.l_id else None) results
+
+let verdict_to_string = function
+  | Parallel -> "parallel"
+  | Not_parallel why -> "not parallel: " ^ why
+
+(* Shared helper: run a per-loop classifier over the whole program. *)
+let per_loop info classify =
+  List.map
+    (fun (fi, loop) ->
+      { bl_loop = loop; bl_label = Proginfo.loop_label info loop; bl_verdict = classify fi loop })
+    (Proginfo.all_loops info)

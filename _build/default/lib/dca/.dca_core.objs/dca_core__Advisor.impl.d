@@ -1,0 +1,1 @@
+lib/dca/advisor.ml: Buffer Candidate Commutativity Dca_analysis Dca_parallel Dca_profiling Driver List Loops Machine Planner Printf Proginfo Skeleton String

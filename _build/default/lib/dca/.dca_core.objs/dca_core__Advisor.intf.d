@@ -1,0 +1,1 @@
+lib/dca/advisor.mli: Dca_analysis Dca_parallel Dca_profiling Driver

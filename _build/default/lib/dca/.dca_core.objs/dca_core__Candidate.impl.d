@@ -1,0 +1,1 @@
+lib/dca/candidate.ml: Cfg Dca_analysis Dca_ir Dca_support Intset Ir Iterator_rec List Loops Printf Proginfo Purity

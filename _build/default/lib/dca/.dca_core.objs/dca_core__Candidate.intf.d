@@ -1,0 +1,1 @@
+lib/dca/candidate.mli: Dca_analysis Iterator_rec

@@ -1,0 +1,1 @@
+lib/dca/commutativity.ml: Array Dca_analysis Dca_interp Dca_ir Dca_support Eval Events Fun Hashtbl Intset Ir Iterator_rec List Listx Liveness Loops Observable Pdg Printf Proginfo Schedule Store Value

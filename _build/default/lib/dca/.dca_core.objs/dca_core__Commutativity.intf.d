@@ -1,0 +1,1 @@
+lib/dca/commutativity.mli: Dca_analysis Iterator_rec Schedule

@@ -1,0 +1,1 @@
+lib/dca/driver.ml: Candidate Commutativity Dca_analysis Dca_ir Hashtbl List Loops Printf Proginfo

@@ -1,0 +1,1 @@
+lib/dca/driver.mli: Candidate Commutativity Dca_analysis

@@ -1,0 +1,1 @@
+lib/dca/iterator_rec.ml: Array Cfg Dca_analysis Dca_ir Dca_support Hashtbl Intset Ir List Loops Pdg Printf Proginfo String

@@ -1,0 +1,1 @@
+lib/dca/iterator_rec.mli: Dca_analysis Dca_ir Dca_support

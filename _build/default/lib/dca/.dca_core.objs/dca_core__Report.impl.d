@@ -1,0 +1,1 @@
+lib/dca/report.ml: Buffer Commutativity Dca_analysis Driver List Loops Printf

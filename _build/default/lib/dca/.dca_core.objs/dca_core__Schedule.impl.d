@@ -1,0 +1,1 @@
+lib/dca/schedule.ml: Array Dca_support List Printf Prng

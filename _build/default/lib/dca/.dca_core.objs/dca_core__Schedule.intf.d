@@ -1,0 +1,1 @@
+lib/dca/schedule.mli:

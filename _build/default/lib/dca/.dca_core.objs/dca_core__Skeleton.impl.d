@@ -1,0 +1,1 @@
+lib/dca/skeleton.ml: Commutativity Dca_analysis Dca_frontend Dca_ir Dca_parallel Dca_support Ir Iterator_rec List Loops Memred Pdg Printf Proginfo Scalars String

@@ -1,0 +1,1 @@
+lib/dca/skeleton.mli: Commutativity Dca_analysis

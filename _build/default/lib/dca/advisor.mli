@@ -1,0 +1,43 @@
+(** The parallelism advisor the paper envisions DCA inside (§I: "an
+    interactive or semi-automatic parallelism advisor, where the user has
+    the final word").
+
+    For every loop the advisor combines the static stage, the dynamic
+    verdict, the dependence profile and the machine-model profitability
+    into one advice record: parallelize (with the OpenMP clauses to use and
+    the expected speedup of the loop), don't (with the concrete reason —
+    the blocking dependence, the I/O statement, the failed schedule), or
+    review (commutative under the tested inputs but needing the user's
+    approval, e.g. after whole-program escalation — the paper's safety
+    story, §IV-D). *)
+
+type recommendation =
+  | Parallelize  (** commutative, profitable; apply the suggested pragma *)
+  | Parallelize_with_review of string
+      (** commutative, but the evidence warrants a look: verification
+          escalated, a worklist was promoted, or a real-but-unexercised
+          dependence may exist (mcf-style) *)
+  | Not_profitable of string  (** commutative but the machine model says leave it serial *)
+  | Keep_sequential of string  (** non-commutative or excluded; the reason *)
+
+type advice = {
+  ad_loop : Dca_analysis.Loops.loop;
+  ad_label : string;
+  ad_recommendation : recommendation;
+  ad_pragma : string option;  (** OpenMP-style pragma when parallelizing *)
+  ad_loop_speedup : float option;  (** seq/par of the loop's own extent *)
+  ad_coverage : float;  (** fraction of program time in this loop's extent *)
+  ad_notes : string list;  (** evidence trail for the user *)
+}
+
+val advise :
+  ?machine:Dca_parallel.Machine.t ->
+  Dca_analysis.Proginfo.t ->
+  Dca_profiling.Depprof.profile ->
+  Driver.loop_result list ->
+  advice list
+
+val to_string : advice -> string
+
+val report : advice list -> string
+(** The full advisory, most valuable loops first. *)

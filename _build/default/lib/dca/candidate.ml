@@ -1,0 +1,46 @@
+open Dca_support
+open Dca_analysis
+open Dca_ir
+
+type rejection =
+  | Has_io
+  | Returns_inside
+  | Mixed_branch
+  | Ambiguous_interface of string
+  | Empty_payload
+
+type decision = Accepted of Iterator_rec.separation | Rejected of rejection
+
+let rejection_to_string = function
+  | Has_io -> "performs I/O"
+  | Returns_inside -> "returns from inside the loop"
+  | Mixed_branch -> "branch condition mixes iterator and payload definitions"
+  | Ambiguous_interface v -> Printf.sprintf "interface variable '%s' has interleaved defs/uses" v
+  | Empty_payload -> "empty payload (pure traversal)"
+
+let loop_does_io info fi (l : Loops.loop) =
+  let pur = Proginfo.purity info in
+  List.exists
+    (fun i -> Purity.instr_does_io pur i.Ir.idesc)
+    (Loops.instrs_of fi.Proginfo.fi_cfg l)
+
+let loop_returns_inside fi (l : Loops.loop) =
+  Intset.exists
+    (fun b ->
+      match (Cfg.block fi.Proginfo.fi_cfg b).Ir.bterm with
+      | Ir.Ret _ -> true
+      | Ir.Br _ | Ir.Cbr _ -> false)
+    l.Loops.l_blocks
+
+let examine info fi l =
+  if loop_does_io info fi l then Rejected Has_io
+  else if loop_returns_inside fi l then Rejected Returns_inside
+  else begin
+    let sep = Iterator_rec.separate fi l in
+    if sep.Iterator_rec.sep_mixed_cbr then Rejected Mixed_branch
+    else
+      match sep.Iterator_rec.sep_ambiguous with
+      | v :: _ -> Rejected (Ambiguous_interface v.Ir.vname)
+      | [] ->
+          if Iterator_rec.is_iterator_only sep then Rejected Empty_payload else Accepted sep
+  end

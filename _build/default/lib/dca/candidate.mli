@@ -1,0 +1,21 @@
+(** Static candidate selection (paper §IV-A, §IV-E): which loops enter the
+    dynamic stage at all.
+
+    A loop is rejected when it performs I/O (directly or through a call),
+    returns from inside its body, has a branch condition mixing iterator
+    and payload definitions, has an interface variable with interleaved
+    definitions and uses, or has an empty payload (nothing to permute). *)
+
+type rejection =
+  | Has_io
+  | Returns_inside
+  | Mixed_branch
+  | Ambiguous_interface of string  (** offending variable *)
+  | Empty_payload
+
+type decision = Accepted of Iterator_rec.separation | Rejected of rejection
+
+val examine :
+  Dca_analysis.Proginfo.t -> Dca_analysis.Proginfo.func_info -> Dca_analysis.Loops.loop -> decision
+
+val rejection_to_string : rejection -> string

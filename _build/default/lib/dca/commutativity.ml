@@ -1,0 +1,556 @@
+open Dca_support
+open Dca_analysis
+open Dca_ir
+open Dca_interp
+open Iterator_rec
+
+type config = {
+  cc_schedules : Schedule.t list;
+  cc_eps : float;
+  cc_escalate : bool;
+  cc_max_invocations : int;
+  cc_promote_rounds : int;
+}
+
+let default_config =
+  {
+    cc_schedules = Schedule.presets ();
+    cc_eps = 1e-6;
+    cc_escalate = true;
+    cc_max_invocations = 4;
+    cc_promote_rounds = 3;
+  }
+
+type verdict = Commutative | Non_commutative of string | Untestable of string
+
+let verdict_to_string = function
+  | Commutative -> "commutative"
+  | Non_commutative why -> "non-commutative (" ^ why ^ ")"
+  | Untestable why -> "untestable (" ^ why ^ ")"
+
+type outcome = {
+  oc_verdict : verdict;
+  oc_invocations : int;
+  oc_escalated : bool;
+  oc_promotions : int;
+  oc_separation : Iterator_rec.separation;
+  oc_per_invocation : verdict list;
+}
+
+type run_spec = { rs_input : int list; rs_fuel : int }
+
+let default_run_spec = { rs_input = []; rs_fuel = 100_000_000 }
+
+exception Replay_mismatch of string
+
+(* ------------------------------------------------------------------ *)
+(* Golden recording                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Memory footprint of the golden run, split by slice/payload attribution. *)
+type footprint = {
+  mutable fp_slice_reads : (Events.loc, unit) Hashtbl.t;
+  mutable fp_slice_writes : (Events.loc, unit) Hashtbl.t;
+  fp_payload_reads : (Events.loc, Intset.t ref) Hashtbl.t;  (** loc → payload iids *)
+  fp_payload_writes : (Events.loc, Intset.t ref) Hashtbl.t;
+}
+
+type golden = {
+  g_transitions : (int * int) array;  (** frame-level control transfers; (-1, header) marks iteration start *)
+  g_segments : (int * int) list;  (** (start, stop) index ranges into g_transitions, one per header arrival *)
+  g_payload_segments : int list;  (** indices into g_segments that execute payload *)
+  g_snaps : Value.t array array;  (** interface values at each header arrival *)
+  g_exit_snap : Value.t array;
+  g_exit_block : int;
+  g_digest : Observable.t;
+  g_footprint : footprint;
+}
+
+let iface_values frame sep =
+  Array.of_list (List.map (fun iv -> frame.Eval.regs.(iv.if_var.Ir.vslot)) sep.sep_interface)
+
+let is_mem_loc = function
+  | Events.Lheap _ | Events.Lglob _ | Events.Lrng -> true
+  | Events.Lreg _ -> false
+
+let capture_digest fi loop ctx frame =
+  let live = Liveness.loop_live_out fi.Proginfo.fi_live loop in
+  let scalar_values =
+    Intset.elements live
+    |> List.filter_map (fun vid ->
+           match Liveness.var_of_id fi.Proginfo.fi_live vid with
+           | Some v when not v.Ir.vglobal -> Some frame.Eval.regs.(v.Ir.vslot)
+           | _ -> None)
+  in
+  let gvals = Eval.globals_of ctx in
+  let gscalars = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then None else Some v) gvals in
+  let roots = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then Some v else None) gvals in
+  Observable.capture (Eval.store ctx) ~scalars:(scalar_values @ gscalars) ~roots
+
+(* Run the loop once in original order under a recording sink. *)
+let record_golden ctx frame fi sep =
+  let loop = sep.sep_loop in
+  let header = loop.Loops.l_header in
+  let in_loop b = Intset.mem b loop.Loops.l_blocks in
+  let transitions = ref [] in
+  let depth = ref 0 in
+  let cur_iid = ref (-1) in
+  let fp =
+    {
+      fp_slice_reads = Hashtbl.create 64;
+      fp_slice_writes = Hashtbl.create 64;
+      fp_payload_reads = Hashtbl.create 64;
+      fp_payload_writes = Hashtbl.create 64;
+    }
+  in
+  let in_slice iid = Intset.mem iid sep.sep_slice in
+  let in_payload iid = Intset.mem iid sep.sep_payload in
+  let touch tbl loc =
+    if not (Hashtbl.mem tbl loc) then Hashtbl.replace tbl loc ()
+  in
+  let touch_set tbl loc iid =
+    match Hashtbl.find_opt tbl loc with
+    | Some s -> s := Intset.add iid !s
+    | None -> Hashtbl.replace tbl loc (ref (Intset.singleton iid))
+  in
+  let record_access is_read loc =
+    if is_mem_loc loc && !cur_iid >= 0 then begin
+      let iid = !cur_iid in
+      if in_slice iid then touch (if is_read then fp.fp_slice_reads else fp.fp_slice_writes) loc
+      else if in_payload iid then
+        touch_set (if is_read then fp.fp_payload_reads else fp.fp_payload_writes) loc iid
+    end
+  in
+  let sink =
+    {
+      Events.on_exec = (fun i -> if !depth = 0 then cur_iid := i.Ir.iid);
+      on_read = (fun loc _ -> record_access true loc);
+      on_write = (fun loc _ -> record_access false loc);
+      on_block =
+        (fun ~fname:_ ~src ~dst -> if !depth = 0 then transitions := (src, dst) :: !transitions);
+      on_call = (fun _ -> incr depth);
+      on_return = (fun _ -> decr depth);
+    }
+  in
+  let run () =
+    (* the sink records a (-1, header) marker at the start of every
+       per-iteration [exec_upto], which delimits the segments *)
+    let snaps = ref [ iface_values frame sep ] in
+    let rec go cur =
+      match
+        Eval.exec_upto ctx frame ~start:cur ~stop:(fun b -> b = header || not (in_loop b)) ~control:None
+      with
+      | Eval.Stopped_at b when b = header ->
+          snaps := iface_values frame sep :: !snaps;
+          go header
+      | Eval.Stopped_at e -> e
+      | Eval.Returned _ -> raise (Replay_mismatch "function returned from inside the loop")
+    in
+    let exit_block = go header in
+    (exit_block, List.rev !snaps)
+  in
+  (* no other sink can be active here: DCA testing runs own its own
+     evaluator contexts, never under the profiler *)
+  Eval.set_sink ctx (Some sink);
+  let result = Fun.protect ~finally:(fun () -> Eval.set_sink ctx None) (fun () -> run ()) in
+  let exit_block, snaps = result in
+  let exit_snap = iface_values frame sep in
+  let digest = capture_digest fi loop ctx frame in
+  let trans = Array.of_list (List.rev !transitions) in
+  (* segments: ranges between (-1, header) markers *)
+  let segments = ref [] and seg_start = ref None in
+  Array.iteri
+    (fun idx (src, _dst) ->
+      if src = -1 then begin
+        (match !seg_start with Some s -> segments := (s, idx) :: !segments | None -> ());
+        seg_start := Some (idx + 1)
+      end)
+    trans;
+  (match !seg_start with Some s -> segments := (s, Array.length trans) :: !segments | None -> ());
+  let segments = List.rev !segments in
+  (* a segment that enters the loop body (some transition to an in-loop
+     block other than the header) is a real iteration; the final segment of
+     a header-exiting loop transfers straight out and is excluded *)
+  let seg_has_body (s, e) =
+    let rec has k =
+      k < e && ((let _, dst = trans.(k) in in_loop dst && dst <> header) || has (k + 1))
+    in
+    has s
+  in
+  let payload_idx =
+    List.mapi (fun i seg -> (i, seg)) segments
+    |> List.filter_map (fun (i, seg) -> if seg_has_body seg then Some i else None)
+  in
+  {
+    g_transitions = trans;
+    g_segments = segments;
+    g_payload_segments = payload_idx;
+    g_snaps = Array.of_list snaps;
+    g_exit_snap = exit_snap;
+    g_exit_block = exit_block;
+    g_digest = digest;
+    g_footprint = fp;
+  }
+
+(* Payload instructions whose memory effects interfere with the iterator:
+   writers of locations the slice reads or writes, and readers of locations
+   the slice writes. *)
+let separability_violations g =
+  let fp = g.g_footprint in
+  let acc = ref Intset.empty in
+  Hashtbl.iter
+    (fun loc iids ->
+      if Hashtbl.mem fp.fp_slice_reads loc || Hashtbl.mem fp.fp_slice_writes loc then
+        acc := Intset.union !acc !iids)
+    fp.fp_payload_writes;
+  Hashtbl.iter
+    (fun loc iids ->
+      if Hashtbl.mem fp.fp_slice_writes loc then acc := Intset.union !acc !iids)
+    fp.fp_payload_reads;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance [cursor] (an index ref into [trans] within [stop]) to the next
+   entry whose source is [bid]; return its destination. *)
+let consume_direction trans cursor stop bid =
+  let rec scan k =
+    if k >= stop then
+      raise (Replay_mismatch (Printf.sprintf "no recorded direction for block %d" bid))
+    else
+      let src, dst = trans.(k) in
+      if src = bid then begin
+        cursor := k + 1;
+        dst
+      end
+      else scan (k + 1)
+  in
+  scan !cursor
+
+(* Re-execute the loop from the entry state under [sched]:
+   iterator pass (slice only, recorded path), then payload pass (payload
+   only, scheduled iteration order), then restore the iterator's exit
+   values so live-outs reflect the completed traversal. *)
+let replay ctx frame fi sep g sched =
+  let loop = sep.sep_loop in
+  let header = loop.Loops.l_header in
+  let in_loop b = Intset.mem b loop.Loops.l_blocks in
+  let trans = g.g_transitions in
+  let n_trans = Array.length trans in
+  (* --- iterator pass --- *)
+  let cursor = ref 0 in
+  let iter_control =
+    {
+      Eval.sc_filter = (fun i -> Intset.mem i.Ir.iid sep.sep_slice);
+      sc_override = (fun bid -> Some (consume_direction trans cursor n_trans bid));
+    }
+  in
+  (match
+     Eval.exec_upto ctx frame ~start:header ~stop:(fun b -> not (in_loop b)) ~control:(Some iter_control)
+   with
+  | Eval.Stopped_at e when e = g.g_exit_block -> ()
+  | Eval.Stopped_at e ->
+      raise (Replay_mismatch (Printf.sprintf "iterator pass exited at %d, golden exited at %d" e g.g_exit_block))
+  | Eval.Returned _ -> raise (Replay_mismatch "iterator pass returned"));
+  (* save iterator exit values *)
+  let slice_vars =
+    Intset.fold
+      (fun iid acc ->
+        match Ir.def_of (Pdg.instr fi.Proginfo.fi_pdg iid).Ir.idesc with
+        | Some v when not v.Ir.vglobal -> if List.exists (fun v' -> v'.Ir.vid = v.Ir.vid) acc then acc else v :: acc
+        | _ -> acc)
+      sep.sep_slice []
+  in
+  let slice_exit_values = List.map (fun v -> (v, frame.Eval.regs.(v.Ir.vslot))) slice_vars in
+  (* --- payload pass --- *)
+  let seg_array = Array.of_list g.g_segments in
+  let payload_iters = Array.of_list g.g_payload_segments in
+  let n = Array.length payload_iters in
+  let perm = Schedule.apply sched n in
+  let set_iface seg_idx =
+    List.iteri
+      (fun j iv ->
+        let value =
+          match iv.if_phase with
+          | Pre -> g.g_snaps.(seg_idx).(j)
+          | Post ->
+              if seg_idx + 1 < Array.length g.g_snaps then g.g_snaps.(seg_idx + 1).(j)
+              else g.g_exit_snap.(j)
+        in
+        frame.Eval.regs.(iv.if_var.Ir.vslot) <- value)
+      sep.sep_interface
+  in
+  Array.iter
+    (fun k ->
+      let seg_idx = payload_iters.(k) in
+      let seg_start, seg_stop = seg_array.(seg_idx) in
+      set_iface seg_idx;
+      let cursor = ref seg_start in
+      let control =
+        {
+          Eval.sc_filter = (fun i -> Intset.mem i.Ir.iid sep.sep_payload);
+          sc_override =
+            (fun bid ->
+              if Intset.mem bid sep.sep_slice_cbr_blocks then
+                Some (consume_direction trans cursor seg_stop bid)
+              else None);
+        }
+      in
+      match
+        Eval.exec_upto ctx frame ~start:header
+          ~stop:(fun b -> b = header || not (in_loop b))
+          ~control:(Some control)
+      with
+      | Eval.Stopped_at _ -> ()
+      | Eval.Returned _ -> raise (Replay_mismatch "payload pass returned"))
+    perm;
+  (* restore iterator exit values clobbered by interface presets *)
+  List.iter (fun (v, value) -> frame.Eval.regs.(v.Ir.vslot) <- value) slice_exit_values;
+  capture_digest fi loop ctx frame
+
+(* ------------------------------------------------------------------ *)
+(* Mode A: loop-local testing via interception                         *)
+(* ------------------------------------------------------------------ *)
+
+type tester_state = {
+  mutable ts_sep : separation;
+  mutable ts_tested : int;
+  mutable ts_failure : verdict option;
+  mutable ts_needs_escalation : Schedule.t list;
+  mutable ts_promotions : int;
+  mutable ts_per_invocation : verdict list;  (** reversed *)
+}
+
+let run_loop_plain ctx frame loop =
+  let in_loop b = Intset.mem b loop.Loops.l_blocks in
+  match
+    Eval.exec_upto ctx frame ~start:loop.Loops.l_header ~stop:(fun b -> not (in_loop b)) ~control:None
+  with
+  | Eval.Stopped_at e -> e
+  | Eval.Returned _ ->
+      (* candidates exclude in-loop returns, but stay safe *)
+      raise (Replay_mismatch "loop returned during plain run")
+
+let widen_or_fail fi state violations =
+  let sep' = Iterator_rec.widen fi state.ts_sep ~promote:violations in
+  if sep'.sep_mixed_cbr then Error "promotion produced mixed branch conditions"
+  else if sep'.sep_ambiguous <> [] then Error "promotion produced an ambiguous interface"
+  else if Iterator_rec.is_iterator_only sep' then Error "iterator absorbed the whole payload"
+  else begin
+    state.ts_sep <- sep';
+    state.ts_promotions <- state.ts_promotions + 1;
+    Ok ()
+  end
+
+let test_invocation config fi state ctx frame =
+  let st = Eval.store ctx in
+  let s0 = Store.snapshot st in
+  let regs0 = Array.copy frame.Eval.regs in
+  let restore0 () =
+    Store.restore st s0;
+    Array.blit regs0 0 frame.Eval.regs 0 (Array.length regs0)
+  in
+  let rec attempt rounds =
+    restore0 ();
+    match record_golden ctx frame fi state.ts_sep with
+    | exception Replay_mismatch msg -> Untestable msg
+    | exception Eval.Trap msg -> Untestable ("trap during golden run: " ^ msg)
+    | g -> begin
+        let violations = separability_violations g in
+        if not (Intset.is_empty violations) then begin
+          if rounds > 0 then
+            match widen_or_fail fi state violations with
+            | Ok () -> attempt (rounds - 1)
+            | Error msg -> Untestable msg
+          else Untestable "memory separability violated"
+        end
+        else begin
+          (* identity self-check *)
+          restore0 ();
+          match replay ctx frame fi state.ts_sep g Schedule.Identity with
+          | exception Replay_mismatch msg -> Untestable ("identity replay: " ^ msg)
+          | exception Eval.Trap msg -> Untestable ("identity replay trap: " ^ msg)
+          | d_id ->
+              if not (Observable.equal ~eps:config.cc_eps d_id g.g_digest) then
+                Untestable "identity replay does not reproduce the golden state"
+              else begin
+                let rec schedules = function
+                  | [] -> Commutative
+                  | sched :: rest -> begin
+                      restore0 ();
+                      match replay ctx frame fi state.ts_sep g sched with
+                      | exception Replay_mismatch _ ->
+                          (* control divergence prevents loop-local digesting;
+                             decide via whole-program verification *)
+                          state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+                          schedules rest
+                      | exception Eval.Trap msg ->
+                          Non_commutative
+                            (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
+                      | d ->
+                          if Observable.equal ~eps:config.cc_eps d g.g_digest then schedules rest
+                          else begin
+                            state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+                            schedules rest
+                          end
+                    end
+                in
+                schedules config.cc_schedules
+              end
+        end
+      end
+  in
+  let verdict = attempt config.cc_promote_rounds in
+  (* leave the program in its untested, original-order state *)
+  restore0 ();
+  verdict
+
+(* ------------------------------------------------------------------ *)
+(* Mode B: whole-program verification                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the entire program with every invocation of the loop executed under
+   [sched]; return its outputs. *)
+let whole_program_run (info : Proginfo.t) spec fi sep sched =
+  let prog = Proginfo.program info in
+  let ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
+  let loop = sep.sep_loop in
+  let handler ctx frame =
+    let st = Eval.store ctx in
+    let s0 = Store.snapshot st in
+    let regs0 = Array.copy frame.Eval.regs in
+    let restore0 () =
+      Store.restore st s0;
+      Array.blit regs0 0 frame.Eval.regs 0 (Array.length regs0)
+    in
+    let g = record_golden ctx frame fi sep in
+    if not (Intset.is_empty (separability_violations g)) then
+      raise (Replay_mismatch "separability violated in whole-program run");
+    restore0 ();
+    ignore (replay ctx frame fi sep g sched : Observable.t);
+    (* continue the program from the permuted state *)
+    g.g_exit_block
+  in
+  Eval.add_interceptor ctx ~fname:loop.Loops.l_func ~header:loop.Loops.l_header handler;
+  Eval.run_main ctx;
+  Eval.outputs ctx
+
+let escalate config info spec fi sep scheds =
+  let prog = Proginfo.program info in
+  let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
+  Eval.run_main plain_ctx;
+  let golden_out = Eval.outputs plain_ctx in
+  let rec go = function
+    | [] -> Commutative
+    | sched :: rest -> begin
+        match whole_program_run info spec fi sep sched with
+        | exception Replay_mismatch msg -> Untestable ("whole-program replay: " ^ msg)
+        | exception Eval.Trap msg ->
+            Non_commutative (Printf.sprintf "whole-program trap under %s: %s" (Schedule.to_string sched) msg)
+        | exception Eval.Out_of_fuel -> Untestable "whole-program replay ran out of fuel"
+        | out ->
+            if Observable.outputs_equal ~eps:config.cc_eps golden_out out then go rest
+            else Non_commutative (Printf.sprintf "program output differs under %s" (Schedule.to_string sched))
+      end
+  in
+  go (Listx.dedup_keep_order ( = ) scheds)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop config (info : Proginfo.t) spec fi sep =
+  let loop = sep.sep_loop in
+  let state =
+    {
+      ts_sep = sep;
+      ts_tested = 0;
+      ts_failure = None;
+      ts_needs_escalation = [];
+      ts_promotions = 0;
+      ts_per_invocation = [];
+    }
+  in
+  let prog = Proginfo.program info in
+  let ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
+  let handler ctx frame =
+    if state.ts_failure <> None || state.ts_tested >= config.cc_max_invocations then
+      run_loop_plain ctx frame loop
+    else begin
+      state.ts_tested <- state.ts_tested + 1;
+      let pending_before = List.length state.ts_needs_escalation in
+      let v = test_invocation config fi state ctx frame in
+      let v_recorded =
+        (* a strict digest mismatch defers to whole-program verification;
+           surface that in the per-invocation trail *)
+        if v = Commutative && List.length state.ts_needs_escalation > pending_before then
+          Untestable "strict live-out digest differed; deferred to whole-program verification"
+        else v
+      in
+      state.ts_per_invocation <- v_recorded :: state.ts_per_invocation;
+      (match v with Commutative -> () | _ -> state.ts_failure <- Some v);
+      run_loop_plain ctx frame loop
+    end
+  in
+  Eval.add_interceptor ctx ~fname:loop.Loops.l_func ~header:loop.Loops.l_header handler;
+  let base_verdict =
+    match Eval.run_main ctx with
+    | () -> begin
+        match state.ts_failure with
+        | Some v -> v
+        | None -> if state.ts_tested = 0 then Untestable "loop not executed by the workload" else Commutative
+      end
+    | exception Eval.Trap msg -> Untestable ("program trapped: " ^ msg)
+    | exception Eval.Out_of_fuel -> Untestable "program ran out of fuel"
+  in
+  let escalated = state.ts_needs_escalation <> [] in
+  let verdict =
+    match base_verdict with
+    | Commutative when escalated ->
+        if config.cc_escalate then escalate config info spec fi state.ts_sep state.ts_needs_escalation
+        else Non_commutative "live-out digest differs (escalation disabled)"
+    | v -> v
+  in
+  {
+    oc_verdict = verdict;
+    oc_invocations = state.ts_tested;
+    oc_escalated = escalated && config.cc_escalate;
+    oc_promotions = state.ts_promotions;
+    oc_separation = state.ts_sep;
+    oc_per_invocation = List.rev state.ts_per_invocation;
+  }
+
+(* Combined testing over several workloads (§V-D): every executed input
+   must agree on commutativity. *)
+let test_loop_inputs config info specs fi sep =
+  match specs with
+  | [] -> invalid_arg "Commutativity.test_loop_inputs: no run specs"
+  | _ ->
+      let outcomes = List.map (fun spec -> test_loop config info spec fi sep) specs in
+      let executed =
+        List.filter
+          (fun oc ->
+            match oc.oc_verdict with
+            | Untestable "loop not executed by the workload" -> false
+            | _ -> true)
+          outcomes
+      in
+      let pool = if executed = [] then outcomes else executed in
+      let pick pred = List.find_opt (fun oc -> pred oc.oc_verdict) pool in
+      let combined =
+        match pick (function Non_commutative _ -> true | _ -> false) with
+        | Some oc -> oc
+        | None -> (
+            match pick (function Untestable _ -> true | _ -> false) with
+            | Some oc -> oc
+            | None -> List.hd pool)
+      in
+      {
+        combined with
+        oc_invocations = List.fold_left (fun acc oc -> acc + oc.oc_invocations) 0 outcomes;
+        oc_escalated = List.exists (fun oc -> oc.oc_escalated) outcomes;
+        oc_promotions = List.fold_left (fun acc oc -> max acc oc.oc_promotions) 0 outcomes;
+        oc_per_invocation = List.concat_map (fun oc -> oc.oc_per_invocation) outcomes;
+      }

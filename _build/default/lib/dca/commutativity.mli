@@ -1,0 +1,92 @@
+(** The dynamic stage of DCA (paper §IV-B): iterator recording, permuted
+    re-execution, and live-out verification.
+
+    For each tested dynamic invocation of a candidate loop the engine:
+
+    + snapshots the program state at loop entry;
+    + runs the loop once in the original order under instrumentation,
+      recording (a) the control-flow path, (b) the interface-variable
+      values at every iteration boundary (the "linearized iterator",
+      §IV-A3), (c) the live-out digest of the golden execution, and
+      (d) which memory locations iterator and payload instructions touch;
+    + checks {e memory separability}: payload writes must not feed iterator
+      reads or writes (and vice versa).  Worklist idioms — payload pushes
+      feeding iterator pops — fail this check at first; the engine then
+      {e promotes} the offending instructions into the iterator slice
+      (closing under the PDG) and retries, which is how BFS-style loops
+      from Fig. 2 become testable;
+    + re-executes the loop from the snapshot under the identity schedule
+      (a self-check of the whole record/replay mechanism — any mismatch
+      makes the loop untestable rather than mis-verdicted), then under
+      each configured permutation schedule.  A re-execution is an
+      {e iterator pass} (slice instructions only, golden control path)
+      followed by a {e payload pass} (payload instructions only, one
+      iteration per scheduled index, interface variables preset from the
+      recording, payload branches evaluated live);
+    + compares each permuted live-out digest with the golden digest.
+      On a strict mismatch the engine optionally {e escalates} to
+      whole-program verification: the entire program is re-run with the
+      loop permuted in place, and the program's outputs are compared —
+      state differences that are not observable downstream (a reordered
+      but semantically unordered worklist) do not count as violations.
+
+    Traps or divergence during a {e permuted} replay are evidence of
+    non-commutativity (paper §IV-E: "we reliably detect these
+    situations"); failures during the golden run or the identity
+    self-check make the loop untestable instead. *)
+
+type config = {
+  cc_schedules : Schedule.t list;
+  cc_eps : float;  (** relative float tolerance of the digest comparison *)
+  cc_escalate : bool;  (** whole-program verification on strict mismatch *)
+  cc_max_invocations : int;  (** dynamic invocations tested per loop *)
+  cc_promote_rounds : int;  (** worklist-promotion retries *)
+}
+
+val default_config : config
+
+type verdict =
+  | Commutative
+  | Non_commutative of string
+  | Untestable of string
+
+type outcome = {
+  oc_verdict : verdict;
+  oc_invocations : int;  (** dynamic invocations actually tested *)
+  oc_escalated : bool;
+  oc_promotions : int;  (** worklist promotion rounds applied *)
+  oc_separation : Iterator_rec.separation;  (** final (possibly widened) separation *)
+  oc_per_invocation : verdict list;
+      (** verdict of each tested dynamic invocation, in execution order —
+          the raw material for the context-sensitivity the paper leaves as
+          future work (§IV-E): a loop commutative in some calling contexts
+          and not in others shows up as a mixed list here *)
+}
+
+type run_spec = { rs_input : int list; rs_fuel : int }
+
+val default_run_spec : run_spec
+
+val test_loop :
+  config ->
+  Dca_analysis.Proginfo.t ->
+  run_spec ->
+  Dca_analysis.Proginfo.func_info ->
+  Iterator_rec.separation ->
+  outcome
+(** Run the whole program once with the loop under test intercepted (plus
+    whole-program verification runs if escalation triggers). *)
+
+val test_loop_inputs :
+  config ->
+  Dca_analysis.Proginfo.t ->
+  run_spec list ->
+  Dca_analysis.Proginfo.func_info ->
+  Iterator_rec.separation ->
+  outcome
+(** Combined testing over several workloads (the paper's §V-D future-work
+    direction): the loop is commutative only if every input agrees; a
+    single non-commutative input refutes it; inputs that never execute the
+    loop contribute nothing.  [run_spec list] must be non-empty. *)
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,67 @@
+open Dca_analysis
+
+type decision =
+  | Commutative
+  | Non_commutative of string
+  | Untestable of string
+  | Rejected of Candidate.rejection
+  | Subsumed of string
+
+type loop_result = {
+  lr_loop : Loops.loop;
+  lr_label : string;
+  lr_decision : decision;
+  lr_outcome : Commutativity.outcome option;
+}
+
+let decision_to_string = function
+  | Commutative -> "commutative"
+  | Non_commutative why -> Printf.sprintf "non-commutative: %s" why
+  | Untestable why -> Printf.sprintf "untestable: %s" why
+  | Rejected r -> Printf.sprintf "rejected: %s" (Candidate.rejection_to_string r)
+  | Subsumed parent -> Printf.sprintf "subsumed by commutative ancestor %s" parent
+
+let analyze_program ?(config = Commutativity.default_config)
+    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) info =
+  (* loops arrive outermost-first within each function, so a commutative
+     ancestor is always decided before its descendants *)
+  let commutative_ancestors : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let subsuming_ancestor (fi : Proginfo.func_info) (loop : Loops.loop) =
+    if not hierarchical then None
+    else
+      Loops.nesting_path fi.Proginfo.fi_forest loop
+      |> List.find_opt (fun anc ->
+             anc.Loops.l_id <> loop.Loops.l_id && Hashtbl.mem commutative_ancestors anc.Loops.l_id)
+  in
+  List.map
+    (fun (fi, loop) ->
+      let label = Proginfo.loop_label info loop in
+      match subsuming_ancestor fi loop with
+      | Some anc ->
+          { lr_loop = loop; lr_label = label; lr_decision = Subsumed anc.Loops.l_id; lr_outcome = None }
+      | None -> (
+          match Candidate.examine info fi loop with
+          | Candidate.Rejected r ->
+              { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
+          | Candidate.Accepted sep ->
+              let outcome = Commutativity.test_loop config info spec fi sep in
+              let decision =
+                match outcome.Commutativity.oc_verdict with
+                | Commutativity.Commutative ->
+                    Hashtbl.replace commutative_ancestors loop.Loops.l_id ();
+                    Commutative
+                | Commutativity.Non_commutative why -> Non_commutative why
+                | Commutativity.Untestable why -> Untestable why
+              in
+              { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome }))
+    (Proginfo.all_loops info)
+
+let analyze_source ?config ?spec ~file src =
+  let prog = Dca_ir.Lower.compile ~file src in
+  let info = Proginfo.analyze prog in
+  (info, analyze_program ?config ?spec info)
+
+let is_commutative r = match r.lr_decision with Commutative -> true | _ -> false
+
+let commutative_ids results =
+  List.filter_map (fun r -> if is_commutative r then Some r.lr_loop.Loops.l_id else None) results

@@ -1,0 +1,46 @@
+(** Whole-program DCA pipeline: static candidate selection followed by one
+    dynamic commutativity test per loop (paper Fig. 3).  Loops are tested
+    one per program execution, as in §IV-E. *)
+
+type decision =
+  | Commutative
+  | Non_commutative of string
+  | Untestable of string
+  | Rejected of Candidate.rejection  (** excluded by the static stage *)
+  | Subsumed of string
+      (** hierarchical mode only: an enclosing loop (by id) is already
+          commutative, so this loop was not tested (paper §IV-E explores
+          loops top-down) *)
+
+type loop_result = {
+  lr_loop : Dca_analysis.Loops.loop;
+  lr_label : string;
+  lr_decision : decision;
+  lr_outcome : Commutativity.outcome option;  (** present when the dynamic stage ran *)
+}
+
+val analyze_program :
+  ?config:Commutativity.config ->
+  ?spec:Commutativity.run_spec ->
+  ?hierarchical:bool ->
+  Dca_analysis.Proginfo.t ->
+  loop_result list
+(** Results in program order (function order, then outermost-first).
+    With [~hierarchical:true] (default [false]), loops nested inside a
+    loop already found commutative are not tested and come back
+    [Subsumed] — the paper's top-down exploration, which saves dynamic
+    test invocations when outer parallelism is preferred anyway. *)
+
+val analyze_source :
+  ?config:Commutativity.config ->
+  ?spec:Commutativity.run_spec ->
+  file:string ->
+  string ->
+  Dca_analysis.Proginfo.t * loop_result list
+(** Convenience: parse, type-check, lower, analyze. *)
+
+val commutative_ids : loop_result list -> string list
+
+val is_commutative : loop_result -> bool
+
+val decision_to_string : decision -> string

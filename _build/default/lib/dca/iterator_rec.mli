@@ -1,0 +1,52 @@
+(** Generalized iterator recognition (paper §IV-A1, after Manilov et al.,
+    CC 2018): separate each loop into its {e iterator} — the backward
+    program slice of the loop's exiting branches, closed under data and
+    control dependence inside the loop — and its {e payload}, everything
+    else.
+
+    The separation also computes the {e interface}: the variables defined
+    by iterator instructions and consumed by the payload (the induction
+    variable of a counted loop, the node pointer of a PLDS traversal, the
+    popped element of a worklist loop).  Each interface variable is
+    classified by {e when} the payload observes it relative to the
+    iterator's in-body update:
+
+    - [Pre]: every payload use precedes every iterator definition in the
+      body (e.g. [i] in a [for] loop, [p] in [while (p) { ...; p = p->next }])
+      — the payload sees the value the variable had at the iteration's
+      header;
+    - [Post]: every iterator definition precedes every payload use (e.g.
+      [current = pop(worklist)]) — the payload sees the value established
+      during the iteration.
+
+    A variable with interleaved uses and definitions is ambiguous and makes
+    the loop untestable. *)
+
+type phase = Pre | Post
+
+type iface_var = { if_var : Dca_ir.Ir.var; if_phase : phase }
+
+type separation = {
+  sep_loop : Dca_analysis.Loops.loop;
+  sep_slice : Dca_support.Intset.t;  (** instruction ids of the iterator slice *)
+  sep_payload : Dca_support.Intset.t;  (** instruction ids of the payload *)
+  sep_slice_cbr_blocks : Dca_support.Intset.t;
+      (** blocks whose conditional terminator is controlled by the slice *)
+  sep_mixed_cbr : bool;  (** some branch condition mixes slice and payload defs *)
+  sep_interface : iface_var list;
+  sep_ambiguous : Dca_ir.Ir.var list;  (** interface variables with interleaved def/use *)
+  sep_slice_def_vids : Dca_support.Intset.t;  (** all variables defined by slice instrs *)
+}
+
+val separate : Dca_analysis.Proginfo.func_info -> Dca_analysis.Loops.loop -> separation
+
+val widen : Dca_analysis.Proginfo.func_info -> separation -> promote:Dca_support.Intset.t -> separation
+(** Move the given payload instructions — plus their in-loop backward
+    closure — into the iterator slice and recompute the separation.  Used
+    when the dynamic separability check finds payload writes feeding
+    iterator reads through memory (worklist [push]/[pop] pairs). *)
+
+val is_iterator_only : separation -> bool
+(** The payload is empty: nothing to permute (pure traversals). *)
+
+val describe : separation -> string

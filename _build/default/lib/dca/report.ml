@@ -1,0 +1,30 @@
+(** Human-readable reports of DCA results (the "auxiliary reports" of
+    paper §IV-A4). *)
+
+open Dca_analysis
+
+let summary_line (r : Driver.loop_result) =
+  let extra =
+    match r.Driver.lr_outcome with
+    | Some oc ->
+        Printf.sprintf " [tested %d invocation(s)%s%s]" oc.Commutativity.oc_invocations
+          (if oc.Commutativity.oc_escalated then ", escalated" else "")
+          (if oc.Commutativity.oc_promotions > 0 then
+             Printf.sprintf ", %d worklist promotion(s)" oc.Commutativity.oc_promotions
+           else "")
+    | None -> ""
+  in
+  Printf.sprintf "%-24s depth=%d  %s%s" r.Driver.lr_label r.Driver.lr_loop.Loops.l_depth
+    (Driver.decision_to_string r.Driver.lr_decision)
+    extra
+
+let to_string results =
+  let total = List.length results in
+  let commutative = List.length (List.filter Driver.is_commutative results) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "DCA: %d/%d loop(s) commutative\n" commutative total);
+  List.iter (fun r -> Buffer.add_string buf ("  " ^ summary_line r ^ "\n")) results;
+  Buffer.contents buf
+
+let print results = print_string (to_string results)

@@ -1,0 +1,23 @@
+open Dca_support
+
+type t = Identity | Reverse | Rotate | Shuffle of int
+
+let apply t n =
+  match t with
+  | Identity -> Array.init n (fun i -> i)
+  | Reverse -> Array.init n (fun i -> n - 1 - i)
+  | Rotate ->
+      let half = (n + 1) / 2 in
+      Array.init n (fun i -> (i + half) mod n)
+  | Shuffle seed ->
+      let prng = Prng.create (seed * 0x9E3779B9) in
+      Prng.permutation prng n
+
+let presets ?(shuffles = 3) ?(seed = 2021) () =
+  [ Reverse; Rotate ] @ List.init shuffles (fun k -> Shuffle (seed + k))
+
+let to_string = function
+  | Identity -> "identity"
+  | Reverse -> "reverse"
+  | Rotate -> "rotate-half"
+  | Shuffle seed -> Printf.sprintf "shuffle(%d)" seed

@@ -1,0 +1,21 @@
+(** Iteration permutation schedules (paper §IV-B2).
+
+    Exhaustive permutation testing is exponential, so DCA ships reduced
+    presets: the identity (golden reference), the reverse order, a rotation
+    by half, and a configurable number of seeded random shuffles.  Every
+    schedule is a bijection on [0 .. n-1]; the property tests check this. *)
+
+type t =
+  | Identity
+  | Reverse
+  | Rotate  (** rotate by ⌈n/2⌉ *)
+  | Shuffle of int  (** Fisher–Yates with this seed *)
+
+val apply : t -> int -> int array
+(** [apply t n] is the permutation of [0 .. n-1] this schedule induces. *)
+
+val presets : ?shuffles:int -> ?seed:int -> unit -> t list
+(** The testing set (identity excluded): reverse, rotate, then [shuffles]
+    seeded shuffles (default 3, seed 2021). *)
+
+val to_string : t -> string

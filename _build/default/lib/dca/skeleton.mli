@@ -1,0 +1,39 @@
+(** Algorithmic-skeleton classification of commutative loops — a concrete
+    take on the paper's concluding direction ("the ultimate goal to support
+    the detection of parallel algorithmic skeletons in legacy code", §VII,
+    building on the liveness-based characterization of von Koch et al.
+    CC'18 the paper's §II-C cites).
+
+    Classification combines the iterator/payload separation with the
+    static reduction facts:
+
+    - [Worklist]: the iterator needed slice promotion — the iteration space
+      is produced by the payload (BFS, treeadd, perimeter);
+    - [Reduction]: every payload memory effect is a recognized commutative
+      read-modify-write (dot products, histograms with [histogram = true]);
+    - [Map_reduce]: disjoint per-iteration writes plus reduction updates
+      (EP's Gaussian sweep);
+    - [Map]: disjoint per-iteration effects, no reductions (array/PLDS
+      maps, stencils into a separate array);
+    - [Traversal]: a pointer-chasing iterator with a [Map]/[Reduction]
+      payload is additionally flagged pointer-based. *)
+
+type shape = Map | Reduction of { histogram : bool } | Map_reduce | Worklist
+
+type t = {
+  sk_shape : shape;
+  sk_pointer_based : bool;  (** the iterator chases pointers rather than counting *)
+  sk_reductions : (string * Dca_analysis.Scalars.reduction_op) list;
+}
+
+val classify :
+  Dca_analysis.Proginfo.t ->
+  Dca_analysis.Proginfo.func_info ->
+  Commutativity.outcome ->
+  t
+(** Classify a loop found commutative (callers should not pass refuted
+    loops; the classification describes the parallel structure DCA
+    exposed). *)
+
+val shape_to_string : shape -> string
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Benchmark Buffer Commutativity Dca_core Dca_parallel Dca_progs Evaluation List Printf Registry Schedule

@@ -1,0 +1,1 @@
+lib/experiments/evaluation.ml: Benchmark Commutativity Dca_analysis Dca_baselines Dca_core Dca_parallel Dca_profiling Dca_progs Driver Hashtbl List Proginfo

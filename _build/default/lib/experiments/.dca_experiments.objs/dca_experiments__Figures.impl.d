@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Benchmark Buffer Dca_parallel Dca_progs Evaluation Float List Paper_data Plan Planner Printf Registry Speedup

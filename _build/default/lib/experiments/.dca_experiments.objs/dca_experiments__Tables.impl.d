@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Benchmark Buffer Dca_analysis Dca_baselines Dca_core Dca_profiling Dca_progs Driver Evaluation List Paper_data Printf Registry

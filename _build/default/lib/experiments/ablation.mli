@@ -1,0 +1,49 @@
+(** Ablations of the design decisions DESIGN.md §5 calls out:
+
+    - {e verification mode}: strict loop-local live-out digests only
+      vs. whole-program observational escalation (the default).  The
+      strict mode loses worklist-reordering loops (BFS) — quantified as
+      commutative-loop counts per suite;
+    - {e permutation presets}: reverse-only vs. reverse+rotate+k shuffles.
+      Fewer schedules can miss order dependences (paper §IV-B2's
+      safety/cost trade-off) — quantified as loops a weaker preset calls
+      commutative although the full preset refutes them;
+    - {e machine model}: speedup sensitivity to the worker count and the
+      spawn overhead (EP and BT as probes). *)
+
+type verification_row = {
+  ab_bench : string;
+  ab_strict : int;  (** commutative loops without escalation *)
+  ab_observational : int;  (** commutative loops with escalation (default) *)
+}
+
+val verification : unit -> verification_row list
+val render_verification : verification_row list -> string
+
+type schedule_row = {
+  sc_bench : string;
+  sc_reverse_only : int;  (** commutative under reverse-only testing *)
+  sc_default : int;  (** commutative under the default preset *)
+  sc_missed : int;  (** loops the weak preset wrongly keeps commutative *)
+}
+
+val schedules : unit -> schedule_row list
+val render_schedules : schedule_row list -> string
+
+type machine_row = { mc_workers : int; mc_spawn : float; mc_ep : float; mc_bt : float }
+
+val machine_sweep : unit -> machine_row list
+val render_machine_sweep : machine_row list -> string
+
+type eps_row = {
+  ep_bench : string;
+  ep_exact : int;  (** commutative loops under bit-exact float comparison *)
+  ep_tolerant : int;  (** commutative loops under the default relative tolerance *)
+}
+
+val float_tolerance : unit -> eps_row list
+(** Permuting a floating-point reduction changes rounding, so bit-exact
+    live-out comparison refutes genuinely commutative loops; the default
+    relative tolerance recovers them (DESIGN.md §5.1). *)
+
+val render_float_tolerance : eps_row list -> string

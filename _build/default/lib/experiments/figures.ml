@@ -1,0 +1,202 @@
+open Dca_parallel
+open Dca_progs
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      let logsum = List.fold_left (fun acc x -> acc +. log (Float.max 1e-9 x)) 0.0 xs in
+      exp (logsum /. float_of_int (List.length xs))
+
+let machine = Evaluation.machine
+
+let speedup_of_plan ev plan =
+  (Speedup.simulate ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile plan).Speedup.sp_speedup
+
+(* DCA's selection for the NPB figures: profitability analysis is outside
+   DCA's scope, so — like the paper (§V-C2) — the commutative loops that
+   the expert implementation deems profitable are selected. *)
+let dca_plan_for ev =
+  let commutative = Evaluation.dca_commutative ev in
+  let expert = Evaluation.expert_loop_ids ev in
+  let pool = if expert = [] then commutative else List.filter (fun id -> List.mem id expert) commutative in
+  Planner.select ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile ~detected:commutative
+    ~strategy:(Planner.Among pool)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: PLDS speedups under DCA parallelization                      *)
+(* ------------------------------------------------------------------ *)
+
+type fig5_row = { f5_name : string; f5_speedup : float; f5_plan : Plan.t; f5_paper : float option }
+
+let fig5 () =
+  List.map
+    (fun name ->
+      let bm = Registry.find_exn name in
+      let ev = Evaluation.evaluate_cached bm in
+      let plan =
+        Planner.select ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile
+          ~detected:(Evaluation.dca_commutative ev) ~strategy:Planner.Best_benefit
+      in
+      {
+        f5_name = name;
+        f5_speedup = speedup_of_plan ev plan;
+        f5_plan = plan;
+        f5_paper = (Paper_data.plds_row name).Paper_data.q_fig5;
+      })
+    Paper_data.fig5_programs
+
+let render_fig5 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 5: overall speedup of DCA parallelization for PLDS programs (72-worker model)\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s %6.1fx   (paper bar: %s)\n" r.f5_name r.f5_speedup
+           (match r.f5_paper with Some f -> Printf.sprintf "~%.1fx" f | None -> "n/a")))
+    rows;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: NPB speedups, static tools vs DCA                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig6_row = {
+  f6_name : string;
+  f6_idioms : float;
+  f6_polly : float;
+  f6_icc : float;
+  f6_dca : float;
+  f6_paper_dca : float;
+}
+
+let tool_speedup ev tool_name =
+  let detected = Evaluation.tool_parallel ev tool_name in
+  let plan =
+    Planner.select ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile ~detected
+      ~strategy:Planner.Best_benefit
+  in
+  speedup_of_plan ev plan
+
+let fig6 () =
+  List.map
+    (fun bm ->
+      let ev = Evaluation.evaluate_cached bm in
+      let name = bm.Benchmark.bm_name in
+      {
+        f6_name = name;
+        f6_idioms = tool_speedup ev "Idioms";
+        f6_polly = tool_speedup ev "Polly";
+        f6_icc = tool_speedup ev "ICC";
+        f6_dca = speedup_of_plan ev (dca_plan_for ev);
+        f6_paper_dca = (Paper_data.npb_row name).Paper_data.p_dca_speedup;
+      })
+    Registry.npb
+
+let render_fig6 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 6: overall NPB speedup by Idioms, Polly, ICC and DCA (72-worker model)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-6s %7s %7s %7s %7s   | paper DCA\n" "Bench" "Idioms" "Polly" "ICC" "DCA");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s %6.1fx %6.1fx %6.1fx %6.1fx   | %6.1fx\n" r.f6_name r.f6_idioms
+           r.f6_polly r.f6_icc r.f6_dca r.f6_paper_dca))
+    rows;
+  let gm sel = geomean (List.map sel rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-6s %6.1fx %6.1fx %6.1fx %6.1fx   | %6.1fx (paper GMean 3.6x)\n" "GMean"
+       (gm (fun r -> r.f6_idioms))
+       (gm (fun r -> r.f6_polly))
+       (gm (fun r -> r.f6_icc))
+       (gm (fun r -> r.f6_dca))
+       (geomean (List.map (fun r -> r.f6_paper_dca) rows)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: DCA vs expert parallelization                                *)
+(* ------------------------------------------------------------------ *)
+
+type fig7_row = {
+  f7_name : string;
+  f7_dca : float;
+  f7_expert_loop : float;
+  f7_expert_full : float;
+  f7_paper_dca : float;
+  f7_paper_expert_loop : float;
+  f7_paper_expert_full : float;
+}
+
+let expert_loop_plan ev =
+  let expert = Evaluation.expert_loop_ids ev in
+  Planner.select ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile ~detected:expert
+    ~strategy:Planner.Best_benefit
+
+(* Whole-program expert parallelization: the loop plan with parallel
+   sections fused (shared launches) plus the expert's restructuring of a
+   fraction of the remaining serial time (DESIGN.md §2). *)
+let expert_full_speedup bm ev =
+  let base = expert_loop_plan ev in
+  let sections =
+    List.mapi (fun i refs -> (i, Benchmark.resolve ev.Evaluation.ev_info refs)) bm.Benchmark.bm_expert_sections
+  in
+  let with_groups =
+    {
+      Plan.plan_loops =
+        List.map
+          (fun lp ->
+            let group =
+              List.find_map
+                (fun (i, ids) -> if List.mem lp.Plan.lp_loop_id ids then Some i else None)
+                sections
+            in
+            { lp with Plan.lp_fused_group = group })
+          base.Plan.plan_loops;
+    }
+  in
+  let result =
+    Speedup.simulate
+      ~extra_parallel:(bm.Benchmark.bm_expert_extra, bm.Benchmark.bm_expert_workers)
+      ~machine ev.Evaluation.ev_info ev.Evaluation.ev_profile with_groups
+  in
+  result.Speedup.sp_speedup
+
+let fig7 () =
+  List.map
+    (fun bm ->
+      let ev = Evaluation.evaluate_cached bm in
+      let name = bm.Benchmark.bm_name in
+      let p = Paper_data.npb_row name in
+      {
+        f7_name = name;
+        f7_dca = speedup_of_plan ev (dca_plan_for ev);
+        f7_expert_loop = speedup_of_plan ev (expert_loop_plan ev);
+        f7_expert_full = expert_full_speedup bm ev;
+        f7_paper_dca = p.Paper_data.p_dca_speedup;
+        f7_paper_expert_loop = p.Paper_data.p_expert_loop_speedup;
+        f7_paper_expert_full = p.Paper_data.p_expert_full_speedup;
+      })
+    Registry.npb
+
+let render_fig7 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Fig. 7: NPB speedup, DCA vs expert loop-only vs expert whole-program (72-worker model)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-6s %7s %12s %12s   | paper: %6s %12s %12s\n" "Bench" "DCA" "Expert(loop)"
+       "Expert(full)" "DCA" "Expert(loop)" "Expert(full)");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s %6.1fx %11.1fx %11.1fx   |        %5.1fx %11.1fx %11.1fx\n"
+           r.f7_name r.f7_dca r.f7_expert_loop r.f7_expert_full r.f7_paper_dca
+           r.f7_paper_expert_loop r.f7_paper_expert_full))
+    rows;
+  let gm sel = geomean (List.map sel rows) in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-6s %6.1fx %11.1fx %11.1fx\n" "GMean" (gm (fun r -> r.f7_dca))
+       (gm (fun r -> r.f7_expert_loop))
+       (gm (fun r -> r.f7_expert_full)));
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Reproductions of the paper's Figs. 5–7: simulated whole-program
+    speedups on the 72-worker machine model (DESIGN.md §2 explains the
+    substitution for the paper's physical 72-core host). *)
+
+type fig5_row = {
+  f5_name : string;
+  f5_speedup : float;
+  f5_plan : Dca_parallel.Plan.t;
+  f5_paper : float option;  (** approximate bar height in the paper's Fig. 5 *)
+}
+
+val fig5 : unit -> fig5_row list
+val render_fig5 : fig5_row list -> string
+
+type fig6_row = {
+  f6_name : string;
+  f6_idioms : float;
+  f6_polly : float;
+  f6_icc : float;
+  f6_dca : float;
+  f6_paper_dca : float;
+}
+
+val fig6 : unit -> fig6_row list
+val render_fig6 : fig6_row list -> string
+
+type fig7_row = {
+  f7_name : string;
+  f7_dca : float;
+  f7_expert_loop : float;
+  f7_expert_full : float;
+  f7_paper_dca : float;
+  f7_paper_expert_loop : float;
+  f7_paper_expert_full : float;
+}
+
+val fig7 : unit -> fig7_row list
+val render_fig7 : fig7_row list -> string
+
+val geomean : float list -> float
+
+val dca_plan_for : Evaluation.t -> Dca_parallel.Plan.t
+(** The plan Figs. 6–7 use for DCA: commutative loops restricted to the
+    expert profitability selection (paper §V-C2), conflicts resolved by
+    benefit on the machine model. *)

@@ -1,0 +1,103 @@
+(** Reference numbers from the paper (Tables I–IV, Figs. 5–7), printed
+    alongside our measurements so every report is a paper-vs-measured
+    comparison.  Loop counts are absolute numbers from the paper's NPB
+    3.3/SNU build and are not expected to match our scaled-down ports;
+    the *shape* (who detects more, where the gaps are) is the target. *)
+
+type npb_row = {
+  p_name : string;
+  p_loops : int;
+  p_depprof : int option;  (** Table I; None = tool reported no results *)
+  p_discopop : int option;
+  p_idioms : int;  (** Table III *)
+  p_polly : int;
+  p_icc : int;
+  p_combined : int;
+  p_dca : int;
+  p_dca_coverage : int;  (** Table IV, % *)
+  p_static_coverage : int;  (** Table IV, % *)
+  p_dca_speedup : float;  (** Fig. 6/7, approximate bar heights *)
+  p_expert_loop_speedup : float;
+  p_expert_full_speedup : float;
+}
+
+let npb =
+  [
+    { p_name = "BT"; p_loops = 182; p_depprof = Some 168; p_discopop = Some 176; p_idioms = 5;
+      p_polly = 34; p_icc = 50; p_combined = 80; p_dca = 168; p_dca_coverage = 100;
+      p_static_coverage = 36; p_dca_speedup = 8.6; p_expert_loop_speedup = 8.6; p_expert_full_speedup = 8.6 };
+    { p_name = "CG"; p_loops = 47; p_depprof = Some 33; p_discopop = Some 21; p_idioms = 9;
+      p_polly = 8; p_icc = 23; p_combined = 25; p_dca = 33; p_dca_coverage = 91;
+      p_static_coverage = 7; p_dca_speedup = 2.6; p_expert_loop_speedup = 2.6; p_expert_full_speedup = 4.4 };
+    { p_name = "DC"; p_loops = 105; p_depprof = None; p_discopop = None; p_idioms = 14;
+      p_polly = 11; p_icc = 23; p_combined = 39; p_dca = 41; p_dca_coverage = 0;
+      p_static_coverage = 0; p_dca_speedup = 1.0; p_expert_loop_speedup = 1.1; p_expert_full_speedup = 3.8 };
+    { p_name = "EP"; p_loops = 9; p_depprof = Some 6; p_discopop = Some 8; p_idioms = 2;
+      p_polly = 2; p_icc = 3; p_combined = 4; p_dca = 6; p_dca_coverage = 100;
+      p_static_coverage = 37; p_dca_speedup = 55.2; p_expert_loop_speedup = 55.2; p_expert_full_speedup = 55.2 };
+    { p_name = "FT"; p_loops = 42; p_depprof = Some 36; p_discopop = Some 34; p_idioms = 1;
+      p_polly = 6; p_icc = 1; p_combined = 8; p_dca = 36; p_dca_coverage = 91;
+      p_static_coverage = 42; p_dca_speedup = 1.2; p_expert_loop_speedup = 1.6; p_expert_full_speedup = 5.3 };
+    { p_name = "IS"; p_loops = 16; p_depprof = Some 12; p_discopop = Some 20; p_idioms = 7;
+      p_polly = 3; p_icc = 3; p_combined = 11; p_dca = 12; p_dca_coverage = 60;
+      p_static_coverage = 56; p_dca_speedup = 1.3; p_expert_loop_speedup = 1.5; p_expert_full_speedup = 4.2 };
+    { p_name = "LU"; p_loops = 186; p_depprof = Some 160; p_discopop = Some 164; p_idioms = 3;
+      p_polly = 19; p_icc = 81; p_combined = 90; p_dca = 160; p_dca_coverage = 84;
+      p_static_coverage = 56; p_dca_speedup = 1.3; p_expert_loop_speedup = 2.0; p_expert_full_speedup = 7.4 };
+    { p_name = "MG"; p_loops = 81; p_depprof = Some 48; p_discopop = Some 66; p_idioms = 8;
+      p_polly = 5; p_icc = 21; p_combined = 32; p_dca = 48; p_dca_coverage = 87;
+      p_static_coverage = 56; p_dca_speedup = 4.5; p_expert_loop_speedup = 5.5; p_expert_full_speedup = 7.6 };
+    { p_name = "SP"; p_loops = 250; p_depprof = Some 233; p_discopop = Some 231; p_idioms = 2;
+      p_polly = 38; p_icc = 93; p_combined = 113; p_dca = 233; p_dca_coverage = 94;
+      p_static_coverage = 77; p_dca_speedup = 6.1; p_expert_loop_speedup = 6.1; p_expert_full_speedup = 6.1 };
+    { p_name = "UA"; p_loops = 479; p_depprof = None; p_discopop = None; p_idioms = 23;
+      p_polly = 43; p_icc = 180; p_combined = 209; p_dca = 466; p_dca_coverage = 86;
+      p_static_coverage = 57; p_dca_speedup = 13.0; p_expert_loop_speedup = 14.0; p_expert_full_speedup = 16.0 };
+  ]
+
+type plds_row = {
+  q_name : string;
+  q_origin : string;
+  q_function : string;  (** the loop-containing function, paper Table II *)
+  q_coverage : int;  (** % sequential coverage reported by the paper *)
+  q_potential : string;  (** potential speedup column (literature) *)
+  q_technique : string;  (** expert-manual detection technique column *)
+  q_fig5 : float option;  (** approximate Fig. 5 bar for DCA, when shown *)
+}
+
+let plds =
+  [
+    { q_name = "429.mcf"; q_origin = "SPEC CPU2006"; q_function = "refresh_potential";
+      q_coverage = 30; q_potential = "2.2 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = None };
+    { q_name = "300.twolf"; q_origin = "SPEC CPU2000"; q_function = "new_dbox_a";
+      q_coverage = 30; q_potential = "1.5 (loop)"; q_technique = "DSWP variant 2"; q_fig5 = None };
+    { q_name = "ks"; q_origin = "PtrDist"; q_function = "FindMaxGpAndSwap";
+      q_coverage = 99; q_potential = "1.5 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = Some 1.5 };
+    { q_name = "otter"; q_origin = "FOSS"; q_function = "find_lightest_geo_child";
+      q_coverage = 15; q_potential = "2.5 (loop)"; q_technique = "DSWP variant 2"; q_fig5 = None };
+    { q_name = "em3d"; q_origin = "Olden"; q_function = "compute_nodes";
+      q_coverage = 100; q_potential = "~2 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = None };
+    { q_name = "mst"; q_origin = "Olden"; q_function = "BlueRule";
+      q_coverage = 100; q_potential = "1.5 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = None };
+    { q_name = "bh"; q_origin = "Olden"; q_function = "walksub";
+      q_coverage = 100; q_potential = "2.75 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = None };
+    { q_name = "perimeter"; q_origin = "Olden"; q_function = "perimeter";
+      q_coverage = 100; q_potential = "2.25 (loop)"; q_technique = "DSWP variant 1"; q_fig5 = Some 2.0 };
+    { q_name = "treeadd"; q_origin = "Olden"; q_function = "TreeAdd";
+      q_coverage = 100; q_potential = "~7 (overall)"; q_technique = "Partitioning"; q_fig5 = Some 7.0 };
+    { q_name = "hash"; q_origin = "Shootout"; q_function = "ht_find";
+      q_coverage = 50; q_potential = "~4 (overall)"; q_technique = "Partitioning"; q_fig5 = None };
+    { q_name = "BFS"; q_origin = "Lonestar"; q_function = "BFS";
+      q_coverage = 99; q_potential = "21 (overall)"; q_technique = "Galois"; q_fig5 = Some 21.0 };
+    { q_name = "ising"; q_origin = "community"; q_function = "main";
+      q_coverage = 95; q_potential = "~6 (overall)"; q_technique = "ASC"; q_fig5 = Some 6.0 };
+    { q_name = "spmatmat"; q_origin = "SPARK00"; q_function = "main";
+      q_coverage = 89; q_potential = "~4 (overall)"; q_technique = "APOLLO"; q_fig5 = Some 4.0 };
+    { q_name = "water-spatial"; q_origin = "SPLASH3"; q_function = "INTERF";
+      q_coverage = 63; q_potential = "2 (overall)"; q_technique = "OPENMP"; q_fig5 = Some 2.0 };
+  ]
+
+let fig5_programs = [ "treeadd"; "perimeter"; "water-spatial"; "ks"; "spmatmat"; "BFS"; "ising" ]
+
+let npb_row name = List.find (fun r -> r.p_name = name) npb
+let plds_row name = List.find (fun r -> r.q_name = name) plds

@@ -1,0 +1,54 @@
+(** Reproductions of the paper's Tables I–IV (see DESIGN.md §4).
+
+    Every generator returns structured rows (asserted on by the
+    integration tests) and renders a text table that prints the paper's
+    reference numbers next to our measurements. *)
+
+type t1_row = {
+  t1_name : string;
+  t1_loops : int;
+  t1_depprof : int;
+  t1_discopop : int;
+  t1_dca : int;
+}
+
+val table1 : unit -> t1_row list
+val render_table1 : t1_row list -> string
+
+type t2_row = {
+  t2_name : string;
+  t2_function : string;  (** hot loop-containing function (paper column 3) *)
+  t2_dca_detects : bool;  (** DCA finds the hot loop commutative *)
+  t2_baselines_detect : int;  (** how many of the five baselines detect the hot loop (paper: 0) *)
+  t2_coverage : float;  (** our measured sequential coverage of DCA-detected loops *)
+  t2_skeleton : string;  (** detected parallel skeleton of the hot loop (paper §VII direction) *)
+}
+
+val table2 : unit -> t2_row list
+val render_table2 : t2_row list -> string
+
+type t3_row = {
+  t3_name : string;
+  t3_loops : int;
+  t3_idioms : int;
+  t3_polly : int;
+  t3_icc : int;
+  t3_combined : int;
+  t3_dca : int;
+}
+
+val table3 : unit -> t3_row list
+val render_table3 : t3_row list -> string
+
+type t4_row = {
+  t4_name : string;
+  t4_loops : int;
+  t4_found : int;
+  t4_false_pos : int;
+  t4_false_neg : int;
+  t4_dca_coverage : float;
+  t4_static_coverage : float;
+}
+
+val table4 : unit -> t4_row list
+val render_table4 : t4_row list -> string

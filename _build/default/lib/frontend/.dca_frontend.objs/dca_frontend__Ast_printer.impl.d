@@ -1,0 +1,1 @@
+lib/frontend/ast_printer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/c_export.ml: Ast Buffer List Loc Parser Printf String Typecheck

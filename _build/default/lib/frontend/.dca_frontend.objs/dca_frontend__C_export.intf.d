@@ -1,0 +1,1 @@
+lib/frontend/c_export.mli: Ast

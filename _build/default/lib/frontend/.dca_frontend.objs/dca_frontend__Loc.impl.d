@@ -1,0 +1,1 @@
+lib/frontend/loc.ml: Format Printf

@@ -1,0 +1,171 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is the C-like input language of the reproduction: integers, IEEE
+    doubles, fixed-size (possibly multi-dimensional) arrays, structs,
+    pointers with [new]-allocation, functions, [while]/[for]/[if] control
+    flow, and [print] I/O.  It is rich enough to port both the NAS-style
+    array kernels and the pointer-linked-data-structure (PLDS) programs the
+    paper evaluates on. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tvoid
+  | Tptr of ty
+  | Tstruct of string
+  | Tarray of ty * int list
+      (** Element type (never itself an array) and the dimension list,
+          outermost first.  Arrays appear only as declared variable types;
+          expressions of array type decay to pointers on use. *)
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tvoid -> "void"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tstruct name -> "struct " ^ name
+  | Tarray (elem, dims) ->
+      ty_to_string elem ^ String.concat "" (List.map (fun d -> Printf.sprintf "[%d]" d) dims)
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit && *)
+  | Or  (** short-circuit || *)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+type expr = { edesc : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Enull
+  | Evar of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eindex of expr * expr  (** [a\[i\]]; multi-dimensional indexing nests. *)
+  | Efield of expr * string  (** [s.f] on a struct value (array-of-struct element). *)
+  | Earrow of expr * string  (** [p->f] on a struct pointer. *)
+  | Ecall of string * expr list
+  | Enew_struct of string  (** [new struct S] *)
+  | Enew_array of ty * expr  (** [new ty\[n\]]; element type is scalar/ptr/struct. *)
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Sdecl of ty * string * expr option
+  | Sassign of expr * expr  (** lvalue = rvalue *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+      (** [for (init; cond; step) body]; [init]/[step] are restricted by the
+          parser to assignments or declarations. *)
+  | Sreturn of expr option
+  | Sexpr of expr  (** expression statement: a call evaluated for effect. *)
+  | Sprints of string  (** [prints("...")] — string output (I/O). *)
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type struct_def = { str_name : string; str_fields : (ty * string) list; str_loc : Loc.t }
+type global_def = { g_ty : ty; g_name : string; g_init : expr option; g_loc : Loc.t }
+
+type func_def = {
+  f_name : string;
+  f_params : (ty * string) list;
+  f_ret : ty;
+  f_body : stmt list;
+  f_loc : Loc.t;
+}
+
+type program = { structs : struct_def list; globals : global_def list; funcs : func_def list }
+
+(** Builtin functions understood by the type checker, the purity analysis
+    and the interpreter.  [hrand i] is a *pure* hash-based PRN in [0,1) —
+    the stateless idiom NPB's EP kernel needs for a parallelizable random
+    sweep — while [drand]/[dseed] thread a global generator state and hence
+    carry a genuine loop dependence. *)
+type builtin = {
+  bi_name : string;
+  bi_params : ty list;
+  bi_ret : ty;
+  bi_pure : bool;  (** no effect on any program-visible state *)
+  bi_io : bool;  (** performs I/O (excludes enclosing loops from DCA) *)
+}
+
+let builtins =
+  [
+    { bi_name = "sqrt"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "fabs"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "sin"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "cos"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "exp"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "log"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "floor"; bi_params = [ Tfloat ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    {
+      bi_name = "pow";
+      bi_params = [ Tfloat; Tfloat ];
+      bi_ret = Tfloat;
+      bi_pure = true;
+      bi_io = false;
+    };
+    {
+      bi_name = "fmod";
+      bi_params = [ Tfloat; Tfloat ];
+      bi_ret = Tfloat;
+      bi_pure = true;
+      bi_io = false;
+    };
+    {
+      bi_name = "fmin";
+      bi_params = [ Tfloat; Tfloat ];
+      bi_ret = Tfloat;
+      bi_pure = true;
+      bi_io = false;
+    };
+    {
+      bi_name = "fmax";
+      bi_params = [ Tfloat; Tfloat ];
+      bi_ret = Tfloat;
+      bi_pure = true;
+      bi_io = false;
+    };
+    { bi_name = "imin"; bi_params = [ Tint; Tint ]; bi_ret = Tint; bi_pure = true; bi_io = false };
+    { bi_name = "imax"; bi_params = [ Tint; Tint ]; bi_ret = Tint; bi_pure = true; bi_io = false };
+    { bi_name = "iabs"; bi_params = [ Tint ]; bi_ret = Tint; bi_pure = true; bi_io = false };
+    { bi_name = "itof"; bi_params = [ Tint ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "ftoi"; bi_params = [ Tfloat ]; bi_ret = Tint; bi_pure = true; bi_io = false };
+    { bi_name = "hrand"; bi_params = [ Tint ]; bi_ret = Tfloat; bi_pure = true; bi_io = false };
+    { bi_name = "dseed"; bi_params = [ Tint ]; bi_ret = Tvoid; bi_pure = false; bi_io = false };
+    { bi_name = "drand"; bi_params = []; bi_ret = Tfloat; bi_pure = false; bi_io = false };
+    { bi_name = "print"; bi_params = [ Tfloat ]; bi_ret = Tvoid; bi_pure = false; bi_io = true };
+    { bi_name = "printi"; bi_params = [ Tint ]; bi_ret = Tvoid; bi_pure = false; bi_io = true };
+    { bi_name = "reads"; bi_params = []; bi_ret = Tint; bi_pure = false; bi_io = true };
+  ]
+
+let find_builtin name = List.find_opt (fun b -> b.bi_name = name) builtins

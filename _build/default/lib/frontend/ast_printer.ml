@@ -1,0 +1,205 @@
+(** Pretty-printer for the untyped AST.  The output is valid MiniC, which
+    the property tests re-parse to check a print/parse round trip. *)
+
+open Ast
+
+let buf_add = Buffer.add_string
+
+let rec pp_expr buf e =
+  match e.edesc with
+  | Eint n -> if n < 0 then buf_add buf (Printf.sprintf "(%d)" n) else buf_add buf (string_of_int n)
+  | Efloat f ->
+      let s = Printf.sprintf "%.17g" f in
+      let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+      if f < 0.0 then buf_add buf (Printf.sprintf "(%s)" s) else buf_add buf s
+  | Enull -> buf_add buf "null"
+  | Evar name -> buf_add buf name
+  | Eunop (Neg, sub) ->
+      buf_add buf "(-";
+      pp_expr buf sub;
+      buf_add buf ")"
+  | Eunop (Not, sub) ->
+      buf_add buf "(!";
+      pp_expr buf sub;
+      buf_add buf ")"
+  | Ebinop (op, l, r) ->
+      buf_add buf "(";
+      pp_expr buf l;
+      buf_add buf (" " ^ binop_to_string op ^ " ");
+      pp_expr buf r;
+      buf_add buf ")"
+  | Eindex (base, idx) ->
+      pp_expr buf base;
+      buf_add buf "[";
+      pp_expr buf idx;
+      buf_add buf "]"
+  | Efield (base, f) ->
+      pp_expr buf base;
+      buf_add buf ("." ^ f)
+  | Earrow (base, f) ->
+      pp_expr buf base;
+      buf_add buf ("->" ^ f)
+  | Ecall (name, args) ->
+      buf_add buf (name ^ "(");
+      List.iteri
+        (fun i a ->
+          if i > 0 then buf_add buf ", ";
+          pp_expr buf a)
+        args;
+      buf_add buf ")"
+  | Enew_struct s -> buf_add buf ("new struct " ^ s)
+  | Enew_array (ty, count) ->
+      buf_add buf ("new " ^ ty_to_string ty ^ "[");
+      pp_expr buf count;
+      buf_add buf "]"
+
+let indent buf depth = buf_add buf (String.make (2 * depth) ' ')
+
+let pp_decl_ty buf ty name =
+  match ty with
+  | Tarray (elem, dims) ->
+      buf_add buf (ty_to_string elem ^ " " ^ name);
+      List.iter (fun d -> buf_add buf (Printf.sprintf "[%d]" d)) dims
+  | _ -> buf_add buf (ty_to_string ty ^ " " ^ name)
+
+let rec pp_stmt buf depth s =
+  match s.sdesc with
+  | Sdecl (ty, name, init) ->
+      indent buf depth;
+      pp_decl_ty buf ty name;
+      (match init with
+      | None -> ()
+      | Some e ->
+          buf_add buf " = ";
+          pp_expr buf e);
+      buf_add buf ";\n"
+  | Sassign (lhs, rhs) ->
+      indent buf depth;
+      pp_expr buf lhs;
+      buf_add buf " = ";
+      pp_expr buf rhs;
+      buf_add buf ";\n"
+  | Sif (cond, then_b, else_b) ->
+      indent buf depth;
+      buf_add buf "if (";
+      pp_expr buf cond;
+      buf_add buf ") {\n";
+      List.iter (pp_stmt buf (depth + 1)) then_b;
+      indent buf depth;
+      buf_add buf "}";
+      if else_b <> [] then begin
+        buf_add buf " else {\n";
+        List.iter (pp_stmt buf (depth + 1)) else_b;
+        indent buf depth;
+        buf_add buf "}"
+      end;
+      buf_add buf "\n"
+  | Swhile (cond, body) ->
+      indent buf depth;
+      buf_add buf "while (";
+      pp_expr buf cond;
+      buf_add buf ") {\n";
+      List.iter (pp_stmt buf (depth + 1)) body;
+      indent buf depth;
+      buf_add buf "}\n"
+  | Sfor (init, cond, step, body) ->
+      indent buf depth;
+      buf_add buf "for (";
+      (match init with
+      | None -> ()
+      | Some s0 -> pp_inline_stmt buf s0);
+      buf_add buf "; ";
+      (match cond with None -> () | Some e -> pp_expr buf e);
+      buf_add buf "; ";
+      (match step with None -> () | Some s0 -> pp_inline_stmt buf s0);
+      buf_add buf ") {\n";
+      List.iter (pp_stmt buf (depth + 1)) body;
+      indent buf depth;
+      buf_add buf "}\n"
+  | Sreturn None ->
+      indent buf depth;
+      buf_add buf "return;\n"
+  | Sreturn (Some e) ->
+      indent buf depth;
+      buf_add buf "return ";
+      pp_expr buf e;
+      buf_add buf ";\n"
+  | Sexpr e ->
+      indent buf depth;
+      pp_expr buf e;
+      buf_add buf ";\n"
+  | Sprints text ->
+      indent buf depth;
+      buf_add buf (Printf.sprintf "prints(%S);\n" text)
+  | Sbreak ->
+      indent buf depth;
+      buf_add buf "break;\n"
+  | Scontinue ->
+      indent buf depth;
+      buf_add buf "continue;\n"
+  | Sblock body ->
+      indent buf depth;
+      buf_add buf "{\n";
+      List.iter (pp_stmt buf (depth + 1)) body;
+      indent buf depth;
+      buf_add buf "}\n"
+
+(* Statement without indentation or trailing newline/semicolon: the init and
+   step slots of a [for] header. *)
+and pp_inline_stmt buf s =
+  match s.sdesc with
+  | Sdecl (ty, name, init) ->
+      pp_decl_ty buf ty name;
+      (match init with
+      | None -> ()
+      | Some e ->
+          buf_add buf " = ";
+          pp_expr buf e)
+  | Sassign (lhs, rhs) ->
+      pp_expr buf lhs;
+      buf_add buf " = ";
+      pp_expr buf rhs
+  | Sexpr e -> pp_expr buf e
+  | _ -> buf_add buf "/* unsupported inline statement */"
+
+let pp_struct buf (s : struct_def) =
+  buf_add buf (Printf.sprintf "struct %s {\n" s.str_name);
+  List.iter
+    (fun (ty, name) ->
+      indent buf 1;
+      buf_add buf (ty_to_string ty ^ " " ^ name ^ ";\n"))
+    s.str_fields;
+  buf_add buf "}\n\n"
+
+let pp_global buf (g : global_def) =
+  pp_decl_ty buf g.g_ty g.g_name;
+  (match g.g_init with
+  | None -> ()
+  | Some e ->
+      buf_add buf " = ";
+      pp_expr buf e);
+  buf_add buf ";\n"
+
+let pp_func buf (f : func_def) =
+  buf_add buf (ty_to_string f.f_ret ^ " " ^ f.f_name ^ "(");
+  List.iteri
+    (fun i (ty, name) ->
+      if i > 0 then buf_add buf ", ";
+      buf_add buf (ty_to_string ty ^ " " ^ name))
+    f.f_params;
+  buf_add buf ") {\n";
+  List.iter (pp_stmt buf 1) f.f_body;
+  buf_add buf "}\n\n"
+
+let program_to_string (p : program) =
+  let buf = Buffer.create 1024 in
+  List.iter (pp_struct buf) p.structs;
+  List.iter (pp_global buf) p.globals;
+  if p.globals <> [] then buf_add buf "\n";
+  List.iter (pp_func buf) p.funcs;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  pp_expr buf e;
+  Buffer.contents buf

@@ -1,0 +1,183 @@
+type state = { src : string; file : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec go () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            go ()
+        | None, _ -> Loc.error start "unterminated block comment"
+      in
+      go ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let startloc = loc st in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      if not (match peek st with Some c -> is_digit c | None -> false) then
+        Loc.error startloc "malformed exponent in numeric literal";
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Token.Tfloat_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.Tint_lit n
+    | None -> Loc.error startloc "integer literal out of range: %s" text
+
+let lex_string st =
+  let startloc = loc st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> Loc.error startloc "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some c -> Loc.error (loc st) "unknown escape sequence '\\%c'" c
+        | None -> Loc.error startloc "unterminated string literal");
+        advance st;
+        go ()
+      end
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Token.Tstring_lit (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string text with Some k -> k | None -> Token.Tident text
+
+(* Two-character operators are tried before their one-character prefixes. *)
+let lex_operator st =
+  let l = loc st in
+  let two tok =
+    advance st;
+    advance st;
+    tok
+  and one tok =
+    advance st;
+    tok
+  in
+  match (peek st, peek2 st) with
+  | Some '-', Some '>' -> two Token.Arrow
+  | Some '=', Some '=' -> two Token.Eq
+  | Some '!', Some '=' -> two Token.Neq
+  | Some '<', Some '=' -> two Token.Le
+  | Some '>', Some '=' -> two Token.Ge
+  | Some '&', Some '&' -> two Token.Andand
+  | Some '|', Some '|' -> two Token.Oror
+  | Some '(', _ -> one Token.Lparen
+  | Some ')', _ -> one Token.Rparen
+  | Some '{', _ -> one Token.Lbrace
+  | Some '}', _ -> one Token.Rbrace
+  | Some '[', _ -> one Token.Lbracket
+  | Some ']', _ -> one Token.Rbracket
+  | Some ';', _ -> one Token.Semi
+  | Some ',', _ -> one Token.Comma
+  | Some '.', _ -> one Token.Dot
+  | Some '=', _ -> one Token.Assign
+  | Some '+', _ -> one Token.Plus
+  | Some '-', _ -> one Token.Minus
+  | Some '*', _ -> one Token.Star
+  | Some '/', _ -> one Token.Slash
+  | Some '%', _ -> one Token.Percent
+  | Some '!', _ -> one Token.Bang
+  | Some '<', _ -> one Token.Lt
+  | Some '>', _ -> one Token.Gt
+  | Some c, _ -> Loc.error l "unexpected character '%c'" c
+  | None, _ -> Token.Eof
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit tok l = toks := (tok, l) :: !toks in
+  let rec go () =
+    skip_trivia st;
+    let l = loc st in
+    match peek st with
+    | None -> emit Token.Eof l
+    | Some c when is_digit c -> begin
+        emit (lex_number st) l;
+        go ()
+      end
+    | Some c when is_ident_start c -> begin
+        emit (lex_ident st) l;
+        go ()
+      end
+    | Some '"' -> begin
+        emit (lex_string st) l;
+        go ()
+      end
+    | Some _ -> begin
+        emit (lex_operator st) l;
+        go ()
+      end
+  in
+  go ();
+  List.rev !toks

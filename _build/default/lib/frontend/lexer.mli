@@ -1,0 +1,9 @@
+(** Hand-written lexer for MiniC.
+
+    Supports line comments ([// ...]) and block comments ([/* ... */],
+    non-nesting), decimal integer and floating-point literals (with optional
+    exponent), string literals with backslash-n/t/backslash/quote escapes. *)
+
+val tokenize : file:string -> string -> (Token.t * Loc.t) list
+(** Tokenize a full source buffer.  The resulting list always ends with
+    [Token.Eof].  Raises [Loc.Error] on malformed input. *)

@@ -1,0 +1,17 @@
+(** Source locations and diagnostics for MiniC programs. *)
+
+type t = { file : string; line : int; col : int }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let to_string { file; line; col } = Printf.sprintf "%s:%d:%d" file line col
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+exception Error of t * string
+(** Raised by the lexer, parser and type checker on malformed input. *)
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let error_to_string = function
+  | Error (loc, msg) -> Some (Printf.sprintf "%s: %s" (to_string loc) msg)
+  | _ -> None

@@ -1,0 +1,453 @@
+open Ast
+
+type state = { mutable toks : (Token.t * Loc.t) list }
+
+let current st = match st.toks with [] -> (Token.Eof, Loc.dummy) | t :: _ -> t
+let cur_tok st = fst (current st)
+let cur_loc st = snd (current st)
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let peek_nth st n =
+  let rec go toks n =
+    match (toks, n) with
+    | [], _ -> Token.Eof
+    | (t, _) :: _, 0 -> t
+    | _ :: rest, n -> go rest (n - 1)
+  in
+  go st.toks n
+
+let expect st tok =
+  if cur_tok st = tok then advance st
+  else
+    Loc.error (cur_loc st) "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (cur_tok st))
+
+let expect_ident st =
+  match cur_tok st with
+  | Token.Tident name ->
+      advance st;
+      name
+  | t -> Loc.error (cur_loc st) "expected identifier but found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A token sequence starts a type iff it is a type keyword or [struct]. *)
+let starts_type st =
+  match cur_tok st with Token.Kint | Token.Kfloat | Token.Kvoid | Token.Kstruct -> true | _ -> false
+
+let parse_base_type st =
+  match cur_tok st with
+  | Token.Kint ->
+      advance st;
+      Tint
+  | Token.Kfloat ->
+      advance st;
+      Tfloat
+  | Token.Kvoid ->
+      advance st;
+      Tvoid
+  | Token.Kstruct ->
+      advance st;
+      Tstruct (expect_ident st)
+  | t -> Loc.error (cur_loc st) "expected a type but found '%s'" (Token.to_string t)
+
+let parse_type st =
+  let base = parse_base_type st in
+  let rec stars ty = if cur_tok st = Token.Star then (advance st; stars (Tptr ty)) else ty in
+  stars base
+
+(* Constant array dimensions after a declared name: [4][8]... *)
+let parse_dims st =
+  let rec go acc =
+    if cur_tok st = Token.Lbracket then begin
+      advance st;
+      let dim =
+        match cur_tok st with
+        | Token.Tint_lit n when n > 0 ->
+            advance st;
+            n
+        | t ->
+            Loc.error (cur_loc st) "array dimension must be a positive integer literal, found '%s'"
+              (Token.to_string t)
+      in
+      expect st Token.Rbracket;
+      go (dim :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let apply_dims ty dims = if dims = [] then ty else Tarray (ty, dims)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Token.Oror -> Some (Or, 1)
+  | Token.Andand -> Some (And, 2)
+  | Token.Eq -> Some (Eq, 3)
+  | Token.Neq -> Some (Ne, 3)
+  | Token.Lt -> Some (Lt, 3)
+  | Token.Le -> Some (Le, 3)
+  | Token.Gt -> Some (Gt, 3)
+  | Token.Ge -> Some (Ge, 3)
+  | Token.Plus -> Some (Add, 4)
+  | Token.Minus -> Some (Sub, 4)
+  | Token.Star -> Some (Mul, 5)
+  | Token.Slash -> Some (Div, 5)
+  | Token.Percent -> Some (Mod, 5)
+  | _ -> None
+
+let mk loc edesc = { edesc; eloc = loc }
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match binop_of_token (cur_tok st) with
+    | Some (op, prec) when prec >= min_prec ->
+        let loc = cur_loc st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        go (mk loc (Ebinop (op, lhs, rhs)))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.Minus ->
+      advance st;
+      mk loc (Eunop (Neg, parse_unary st))
+  | Token.Bang ->
+      advance st;
+      mk loc (Eunop (Not, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec go e =
+    let loc = cur_loc st in
+    match cur_tok st with
+    | Token.Lbracket ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.Rbracket;
+        go (mk loc (Eindex (e, idx)))
+    | Token.Dot ->
+        advance st;
+        go (mk loc (Efield (e, expect_ident st)))
+    | Token.Arrow ->
+        advance st;
+        go (mk loc (Earrow (e, expect_ident st)))
+    | _ -> e
+  in
+  go base
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.Tint_lit n ->
+      advance st;
+      mk loc (Eint n)
+  | Token.Tfloat_lit f ->
+      advance st;
+      mk loc (Efloat f)
+  | Token.Knull ->
+      advance st;
+      mk loc Enull
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Knew -> begin
+      advance st;
+      (* [new struct S] or [new ty [ n ]] where ty may include '*'s. *)
+      let ty = parse_type st in
+      if cur_tok st = Token.Lbracket then begin
+        advance st;
+        let count = parse_expr st in
+        expect st Token.Rbracket;
+        mk loc (Enew_array (ty, count))
+      end
+      else
+        match ty with
+        | Tstruct name -> mk loc (Enew_struct name)
+        | _ ->
+            Loc.error loc "'new %s' must allocate a struct or an array ('new %s[n]')"
+              (ty_to_string ty) (ty_to_string ty)
+    end
+  | Token.Tident name -> begin
+      advance st;
+      if cur_tok st = Token.Lparen then begin
+        advance st;
+        let args = parse_args st in
+        mk loc (Ecall (name, args))
+      end
+      else mk loc (Evar name)
+    end
+  | t -> Loc.error loc "expected an expression but found '%s'" (Token.to_string t)
+
+and parse_args st =
+  if cur_tok st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let arg = parse_expr st in
+      match cur_tok st with
+      | Token.Comma ->
+          advance st;
+          go (arg :: acc)
+      | Token.Rparen ->
+          advance st;
+          List.rev (arg :: acc)
+      | t -> Loc.error (cur_loc st) "expected ',' or ')' in call, found '%s'" (Token.to_string t)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt loc sdesc = { sdesc; sloc = loc }
+
+let rec parse_stmt st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.Lbrace -> mk_stmt loc (Sblock (parse_block st))
+  | Token.Kif -> parse_if st
+  | Token.Kwhile -> begin
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let body = parse_stmt_as_block st in
+      mk_stmt loc (Swhile (cond, body))
+    end
+  | Token.Kfor -> parse_for st
+  | Token.Kreturn -> begin
+      advance st;
+      if cur_tok st = Token.Semi then begin
+        advance st;
+        mk_stmt loc (Sreturn None)
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.Semi;
+        mk_stmt loc (Sreturn (Some e))
+      end
+    end
+  | Token.Kbreak ->
+      advance st;
+      expect st Token.Semi;
+      mk_stmt loc Sbreak
+  | Token.Kcontinue ->
+      advance st;
+      expect st Token.Semi;
+      mk_stmt loc Scontinue
+  | _ when starts_type st -> begin
+      let s = parse_decl st in
+      expect st Token.Semi;
+      s
+    end
+  | Token.Tident "prints" when peek_nth st 1 = Token.Lparen -> begin
+      advance st;
+      advance st;
+      let text =
+        match cur_tok st with
+        | Token.Tstring_lit s ->
+            advance st;
+            s
+        | t -> Loc.error (cur_loc st) "prints expects a string literal, found '%s'" (Token.to_string t)
+      in
+      expect st Token.Rparen;
+      expect st Token.Semi;
+      mk_stmt loc (Sprints text)
+    end
+  | _ -> begin
+      let s = parse_assign_or_call st in
+      expect st Token.Semi;
+      s
+    end
+
+and parse_if st =
+  let loc = cur_loc st in
+  expect st Token.Kif;
+  expect st Token.Lparen;
+  let cond = parse_expr st in
+  expect st Token.Rparen;
+  let then_branch = parse_stmt_as_block st in
+  let else_branch =
+    if cur_tok st = Token.Kelse then begin
+      advance st;
+      parse_stmt_as_block st
+    end
+    else []
+  in
+  mk_stmt loc (Sif (cond, then_branch, else_branch))
+
+and parse_for st =
+  let loc = cur_loc st in
+  expect st Token.Kfor;
+  expect st Token.Lparen;
+  let init =
+    if cur_tok st = Token.Semi then None
+    else if starts_type st then Some (parse_decl st)
+    else Some (parse_assign_or_call st)
+  in
+  expect st Token.Semi;
+  let cond = if cur_tok st = Token.Semi then None else Some (parse_expr st) in
+  expect st Token.Semi;
+  let step = if cur_tok st = Token.Rparen then None else Some (parse_assign_or_call st) in
+  expect st Token.Rparen;
+  let body = parse_stmt_as_block st in
+  mk_stmt loc (Sfor (init, cond, step, body))
+
+(* A declaration: type name dims? (= expr)? — the trailing ';' is consumed
+   by the caller so that [for (int i = 0; ...)] can reuse this. *)
+and parse_decl st =
+  let loc = cur_loc st in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let dims = parse_dims st in
+  let ty = apply_dims ty dims in
+  let init =
+    if cur_tok st = Token.Assign then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  mk_stmt loc (Sdecl (ty, name, init))
+
+and parse_assign_or_call st =
+  let loc = cur_loc st in
+  let e = parse_expr st in
+  if cur_tok st = Token.Assign then begin
+    advance st;
+    let rhs = parse_expr st in
+    mk_stmt loc (Sassign (e, rhs))
+  end
+  else
+    match e.edesc with
+    | Ecall _ -> mk_stmt loc (Sexpr e)
+    | _ -> Loc.error loc "expression statement must be a call or an assignment"
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec go acc =
+    if cur_tok st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else if cur_tok st = Token.Eof then Loc.error (cur_loc st) "unexpected end of file in block"
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt_as_block st =
+  if cur_tok st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_struct_def st =
+  let loc = cur_loc st in
+  expect st Token.Kstruct;
+  let name = expect_ident st in
+  expect st Token.Lbrace;
+  let rec fields acc =
+    if cur_tok st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else begin
+      let ty = parse_type st in
+      let fname = expect_ident st in
+      expect st Token.Semi;
+      fields ((ty, fname) :: acc)
+    end
+  in
+  let fs = fields [] in
+  if cur_tok st = Token.Semi then advance st;
+  { str_name = name; str_fields = fs; str_loc = loc }
+
+(* Disambiguate [struct S { ... }] (definition) from [struct S x;] or
+   [struct S *f(...) {...}] (declarations) by looking past the name. *)
+let is_struct_definition st = cur_tok st = Token.Kstruct && peek_nth st 2 = Token.Lbrace
+
+let parse_top_decl st =
+  let loc = cur_loc st in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  if cur_tok st = Token.Lparen then begin
+    (* function definition *)
+    advance st;
+    let params =
+      if cur_tok st = Token.Rparen then begin
+        advance st;
+        []
+      end
+      else
+        let rec go acc =
+          let pty = parse_type st in
+          let pname = expect_ident st in
+          match cur_tok st with
+          | Token.Comma ->
+              advance st;
+              go ((pty, pname) :: acc)
+          | Token.Rparen ->
+              advance st;
+              List.rev ((pty, pname) :: acc)
+          | t -> Loc.error (cur_loc st) "expected ',' or ')' in parameters, found '%s'" (Token.to_string t)
+        in
+        go []
+    in
+    let body = parse_block st in
+    `Func { f_name = name; f_params = params; f_ret = ty; f_body = body; f_loc = loc }
+  end
+  else begin
+    let dims = parse_dims st in
+    let ty = apply_dims ty dims in
+    let init =
+      if cur_tok st = Token.Assign then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Token.Semi;
+    `Global { g_ty = ty; g_name = name; g_init = init; g_loc = loc }
+  end
+
+let parse_program ~file src =
+  let st = { toks = Lexer.tokenize ~file src } in
+  let structs = ref [] and globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match cur_tok st with
+    | Token.Eof -> ()
+    | _ ->
+        (if is_struct_definition st then structs := parse_struct_def st :: !structs
+         else
+           match parse_top_decl st with
+           | `Func f -> funcs := f :: !funcs
+           | `Global g -> globals := g :: !globals);
+        go ()
+  in
+  go ();
+  { structs = List.rev !structs; globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse_expr_string src =
+  let st = { toks = Lexer.tokenize ~file:"<expr>" src } in
+  let e = parse_expr st in
+  expect st Token.Eof;
+  e

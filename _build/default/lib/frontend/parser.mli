@@ -1,0 +1,23 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch (operators by increasing precedence: [||], [&&],
+    comparisons, [+ -], [* / %], unary [- !], postfix [\[\] . ->]):
+
+    {v
+    program   ::= (struct_def | global | func)*
+    struct_def::= "struct" ident "{" (type ident ";")* "}" ";"?
+    global    ::= type ident dims? ("=" expr)? ";"
+    func      ::= type ident "(" params ")" block
+    stmt      ::= decl | assign ";" | call ";" | if | while | for
+                | "return" expr? ";" | "break" ";" | "continue" ";" | block
+    v}
+
+    Types are [int], [float], [void], [struct S], any of these followed by
+    ['*'] repetitions, and declared variables may carry constant array
+    dimensions.  Raises [Loc.Error] on syntax errors. *)
+
+val parse_program : file:string -> string -> Ast.program
+(** Lex and parse a full compilation unit. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

@@ -1,0 +1,70 @@
+(** Typed abstract syntax, produced by {!Typecheck} and consumed by the IR
+    lowering.  Every expression carries its type; variable references are
+    resolved to unique [var] records; implicit int→float coercions are made
+    explicit with {!Titof} nodes. *)
+
+type ty = Ast.ty
+
+type var_kind = Vglobal | Vlocal | Vparam
+
+type var = { v_uid : int; v_name : string; v_ty : ty; v_kind : var_kind }
+(** [v_uid] is unique across the whole program, which lets later phases use
+    it as a stable key. *)
+
+type texpr = { tdesc : tdesc; tty : ty; tloc : Loc.t }
+
+and tdesc =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tnull
+  | Tvar of var
+  | Tunop of Ast.unop * texpr
+  | Titof of texpr  (** implicit int→float coercion *)
+  | Tftoi of texpr  (** explicit float→int truncation (builtin [ftoi]) *)
+  | Tbinop of Ast.binop * texpr * texpr
+      (** Operands have equal types after coercion; comparisons yield [Tint]. *)
+  | Tindex of texpr * texpr  (** base has array or pointer type *)
+  | Tfield of texpr * string * int  (** struct-valued base; resolved field index *)
+  | Tarrow of texpr * string * int  (** struct-pointer base; resolved field index *)
+  | Tcall of string * texpr list
+  | Tnew_struct of string
+  | Tnew_array of ty * texpr
+
+type tstmt = { tsdesc : tsdesc; tsloc : Loc.t }
+
+and tsdesc =
+  | TSdecl of var * texpr option
+  | TSassign of texpr * texpr  (** left-hand side is an lvalue expression *)
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSreturn of texpr option
+  | TSexpr of texpr
+  | TSprints of string
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+
+type tfunc = {
+  tf_name : string;
+  tf_params : var list;
+  tf_ret : ty;
+  tf_body : tstmt list;
+  tf_loc : Loc.t;
+}
+
+type tprogram = {
+  tp_structs : Ast.struct_def list;
+  tp_globals : (var * texpr option) list;
+  tp_funcs : tfunc list;
+}
+
+(** An lvalue is a variable, an element of an array, a struct field, or a
+    field reached through a pointer. *)
+let rec is_lvalue e =
+  match e.tdesc with
+  | Tvar _ -> true
+  | Tindex (base, _) -> is_lvalue base || (match base.tty with Ast.Tptr _ -> true | _ -> false)
+  | Tfield (base, _, _) -> is_lvalue base
+  | Tarrow (_, _, _) -> true
+  | _ -> false

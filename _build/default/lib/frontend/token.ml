@@ -1,0 +1,109 @@
+(** Tokens of the MiniC surface language. *)
+
+type t =
+  | Tident of string
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tstring_lit of string
+  (* keywords *)
+  | Kint
+  | Kfloat
+  | Kvoid
+  | Kstruct
+  | Kif
+  | Kelse
+  | Kwhile
+  | Kfor
+  | Kreturn
+  | Kbreak
+  | Kcontinue
+  | Knull
+  | Knew
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Bang
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Andand
+  | Oror
+  | Eof
+
+let keyword_of_string = function
+  | "int" -> Some Kint
+  | "float" -> Some Kfloat
+  | "void" -> Some Kvoid
+  | "struct" -> Some Kstruct
+  | "if" -> Some Kif
+  | "else" -> Some Kelse
+  | "while" -> Some Kwhile
+  | "for" -> Some Kfor
+  | "return" -> Some Kreturn
+  | "break" -> Some Kbreak
+  | "continue" -> Some Kcontinue
+  | "null" -> Some Knull
+  | "new" -> Some Knew
+  | _ -> None
+
+let to_string = function
+  | Tident s -> s
+  | Tint_lit n -> string_of_int n
+  | Tfloat_lit f -> string_of_float f
+  | Tstring_lit s -> Printf.sprintf "%S" s
+  | Kint -> "int"
+  | Kfloat -> "float"
+  | Kvoid -> "void"
+  | Kstruct -> "struct"
+  | Kif -> "if"
+  | Kelse -> "else"
+  | Kwhile -> "while"
+  | Kfor -> "for"
+  | Kreturn -> "return"
+  | Kbreak -> "break"
+  | Kcontinue -> "continue"
+  | Knull -> "null"
+  | Knew -> "new"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Arrow -> "->"
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Bang -> "!"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Andand -> "&&"
+  | Oror -> "||"
+  | Eof -> "<eof>"

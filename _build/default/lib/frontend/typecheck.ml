@@ -1,0 +1,448 @@
+open Ast
+open Tast
+
+type env = {
+  structs : (string, struct_def) Hashtbl.t;
+  funcs : (string, func_def) Hashtbl.t;
+  globals : (string, var) Hashtbl.t;
+  mutable scopes : (string, var) Hashtbl.t list;  (** innermost first *)
+  mutable next_uid : int;
+  mutable loop_depth : int;
+  mutable current_ret : ty;
+}
+
+let fresh_var env name ty kind =
+  let uid = env.next_uid in
+  env.next_uid <- uid + 1;
+  { v_uid = uid; v_name = name; v_ty = ty; v_kind = kind }
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = match env.scopes with [] -> () | _ :: rest -> env.scopes <- rest
+
+let declare_local env loc var =
+  match env.scopes with
+  | [] -> Loc.error loc "internal error: no open scope"
+  | scope :: _ ->
+      if Hashtbl.mem scope var.v_name then
+        Loc.error loc "variable '%s' is already declared in this scope" var.v_name;
+      Hashtbl.replace scope var.v_name var
+
+let lookup_var env loc name =
+  let rec go = function
+    | [] -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some v -> v
+        | None -> Loc.error loc "unbound variable '%s'" name)
+    | scope :: rest -> ( match Hashtbl.find_opt scope name with Some v -> v | None -> go rest)
+  in
+  go env.scopes
+
+let find_struct env loc name =
+  match Hashtbl.find_opt env.structs name with
+  | Some s -> s
+  | None -> Loc.error loc "unknown struct '%s'" name
+
+let find_field env loc sname fname =
+  let s = find_struct env loc sname in
+  let rec go idx = function
+    | [] -> Loc.error loc "struct %s has no field '%s'" sname fname
+    | (fty, name) :: _ when name = fname -> (fty, idx)
+    | _ :: rest -> go (idx + 1) rest
+  in
+  go 0 s.str_fields
+
+(* ------------------------------------------------------------------ *)
+(* Sizes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let size_of structs ty =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tbl s.str_name s) structs;
+  let rec go seen = function
+    | Tint | Tfloat | Tptr _ -> 1
+    | Tvoid -> 0
+    | Tstruct name ->
+        if List.mem name seen then
+          failwith (Printf.sprintf "recursive struct value type '%s' (use a pointer)" name);
+        let s =
+          match Hashtbl.find_opt tbl name with
+          | Some s -> s
+          | None -> failwith (Printf.sprintf "unknown struct '%s'" name)
+        in
+        List.fold_left (fun acc (fty, _) -> acc + go (name :: seen) fty) 0 s.str_fields
+    | Tarray (elem, dims) -> List.fold_left ( * ) (go seen elem) dims
+  in
+  go [] ty
+
+(* ------------------------------------------------------------------ *)
+(* Types of expressions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tint, Tint | Tfloat, Tfloat | Tvoid, Tvoid -> true
+  | Tptr x, Tptr y -> ty_equal x y
+  | Tstruct s1, Tstruct s2 -> s1 = s2
+  | Tarray (e1, d1), Tarray (e2, d2) -> ty_equal e1 e2 && d1 = d2
+  | (Tint | Tfloat | Tvoid | Tptr _ | Tstruct _ | Tarray _), _ -> false
+
+let is_scalar = function Tint | Tfloat | Tptr _ -> true | Tstruct _ | Tarray _ | Tvoid -> false
+
+let mk ty loc tdesc = { tdesc; tty = ty; tloc = loc }
+
+(* Coerce [e] to [target]: identity, int→float, null→pointer, or
+   array→pointer decay (multi-dimensional arrays decay to a flat pointer to
+   their element type). *)
+let coerce loc target e =
+  if ty_equal e.tty target then Some e
+  else
+    match (e.tty, target) with
+    | Tint, Tfloat -> Some (mk Tfloat loc (Titof e))
+    | Tptr _, Tptr _ when e.tdesc = Tnull -> Some { e with tty = target }
+    | Tarray (elem, _), Tptr pelem when ty_equal elem pelem -> Some { e with tty = target }
+    | _ -> None
+
+let coerce_exn env_desc loc target e =
+  match coerce loc target e with
+  | Some e -> e
+  | None ->
+      Loc.error loc "%s: expected %s but found %s" env_desc (ty_to_string target)
+        (ty_to_string e.tty)
+
+(* Unify operand types of a binary operator (int→float widening only). *)
+let unify_operands loc l r =
+  if ty_equal l.tty r.tty then (l, r)
+  else
+    match (l.tty, r.tty) with
+    | Tint, Tfloat -> (mk Tfloat loc (Titof l), r)
+    | Tfloat, Tint -> (l, mk Tfloat loc (Titof r))
+    | Tptr _, Tptr _ when l.tdesc = Tnull -> ({ l with tty = r.tty }, r)
+    | Tptr _, Tptr _ when r.tdesc = Tnull -> (l, { r with tty = l.tty })
+    | _ ->
+        Loc.error loc "operands have incompatible types %s and %s" (ty_to_string l.tty)
+          (ty_to_string r.tty)
+
+let rec check_expr env (e : Ast.expr) : texpr =
+  let loc = e.eloc in
+  match e.edesc with
+  | Eint n -> mk Tint loc (Tint_lit n)
+  | Efloat f -> mk Tfloat loc (Tfloat_lit f)
+  | Enull -> mk (Tptr Tint) loc Tnull
+  | Evar name ->
+      let v = lookup_var env loc name in
+      mk v.v_ty loc (Tvar v)
+  | Eunop (Neg, sub) -> begin
+      let t = check_expr env sub in
+      match t.tty with
+      | Tint | Tfloat -> mk t.tty loc (Tunop (Neg, t))
+      | ty -> Loc.error loc "cannot negate a value of type %s" (ty_to_string ty)
+    end
+  | Eunop (Not, sub) -> begin
+      let t = check_expr env sub in
+      match t.tty with
+      | Tint | Tptr _ -> mk Tint loc (Tunop (Not, t))
+      | ty -> Loc.error loc "'!' expects an int or pointer, found %s" (ty_to_string ty)
+    end
+  | Ebinop (op, l, r) -> check_binop env loc op l r
+  | Eindex (base, idx) -> begin
+      let tbase = check_expr env base in
+      let tidx = coerce_exn "array index" loc Tint (check_expr env idx) in
+      match tbase.tty with
+      | Tarray (elem, [ _ ]) -> mk elem loc (Tindex (tbase, tidx))
+      | Tarray (elem, _ :: rest) -> mk (Tarray (elem, rest)) loc (Tindex (tbase, tidx))
+      | Tptr elem -> mk elem loc (Tindex (tbase, tidx))
+      | ty -> Loc.error loc "cannot index a value of type %s" (ty_to_string ty)
+    end
+  | Efield (base, fname) -> begin
+      let tbase = check_expr env base in
+      match tbase.tty with
+      | Tstruct sname ->
+          let fty, fidx = find_field env loc sname fname in
+          mk fty loc (Tfield (tbase, fname, fidx))
+      | Tptr (Tstruct _) ->
+          Loc.error loc "'.%s' applied to a struct pointer; use '->%s'" fname fname
+      | ty -> Loc.error loc "'.%s' applied to non-struct type %s" fname (ty_to_string ty)
+    end
+  | Earrow (base, fname) -> begin
+      let tbase = check_expr env base in
+      match tbase.tty with
+      | Tptr (Tstruct sname) ->
+          let fty, fidx = find_field env loc sname fname in
+          mk fty loc (Tarrow (tbase, fname, fidx))
+      | ty -> Loc.error loc "'->%s' applied to non-struct-pointer type %s" fname (ty_to_string ty)
+    end
+  | Ecall (name, args) -> check_call env loc name args
+  | Enew_struct sname ->
+      ignore (find_struct env loc sname);
+      mk (Tptr (Tstruct sname)) loc (Tnew_struct sname)
+  | Enew_array (elem, count) -> begin
+      (match elem with
+      | Tvoid | Tarray _ -> Loc.error loc "cannot allocate an array of %s" (ty_to_string elem)
+      | Tstruct sname -> ignore (find_struct env loc sname)
+      | Tint | Tfloat | Tptr _ -> ());
+      let tcount = coerce_exn "array size" loc Tint (check_expr env count) in
+      mk (Tptr elem) loc (Tnew_array (elem, tcount))
+    end
+
+and check_binop env loc op l r =
+  let tl = check_expr env l and tr = check_expr env r in
+  match op with
+  | Add | Sub | Mul | Div -> begin
+      let tl, tr = unify_operands loc tl tr in
+      match tl.tty with
+      | Tint | Tfloat -> mk tl.tty loc (Tbinop (op, tl, tr))
+      | ty -> Loc.error loc "arithmetic on non-numeric type %s" (ty_to_string ty)
+    end
+  | Mod -> begin
+      match (tl.tty, tr.tty) with
+      | Tint, Tint -> mk Tint loc (Tbinop (Mod, tl, tr))
+      | _ -> Loc.error loc "'%%' expects int operands"
+    end
+  | Eq | Ne -> begin
+      let tl, tr = unify_operands loc tl tr in
+      match tl.tty with
+      | Tint | Tfloat | Tptr _ -> mk Tint loc (Tbinop (op, tl, tr))
+      | ty -> Loc.error loc "cannot compare values of type %s" (ty_to_string ty)
+    end
+  | Lt | Le | Gt | Ge -> begin
+      let tl, tr = unify_operands loc tl tr in
+      match tl.tty with
+      | Tint | Tfloat -> mk Tint loc (Tbinop (op, tl, tr))
+      | ty -> Loc.error loc "cannot order values of type %s" (ty_to_string ty)
+    end
+  | And | Or ->
+      let cl = check_condition_expr loc tl and cr = check_condition_expr loc tr in
+      mk Tint loc (Tbinop (op, cl, cr))
+
+(* A condition may be an int or a pointer (non-null test). *)
+and check_condition_expr loc t =
+  match t.tty with
+  | Tint -> t
+  | Tptr _ -> mk Tint loc (Tbinop (Ne, t, { t with tdesc = Tnull }))
+  | ty -> Loc.error loc "condition must be int or pointer, found %s" (ty_to_string ty)
+
+and check_call env loc name args =
+  let targs = List.map (check_expr env) args in
+  match Hashtbl.find_opt env.funcs name with
+  | Some f ->
+      let nparams = List.length f.f_params and nargs = List.length targs in
+      if nparams <> nargs then
+        Loc.error loc "function '%s' expects %d argument(s), got %d" name nparams nargs;
+      let coerced =
+        List.map2
+          (fun (pty, pname) arg ->
+            coerce_exn (Printf.sprintf "argument '%s' of '%s'" pname name) loc pty arg)
+          f.f_params targs
+      in
+      mk f.f_ret loc (Tcall (name, coerced))
+  | None -> (
+      match Ast.find_builtin name with
+      | Some b ->
+          let nparams = List.length b.bi_params and nargs = List.length targs in
+          if nparams <> nargs then
+            Loc.error loc "builtin '%s' expects %d argument(s), got %d" name nparams nargs;
+          let coerced =
+            List.map2 (fun pty arg -> coerce_exn ("argument of " ^ name) loc pty arg) b.bi_params
+              targs
+          in
+          if name = "ftoi" then mk Tint loc (Tftoi (List.hd coerced))
+          else if name = "itof" then mk Tfloat loc (Titof (List.hd coerced))
+          else mk b.bi_ret loc (Tcall (name, coerced))
+      | None -> Loc.error loc "call to undefined function '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt loc tsdesc = { tsdesc; tsloc = loc }
+
+let rec check_stmt env (s : Ast.stmt) : tstmt =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Sdecl (ty, name, init) -> begin
+      (match ty with
+      | Tvoid -> Loc.error loc "variable '%s' cannot have type void" name
+      | Tarray (_, dims) when List.exists (fun d -> d <= 0) dims ->
+          Loc.error loc "array '%s' has a non-positive dimension" name
+      | _ -> ());
+      let v = fresh_var env name ty Vlocal in
+      let tinit =
+        match init with
+        | None -> None
+        | Some e ->
+            if not (is_scalar ty) then
+              Loc.error loc "aggregate variable '%s' cannot have an initializer" name;
+            Some (coerce_exn ("initializer of " ^ name) loc ty (check_expr env e))
+      in
+      declare_local env loc v;
+      mk_stmt loc (TSdecl (v, tinit))
+    end
+  | Sassign (lhs, rhs) -> begin
+      let tl = check_expr env lhs in
+      if not (Tast.is_lvalue tl) then Loc.error loc "left-hand side of '=' is not assignable";
+      if not (is_scalar tl.tty) then
+        Loc.error loc "cannot assign aggregates of type %s" (ty_to_string tl.tty);
+      let tr = coerce_exn "assignment" loc tl.tty (check_expr env rhs) in
+      mk_stmt loc (TSassign (tl, tr))
+    end
+  | Sif (cond, then_b, else_b) ->
+      let tc = check_condition env cond in
+      mk_stmt loc (TSif (tc, check_block env then_b, check_block env else_b))
+  | Swhile (cond, body) ->
+      let tc = check_condition env cond in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block env body in
+      env.loop_depth <- env.loop_depth - 1;
+      mk_stmt loc (TSwhile (tc, tbody))
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      let tinit = Option.map (check_stmt env) init in
+      let tcond = Option.map (check_condition env) cond in
+      let tstep = Option.map (check_stmt env) step in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = check_block_no_scope env body in
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env;
+      mk_stmt loc (TSfor (tinit, tcond, tstep, tbody))
+  | Sreturn None ->
+      if not (ty_equal env.current_ret Tvoid) then
+        Loc.error loc "non-void function must return a value";
+      mk_stmt loc (TSreturn None)
+  | Sreturn (Some e) ->
+      if ty_equal env.current_ret Tvoid then Loc.error loc "void function cannot return a value";
+      let t = coerce_exn "return" loc env.current_ret (check_expr env e) in
+      mk_stmt loc (TSreturn (Some t))
+  | Sexpr e -> begin
+      match e.edesc with
+      | Ecall _ -> mk_stmt loc (TSexpr (check_expr env e))
+      | _ -> Loc.error loc "expression statement must be a call"
+    end
+  | Sprints text -> mk_stmt loc (TSprints text)
+  | Sbreak ->
+      if env.loop_depth = 0 then Loc.error loc "'break' outside of a loop";
+      mk_stmt loc TSbreak
+  | Scontinue ->
+      if env.loop_depth = 0 then Loc.error loc "'continue' outside of a loop";
+      mk_stmt loc TScontinue
+  | Sblock body -> mk_stmt loc (TSblock (check_block env body))
+
+and check_condition env e = check_condition_expr e.eloc (check_expr env e)
+
+and check_block env stmts =
+  push_scope env;
+  let ts = check_block_no_scope env stmts in
+  pop_scope env;
+  ts
+
+and check_block_no_scope env stmts = List.map (check_stmt env) stmts
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_struct_def env (s : struct_def) =
+  List.iter
+    (fun (fty, fname) ->
+      match fty with
+      | Tint | Tfloat | Tptr _ | Tstruct _ -> ()
+      | Tvoid | Tarray _ ->
+          Loc.error s.str_loc "field '%s' of struct %s has unsupported type %s" fname s.str_name
+            (ty_to_string fty))
+    s.str_fields;
+  (* Reject recursive struct *values* (pointers are fine). *)
+  (try ignore (size_of (Hashtbl.fold (fun _ s acc -> s :: acc) env.structs []) (Tstruct s.str_name))
+   with Failure msg -> Loc.error s.str_loc "%s" msg);
+  let dup = Hashtbl.create 4 in
+  List.iter
+    (fun (_, fname) ->
+      if Hashtbl.mem dup fname then
+        Loc.error s.str_loc "duplicate field '%s' in struct %s" fname s.str_name;
+      Hashtbl.replace dup fname ())
+    s.str_fields
+
+let check_global env (g : global_def) =
+  (match g.g_ty with
+  | Tvoid -> Loc.error g.g_loc "global '%s' cannot have type void" g.g_name
+  | _ -> ());
+  if Hashtbl.mem env.globals g.g_name then
+    Loc.error g.g_loc "global '%s' is declared twice" g.g_name;
+  let v = fresh_var env g.g_name g.g_ty Vglobal in
+  Hashtbl.replace env.globals g.g_name v;
+  let tinit =
+    match g.g_init with
+    | None -> None
+    | Some e -> begin
+        if not (is_scalar g.g_ty) then
+          Loc.error g.g_loc "aggregate global '%s' cannot have an initializer" g.g_name;
+        (* Globals are initialized before [main] runs, so only constants
+           make sense here. *)
+        let t = coerce_exn ("initializer of " ^ g.g_name) g.g_loc g.g_ty (check_expr env e) in
+        let rec constant t =
+          match t.tdesc with
+          | Tint_lit _ | Tfloat_lit _ | Tnull -> true
+          | Tunop (Ast.Neg, sub) | Titof sub -> constant sub
+          | _ -> false
+        in
+        if not (constant t) then
+          Loc.error g.g_loc "initializer of global '%s' must be a constant" g.g_name;
+        Some t
+      end
+  in
+  (v, tinit)
+
+let check_func env (f : func_def) =
+  env.current_ret <- f.f_ret;
+  push_scope env;
+  let params =
+    List.map
+      (fun (pty, pname) ->
+        (match pty with
+        | Tvoid -> Loc.error f.f_loc "parameter '%s' cannot have type void" pname
+        | Tarray _ ->
+            Loc.error f.f_loc "parameter '%s': pass arrays as pointers (%s)" pname
+              (ty_to_string pty)
+        | _ -> ());
+        let v = fresh_var env pname pty Vparam in
+        declare_local env f.f_loc v;
+        v)
+      f.f_params
+  in
+  let body = check_block_no_scope env f.f_body in
+  pop_scope env;
+  { tf_name = f.f_name; tf_params = params; tf_ret = f.f_ret; tf_body = body; tf_loc = f.f_loc }
+
+let check_program (p : Ast.program) : tprogram =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      scopes = [];
+      next_uid = 0;
+      loop_depth = 0;
+      current_ret = Tvoid;
+    }
+  in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem env.structs s.str_name then
+        Loc.error s.str_loc "struct '%s' is defined twice" s.str_name;
+      Hashtbl.replace env.structs s.str_name s)
+    p.structs;
+  List.iter (check_struct_def env) p.structs;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.f_name then
+        Loc.error f.f_loc "function '%s' is defined twice" f.f_name;
+      if Ast.find_builtin f.f_name <> None then
+        Loc.error f.f_loc "function '%s' shadows a builtin" f.f_name;
+      Hashtbl.replace env.funcs f.f_name f)
+    p.funcs;
+  let globals = List.map (check_global env) p.globals in
+  let funcs = List.map (check_func env) p.funcs in
+  (match Hashtbl.find_opt env.funcs "main" with
+  | Some f ->
+      if f.f_params <> [] || not (ty_equal f.f_ret Tvoid) then
+        Loc.error f.f_loc "main must have signature 'void main()'"
+  | None -> Loc.error Loc.dummy "program has no 'main' function");
+  { tp_structs = p.structs; tp_globals = globals; tp_funcs = funcs }

@@ -1,0 +1,20 @@
+(** Type checker: [Ast.program] → [Tast.tprogram].
+
+    Checks performed (all failures raise [Loc.Error]):
+    - struct definitions are unique and their fields are scalars, pointers
+      or struct values (no array-typed fields);
+    - globals and locals are not [void]; initializers type-match;
+    - every referenced variable, function and field is declared;
+    - operator, call-argument, return and assignment typing, with implicit
+      int→float coercion inserted as explicit {!Tast.Titof} nodes;
+    - conditions are [int] or pointer-typed (pointer [p] reads as [p != null]);
+    - assignment targets are lvalues;
+    - [break]/[continue] appear only inside loops;
+    - a [void main()] function exists. *)
+
+val check_program : Ast.program -> Tast.tprogram
+
+val size_of : Ast.struct_def list -> Ast.ty -> int
+(** Size in memory cells of a type: scalars and pointers take one cell,
+    struct values the sum of their field sizes, arrays the product of their
+    dimensions times the element size. *)

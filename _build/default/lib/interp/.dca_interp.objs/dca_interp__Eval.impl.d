@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Dca_frontend Dca_ir Events Float Fun Hashtbl Int64 Ir Layout List Option Printf Store Value

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Dca_ir Events Store Value

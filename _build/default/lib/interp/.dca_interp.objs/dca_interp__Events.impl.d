@@ -1,0 +1,1 @@
+lib/interp/events.ml: Dca_ir Printf

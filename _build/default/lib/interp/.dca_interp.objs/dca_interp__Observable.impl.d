@@ -1,0 +1,1 @@
+lib/interp/observable.ml: Array Buffer Float Hashtbl List Printf Queue Store String Value

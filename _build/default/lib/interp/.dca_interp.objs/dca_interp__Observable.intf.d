@@ -1,0 +1,1 @@
+lib/interp/observable.mli: Store Value

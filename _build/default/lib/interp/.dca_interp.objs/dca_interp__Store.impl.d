@@ -1,0 +1,1 @@
+lib/interp/store.ml: Array Dca_ir Int64 Ir List Printf Value

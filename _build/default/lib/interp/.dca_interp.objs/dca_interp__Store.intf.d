@@ -1,0 +1,1 @@
+lib/interp/store.mli: Dca_ir Value

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Dca_ir Printf

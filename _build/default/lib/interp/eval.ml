@@ -1,0 +1,330 @@
+open Dca_ir
+open Value
+
+exception Trap of string
+exception Out_of_fuel
+
+type frame = { ffunc : Ir.func; regs : Value.t array }
+
+type interceptor = { it_fname : string; it_header : int; mutable it_active : bool; it_handler : handler }
+and handler = Handler of (ctx -> frame -> int)
+
+and ctx = {
+  prog : Ir.program;
+  st : Store.t;
+  funcs : (string, Ir.func) Hashtbl.t;
+  mutable sink : Events.sink option;
+  mutable nsteps : int;
+  fuel : int;
+  mutable interceptors : interceptor list;
+}
+
+type step_control = { sc_filter : Ir.instr -> bool; sc_override : int -> int option }
+
+type stop_reason = Stopped_at of int | Returned of Value.t option
+
+let default_fuel = 200_000_000
+
+let create ?(fuel = default_fuel) ?(input = []) prog =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Ir.fname f) prog.Ir.p_funcs;
+  { prog; st = Store.create prog ~input; funcs; sink = None; nsteps = 0; fuel; interceptors = [] }
+
+let program ctx = ctx.prog
+let store ctx = ctx.st
+let steps ctx = ctx.nsteps
+let set_sink ctx sink = ctx.sink <- sink
+let outputs ctx = Store.outputs ctx.st
+
+let trap fmt = Printf.ksprintf (fun msg -> raise (Trap msg)) fmt
+
+let read_var frame (v : Ir.var) =
+  let x = frame.regs.(v.vslot) in
+  match x with VUndef -> trap "use of uninitialized variable '%s' in %s" v.vname frame.ffunc.fname | _ -> x
+
+let write_var frame (v : Ir.var) x = frame.regs.(v.vslot) <- x
+
+let eval_operand ctx frame = function
+  | Ir.Ovar v ->
+      (match ctx.sink with Some s -> s.Events.on_read (Events.Lreg v.vid) (-1) | None -> ());
+      read_var frame v
+  | Ir.Oint n -> VInt n
+  | Ir.Ofloat f -> VFloat f
+  | Ir.Onull -> VNull
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let int2 name f a b =
+  match (a, b) with VInt x, VInt y -> VInt (f x y) | _ -> trap "%s expects ints" name
+
+let float2 name f a b =
+  match (a, b) with VFloat x, VFloat y -> VFloat (f x y) | _ -> trap "%s expects floats" name
+
+let compare_values rel a b =
+  let of_bool b = VInt (if b then 1 else 0) in
+  let ord cmp =
+    match rel with
+    | Ir.Req -> cmp = 0
+    | Ir.Rne -> cmp <> 0
+    | Ir.Rlt -> cmp < 0
+    | Ir.Rle -> cmp <= 0
+    | Ir.Rgt -> cmp > 0
+    | Ir.Rge -> cmp >= 0
+  in
+  match (a, b) with
+  | VInt x, VInt y -> of_bool (ord (compare x y))
+  | VFloat x, VFloat y -> of_bool (ord (compare x y))
+  | (VPtr _ | VNull), (VPtr _ | VNull) -> begin
+      match rel with
+      | Ir.Req -> of_bool (a = b)
+      | Ir.Rne -> of_bool (a <> b)
+      | _ -> trap "ordered comparison of pointers"
+    end
+  | _ -> trap "comparison of incompatible values %s and %s" (to_string a) (to_string b)
+
+let eval_binop op a b =
+  match op with
+  | Ir.Add -> int2 "add" ( + ) a b
+  | Ir.Sub -> int2 "sub" ( - ) a b
+  | Ir.Mul -> int2 "mul" ( * ) a b
+  | Ir.Div -> (
+      match b with VInt 0 -> trap "integer division by zero" | _ -> int2 "div" ( / ) a b)
+  | Ir.Mod -> (
+      match b with VInt 0 -> trap "integer modulo by zero" | _ -> int2 "mod" (fun x y -> x mod y) a b)
+  | Ir.Fadd -> float2 "fadd" ( +. ) a b
+  | Ir.Fsub -> float2 "fsub" ( -. ) a b
+  | Ir.Fmul -> float2 "fmul" ( *. ) a b
+  | Ir.Fdiv -> float2 "fdiv" ( /. ) a b
+  | Ir.Cmp rel -> compare_values rel a b
+  | Ir.Andl -> int2 "and" (fun x y -> if x <> 0 && y <> 0 then 1 else 0) a b
+  | Ir.Orl -> int2 "or" (fun x y -> if x <> 0 || y <> 0 then 1 else 0) a b
+
+let eval_unop op a =
+  match (op, a) with
+  | Ir.Neg, VInt x -> VInt (-x)
+  | Ir.Fneg, VFloat x -> VFloat (-.x)
+  | Ir.Not, VInt x -> VInt (if x = 0 then 1 else 0)
+  | Ir.Not, VNull -> VInt 1
+  | Ir.Not, VPtr _ -> VInt 0
+  | Ir.Itof, VInt x -> VFloat (float_of_int x)
+  | Ir.Ftoi, VFloat x -> VInt (int_of_float x)
+  | _ -> trap "unary %s applied to %s" (Ir.unop_to_string op) (to_string a)
+
+(* hrand: a pure hash-based PRN in [0,1) — splitmix64 finalizer. *)
+let hrand_of_int i =
+  let z = Int64.of_int i in
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let float1 name f = function VFloat x -> VFloat (f x) | v -> trap "%s expects a float, got %s" name (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let emit_read ctx loc instr =
+  match ctx.sink with Some s -> s.Events.on_read loc instr | None -> ()
+
+let emit_write ctx loc instr =
+  match ctx.sink with Some s -> s.Events.on_write loc instr | None -> ()
+
+let rec exec_instr ctx frame (i : Ir.instr) =
+  ctx.nsteps <- ctx.nsteps + 1;
+  if ctx.nsteps > ctx.fuel then raise Out_of_fuel;
+  (match ctx.sink with Some s -> s.Events.on_exec i | None -> ());
+  let ev op =
+    (* operand evaluation with register-read events attributed to [i] *)
+    match op with
+    | Ir.Ovar v ->
+        emit_read ctx (Events.Lreg v.vid) i.iid;
+        read_var frame v
+    | Ir.Oint n -> VInt n
+    | Ir.Ofloat f -> VFloat f
+    | Ir.Onull -> VNull
+  in
+  let def v x =
+    emit_write ctx (Events.Lreg v.Ir.vid) i.iid;
+    write_var frame v x
+  in
+  match i.idesc with
+  | Ir.Bin (d, op, a, b) ->
+      let va = ev a in
+      let vb = ev b in
+      def d (eval_binop op va vb)
+  | Ir.Un (d, op, a) -> def d (eval_unop op (ev a))
+  | Ir.Mov (d, a) -> def d (ev a)
+  | Ir.Load (d, p) -> begin
+      match ev p with
+      | VPtr (block, off) ->
+          emit_read ctx (Events.Lheap (block, off)) i.iid;
+          let v =
+            try Store.load ctx.st ~block ~off with Failure msg -> trap "%s" msg
+          in
+          def d v
+      | VNull -> trap "load through null pointer at %s" (Dca_frontend.Loc.to_string i.iloc)
+      | v -> trap "load through non-pointer %s" (to_string v)
+    end
+  | Ir.Store (p, src) -> begin
+      match ev p with
+      | VPtr (block, off) ->
+          let v = ev src in
+          emit_write ctx (Events.Lheap (block, off)) i.iid;
+          (try Store.store ctx.st ~block ~off v with Failure msg -> trap "%s" msg)
+      | VNull -> trap "store through null pointer at %s" (Dca_frontend.Loc.to_string i.iloc)
+      | v -> trap "store through non-pointer %s" (to_string v)
+    end
+  | Ir.Gep (d, base, idx, scale) -> begin
+      match (ev base, ev idx) with
+      | VPtr (block, off), VInt k -> def d (VPtr (block, off + (k * scale)))
+      | VNull, _ -> trap "pointer arithmetic on null at %s" (Dca_frontend.Loc.to_string i.iloc)
+      | vb, vi -> trap "gep on %s with index %s" (to_string vb) (to_string vi)
+    end
+  | Ir.Gload (d, g) ->
+      emit_read ctx (Events.Lglob g.vslot) i.iid;
+      def d (Store.read_global ctx.st g.vslot)
+  | Ir.Gstore (g, src) ->
+      let v = ev src in
+      emit_write ctx (Events.Lglob g.vslot) i.iid;
+      Store.write_global ctx.st g.vslot v
+  | Ir.Gaddr (d, g) -> def d (Store.read_global ctx.st g.vslot)
+  | Ir.Alloc (d, ty, count) -> begin
+      match ev count with
+      | VInt n when n >= 0 ->
+          let kinds = Layout.cell_kinds ctx.prog.Ir.p_layout ty in
+          let id = Store.alloc ctx.st kinds ~count:n in
+          def d (VPtr (id, 0))
+      | v -> trap "alloc with bad count %s" (to_string v)
+    end
+  | Ir.Call (dst, name, args) -> begin
+      let vargs = List.map ev args in
+      match eval_builtin ctx i name vargs with
+      | Some result -> ( match dst with Some d -> def d result | None -> ())
+      | None -> (
+          let ret = call_user ctx name vargs in
+          match (dst, ret) with
+          | Some d, Some v -> def d v
+          | Some d, None -> trap "function %s returned no value for %s" name d.vname
+          | None, _ -> ())
+    end
+  | Ir.Print v -> Store.print_value ctx.st (ev v)
+  | Ir.Prints s -> Store.print_string_ ctx.st s
+
+and eval_builtin ctx instr name args : Value.t option =
+  let iid = instr.Ir.iid in
+  match (name, args) with
+  | "sqrt", [ v ] -> Some (float1 "sqrt" sqrt v)
+  | "fabs", [ v ] -> Some (float1 "fabs" abs_float v)
+  | "sin", [ v ] -> Some (float1 "sin" sin v)
+  | "cos", [ v ] -> Some (float1 "cos" cos v)
+  | "exp", [ v ] -> Some (float1 "exp" exp v)
+  | "log", [ v ] -> Some (float1 "log" log v)
+  | "floor", [ v ] -> Some (float1 "floor" floor v)
+  | "pow", [ a; b ] -> Some (float2 "pow" ( ** ) a b)
+  | "fmod", [ a; b ] -> Some (float2 "fmod" Float.rem a b)
+  | "fmin", [ a; b ] -> Some (float2 "fmin" Float.min a b)
+  | "fmax", [ a; b ] -> Some (float2 "fmax" Float.max a b)
+  | "imin", [ a; b ] -> Some (int2 "imin" min a b)
+  | "imax", [ a; b ] -> Some (int2 "imax" max a b)
+  | "iabs", [ v ] -> Some (match v with VInt x -> VInt (abs x) | _ -> trap "iabs expects an int")
+  | "itof", [ v ] -> Some (eval_unop Ir.Itof v)
+  | "ftoi", [ v ] -> Some (eval_unop Ir.Ftoi v)
+  | "hrand", [ v ] -> Some (match v with VInt x -> VFloat (hrand_of_int x) | _ -> trap "hrand expects an int")
+  | "drand", [] ->
+      emit_read ctx Events.Lrng iid;
+      emit_write ctx Events.Lrng iid;
+      Some (VFloat (Store.drand ctx.st))
+  | "dseed", [ v ] ->
+      emit_write ctx Events.Lrng iid;
+      (match v with VInt x -> Store.dseed ctx.st x | _ -> trap "dseed expects an int");
+      Some (VInt 0)
+  | "reads", [] -> Some (VInt (Store.read_input ctx.st))
+  | _ -> None
+
+and call_user ctx name vargs : Value.t option =
+  let f =
+    match Hashtbl.find_opt ctx.funcs name with
+    | Some f -> f
+    | None -> trap "call to undefined function '%s'" name
+  in
+  let frame = { ffunc = f; regs = Array.make f.Ir.fnslots VUndef } in
+  (try List.iter2 (fun p v -> write_var frame p v) f.Ir.fparams vargs
+   with Invalid_argument _ -> trap "arity mismatch calling %s" name);
+  (match ctx.sink with Some s -> s.Events.on_call name | None -> ());
+  let result =
+    match exec_from ctx frame f.Ir.fentry ~stop:(fun _ -> false) ~control:None ~src:(-1) with
+    | Returned v -> v
+    | Stopped_at _ -> assert false
+  in
+  (match ctx.sink with Some s -> s.Events.on_return name | None -> ());
+  result
+
+(* Core block-chain executor.  [src] is the predecessor block (-1 on
+   entry); [stop] is consulted on every transfer except the initial one. *)
+and exec_from ctx frame bid ~stop ~control ~src : stop_reason =
+  (* interceptors fire on transfers into their header during any execution
+     in which they are not already active *)
+  match
+    List.find_opt
+      (fun it ->
+        it.it_fname = frame.ffunc.Ir.fname && it.it_header = bid && not it.it_active)
+      ctx.interceptors
+  with
+  | Some it ->
+      it.it_active <- true;
+      let continue_at =
+        Fun.protect
+          ~finally:(fun () -> it.it_active <- false)
+          (fun () -> match it.it_handler with Handler h -> h ctx frame)
+      in
+      exec_from ctx frame continue_at ~stop ~control ~src:bid
+  | None ->
+      (match ctx.sink with Some s -> s.Events.on_block ~fname:frame.ffunc.Ir.fname ~src ~dst:bid | None -> ());
+      let blk = frame.ffunc.Ir.fblocks.(bid) in
+      List.iter
+        (fun i ->
+          let keep = match control with Some c -> c.sc_filter i | None -> true in
+          if keep then exec_instr ctx frame i)
+        blk.Ir.instrs;
+      let continue_to target =
+        if stop target then begin
+          (* surface the pending transfer so recorders see loop-exit and
+             latch edges even though the target block is not executed *)
+          (match ctx.sink with
+          | Some s -> s.Events.on_block ~fname:frame.ffunc.Ir.fname ~src:bid ~dst:target
+          | None -> ());
+          Stopped_at target
+        end
+        else exec_from ctx frame target ~stop ~control ~src:bid
+      in
+      (match blk.Ir.bterm with
+      | Ir.Br t -> continue_to t
+      | Ir.Cbr (c, a, b) -> begin
+          let forced = match control with Some ctl -> ctl.sc_override bid | None -> None in
+          match forced with
+          | Some t -> continue_to t
+          | None ->
+              let v = eval_operand ctx frame c in
+              continue_to (if truthy v then a else b)
+        end
+      | Ir.Ret op -> Returned (Option.map (eval_operand ctx frame) op))
+
+let exec_upto ctx frame ~start ~stop ~control = exec_from ctx frame start ~stop ~control ~src:(-1)
+
+let call_function ctx name args = call_user ctx name args
+
+let run_main ctx = ignore (call_user ctx "main" [])
+
+let add_interceptor ctx ~fname ~header handler =
+  ctx.interceptors <-
+    { it_fname = fname; it_header = header; it_active = false; it_handler = Handler handler }
+    :: ctx.interceptors
+
+let clear_interceptors ctx = ctx.interceptors <- []
+
+let globals_of ctx =
+  Array.to_list (Array.mapi (fun slot g -> (g, Store.read_global ctx.st slot)) ctx.prog.Ir.p_globals)

@@ -1,0 +1,69 @@
+(** The IR evaluator.
+
+    Besides ordinary whole-program execution ({!run_main}), the evaluator
+    exposes the primitives DCA's dynamic stage is built from:
+
+    - {!frame}s are first-class, and {!exec_upto} runs a frame's blocks
+      from a given block until control is about to enter a block matching
+      a predicate — with an optional {!step_control} that (a) filters which
+      instructions execute (slice-only or payload-only execution of a loop
+      body) and (b) overrides conditional branch directions (replaying the
+      recorded control path of the iterator, paper §IV-B);
+    - {!add_interceptor} installs a hook that fires when normal execution
+      is about to enter a given block (a loop header): the hook takes over,
+      runs the loop under the DCA harness, and returns the block where
+      execution must resume — this is how whole-program verification runs
+      a program "with loop L permuted".
+
+    Executed instructions are counted in {!steps}; a configurable fuel
+    bound aborts runaway executions ({!Out_of_fuel}). *)
+
+exception Trap of string
+exception Out_of_fuel
+
+type ctx
+
+type frame = { ffunc : Dca_ir.Ir.func; regs : Value.t array }
+
+val create : ?fuel:int -> ?input:int list -> Dca_ir.Ir.program -> ctx
+(** Default fuel: 200 million instructions. *)
+
+val program : ctx -> Dca_ir.Ir.program
+val store : ctx -> Store.t
+val steps : ctx -> int
+val set_sink : ctx -> Events.sink option -> unit
+
+val run_main : ctx -> unit
+val call_function : ctx -> string -> Value.t list -> Value.t option
+val outputs : ctx -> string list
+
+val eval_operand : ctx -> frame -> Dca_ir.Ir.operand -> Value.t
+val read_var : frame -> Dca_ir.Ir.var -> Value.t
+val write_var : frame -> Dca_ir.Ir.var -> Value.t -> unit
+
+type step_control = {
+  sc_filter : Dca_ir.Ir.instr -> bool;  (** execute only instructions satisfying this *)
+  sc_override : int -> int option;
+      (** forced successor for the conditional terminator of the given
+          block ([None] = evaluate the condition normally) *)
+}
+
+type stop_reason =
+  | Stopped_at of int  (** about to enter this block *)
+  | Returned of Value.t option  (** a [Ret] executed inside the region *)
+
+val exec_upto : ctx -> frame -> start:int -> stop:(int -> bool) -> control:step_control option -> stop_reason
+(** Execute blocks beginning with [start] (which always executes, even if
+    [stop start] holds) until about to transfer to a block [b] with
+    [stop b].  Calls made by executed instructions run normally (filters
+    apply only to the frame's own blocks). *)
+
+val add_interceptor : ctx -> fname:string -> header:int -> (ctx -> frame -> int) -> unit
+(** The handler receives the frame about to enter [header] and must return
+    the block id where execution continues (typically the loop's unique
+    exit target).  The handler is not re-entered while it is active. *)
+
+val clear_interceptors : ctx -> unit
+
+val globals_of : ctx -> (Dca_ir.Ir.gdef * Value.t) list
+(** Current values of the global table, in slot order. *)

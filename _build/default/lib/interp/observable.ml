@@ -1,0 +1,104 @@
+type cell =
+  | CInt of int
+  | CFloat of float
+  | CPtr of int * int  (** canonical block id, offset *)
+  | CNull
+  | CUndef
+
+type t = { obs_scalars : cell list; obs_blocks : cell array list }
+
+(* Canonicalize: BFS over blocks from the roots, assigning canonical ids in
+   first-visit order.  The visit order is deterministic because scalars and
+   roots come in fixed order and cells are scanned left to right. *)
+let capture st ~scalars ~roots =
+  let canon = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let next_id = ref 0 in
+  let canon_of_block b =
+    match Hashtbl.find_opt canon b with
+    | Some id -> id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        Hashtbl.replace canon b id;
+        Queue.add b queue;
+        id
+  in
+  let cell_of_value = function
+    | Value.VInt n -> CInt n
+    | Value.VFloat f -> CFloat f
+    | Value.VNull -> CNull
+    | Value.VUndef -> CUndef
+    | Value.VPtr (b, o) ->
+        if Store.block_size st b = None then (* dangling after a restore *) CUndef
+        else CPtr (canon_of_block b, o)
+  in
+  let obs_scalars = List.map cell_of_value (scalars @ roots) in
+  let blocks_rev = ref [] in
+  let rec drain () =
+    if not (Queue.is_empty queue) then begin
+      let b = Queue.take queue in
+      let size = match Store.block_size st b with Some s -> s | None -> 0 in
+      let cells = Array.init size (fun off -> cell_of_value (Store.load st ~block:b ~off)) in
+      blocks_rev := cells :: !blocks_rev;
+      drain ()
+    end
+  in
+  drain ();
+  { obs_scalars; obs_blocks = List.rev !blocks_rev }
+
+let float_close eps a b =
+  a = b
+  || Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let cell_equal eps a b =
+  match (a, b) with
+  | CFloat x, CFloat y -> float_close eps x y
+  | CInt x, CInt y -> x = y
+  | CPtr (b1, o1), CPtr (b2, o2) -> b1 = b2 && o1 = o2
+  | CNull, CNull | CUndef, CUndef -> true
+  | _ -> false
+
+let equal ?(eps = 1e-9) t1 t2 =
+  List.length t1.obs_scalars = List.length t2.obs_scalars
+  && List.for_all2 (cell_equal eps) t1.obs_scalars t2.obs_scalars
+  && List.length t1.obs_blocks = List.length t2.obs_blocks
+  && List.for_all2
+       (fun c1 c2 ->
+         Array.length c1 = Array.length c2
+         &&
+         let ok = ref true in
+         Array.iteri (fun i x -> if not (cell_equal eps x c2.(i)) then ok := false) c1;
+         !ok)
+       t1.obs_blocks t2.obs_blocks
+
+let size t =
+  List.length t.obs_scalars + List.fold_left (fun acc c -> acc + Array.length c) 0 t.obs_blocks
+
+let cell_to_string = function
+  | CInt n -> string_of_int n
+  | CFloat f -> Printf.sprintf "%.12g" f
+  | CPtr (b, o) -> Printf.sprintf "&%d.%d" b o
+  | CNull -> "null"
+  | CUndef -> "undef"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "scalars: ";
+  Buffer.add_string buf (String.concat ", " (List.map cell_to_string t.obs_scalars));
+  List.iteri
+    (fun i cells ->
+      Buffer.add_string buf (Printf.sprintf "\nblock %d: " i);
+      Buffer.add_string buf (String.concat ", " (Array.to_list (Array.map cell_to_string cells))))
+    t.obs_blocks;
+  Buffer.contents buf
+
+let outputs_equal ?(eps = 1e-9) a b =
+  let line_equal x y =
+    x = y
+    ||
+    match (float_of_string_opt x, float_of_string_opt y) with
+    | Some fx, Some fy -> float_close eps fx fy
+    | _ -> false
+  in
+  List.length a = List.length b && List.for_all2 line_equal a b

@@ -1,0 +1,42 @@
+(** Canonical capture of the observable (live-out) program state.
+
+    DCA's live-out verification (paper §IV-B3) compares the state a loop
+    leaves behind under the original iteration order against the state left
+    by each permuted execution.  The comparison must be
+
+    - {e address-insensitive}: two heaps that are isomorphic as labelled
+      graphs must compare equal even when allocation produced different
+      block ids (permuted executions may allocate in different orders);
+    - {e transient-insensitive}: only state reachable from the live-out
+      roots participates — a dead worklist or the iterator's own chain of
+      cells is ignored, which is exactly the "liveness-based" part of the
+      paper's commutativity notion;
+    - {e rounding-tolerant}: permuting a floating-point reduction changes
+      the rounding of the result, so floats compare with a relative
+      tolerance rather than bit equality.
+
+    A capture walks the heap from the given roots in deterministic order,
+    renames blocks to canonical ids in first-visit order, and records every
+    reachable cell. *)
+
+type t
+
+val capture : Store.t -> scalars:Value.t list -> roots:Value.t list -> t
+(** [scalars] are the live-out scalar values in a fixed order (they also
+    act as traversal roots when they are pointers); [roots] are additional
+    pointer roots (global aggregates, live-out global pointers), also in a
+    fixed order. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Structural equality with relative float tolerance (default 1e-9). *)
+
+val size : t -> int
+(** Number of captured cells (diagnostics). *)
+
+val to_string : t -> string
+(** Canonical rendering, for reports and debugging. *)
+
+val outputs_equal : ?eps:float -> string list -> string list -> bool
+(** Tolerant comparison of program output streams: lines that both parse
+    as numbers compare with relative tolerance, others byte-wise.  Used by
+    the whole-program escalation of the verifier. *)

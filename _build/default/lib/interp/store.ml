@@ -1,0 +1,141 @@
+open Dca_ir
+open Value
+
+type t = {
+  mutable blocks : Value.t array array;  (** indexed by block id; [||] = never allocated *)
+  mutable next_block : int;
+  globals : Value.t array;
+  mutable out_rev : string list;
+  mutable rng : int64;
+  input : int array;
+  mutable input_pos : int;
+}
+
+type snapshot = {
+  s_blocks : Value.t array array;
+  s_next_block : int;
+  s_globals : Value.t array;
+  s_out_rev : string list;
+  s_rng : int64;
+  s_input_pos : int;
+}
+
+let initial_capacity = 1024
+
+let alloc_raw t cells =
+  let id = t.next_block in
+  t.next_block <- id + 1;
+  let cap = Array.length t.blocks in
+  if id >= cap then begin
+    let bigger = Array.make (max (2 * cap) (id + 1)) [||] in
+    Array.blit t.blocks 0 bigger 0 cap;
+    t.blocks <- bigger
+  end;
+  t.blocks.(id) <- cells;
+  id
+
+let alloc t kinds ~count =
+  let m = Array.length kinds in
+  let cells = Array.init (count * m) (fun i -> zero_of_kind kinds.(i mod m)) in
+  alloc_raw t cells
+
+let create (p : Ir.program) ~input =
+  let t =
+    {
+      blocks = Array.make initial_capacity [||];
+      next_block = 0;
+      globals = Array.make (Array.length p.Ir.p_globals) VUndef;
+      out_rev = [];
+      rng = 0x2545F4914F6CDD1DL;
+      input = Array.of_list input;
+      input_pos = 0;
+    }
+  in
+  Array.iteri
+    (fun slot g ->
+      if g.Ir.g_aggregate then begin
+        let cells = Array.map zero_of_kind g.Ir.g_kinds in
+        let id = alloc_raw t cells in
+        t.globals.(slot) <- VPtr (id, 0)
+      end
+      else
+        t.globals.(slot) <-
+          (match g.Ir.g_init with
+          | Some (Ir.Oint n) -> VInt n
+          | Some (Ir.Ofloat f) -> VFloat f
+          | Some Ir.Onull | None -> zero_of_kind g.Ir.g_kinds.(0)
+          | Some (Ir.Ovar _) -> invalid_arg "Store.create: variable global initializer"))
+    p.Ir.p_globals;
+  t
+
+let bounds_fail what block off =
+  failwith (Printf.sprintf "memory trap: %s at block %d offset %d" what block off)
+
+let load t ~block ~off =
+  if block < 0 || block >= t.next_block then bounds_fail "load from invalid block" block off;
+  let cells = t.blocks.(block) in
+  if off < 0 || off >= Array.length cells then bounds_fail "out-of-bounds load" block off;
+  cells.(off)
+
+let store t ~block ~off v =
+  if block < 0 || block >= t.next_block then bounds_fail "store to invalid block" block off;
+  let cells = t.blocks.(block) in
+  if off < 0 || off >= Array.length cells then bounds_fail "out-of-bounds store" block off;
+  cells.(off) <- v
+
+let block_size t id =
+  if id < 0 || id >= t.next_block then None else Some (Array.length t.blocks.(id))
+
+let read_global t slot = t.globals.(slot)
+let write_global t slot v = t.globals.(slot) <- v
+
+let print_value t v = t.out_rev <- Value.to_string v :: t.out_rev
+let print_string_ t s = t.out_rev <- s :: t.out_rev
+let outputs t = List.rev t.out_rev
+
+(* xorshift64* — deterministic, checkpointable in one int64. *)
+let drand t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  let mixed = Int64.mul x 0x2545F4914F6CDD1DL in
+  Int64.to_float (Int64.shift_right_logical mixed 11) /. 9007199254740992.0
+
+let dseed t seed = t.rng <- Int64.logor (Int64.of_int seed) 1L
+
+let read_input t =
+  if t.input_pos < Array.length t.input then begin
+    let v = t.input.(t.input_pos) in
+    t.input_pos <- t.input_pos + 1;
+    v
+  end
+  else 0
+
+let snapshot t =
+  {
+    s_blocks = Array.init t.next_block (fun i -> Array.copy t.blocks.(i));
+    s_next_block = t.next_block;
+    s_globals = Array.copy t.globals;
+    s_out_rev = t.out_rev;
+    s_rng = t.rng;
+    s_input_pos = t.input_pos;
+  }
+
+let restore t s =
+  if Array.length t.blocks < s.s_next_block then t.blocks <- Array.make (max initial_capacity s.s_next_block) [||];
+  for i = 0 to s.s_next_block - 1 do
+    t.blocks.(i) <- Array.copy s.s_blocks.(i)
+  done;
+  (* blocks allocated after the snapshot become dangling *)
+  for i = s.s_next_block to t.next_block - 1 do
+    if i < Array.length t.blocks then t.blocks.(i) <- [||]
+  done;
+  t.next_block <- s.s_next_block;
+  Array.blit s.s_globals 0 t.globals 0 (Array.length s.s_globals);
+  t.out_rev <- s.s_out_rev;
+  t.rng <- s.s_rng;
+  t.input_pos <- s.s_input_pos
+
+let heap_blocks t = t.next_block

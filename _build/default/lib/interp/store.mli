@@ -1,0 +1,45 @@
+(** The interpreter's mutable program state: the heap, the global table,
+    the output stream, the [drand] generator state and the [reads] input
+    cursor.  Everything is captured by {!snapshot} and brought back by
+    {!restore} — the primitive DCA's dynamic stage uses to re-execute a
+    loop from its entry state under different iteration schedules. *)
+
+type t
+
+type snapshot
+
+val create : Dca_ir.Ir.program -> input:int list -> t
+(** Fresh state with globals zero-initialized (or set to their constant
+    initializers) and aggregate globals backed by fresh heap blocks. *)
+
+val alloc : t -> Dca_ir.Layout.cellkind array -> count:int -> int
+(** Allocate a block of [count] repetitions of the kind pattern, zero
+    initialized; returns the block id. *)
+
+val load : t -> block:int -> off:int -> Value.t
+(** Raises [Failure] on a dangling block or out-of-bounds offset. *)
+
+val store : t -> block:int -> off:int -> Value.t -> unit
+
+val block_size : t -> int -> int option
+
+val read_global : t -> int -> Value.t
+val write_global : t -> int -> Value.t -> unit
+
+val print_value : t -> Value.t -> unit
+val print_string_ : t -> string -> unit
+val outputs : t -> string list
+(** Output lines, oldest first. *)
+
+val drand : t -> float
+(** Next value of the stateful generator (xorshift64*, in [0,1)). *)
+
+val dseed : t -> int -> unit
+val read_input : t -> int
+(** Next integer of the input stream; 0 when exhausted. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val heap_blocks : t -> int
+(** Number of live blocks (diagnostics). *)

@@ -1,0 +1,28 @@
+(** Runtime values of the interpreter.  Pointers address (block, offset)
+    pairs in the cell-addressed heap of {!Store}. *)
+
+type t =
+  | VInt of int
+  | VFloat of float
+  | VPtr of int * int  (** heap block id, cell offset *)
+  | VNull
+  | VUndef  (** uninitialized frame slot; any use traps *)
+
+let to_string = function
+  | VInt n -> string_of_int n
+  | VFloat f -> Printf.sprintf "%.12g" f
+  | VPtr (b, o) -> Printf.sprintf "<%d:%d>" b o
+  | VNull -> "null"
+  | VUndef -> "<undef>"
+
+let zero_of_kind = function
+  | Dca_ir.Layout.KInt -> VInt 0
+  | Dca_ir.Layout.KFloat -> VFloat 0.0
+  | Dca_ir.Layout.KPtr -> VNull
+
+let truthy = function
+  | VInt n -> n <> 0
+  | VPtr _ -> true
+  | VNull -> false
+  | VFloat f -> f <> 0.0
+  | VUndef -> invalid_arg "Value.truthy: undefined value"

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Ast Dca_frontend Layout List Loc Printf

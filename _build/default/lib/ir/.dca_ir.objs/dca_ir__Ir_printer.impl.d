@@ -1,0 +1,1 @@
+lib/ir/ir_printer.ml: Array Ast Buffer Dca_frontend Ir List Printf String

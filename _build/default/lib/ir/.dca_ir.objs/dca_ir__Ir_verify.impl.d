@@ -1,0 +1,1 @@
+lib/ir/ir_verify.ml: Array Hashtbl Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/ir_verify.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Ast Dca_frontend Hashtbl List Printf

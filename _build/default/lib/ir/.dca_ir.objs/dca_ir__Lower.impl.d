@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Dca_frontend Hashtbl Ir Layout List Loc Option Parser Printf Tast Typecheck

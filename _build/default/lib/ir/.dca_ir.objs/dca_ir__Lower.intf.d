@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Dca_frontend Ir Tast

@@ -1,0 +1,184 @@
+open Dca_frontend
+(** The intermediate representation.
+
+    A function is a CFG of basic blocks over a three-address instruction
+    set.  Memory is cell-addressed: every scalar (int, float, pointer)
+    occupies one cell; struct and array layouts are computed by {!Layout}.
+    Frame variables (locals, parameters, temporaries) live in register-like
+    slots; global scalars live in a global table accessed with
+    [Gload]/[Gstore]; aggregates live in heap blocks reached through
+    pointers.  This mirrors the LLVM-level view the paper's analyses
+    operate on: explicit loads/stores, explicit address arithmetic ([Gep]),
+    and branch-terminated blocks. *)
+
+type ty = Ast.ty
+
+type var = {
+  vid : int;  (** program-unique id *)
+  vname : string;
+  vty : ty;
+  vglobal : bool;
+  vslot : int;  (** global-table slot if [vglobal], else frame slot *)
+  vtemp : bool;  (** compiler-introduced temporary *)
+}
+
+type operand = Ovar of var | Oint of int | Ofloat of float | Onull
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod  (** integer arithmetic *)
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv  (** float arithmetic *)
+  | Cmp of rel  (** polymorphic comparison; operands share a type *)
+  | Andl
+  | Orl  (** logical on canonical 0/1 ints (non-short-circuit) *)
+
+and rel = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type unop = Neg | Fneg | Not | Itof | Ftoi
+
+type instr = { iid : int;  (** program-unique instruction id *) idesc : idesc; iloc : Loc.t }
+
+and idesc =
+  | Bin of var * binop * operand * operand
+  | Un of var * unop * operand
+  | Mov of var * operand
+  | Load of var * operand  (** dst <- *ptr *)
+  | Store of operand * operand  (** *ptr <- src *)
+  | Gep of var * operand * operand * int  (** dst = base + index * scale (cells) *)
+  | Gload of var * var  (** dst <- global scalar *)
+  | Gstore of var * operand  (** global scalar <- src *)
+  | Gaddr of var * var  (** dst <- pointer to global aggregate's block *)
+  | Alloc of var * ty * operand  (** dst = fresh block holding [count] elements of [ty] *)
+  | Call of var option * string * operand list
+  | Print of operand
+  | Prints of string
+
+type term =
+  | Br of int
+  | Cbr of operand * int * int  (** non-zero → first target *)
+  | Ret of operand option
+
+type block = { bid : int; mutable instrs : instr list; mutable bterm : term; bloc : Loc.t }
+
+type func = {
+  fname : string;
+  fparams : var list;
+  fret : ty;
+  fblocks : block array;  (** indexed by block id *)
+  fentry : int;
+  fnslots : int;  (** frame size in slots *)
+  flocal_aggs : var list;  (** local aggregates (their slots hold block pointers) *)
+  floc : Loc.t;
+}
+
+type gdef = {
+  g_var : var;
+  g_aggregate : bool;
+  g_size : int;  (** cells of the backing block (aggregates) or 1 *)
+  g_kinds : Layout.cellkind array;  (** cell kinds, length [g_size] *)
+  g_init : operand option;  (** constant initializer for scalars *)
+}
+
+type program = {
+  p_structs : Ast.struct_def list;
+  p_layout : Layout.t;
+  p_globals : gdef array;  (** indexed by global slot *)
+  p_funcs : func list;
+}
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.p_funcs
+
+let find_func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.find_func_exn: no function '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Def/use accessors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let operand_var = function Ovar v -> Some v | Oint _ | Ofloat _ | Onull -> None
+
+(** Frame variable defined by an instruction, if any. *)
+let def_of = function
+  | Bin (d, _, _, _)
+  | Un (d, _, _)
+  | Mov (d, _)
+  | Load (d, _)
+  | Gep (d, _, _, _)
+  | Gload (d, _)
+  | Gaddr (d, _)
+  | Alloc (d, _, _) ->
+      Some d
+  | Call (d, _, _) -> d
+  | Store _ | Gstore _ | Print _ | Prints _ -> None
+
+(** Frame variables read by an instruction (global scalars excluded: they
+    are memory, tracked separately). *)
+let uses_of idesc =
+  let of_ops ops = List.filter_map operand_var ops in
+  match idesc with
+  | Bin (_, _, a, b) -> of_ops [ a; b ]
+  | Un (_, _, a) | Mov (_, a) | Load (_, a) | Alloc (_, _, a) | Print a -> of_ops [ a ]
+  | Store (p, v) -> of_ops [ p; v ]
+  | Gep (_, base, idx, _) -> of_ops [ base; idx ]
+  | Gload (_, _) -> []
+  | Gstore (_, src) -> of_ops [ src ]
+  | Gaddr (_, _) -> []
+  | Call (_, _, args) -> of_ops args
+  | Prints _ -> []
+
+(** Global scalar read / written by an instruction, if any. *)
+let gload_of = function Gload (_, g) -> Some g | _ -> None
+let gstore_of = function Gstore (g, _) -> Some g | _ -> None
+
+let term_uses = function
+  | Br _ -> []
+  | Cbr (c, _, _) -> ( match operand_var c with Some v -> [ v ] | None -> [])
+  | Ret (Some op) -> ( match operand_var op with Some v -> [ v ] | None -> [])
+  | Ret None -> []
+
+let term_succs = function Br t -> [ t ] | Cbr (_, a, b) -> if a = b then [ a ] else [ a; b ] | Ret _ -> []
+
+(** Does the instruction touch memory (heap cells or global scalars)? *)
+let touches_memory = function
+  | Load _ | Store _ | Gload _ | Gstore _ | Alloc _ -> true
+  | Call _ -> true (* conservatively; refined by the purity analysis *)
+  | Bin _ | Un _ | Mov _ | Gep _ | Gaddr _ | Print _ | Prints _ -> false
+
+let is_io = function Print _ | Prints _ -> true | Call (_, ("reads" | "print" | "printi"), _) -> true | _ -> false
+
+let rel_to_string = function
+  | Req -> "=="
+  | Rne -> "!="
+  | Rlt -> "<"
+  | Rle -> "<="
+  | Rgt -> ">"
+  | Rge -> ">="
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Cmp r -> "cmp" ^ rel_to_string r
+  | Andl -> "and"
+  | Orl -> "or"
+
+let unop_to_string = function
+  | Neg -> "neg"
+  | Fneg -> "fneg"
+  | Not -> "not"
+  | Itof -> "itof"
+  | Ftoi -> "ftoi"

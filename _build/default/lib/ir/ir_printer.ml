@@ -1,0 +1,71 @@
+open Dca_frontend
+(** Textual dump of the IR, used in golden tests and debug reports. *)
+
+open Ir
+
+let var_to_string v = if v.vglobal then "@" ^ v.vname else v.vname
+
+let operand_to_string = function
+  | Ovar v -> var_to_string v
+  | Oint n -> string_of_int n
+  | Ofloat f -> Printf.sprintf "%.6g" f
+  | Onull -> "null"
+
+let instr_to_string i =
+  let op = operand_to_string in
+  match i.idesc with
+  | Bin (d, b, x, y) ->
+      Printf.sprintf "%s = %s %s, %s" (var_to_string d) (binop_to_string b) (op x) (op y)
+  | Un (d, u, x) -> Printf.sprintf "%s = %s %s" (var_to_string d) (unop_to_string u) (op x)
+  | Mov (d, x) -> Printf.sprintf "%s = %s" (var_to_string d) (op x)
+  | Load (d, p) -> Printf.sprintf "%s = load %s" (var_to_string d) (op p)
+  | Store (p, v) -> Printf.sprintf "store %s, %s" (op p) (op v)
+  | Gep (d, base, idx, scale) ->
+      Printf.sprintf "%s = gep %s, %s x%d" (var_to_string d) (op base) (op idx) scale
+  | Gload (d, g) -> Printf.sprintf "%s = gload %s" (var_to_string d) (var_to_string g)
+  | Gstore (g, v) -> Printf.sprintf "gstore %s, %s" (var_to_string g) (op v)
+  | Gaddr (d, g) -> Printf.sprintf "%s = gaddr %s" (var_to_string d) (var_to_string g)
+  | Alloc (d, ty, count) ->
+      Printf.sprintf "%s = alloc %s x %s" (var_to_string d) (Ast.ty_to_string ty) (op count)
+  | Call (Some d, name, args) ->
+      Printf.sprintf "%s = call %s(%s)" (var_to_string d) name
+        (String.concat ", " (List.map op args))
+  | Call (None, name, args) ->
+      Printf.sprintf "call %s(%s)" name (String.concat ", " (List.map op args))
+  | Print x -> Printf.sprintf "print %s" (op x)
+  | Prints s -> Printf.sprintf "prints %S" s
+
+let term_to_string = function
+  | Br t -> Printf.sprintf "br b%d" t
+  | Cbr (c, a, b) -> Printf.sprintf "cbr %s, b%d, b%d" (operand_to_string c) a b
+  | Ret None -> "ret"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (operand_to_string v)
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s) : %s {\n" f.fname
+       (String.concat ", " (List.map (fun v -> v.vname ^ " : " ^ Ast.ty_to_string v.vty) f.fparams))
+       (Ast.ty_to_string f.fret));
+  Array.iter
+    (fun blk ->
+      Buffer.add_string buf (Printf.sprintf "b%d:\n" blk.bid);
+      List.iter (fun i -> Buffer.add_string buf ("  " ^ instr_to_string i ^ "\n")) blk.instrs;
+      Buffer.add_string buf ("  " ^ term_to_string blk.bterm ^ "\n"))
+    f.fblocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let program_to_string p =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s : %s (%d cells)%s\n" g.g_var.vname
+           (Ast.ty_to_string g.g_var.vty) g.g_size
+           (match g.g_init with
+           | Some op -> " = " ^ operand_to_string op
+           | None -> "")))
+    p.p_globals;
+  List.iter (fun f -> Buffer.add_string buf ("\n" ^ func_to_string f)) p.p_funcs;
+  Buffer.contents buf

@@ -1,0 +1,79 @@
+open Ir
+
+let verify_func (p : program) (f : func) : string list =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun msg -> problems := (f.fname ^ ": " ^ msg) :: !problems) fmt in
+  let nblocks = Array.length f.fblocks in
+  let nglobals = Array.length p.p_globals in
+  let defined = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace defined v.vid ()) f.fparams;
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun i ->
+          match def_of i.idesc with
+          | Some v -> Hashtbl.replace defined v.vid ()
+          | None -> ())
+        blk.instrs)
+    f.fblocks;
+  let check_var ctx v =
+    if v.vglobal then begin
+      if v.vslot < 0 || v.vslot >= nglobals then
+        complain "%s: global %s has slot %d outside the global table" ctx v.vname v.vslot
+    end
+    else begin
+      if v.vslot < 0 || v.vslot >= f.fnslots then
+        complain "%s: variable %s has slot %d outside the frame (%d slots)" ctx v.vname v.vslot
+          f.fnslots;
+      if not (Hashtbl.mem defined v.vid) then
+        complain "%s: variable %s is used but never defined" ctx v.vname
+    end
+  in
+  let check_operand ctx = function Ovar v -> check_var ctx v | Oint _ | Ofloat _ | Onull -> () in
+  let check_target ctx t =
+    if t < 0 || t >= nblocks then complain "%s: branch target b%d out of range" ctx t
+  in
+  Array.iteri
+    (fun bi blk ->
+      if blk.bid <> bi then complain "block at index %d has id %d" bi blk.bid;
+      List.iter
+        (fun i ->
+          let ctx = Printf.sprintf "b%d/i%d" bi i.iid in
+          List.iter (check_var ctx) (uses_of i.idesc);
+          (match def_of i.idesc with Some v -> check_var ctx v | None -> ());
+          match i.idesc with
+          | Gload (_, g) | Gstore (g, _) | Gaddr (_, g) ->
+              if not g.vglobal then complain "%s: global access through non-global %s" ctx g.vname
+              else check_var ctx g
+          | Call (_, ("print" | "prints"), _) ->
+              complain "%s: I/O must be lowered to Print/Prints instructions" ctx
+          | _ -> ())
+        blk.instrs;
+      let ctx = Printf.sprintf "b%d/term" bi in
+      match blk.bterm with
+      | Br t -> check_target ctx t
+      | Cbr (c, a, b) ->
+          check_operand ctx c;
+          check_target ctx a;
+          check_target ctx b
+      | Ret op -> Option.iter (check_operand ctx) op)
+    f.fblocks;
+  List.rev !problems
+
+let verify_program (p : program) : (unit, string list) result =
+  let seen_iids = Hashtbl.create 256 in
+  let dup_problems = ref [] in
+  List.iter
+    (fun f ->
+      Array.iter
+        (fun blk ->
+          List.iter
+            (fun i ->
+              if Hashtbl.mem seen_iids i.iid then
+                dup_problems := Printf.sprintf "%s: duplicate instruction id %d" f.fname i.iid :: !dup_problems
+              else Hashtbl.replace seen_iids i.iid ())
+            blk.instrs)
+        f.fblocks)
+    p.p_funcs;
+  let problems = List.concat_map (verify_func p) p.p_funcs @ List.rev !dup_problems in
+  if problems = [] then Ok () else Error problems

@@ -1,0 +1,18 @@
+(** Structural well-formedness checks over lowered programs, run by the
+    test suite on every benchmark and usable as a debugging aid after IR
+    surgery:
+
+    - branch targets are valid block ids of the function;
+    - frame-variable slots are within the frame; global slots within the
+      global table;
+    - instruction ids are globally unique;
+    - every used frame variable has a definition in the function (as a
+      parameter, or by some instruction — a flow-insensitive check);
+    - blocks reachable from the entry are terminator-consistent (a [Cbr]
+      condition is an int-typed operand, calls to [print]/[prints] never
+      appear as [Call] instructions). *)
+
+val verify_program : Ir.program -> (unit, string list) result
+(** [Ok ()] or the list of violation messages. *)
+
+val verify_func : Ir.program -> Ir.func -> string list

@@ -1,0 +1,479 @@
+open Dca_frontend
+open Tast
+open Ir
+
+type builder = {
+  layout : Layout.t;
+  varmap : (int, Ir.var) Hashtbl.t;  (** Tast uid → IR var *)
+  mutable blocks : Ir.block list;  (** finished blocks, reversed *)
+  mutable cur_id : int;  (** id of the block under construction *)
+  mutable cur_instrs : Ir.instr list;  (** reversed *)
+  mutable cur_loc : Loc.t;
+  mutable next_block : int;
+  mutable next_slot : int;
+  mutable next_temp : int;
+  mutable local_aggs : Ir.var list;
+  mutable loop_stack : (int * int) list;  (** (continue target, break target) *)
+  next_vid : unit -> int;
+  next_iid : unit -> int;
+}
+
+let fresh_temp b ty =
+  let slot = b.next_slot in
+  b.next_slot <- slot + 1;
+  let id = b.next_temp in
+  b.next_temp <- id + 1;
+  {
+    vid = b.next_vid ();
+    vname = Printf.sprintf "%%t%d" id;
+    vty = ty;
+    vglobal = false;
+    vslot = slot;
+    vtemp = true;
+  }
+
+let emit b loc idesc = b.cur_instrs <- { iid = b.next_iid (); idesc; iloc = loc } :: b.cur_instrs
+
+let new_block_id b =
+  let id = b.next_block in
+  b.next_block <- id + 1;
+  id
+
+(* Finish the current block with [term] and continue building into [next]. *)
+let finish_block b term =
+  let blk = { bid = b.cur_id; instrs = List.rev b.cur_instrs; bterm = term; bloc = b.cur_loc } in
+  b.blocks <- blk :: b.blocks
+
+let start_block b id loc =
+  b.cur_id <- id;
+  b.cur_instrs <- [];
+  b.cur_loc <- loc
+
+let ty_is_float = function Ast.Tfloat -> true | _ -> false
+
+let arith_op ty (op : Ast.binop) =
+  match (op, ty_is_float ty) with
+  | Ast.Add, false -> Add
+  | Ast.Sub, false -> Sub
+  | Ast.Mul, false -> Mul
+  | Ast.Div, false -> Div
+  | Ast.Add, true -> Fadd
+  | Ast.Sub, true -> Fsub
+  | Ast.Mul, true -> Fmul
+  | Ast.Div, true -> Fdiv
+  | Ast.Mod, _ -> Mod
+  | _ -> invalid_arg "Lower.arith_op: not an arithmetic operator"
+
+let rel_of = function
+  | Ast.Eq -> Req
+  | Ast.Ne -> Rne
+  | Ast.Lt -> Rlt
+  | Ast.Le -> Rle
+  | Ast.Gt -> Rgt
+  | Ast.Ge -> Rge
+  | _ -> invalid_arg "Lower.rel_of: not a comparison"
+
+(* The result type of indexing a value of type [ty] once. *)
+let indexed_ty ty =
+  match ty with
+  | Ast.Tarray (elem, [ _ ]) -> elem
+  | Ast.Tarray (elem, _ :: rest) -> Ast.Tarray (elem, rest)
+  | Ast.Tptr elem -> elem
+  | _ -> invalid_arg "Lower.indexed_ty"
+
+let is_aggregate = function Ast.Tarray _ | Ast.Tstruct _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower an expression to an operand holding its value.  Aggregate-typed
+   expressions evaluate to a pointer to their first cell. *)
+let rec lower_expr b (e : texpr) : operand =
+  let loc = e.tloc in
+  match e.tdesc with
+  | Tint_lit n -> Oint n
+  | Tfloat_lit f -> Ofloat f
+  | Tnull -> Onull
+  | Tvar v -> lower_var_read b loc v
+  | Tunop (Ast.Neg, sub) ->
+      let op = if ty_is_float sub.tty then Fneg else Neg in
+      lower_unop b loc op sub e.tty
+  | Tunop (Ast.Not, sub) -> begin
+      match sub.tty with
+      | Ast.Tptr _ ->
+          (* [!p] on pointers is a null test. *)
+          let src = lower_expr b sub in
+          let dst = fresh_temp b Ast.Tint in
+          emit b loc (Bin (dst, Cmp Req, src, Onull));
+          Ovar dst
+      | _ -> lower_unop b loc Not sub e.tty
+    end
+  | Titof sub -> lower_unop b loc Itof sub e.tty
+  | Tftoi sub -> lower_unop b loc Ftoi sub e.tty
+  | Tbinop ((Ast.And | Ast.Or) as op, l, r) -> lower_short_circuit b loc op l r
+  | Tbinop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, l, r) ->
+      let lo = lower_expr b l and ro = lower_expr b r in
+      let dst = fresh_temp b Ast.Tint in
+      emit b loc (Bin (dst, Cmp (rel_of op), lo, ro));
+      Ovar dst
+  | Tbinop (op, l, r) ->
+      let lo = lower_expr b l and ro = lower_expr b r in
+      let dst = fresh_temp b e.tty in
+      emit b loc (Bin (dst, arith_op l.tty op, lo, ro));
+      Ovar dst
+  | Tindex _ | Tfield _ | Tarrow _ ->
+      let addr, ty = lower_address b e in
+      if is_aggregate ty then addr
+      else begin
+        let dst = fresh_temp b ty in
+        emit b loc (Load (dst, addr));
+        Ovar dst
+      end
+  | Tcall (name, args) ->
+      let ops = List.map (lower_expr b) args in
+      let dst = if e.tty = Ast.Tvoid then None else Some (fresh_temp b e.tty) in
+      lower_call b loc dst name ops;
+      (match dst with Some v -> Ovar v | None -> Oint 0)
+  | Tnew_struct sname ->
+      let dst = fresh_temp b e.tty in
+      emit b loc (Alloc (dst, Ast.Tstruct sname, Oint 1));
+      Ovar dst
+  | Tnew_array (elem, count) ->
+      let c = lower_expr b count in
+      let dst = fresh_temp b e.tty in
+      emit b loc (Alloc (dst, elem, c));
+      Ovar dst
+
+and lower_unop b loc op sub ty =
+  let src = lower_expr b sub in
+  let dst = fresh_temp b ty in
+  emit b loc (Un (dst, op, src));
+  Ovar dst
+
+(* print/printi have dedicated IR instructions so that the I/O analysis can
+   recognize them structurally. *)
+and lower_call b loc dst name ops =
+  match (name, ops) with
+  | "print", [ op ] | "printi", [ op ] -> emit b loc (Print op)
+  | _ -> emit b loc (Call (dst, name, ops))
+
+and lower_var_read b loc v =
+  let iv = Hashtbl.find b.varmap v.v_uid in
+  if iv.vglobal then
+    if is_aggregate iv.vty then begin
+      let dst = fresh_temp b (Ast.Tptr iv.vty) in
+      emit b loc (Gaddr (dst, iv));
+      Ovar dst
+    end
+    else begin
+      let dst = fresh_temp b iv.vty in
+      emit b loc (Gload (dst, iv));
+      Ovar dst
+    end
+  else Ovar iv (* local aggregates: the slot already holds the block pointer *)
+
+and lower_short_circuit b loc op l r =
+  let result = fresh_temp b Ast.Tint in
+  let rhs_block = new_block_id b in
+  let short_block = new_block_id b in
+  let join = new_block_id b in
+  let lo = lower_expr b l in
+  (match op with
+  | Ast.And -> finish_block b (Cbr (lo, rhs_block, short_block))
+  | Ast.Or -> finish_block b (Cbr (lo, short_block, rhs_block))
+  | _ -> assert false);
+  start_block b rhs_block loc;
+  let ro = lower_expr b r in
+  (* normalize to 0/1 *)
+  emit b loc (Bin (result, Cmp Rne, ro, Oint 0));
+  finish_block b (Br join);
+  start_block b short_block loc;
+  emit b loc (Mov (result, Oint (match op with Ast.And -> 0 | _ -> 1)));
+  finish_block b (Br join);
+  start_block b join loc;
+  Ovar result
+
+(* Lower an lvalue-ish expression to the address of its storage.  Returns
+   the address operand and the type of the addressed object.  Also used for
+   aggregate-valued expressions (which evaluate to addresses). *)
+and lower_address b (e : texpr) : operand * Ast.ty =
+  let loc = e.tloc in
+  match e.tdesc with
+  | Tvar v ->
+      let iv = Hashtbl.find b.varmap v.v_uid in
+      if not (is_aggregate iv.vty) then
+        invalid_arg ("Lower.lower_address: scalar variable " ^ iv.vname);
+      if iv.vglobal then begin
+        let dst = fresh_temp b (Ast.Tptr iv.vty) in
+        emit b loc (Gaddr (dst, iv));
+        (Ovar dst, iv.vty)
+      end
+      else (Ovar iv, iv.vty)
+  | Tindex (base, idx) ->
+      let base_addr, base_ty =
+        match base.tty with
+        | Ast.Tptr elem ->
+            (* base is a pointer value *)
+            (lower_expr b base, Ast.Tptr elem)
+        | Ast.Tarray _ -> lower_address b base
+        | _ -> invalid_arg "Lower.lower_address: bad index base"
+      in
+      let elem_ty = indexed_ty base_ty in
+      let scale = Layout.size b.layout elem_ty in
+      let idx_op = lower_expr b idx in
+      let dst = fresh_temp b (Ast.Tptr elem_ty) in
+      emit b loc (Gep (dst, base_addr, idx_op, scale));
+      (Ovar dst, elem_ty)
+  | Tfield (base, _, fidx) -> begin
+      let base_addr, base_ty = lower_address b base in
+      match base_ty with
+      | Ast.Tstruct sname ->
+          let off = Layout.field_offset b.layout sname fidx in
+          let fty = Layout.field_type b.layout sname fidx in
+          let dst = fresh_temp b (Ast.Tptr fty) in
+          emit b loc (Gep (dst, base_addr, Oint off, 1));
+          (Ovar dst, fty)
+      | _ -> invalid_arg "Lower.lower_address: field of non-struct"
+    end
+  | Tarrow (base, _, fidx) -> begin
+      let ptr = lower_expr b base in
+      match base.tty with
+      | Ast.Tptr (Ast.Tstruct sname) ->
+          let off = Layout.field_offset b.layout sname fidx in
+          let fty = Layout.field_type b.layout sname fidx in
+          let dst = fresh_temp b (Ast.Tptr fty) in
+          emit b loc (Gep (dst, ptr, Oint off, 1));
+          (Ovar dst, fty)
+      | _ -> invalid_arg "Lower.lower_address: arrow on non-struct-pointer"
+    end
+  | _ -> invalid_arg "Lower.lower_address: not an lvalue"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let declare_local b (v : Tast.var) =
+  let slot = b.next_slot in
+  b.next_slot <- slot + 1;
+  let iv =
+    { vid = b.next_vid (); vname = v.v_name; vty = v.v_ty; vglobal = false; vslot = slot; vtemp = false }
+  in
+  Hashtbl.replace b.varmap v.v_uid iv;
+  iv
+
+let rec lower_stmt b (s : tstmt) : unit =
+  let loc = s.tsloc in
+  match s.tsdesc with
+  | TSdecl (v, init) ->
+      let iv = declare_local b v in
+      if is_aggregate iv.vty then begin
+        b.local_aggs <- iv :: b.local_aggs;
+        let elem, count =
+          match iv.vty with
+          | Ast.Tarray (elem, dims) -> (elem, List.fold_left ( * ) 1 dims)
+          | ty -> (ty, 1)
+        in
+        emit b loc (Alloc (iv, elem, Oint count))
+      end
+      else begin
+        match init with
+        | Some e ->
+            let op = lower_expr b e in
+            emit b loc (Mov (iv, op))
+        | None -> ()
+      end
+  | TSassign (lhs, rhs) -> begin
+      match lhs.tdesc with
+      | Tvar v ->
+          let iv = Hashtbl.find b.varmap v.v_uid in
+          let op = lower_expr b rhs in
+          if iv.vglobal then emit b loc (Gstore (iv, op)) else emit b loc (Mov (iv, op))
+      | _ ->
+          let addr, _ = lower_address b lhs in
+          let op = lower_expr b rhs in
+          emit b loc (Store (addr, op))
+    end
+  | TSif (cond, then_b, else_b) -> begin
+      let c = lower_expr b cond in
+      let then_id = new_block_id b in
+      let join = new_block_id b in
+      let else_id = if else_b = [] then join else new_block_id b in
+      finish_block b (Cbr (c, then_id, else_id));
+      start_block b then_id loc;
+      List.iter (lower_stmt b) then_b;
+      finish_block b (Br join);
+      if else_b <> [] then begin
+        start_block b else_id loc;
+        List.iter (lower_stmt b) else_b;
+        finish_block b (Br join)
+      end;
+      start_block b join loc
+    end
+  | TSwhile (cond, body) -> begin
+      let header = new_block_id b in
+      finish_block b (Br header);
+      start_block b header loc;
+      let c = lower_expr b cond in
+      let body_id = new_block_id b in
+      let exit_id = new_block_id b in
+      finish_block b (Cbr (c, body_id, exit_id));
+      start_block b body_id loc;
+      b.loop_stack <- (header, exit_id) :: b.loop_stack;
+      List.iter (lower_stmt b) body;
+      b.loop_stack <- List.tl b.loop_stack;
+      finish_block b (Br header);
+      start_block b exit_id loc
+    end
+  | TSfor (init, cond, step, body) -> begin
+      Option.iter (lower_stmt b) init;
+      let header = new_block_id b in
+      finish_block b (Br header);
+      start_block b header loc;
+      let body_id = new_block_id b in
+      let exit_id = new_block_id b in
+      (match cond with
+      | Some c ->
+          let co = lower_expr b c in
+          finish_block b (Cbr (co, body_id, exit_id))
+      | None -> finish_block b (Br body_id));
+      let step_id = new_block_id b in
+      start_block b body_id loc;
+      b.loop_stack <- (step_id, exit_id) :: b.loop_stack;
+      List.iter (lower_stmt b) body;
+      b.loop_stack <- List.tl b.loop_stack;
+      finish_block b (Br step_id);
+      start_block b step_id loc;
+      Option.iter (lower_stmt b) step;
+      finish_block b (Br header);
+      start_block b exit_id loc
+    end
+  | TSreturn eopt ->
+      let op = Option.map (lower_expr b) eopt in
+      finish_block b (Ret op);
+      (* dead continuation block for any trailing statements *)
+      start_block b (new_block_id b) loc
+  | TSexpr e -> ignore (lower_expr b e)
+  | TSprints text -> emit b loc (Prints text)
+  | TSbreak -> begin
+      match b.loop_stack with
+      | (_, break_target) :: _ ->
+          finish_block b (Br break_target);
+          start_block b (new_block_id b) loc
+      | [] -> invalid_arg "Lower: break outside loop (typechecker bug)"
+    end
+  | TScontinue -> begin
+      match b.loop_stack with
+      | (continue_target, _) :: _ ->
+          finish_block b (Br continue_target);
+          start_block b (new_block_id b) loc
+      | [] -> invalid_arg "Lower: continue outside loop (typechecker bug)"
+    end
+  | TSblock body -> List.iter (lower_stmt b) body
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func layout varmap next_vid next_iid (f : tfunc) : Ir.func =
+  let b =
+    {
+      layout;
+      varmap;
+      blocks = [];
+      cur_id = 0;
+      cur_instrs = [];
+      cur_loc = f.tf_loc;
+      next_block = 1;
+      next_slot = 0;
+      next_temp = 0;
+      local_aggs = [];
+      loop_stack = [];
+      next_vid;
+      next_iid;
+    }
+  in
+  let params = List.map (declare_local b) f.tf_params in
+  List.iter (lower_stmt b) f.tf_body;
+  finish_block b (Ret None);
+  let blocks = List.rev b.blocks in
+  let nblocks = b.next_block in
+  let arr =
+    Array.init nblocks (fun i ->
+        { bid = i; instrs = []; bterm = Ret None; bloc = f.tf_loc })
+  in
+  List.iter (fun blk -> arr.(blk.bid) <- blk) blocks;
+  {
+    fname = f.tf_name;
+    fparams = params;
+    fret = f.tf_ret;
+    fblocks = arr;
+    fentry = 0;
+    fnslots = b.next_slot;
+    flocal_aggs = List.rev b.local_aggs;
+    floc = f.tf_loc;
+  }
+
+let lower_program (p : tprogram) : Ir.program =
+  let layout = Layout.create p.tp_structs in
+  let varmap = Hashtbl.create 64 in
+  let vid = ref 0 and iid = ref 0 in
+  let next_vid () =
+    let v = !vid in
+    incr vid;
+    v
+  in
+  let next_iid () =
+    let i = !iid in
+    incr iid;
+    i
+  in
+  let globals =
+    List.mapi
+      (fun slot ((v : Tast.var), init) ->
+        let iv =
+          {
+            vid = next_vid ();
+            vname = v.v_name;
+            vty = v.v_ty;
+            vglobal = true;
+            vslot = slot;
+            vtemp = false;
+          }
+        in
+        Hashtbl.replace varmap v.v_uid iv;
+        let aggregate = is_aggregate v.v_ty in
+        let size = if aggregate then Layout.size layout v.v_ty else 1 in
+        let kinds = Layout.cell_kinds layout v.v_ty in
+        let g_init =
+          match init with
+          | None -> None
+          | Some e ->
+              let rec const (t : texpr) =
+                match t.tdesc with
+                | Tint_lit n -> Oint n
+                | Tfloat_lit f -> Ofloat f
+                | Tnull -> Onull
+                | Tunop (Ast.Neg, sub) -> begin
+                    match const sub with
+                    | Oint n -> Oint (-n)
+                    | Ofloat f -> Ofloat (-.f)
+                    | op -> op
+                  end
+                | Titof sub -> begin
+                    match const sub with Oint n -> Ofloat (float_of_int n) | op -> op
+                  end
+                | _ -> invalid_arg "Lower: non-constant global initializer (typechecker bug)"
+              in
+              Some (const e)
+        in
+        { g_var = iv; g_aggregate = aggregate; g_size = size; g_kinds = kinds; g_init })
+      p.tp_globals
+  in
+  let funcs = List.map (lower_func layout varmap next_vid next_iid) p.tp_funcs in
+  { p_structs = p.tp_structs; p_layout = layout; p_globals = Array.of_list globals; p_funcs = funcs }
+
+let compile ~file src =
+  let ast = Parser.parse_program ~file src in
+  let tast = Typecheck.check_program ast in
+  lower_program tast

@@ -1,0 +1,14 @@
+open Dca_frontend
+(** Lowering from the typed AST to the IR.
+
+    Control flow is flattened into branch-terminated basic blocks;
+    short-circuit [&&]/[||] become diamonds; [for] loops become
+    init → header → body → step → header; [break]/[continue] branch to the
+    innermost exit/step block.  Address arithmetic for array indexing,
+    struct fields and pointer dereferences is made explicit with [Gep]
+    instructions, scaled in cells according to {!Layout}. *)
+
+val lower_program : Tast.tprogram -> Ir.program
+
+val compile : file:string -> string -> Ir.program
+(** Convenience: parse, type-check and lower a MiniC source buffer. *)

@@ -1,0 +1,1 @@
+lib/parallel/codegen.ml: Array Buffer Dca_analysis Dca_frontend Hashtbl List Loops Plan Printf Proginfo Scalars String

@@ -1,0 +1,1 @@
+lib/parallel/codegen.mli: Dca_analysis Plan

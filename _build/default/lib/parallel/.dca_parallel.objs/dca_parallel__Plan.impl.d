@@ -1,0 +1,1 @@
+lib/parallel/plan.ml: Dca_analysis List Printf Scalars String

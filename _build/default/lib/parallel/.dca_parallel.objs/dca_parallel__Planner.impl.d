@@ -1,0 +1,1 @@
+lib/parallel/planner.ml: Array Dca_analysis Dca_ir Dca_profiling Depprof List Liveness Machine Memred Plan Printf Proginfo Scalars

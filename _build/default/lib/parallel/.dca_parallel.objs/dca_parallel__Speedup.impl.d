@@ -1,0 +1,1 @@
+lib/parallel/speedup.ml: Dca_profiling Depprof Float Hashtbl List Machine Option Plan Planner

@@ -1,0 +1,1 @@
+lib/parallel/speedup.mli: Dca_analysis Dca_profiling Machine Plan

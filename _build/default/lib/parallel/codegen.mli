@@ -1,0 +1,14 @@
+(** Source-to-source output of a parallelization plan: the original MiniC
+    text with an OpenMP-style pragma comment inserted above every planned
+    loop — the reproduction's stand-in for the paper's OpenMP code
+    generation (§IV-C), usable as a diffable artifact for the user to
+    review (§IV-D). *)
+
+val annotate_source :
+  Dca_analysis.Proginfo.t -> source:string -> Plan.t -> string
+(** Insert one pragma line (matching the target line's indentation) above
+    the header line of each planned loop.  Loops whose source line cannot
+    be recovered are listed in a trailing comment instead of silently
+    dropped. *)
+
+val pragma_line : Plan.loop_plan -> string

@@ -1,0 +1,42 @@
+type t = {
+  m_workers : int;
+  m_spawn_cost : float;
+  m_barrier_cost : float;
+  m_chunk_cost : float;
+  m_reduction_cost : float;
+}
+
+let default =
+  { m_workers = 72; m_spawn_cost = 400.0; m_barrier_cost = 80.0; m_chunk_cost = 8.0; m_reduction_cost = 25.0 }
+
+let with_workers t w = { t with m_workers = w }
+
+let log2 x = log x /. log 2.0
+
+let launch_overhead t ~reductions =
+  let lg = log2 (float_of_int (max 2 t.m_workers)) in
+  t.m_spawn_cost +. (t.m_barrier_cost *. lg) +. (float_of_int reductions *. t.m_reduction_cost *. lg)
+
+let sequential_time costs = Array.fold_left (fun acc c -> acc +. float_of_int c) 0.0 costs
+
+(* Static chunking: W contiguous chunks of ⌈n/W⌉ iterations. *)
+let makespan t costs ~reductions =
+  let n = Array.length costs in
+  let overhead = launch_overhead t ~reductions in
+  if n = 0 then overhead
+  else begin
+    let w = max 1 t.m_workers in
+    let chunk = (n + w - 1) / w in
+    let worst = ref 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let stop = min n (!i + chunk) in
+      let sum = ref t.m_chunk_cost in
+      for k = !i to stop - 1 do
+        sum := !sum +. float_of_int costs.(k)
+      done;
+      if !sum > !worst then worst := !sum;
+      i := stop
+    done;
+    !worst +. overhead
+  end

@@ -1,0 +1,38 @@
+(** Simulated multicore machine model.
+
+    The paper evaluates on a 72-core Intel Xeon Gold 6154; this host has a
+    single core, so parallel executions are {e simulated}: the profiler
+    records per-iteration costs in abstract work units (executed IR
+    instructions), and this model computes the makespan of an OpenMP-style
+    statically-chunked parallel loop:
+
+    makespan = max over workers of (chunk work + per-chunk overhead)
+             + spawn + barrier + reduction merge
+
+    with barrier and merge costs growing logarithmically in the worker
+    count.  Constants are chosen so NPB-class loop costs land in the
+    paper's speedup range and are swept by the ablation bench
+    (DESIGN.md §5). *)
+
+type t = {
+  m_workers : int;
+  m_spawn_cost : float;  (** per parallel-loop launch *)
+  m_barrier_cost : float;  (** per join, multiplied by log2(workers) *)
+  m_chunk_cost : float;  (** per worker chunk (scheduling/cache warmup) *)
+  m_reduction_cost : float;  (** per reduction variable, multiplied by log2(workers) *)
+}
+
+val default : t
+(** 72 workers; spawn 400, barrier 80·log₂P, chunk 8, reduction 25·log₂P —
+    calibrated so the scaled-down workloads land in the paper's speedup
+    range (swept by the ablation bench). *)
+
+val with_workers : t -> int -> t
+
+val launch_overhead : t -> reductions:int -> float
+
+val makespan : t -> int array -> reductions:int -> float
+(** Simulated parallel time of one loop invocation with the given
+    per-iteration costs.  An empty invocation costs only the overheads. *)
+
+val sequential_time : int array -> float

@@ -1,0 +1,38 @@
+(** Parallelization plans: the information an OpenMP pragma would carry
+    (paper §IV-C).  Plans are data; the {!Simulator} executes them on the
+    machine model. *)
+
+open Dca_analysis
+
+type loop_plan = {
+  lp_loop_id : string;
+  lp_label : string;
+  lp_private : string list;  (** privatized scalars (by name, for reports) *)
+  lp_reductions : (string * Scalars.reduction_op) list;
+  lp_fused_group : int option;
+      (** loops sharing a group id are launched as one parallel section
+          (whole-program expert parallelization, Fig. 7) *)
+}
+
+type t = { plan_loops : loop_plan list }
+
+let empty = { plan_loops = [] }
+
+let loop_ids plan = List.map (fun lp -> lp.lp_loop_id) plan.plan_loops
+
+let pragma_of lp =
+  let priv = match lp.lp_private with [] -> "" | l -> " private(" ^ String.concat ", " l ^ ")" in
+  let reds =
+    match lp.lp_reductions with
+    | [] -> ""
+    | l ->
+        " "
+        ^ String.concat " "
+            (List.map
+               (fun (name, op) ->
+                 Printf.sprintf "reduction(%s:%s)" (Scalars.reduction_op_to_string op) name)
+               l)
+  in
+  Printf.sprintf "#pragma omp parallel for schedule(static)%s%s  // %s" priv reds lp.lp_label
+
+let to_string plan = String.concat "\n" (List.map pragma_of plan.plan_loops)

@@ -1,0 +1,1 @@
+lib/profiling/depprof.ml: Array Dca_analysis Dca_interp Eval Events Hashtbl List Loops Option Proginfo

@@ -1,0 +1,1 @@
+lib/profiling/depprof.mli: Dca_analysis Dca_interp Hashtbl

@@ -1,0 +1,1 @@
+lib/progs/benchmark.ml: Dca_analysis Dca_ir List Loops Printf Proginfo

@@ -1,0 +1,1 @@
+lib/progs/npb_ua.ml: Benchmark

@@ -1,0 +1,1 @@
+lib/progs/plds_list.ml: Benchmark

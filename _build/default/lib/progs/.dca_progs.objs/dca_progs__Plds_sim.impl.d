@@ -1,0 +1,1 @@
+lib/progs/plds_sim.ml: Benchmark

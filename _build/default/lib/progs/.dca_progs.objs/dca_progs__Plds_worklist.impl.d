@@ -1,0 +1,1 @@
+lib/progs/plds_worklist.ml: Benchmark

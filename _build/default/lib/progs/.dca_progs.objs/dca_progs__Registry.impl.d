@@ -1,0 +1,1 @@
+lib/progs/registry.ml: Benchmark List Npb_bt Npb_cg Npb_dc Npb_ep Npb_ft Npb_is Npb_lu Npb_mg Npb_sp Npb_ua Plds_list Plds_sim Plds_tree Plds_worklist Printf

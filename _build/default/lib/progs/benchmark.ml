@@ -1,0 +1,85 @@
+(** Benchmark description record shared by the NPB-style and PLDS-style
+    MiniC ports (DESIGN.md §2: each port preserves the loop-population
+    character of the original — the idioms that distinguish the detection
+    tools — at a workload size an interpreter handles).
+
+    Loop annotations (expert parallel selections for Figs. 6–7, expert
+    fusion groups, intentionally order-dependent loops for Table IV's
+    ground truth) reference loops structurally rather than by brittle
+    source line: by function, optionally filtered by nesting depth. *)
+
+open Dca_analysis
+
+(** Structural reference to a set of loops. *)
+type loop_ref =
+  | In_func of string  (** every loop of the function *)
+  | Outermost of string  (** depth-1 loops of the function *)
+  | At_depth of string * int  (** loops of the function at this depth *)
+  | Nth_in_func of string * int  (** n-th loop of the function, in program order (0-based) *)
+
+type suite = Npb | Plds
+
+type t = {
+  bm_name : string;
+  bm_suite : suite;
+  bm_description : string;
+  bm_source : string;  (** MiniC source *)
+  bm_input : int list;  (** [reads()] stream *)
+  bm_expert_loops : loop_ref list;  (** expert loop-level parallelization (Fig. 7 "Loop-only") *)
+  bm_expert_sections : loop_ref list list;  (** fused parallel sections (Fig. 7 "Expert Manual") *)
+  bm_expert_extra : float;  (** fraction of remaining serial time the full expert
+                                parallelization additionally covers (pipelining,
+                                work-sharing restructuring) *)
+  bm_expert_workers : int;  (** effective workers for that extra fraction *)
+  bm_known_sequential : loop_ref list;
+      (** ground truth: loops written to be genuinely order-dependent *)
+}
+
+let default ~name ~suite ~description ~source =
+  {
+    bm_name = name;
+    bm_suite = suite;
+    bm_description = description;
+    bm_source = source;
+    bm_input = [];
+    bm_expert_loops = [];
+    bm_expert_sections = [];
+    bm_expert_extra = 0.0;
+    bm_expert_workers = 8;
+    bm_known_sequential = [];
+  }
+
+let compile bm = Dca_ir.Lower.compile ~file:(bm.bm_name ^ ".mc") bm.bm_source
+
+(* ------------------------------------------------------------------ *)
+(* Loop reference resolution                                           *)
+(* ------------------------------------------------------------------ *)
+
+let matches_ref info r (loop : Loops.loop) =
+  ignore info;
+  match r with
+  | In_func f -> loop.Loops.l_func = f
+  | Outermost f -> loop.Loops.l_func = f && loop.Loops.l_depth = 1
+  | At_depth (f, d) -> loop.Loops.l_func = f && loop.Loops.l_depth = d
+  | Nth_in_func (f, n) -> (
+      loop.Loops.l_func = f
+      &&
+      let in_func =
+        List.filter (fun (_, l) -> l.Loops.l_func = f) (Proginfo.all_loops info)
+        |> List.map snd
+        |> List.sort (fun a b -> compare a.Loops.l_header b.Loops.l_header)
+      in
+      match List.nth_opt in_func n with
+      | Some l -> l.Loops.l_id = loop.Loops.l_id
+      | None -> false)
+
+let resolve info refs =
+  Proginfo.all_loops info
+  |> List.filter_map (fun (_, loop) ->
+         if List.exists (fun r -> matches_ref info r loop) refs then Some loop.Loops.l_id else None)
+
+let loop_ref_to_string = function
+  | In_func f -> Printf.sprintf "loops of %s" f
+  | Outermost f -> Printf.sprintf "outermost loops of %s" f
+  | At_depth (f, d) -> Printf.sprintf "depth-%d loops of %s" d f
+  | Nth_in_func (f, n) -> Printf.sprintf "loop #%d of %s" n f

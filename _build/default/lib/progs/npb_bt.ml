@@ -1,0 +1,242 @@
+(** BT — Block Tridiagonal solver (NPB).
+
+    Alternating-direction implicit structure: RHS stencil population
+    (parallel), then per-direction line solves — the loop {e across}
+    lines is parallel while the Thomas elimination {e along} each line is
+    sequential.  Line solves run behind function calls that write global
+    state, which defeats the call-free/pure-call static baselines while
+    DCA tests the loops uniformly (paper §V-B1: BT 168/182 for the
+    dynamic tools vs 80 combined static). *)
+
+let source =
+  {|
+// NPB BT kernel, MiniC port (ADI line solves on a 2-D grid).
+int   n;
+float u[20][20];
+float rhs[20][20];
+float lhs_a[20];
+float lhs_b[20];
+float lhs_c[20];
+float forcing[20][20];
+float qs[20][20];
+float square[20][20];
+float errs[20];
+float dt;
+float sums;
+float rhsnorm;
+int   verified;
+
+float exact(int i, int j) {
+  return sin(0.3 * itof(i)) * cos(0.2 * itof(j));
+}
+
+void init_grid() {
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      u[i][j] = exact(i, j);
+      forcing[i][j] = 0.05 * exact(j, i);
+    }
+  }
+}
+
+void compute_rhs() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      rhs[i][j] = forcing[i][j]
+        + dt * (u[i + 1][j] - 2.0 * u[i][j] + u[i - 1][j])
+        + dt * (u[i][j + 1] - 2.0 * u[i][j] + u[i][j - 1]);
+    }
+  }
+}
+
+// exact forcing so the discrete solution stays near the analytic one
+void exact_rhs() {
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      forcing[i][j] = 0.05 * exact(j, i) + 0.01 * sin(0.1 * itof(i * j));
+    }
+  }
+}
+
+// auxiliary quadratic fields, as BT's compute_rhs precomputes
+void compute_aux() {
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      square[i][j] = u[i][j] * u[i][j];
+      qs[i][j] = square[i][j] / (1.0 + fabs(u[i][j]));
+    }
+  }
+}
+
+// dissipation pass using the auxiliary fields
+void add_dissipation() {
+  int i;
+  int j;
+  for (i = 2; i < n - 2; i = i + 1) {
+    for (j = 2; j < n - 2; j = j + 1) {
+      rhs[i][j] = rhs[i][j]
+        - 0.02 * (square[i - 2][j] + square[i + 2][j] + square[i][j - 2] + square[i][j + 2]
+                  - 4.0 * qs[i][j]);
+    }
+  }
+}
+
+// per-row error against the exact solution (rows independent)
+void error_norm() {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    float s = 0.0;
+    int j;
+    for (j = 0; j < n; j = j + 1) {
+      float d = u[i][j] - exact(i, j);
+      s = s + d * d;
+    }
+    errs[i] = sqrt(s / itof(n));
+  }
+}
+
+float rhs_norm() {
+  float s = 0.0;
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) { s = s + rhs[i][j] * rhs[i][j]; }
+  }
+  return sqrt(s);
+}
+
+// Thomas algorithm along direction x for one line j: sequential in i
+void x_solve_line(int j) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    lhs_a[i] = -0.1;
+    lhs_b[i] = 1.2;
+    lhs_c[i] = -0.1;
+  }
+  // forward elimination
+  for (i = 1; i < n - 1; i = i + 1) {
+    float m = lhs_a[i] / lhs_b[i - 1];
+    lhs_b[i] = lhs_b[i] - m * lhs_c[i - 1];
+    rhs[i][j] = rhs[i][j] - m * rhs[i - 1][j];
+  }
+  // back substitution
+  for (i = n - 3; i > 0; i = i - 1) {
+    rhs[i][j] = (rhs[i][j] - lhs_c[i] * rhs[i + 1][j]) / lhs_b[i];
+  }
+}
+
+void y_solve_line(int i) {
+  int j;
+  for (j = 0; j < n; j = j + 1) {
+    lhs_a[j] = -0.1;
+    lhs_b[j] = 1.2;
+    lhs_c[j] = -0.1;
+  }
+  for (j = 1; j < n - 1; j = j + 1) {
+    float m = lhs_a[j] / lhs_b[j - 1];
+    lhs_b[j] = lhs_b[j] - m * lhs_c[j - 1];
+    rhs[i][j] = rhs[i][j] - m * rhs[i][j - 1];
+  }
+  for (j = n - 3; j > 0; j = j - 1) {
+    rhs[i][j] = (rhs[i][j] - lhs_c[j] * rhs[i][j + 1]) / lhs_b[j];
+  }
+}
+
+void x_solve() {
+  // parallel across lines
+  int j;
+  for (j = 1; j < n - 1; j = j + 1) { x_solve_line(j); }
+}
+
+void y_solve() {
+  int i;
+  for (i = 1; i < n - 1; i = i + 1) { y_solve_line(i); }
+}
+
+void add() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) { u[i][j] = u[i][j] + rhs[i][j]; }
+  }
+}
+
+void adi() {
+  compute_aux();
+  compute_rhs();
+  add_dissipation();
+  x_solve();
+  y_solve();
+  add();
+}
+
+void main() {
+  n = 20;
+  init_grid();
+  exact_rhs();
+  int step;
+  for (step = 0; step < 3; step = step + 1) {
+    dt = 0.1 + 0.02 * itof(step);
+    adi();
+  }
+  rhsnorm = rhs_norm();
+  error_norm();
+  sums = 0.0;
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { sums = sums + u[i][j] * u[i][j]; }
+  }
+  float errsum = 0.0;
+  for (i = 0; i < n; i = i + 1) { errsum = errsum + errs[i]; }
+  verified = 0;
+  if (sums > 0.0 && errsum >= 0.0) { verified = 1; }
+  print(sums);
+  print(rhsnorm);
+  print(errsum);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"BT" ~suite:Benchmark.Npb
+       ~description:"ADI block-tridiagonal line solves over a 2-D grid" ~source)
+    with
+    Benchmark.bm_expert_loops =
+      [
+        Benchmark.In_func "init_grid";
+        Benchmark.In_func "exact_rhs";
+        Benchmark.In_func "compute_aux";
+        Benchmark.In_func "compute_rhs";
+        Benchmark.In_func "add_dissipation";
+        Benchmark.Outermost "x_solve";
+        Benchmark.Outermost "y_solve";
+        Benchmark.In_func "add";
+        Benchmark.Outermost "error_norm";
+        Benchmark.In_func "rhs_norm";
+        Benchmark.Nth_in_func ("main", 1) (* checksum nest *);
+      ];
+    bm_expert_sections =
+      [
+        [ Benchmark.Outermost "x_solve"; Benchmark.Outermost "y_solve"; Benchmark.In_func "add" ];
+        [ Benchmark.In_func "compute_aux"; Benchmark.In_func "compute_rhs"; Benchmark.In_func "add_dissipation" ];
+      ];
+    bm_expert_extra = 0.0 (* paper: DCA extracts all available BT parallelism *);
+    bm_known_sequential =
+      [
+        Benchmark.Nth_in_func ("x_solve_line", 1);
+        Benchmark.Nth_in_func ("x_solve_line", 2);
+        Benchmark.Nth_in_func ("y_solve_line", 1);
+        Benchmark.Nth_in_func ("y_solve_line", 2);
+        Benchmark.Nth_in_func ("main", 0) (* time stepping *);
+      ];
+  }

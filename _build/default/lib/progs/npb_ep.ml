@@ -1,0 +1,98 @@
+(** EP — Embarrassingly Parallel (NPB).
+
+    Gaussian-pair sampling via a stateless hash PRNG, accumulating sum
+    reductions ([sx], [sy]) and an annulus histogram ([q]) — the "complex
+    reduction loop" of paper §V-C2.  The hot block loop is a [while] so
+    the counted-loop static baselines only see the inner trial loop, while
+    DCA tests both uniformly.  A [drand]-chained warmup loop is genuinely
+    order-dependent (the generator state is a loop-carried dependence),
+    and the result-printing loop performs I/O: both are correctly not
+    reported by DCA. *)
+
+let source =
+  {|
+// NPB EP kernel, MiniC port (scaled down).
+int    nblocks;
+int    ntrials;
+float  sx;
+float  sy;
+float  q[10];
+float  blockmaxs[256];
+float  warmup;
+int    verified;
+
+float  gauss_pairs(int k) {
+  // one block of trials: returns the block's |max annulus index| marker
+  int t;
+  float blockmax = 0.0;
+  for (t = 0; t < ntrials; t = t + 1) {
+    int idx = k * ntrials + t;
+    float x1 = 2.0 * hrand(2 * idx) - 1.0;
+    float x2 = 2.0 * hrand(2 * idx + 1) - 1.0;
+    float r2 = x1 * x1 + x2 * x2;
+    if (r2 <= 1.0 && r2 > 0.0) {
+      float fac = sqrt(-2.0 * log(r2) / r2);
+      float gx = x1 * fac;
+      float gy = x2 * fac;
+      sx = sx + gx;
+      sy = sy + gy;
+      float big = fmax(fabs(gx), fabs(gy));
+      int bin = ftoi(big);
+      if (bin > 9) { bin = 9; }
+      q[bin] = q[bin] + 1.0;
+      blockmax = fmax(blockmax, big);
+    }
+  }
+  return blockmax;
+}
+
+void main() {
+  nblocks = 256;
+  ntrials = 64;
+  int i;
+  // init the histogram
+  for (i = 0; i < 10; i = i + 1) { q[i] = 0.0; }
+  // sequential generator warmup: genuinely order-dependent
+  dseed(271828);
+  for (i = 0; i < 16; i = i + 1) { warmup = warmup * 0.5 + drand() * itof(i + 1); }
+  // hot block loop (while-style: outside the scope of counted-loop tools)
+  float maxdev = 0.0;
+  int k = 0;
+  while (k < nblocks) {
+    float m = gauss_pairs(k);
+    blockmaxs[k] = m;
+    maxdev = fmax(maxdev, m);
+    k = k + 1;
+  }
+  // verification: counts must equal accepted trials
+  float total = 0.0;
+  for (i = 0; i < 10; i = i + 1) { total = total + q[i]; }
+  // per-block maxima must agree with the global maximum (reduction)
+  float recomputed = 0.0;
+  for (i = 0; i < nblocks; i = i + 1) { recomputed = fmax(recomputed, blockmaxs[i]); }
+  verified = 1;
+  if (total < 1.0) { verified = 0; }
+  if (fabs(sx) > total) { verified = 0; }
+  if (fabs(recomputed - maxdev) > 0.000001) { verified = 0; }
+  // report
+  print(sx);
+  print(sy);
+  print(maxdev);
+  for (i = 0; i < 10; i = i + 1) { print(q[i]); }
+  print(warmup);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"EP" ~suite:Benchmark.Npb
+       ~description:
+         "embarrassingly parallel Gaussian sampling with sum reductions and an annulus histogram"
+       ~source)
+    with
+    Benchmark.bm_expert_loops = [ Benchmark.Nth_in_func ("main", 2) (* hot block loop *) ];
+    bm_expert_sections = [ [ Benchmark.Nth_in_func ("main", 2) ] ];
+    bm_expert_extra = 0.0;
+    bm_known_sequential = [ Benchmark.Nth_in_func ("main", 1) (* drand warmup chain *) ];
+  }

@@ -1,0 +1,96 @@
+(** IS — Integer Sort (NPB).
+
+    Bucket/counting sort: key histogram (the idiom the constraint-based
+    detector is built for), an order-dependent prefix sum over bucket
+    counts, and the scatter phase.  The scatter increments per-key
+    cursors, which looks like a fatal dependence to every
+    dependence-based tool — yet permuting it only permutes {e equal}
+    keys, so the live-out array is unchanged and DCA correctly reports it
+    commutative. *)
+
+let source =
+  {|
+// NPB IS kernel, MiniC port (counting sort of hashed keys).
+int nkeys;
+int maxkey;
+int keys[512];
+int counts[64];
+int offsets[64];
+int sorted[512];
+int rank_of[512];
+int density[8];
+int verified;
+
+void main() {
+  nkeys = 512;
+  maxkey = 64;
+  int i;
+  // key generation (pure hash randoms)
+  for (i = 0; i < nkeys; i = i + 1) {
+    keys[i] = ftoi(hrand(i) * itof(maxkey));
+    if (keys[i] >= maxkey) { keys[i] = maxkey - 1; }
+  }
+  // histogram
+  for (i = 0; i < maxkey; i = i + 1) { counts[i] = 0; }
+  for (i = 0; i < nkeys; i = i + 1) { counts[keys[i]] = counts[keys[i]] + 1; }
+  // prefix sum over buckets: order-dependent
+  offsets[0] = 0;
+  for (i = 1; i < maxkey; i = i + 1) { offsets[i] = offsets[i - 1] + counts[i - 1]; }
+  // scatter: per-key cursors advance, but equal keys are interchangeable
+  for (i = 0; i < nkeys; i = i + 1) {
+    int k = keys[i];
+    int pos = offsets[k];
+    offsets[k] = pos + 1;
+    sorted[pos] = k;
+  }
+  // rank assignment from the sorted array (parallel, disjoint writes)
+  for (i = 0; i < nkeys; i = i + 1) { rank_of[i] = sorted[i]; }
+  // key-density summary over coarse buckets (histogram)
+  for (i = 0; i < 8; i = i + 1) { density[i] = 0; }
+  for (i = 0; i < nkeys; i = i + 1) {
+    density[keys[i] * 8 / maxkey] = density[keys[i] * 8 / maxkey] + 1;
+  }
+  // verification: sorted order and content
+  verified = 1;
+  for (i = 1; i < nkeys; i = i + 1) {
+    if (sorted[i - 1] > sorted[i]) { verified = 0; }
+  }
+  int total = 0;
+  for (i = 0; i < maxkey; i = i + 1) { total = total + counts[i]; }
+  if (total != nkeys) { verified = 0; }
+  int dtotal = 0;
+  for (i = 0; i < 8; i = i + 1) { dtotal = dtotal + density[i]; }
+  if (dtotal != nkeys) { verified = 0; }
+  // full_verify: every rank must match its sorted key (reduction of mismatches)
+  int mismatches = 0;
+  for (i = 0; i < nkeys; i = i + 1) {
+    if (rank_of[i] != sorted[i]) { mismatches = mismatches + 1; }
+  }
+  if (mismatches != 0) { verified = 0; }
+  printi(sorted[0]);
+  printi(sorted[nkeys - 1]);
+  printi(total);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"IS" ~suite:Benchmark.Npb
+       ~description:"counting sort: histogram, prefix sum, scatter" ~source)
+    with
+    Benchmark.bm_expert_loops =
+      [
+        Benchmark.Nth_in_func ("main", 0) (* key generation *);
+        Benchmark.Nth_in_func ("main", 1) (* bucket clear *);
+        Benchmark.Nth_in_func ("main", 2) (* key histogram *);
+        Benchmark.Nth_in_func ("main", 5) (* rank assignment *);
+        Benchmark.Nth_in_func ("main", 7) (* density histogram *);
+        Benchmark.Nth_in_func ("main", 9) (* bucket total *);
+        Benchmark.Nth_in_func ("main", 11) (* full_verify *);
+      ];
+    bm_expert_sections =
+      [ [ Benchmark.Nth_in_func ("main", 1); Benchmark.Nth_in_func ("main", 2) ] ];
+    bm_expert_extra = 0.1;
+    bm_known_sequential = [ Benchmark.Nth_in_func ("main", 3) (* bucket prefix sum *) ];
+  }

@@ -1,0 +1,187 @@
+(** LU — SSOR solver (NPB).
+
+    2-D SSOR: flux/RHS stencils (parallel, computed into separate
+    arrays), lower- and upper-triangular wavefront sweeps whose [i]/[j]
+    loops genuinely carry dependences (the "hottest loop nests" the paper
+    says experts pipeline, §V-E), plus norm reductions.  DCA correctly
+    separates the parallel RHS population from the sequential sweeps. *)
+
+let source =
+  {|
+// NPB LU kernel, MiniC port (2-D SSOR sweeps).
+int   n;
+float v[24][24];
+float rhs[24][24];
+float flux[24][24];
+float acoef[24][24];
+float bcoef[24][24];
+float omega;
+float tolr;
+float rsdnm;
+float vnorm;
+int   verified;
+
+void compute_flux() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      flux[i][j] = 0.25 * (v[i + 1][j] + v[i - 1][j] + v[i][j + 1] + v[i][j - 1]);
+    }
+  }
+}
+
+void compute_rhs() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      rhs[i][j] = flux[i][j] - v[i][j] + 0.01 * itof(i + j);
+    }
+  }
+}
+
+// jacld-like coefficient setup (parallel): coefficients of the lower system
+void jacld() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      acoef[i][j] = 0.3 / (1.0 + 0.1 * fabs(v[i][j]));
+    }
+  }
+}
+
+// jacu-like coefficient setup for the upper system (parallel)
+void jacu() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      bcoef[i][j] = 0.3 / (1.0 + 0.1 * fabs(flux[i][j]));
+    }
+  }
+}
+
+// setbv-like boundary initialization (parallel, four edge loops)
+void setbv() {
+  int i;
+  for (i = 0; i < n; i = i + 1) { v[0][i] = 1.0; }
+  for (i = 0; i < n; i = i + 1) { v[n - 1][i] = 1.0; }
+  for (i = 0; i < n; i = i + 1) { v[i][0] = 1.0; }
+  for (i = 0; i < n; i = i + 1) { v[i][n - 1] = 1.0; }
+}
+
+// l2norm of the solution by rows (rows independent)
+float l2norm_v() {
+  float s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    float row = 0.0;
+    int j;
+    for (j = 0; j < n; j = j + 1) { row = row + v[i][j] * v[i][j]; }
+    s = s + row;
+  }
+  return sqrt(s);
+}
+
+// lower-triangular sweep: wavefront dependence on both loops
+void blts() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      rhs[i][j] = rhs[i][j] + acoef[i][j] * (rhs[i - 1][j] + rhs[i][j - 1]);
+    }
+  }
+}
+
+// upper-triangular sweep
+void buts() {
+  int i;
+  int j;
+  for (i = n - 2; i > 0; i = i - 1) {
+    for (j = n - 2; j > 0; j = j - 1) {
+      rhs[i][j] = rhs[i][j] + bcoef[i][j] * (rhs[i + 1][j] + rhs[i][j + 1]);
+    }
+  }
+}
+
+void update() {
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) {
+      v[i][j] = v[i][j] + omega * rhs[i][j];
+    }
+  }
+}
+
+float residual_norm() {
+  float s = 0.0;
+  int i;
+  int j;
+  for (i = 1; i < n - 1; i = i + 1) {
+    for (j = 1; j < n - 1; j = j + 1) { s = s + rhs[i][j] * rhs[i][j]; }
+  }
+  return sqrt(s);
+}
+
+void main() {
+  n = 24;
+  tolr = 0.001;
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      v[i][j] = hrand(i * 24 + j);
+      rhs[i][j] = 0.0;
+      flux[i][j] = 0.0;
+    }
+  }
+  setbv();
+  int step;
+  for (step = 0; step < 4; step = step + 1) {
+    omega = 0.7 / itof(step + 1);
+    compute_flux();
+    compute_rhs();
+    jacld();
+    blts();
+    jacu();
+    buts();
+    update();
+  }
+  rsdnm = residual_norm();
+  vnorm = l2norm_v();
+  verified = 0;
+  if (rsdnm >= 0.0) { verified = 1; }
+  print(rsdnm);
+  print(vnorm);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"LU" ~suite:Benchmark.Npb
+       ~description:"2-D SSOR: parallel stencils plus sequential wavefront sweeps" ~source)
+    with
+    Benchmark.bm_expert_loops =
+      [
+        Benchmark.In_func "compute_flux";
+        Benchmark.In_func "compute_rhs";
+        Benchmark.In_func "jacld";
+        Benchmark.In_func "jacu";
+        Benchmark.In_func "setbv";
+        Benchmark.Outermost "l2norm_v";
+        Benchmark.In_func "update";
+        Benchmark.In_func "residual_norm";
+        Benchmark.Nth_in_func ("main", 0);
+        Benchmark.Nth_in_func ("main", 1);
+      ];
+    bm_expert_sections =
+      [ [ Benchmark.In_func "compute_flux"; Benchmark.In_func "compute_rhs" ] ];
+    bm_expert_extra = 0.45 (* the expert LU pipelines the blts/buts wavefronts *);
+    bm_expert_workers = 12;
+    bm_known_sequential = [ Benchmark.In_func "blts"; Benchmark.In_func "buts"; Benchmark.Nth_in_func ("main", 2) ];
+  }

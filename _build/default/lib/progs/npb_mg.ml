@@ -1,0 +1,152 @@
+(** MG — Multigrid (NPB).
+
+    A 1-D V-cycle: Jacobi smoothing, residual computation, restriction
+    and prolongation at each level.  Mirrors the oddities the paper notes
+    for MG (§V-C1): I/O inside a nested loop (the per-cycle norm report),
+    which excludes that loop from DCA's scope, and loops that the
+    workload never exercises (the deepest-level smoother), which DCA
+    reports untestable. *)
+
+let source =
+  {|
+// NPB MG kernel, MiniC port (1-D multigrid V-cycle).
+int   nfine;
+float u[257];
+float f[257];
+float res[257];
+float coarse_f[129];
+float coarse_u[129];
+float norm;
+float norm0;
+int   verified;
+
+void smooth(float *uu, float *ff, int len) {
+  // weighted-Jacobi into scratch, then copy back
+  float tmp[257];
+  int i;
+  for (i = 1; i < len - 1; i = i + 1) {
+    tmp[i] = uu[i] + 0.6 * 0.5 * (uu[i - 1] + uu[i + 1] - 2.0 * uu[i] + ff[i]);
+  }
+  for (i = 1; i < len - 1; i = i + 1) { uu[i] = tmp[i]; }
+}
+
+void residual(float *uu, float *ff, float *rr, int len) {
+  int i;
+  for (i = 1; i < len - 1; i = i + 1) {
+    rr[i] = ff[i] - (2.0 * uu[i] - uu[i - 1] - uu[i + 1]);
+  }
+}
+
+void restrict_(float *rr, float *cf, int len) {
+  int i;
+  for (i = 1; i < (len - 1) / 2; i = i + 1) {
+    cf[i] = 0.25 * (rr[2 * i - 1] + 2.0 * rr[2 * i] + rr[2 * i + 1]);
+  }
+}
+
+void prolongate(float *uu, float *cu, int len) {
+  int i;
+  for (i = 1; i < (len - 1) / 2; i = i + 1) {
+    uu[2 * i] = uu[2 * i] + cu[i];
+    uu[2 * i + 1] = uu[2 * i + 1] + 0.5 * (cu[i] + cu[i + 1]);
+  }
+}
+
+float norm_of(float *rr, int len) {
+  float s = 0.0;
+  int i;
+  for (i = 1; i < len - 1; i = i + 1) { s = s + rr[i] * rr[i]; }
+  return sqrt(s);
+}
+
+// zran3-like pseudo-random seeding of the charge distribution
+void zran3(float *ff, int len) {
+  int i;
+  for (i = 0; i < len; i = i + 1) {
+    ff[i] = ff[i] + 0.001 * (hrand(i) - 0.5);
+  }
+}
+
+// comm3-like periodic boundary exchange (the two halo cells)
+void comm3(float *uu, int len) {
+  uu[0] = uu[len - 2];
+  uu[len - 1] = uu[1];
+}
+
+// interpolation error indicator per interior point (parallel)
+float interp_error(float *uu, int len) {
+  float worst = 0.0;
+  int i;
+  for (i = 1; i < len - 1; i = i + 1) {
+    float mid = 0.5 * (uu[i - 1] + uu[i + 1]);
+    worst = fmax(worst, fabs(uu[i] - mid));
+  }
+  return worst;
+}
+
+void deep_smooth() {
+  // the deepest level is never reached by this workload
+  int i;
+  for (i = 1; i < 64; i = i + 1) { coarse_u[i] = coarse_u[i] * 0.5; }
+}
+
+void main() {
+  nfine = 257;
+  int i;
+  for (i = 0; i < nfine; i = i + 1) {
+    u[i] = 0.0;
+    f[i] = sin(3.14159265358979 * 64.0 * itof(i) / itof(nfine - 1)) + 0.5 * sin(3.14159265358979 * 24.0 * itof(i) / itof(nfine - 1));
+  }
+  zran3(f, nfine);
+  residual(u, f, res, nfine);
+  norm0 = norm_of(res, nfine);
+  int cycle;
+  for (cycle = 0; cycle < 8; cycle = cycle + 1) {
+    smooth(u, f, nfine);
+    residual(u, f, res, nfine);
+    restrict_(res, coarse_f, nfine);
+    // coarse solve: a few smoothing sweeps at the coarse level
+    for (i = 0; i < 129; i = i + 1) { coarse_u[i] = 0.0; }
+    int s;
+    for (s = 0; s < 3; s = s + 1) { smooth(coarse_u, coarse_f, 129); }
+    prolongate(u, coarse_u, nfine);
+    smooth(u, f, nfine);
+    comm3(u, nfine);
+    // per-cycle norm report: I/O inside a loop nest
+    residual(u, f, res, nfine);
+    norm = norm_of(res, nfine);
+    int dbg;
+    for (dbg = 0; dbg < 1; dbg = dbg + 1) { print(norm); }
+    if (norm < 0.0) { deep_smooth(); }
+  }
+  float smoothness = interp_error(u, nfine);
+  verified = 0;
+  if (norm < 0.2 * norm0) { verified = 1; }
+  print(norm0);
+  print(norm);
+  print(smoothness);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"MG" ~suite:Benchmark.Npb
+       ~description:"1-D multigrid V-cycle with smoothing, restriction and prolongation" ~source)
+    with
+    Benchmark.bm_expert_loops =
+      [
+        Benchmark.In_func "smooth";
+        Benchmark.In_func "residual";
+        Benchmark.In_func "restrict_";
+        Benchmark.In_func "prolongate";
+        Benchmark.In_func "norm_of";
+        Benchmark.In_func "zran3";
+        Benchmark.In_func "interp_error";
+        Benchmark.Nth_in_func ("main", 0);
+      ];
+    bm_expert_sections =
+      [ [ Benchmark.In_func "smooth"; Benchmark.In_func "residual"; Benchmark.In_func "restrict_" ] ];
+    bm_expert_extra = 0.2;
+    bm_known_sequential = [ Benchmark.Nth_in_func ("main", 1) (* V-cycle loop *) ];
+  }

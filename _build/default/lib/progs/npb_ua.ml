@@ -1,0 +1,166 @@
+(** UA — Unstructured Adaptive (NPB).
+
+    Element-over-node computation with indirection arrays: gather node
+    values per element, dense element work, scatter-add back through the
+    element-to-node map.  The scatter-adds collide on shared nodes —
+    non-affine subscripts and genuine read-modify-write conflicts that
+    defeat every static test — yet the adds commute, so DCA reports the
+    element loops parallelizable (paper: UA 466/479 for DCA vs 209
+    combined static). *)
+
+let source =
+  {|
+// NPB UA kernel, MiniC port (unstructured element/node relaxation).
+int   nelems;
+int   nnodes;
+int   elem_node[256][4];  // element -> 4 node ids
+float node_val[200];
+float node_res[200];
+float node_mass[200];
+float omega;
+float elem_scratch[256];
+float checksum;
+int   verified;
+
+void build_mesh() {
+  int e;
+  for (e = 0; e < nelems; e = e + 1) {
+    int c;
+    for (c = 0; c < 4; c = c + 1) {
+      // pseudo-random connectivity with locality
+      elem_node[e][c] = (e * 3 + c * 17 + ftoi(hrand(e * 4 + c) * 5.0)) % nnodes;
+    }
+  }
+}
+
+void gather_compute() {
+  int e;
+  for (e = 0; e < nelems; e = e + 1) {
+    float acc = 0.0;
+    int c;
+    for (c = 0; c < 4; c = c + 1) {
+      float v = node_val[elem_node[e][c]];
+      acc = acc + v * (1.0 + 0.05 * fabs(v));   // nonlinear coupling
+    }
+    elem_scratch[e] = 0.25 * acc * (1.0 + 0.01 * itof(e % 7));
+  }
+}
+
+void scatter_add() {
+  int e;
+  for (e = 0; e < nelems; e = e + 1) {
+    int c;
+    for (c = 0; c < 4; c = c + 1) {
+      int nd = elem_node[e][c];
+      node_res[nd] = node_res[nd] + 0.25 * elem_scratch[e];
+      node_mass[nd] = node_mass[nd] + 0.25;
+    }
+  }
+}
+
+void relax() {
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) {
+    if (node_mass[i] > 0.0) {
+      node_val[i] = (1.0 - omega) * node_val[i] + omega * node_res[i] / node_mass[i];
+    }
+    node_res[i] = 0.0;
+    node_mass[i] = 0.0;
+  }
+}
+
+// adaptive refinement marker: prefix-dependent cursor, order matters
+int   marked[256];
+int   nmarked;
+void mark_elements() {
+  int e;
+  nmarked = 0;
+  for (e = 0; e < nelems; e = e + 1) {
+    if (elem_scratch[e] > 0.4) {
+      marked[nmarked] = e;
+      nmarked = nmarked + 1;
+    }
+  }
+}
+
+// transfer-like copy of node state into a shadow mesh (parallel)
+float shadow_val[200];
+void transfer() {
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) { shadow_val[i] = node_val[i]; }
+}
+
+// adapt-like per-element size indicator (parallel reads, disjoint writes)
+float elem_size[256];
+void adapt_metric() {
+  int e;
+  for (e = 0; e < nelems; e = e + 1) {
+    float spread = 0.0;
+    int c;
+    for (c = 0; c < 4; c = c + 1) { spread = spread + fabs(shadow_val[elem_node[e][c]]); }
+    elem_size[e] = spread * 0.25;
+  }
+}
+
+void main() {
+  nelems = 256;
+  nnodes = 200;
+  build_mesh();
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) {
+    node_val[i] = hrand(i);
+    node_res[i] = 0.0;
+    node_mass[i] = 0.0;
+  }
+  int iter;
+  for (iter = 0; iter < 5; iter = iter + 1) {
+    omega = 0.2 + 0.05 * itof(iter);
+    gather_compute();
+    scatter_add();
+    relax();
+  }
+  transfer();
+  adapt_metric();
+  mark_elements();
+  float marksig = 0.0;
+  for (i = 0; i < nmarked; i = i + 1) { marksig = marksig + itof(marked[i]) * itof(i + 1); }
+  checksum = 0.0;
+  for (i = 0; i < nnodes; i = i + 1) { checksum = checksum + node_val[i]; }
+  float sizesum = 0.0;
+  int e;
+  for (e = 0; e < nelems; e = e + 1) { sizesum = sizesum + elem_size[e]; }
+  checksum = checksum + 0.001 * sizesum;
+  verified = 0;
+  if (checksum > 0.0) { verified = 1; }
+  print(checksum);
+  print(marksig);
+  printi(nmarked);
+  printi(verified);
+}
+|}
+
+let benchmark =
+  {
+    (Benchmark.default ~name:"UA" ~suite:Benchmark.Npb
+       ~description:"unstructured mesh gather/compute/scatter-add relaxation" ~source)
+    with
+    Benchmark.bm_expert_loops =
+      [
+        Benchmark.Outermost "build_mesh";
+        Benchmark.Outermost "gather_compute";
+        Benchmark.Outermost "scatter_add";
+        Benchmark.In_func "relax";
+        Benchmark.In_func "transfer";
+        Benchmark.Outermost "adapt_metric";
+        Benchmark.Nth_in_func ("main", 0);
+        Benchmark.Nth_in_func ("main", 2);
+      ];
+    bm_expert_sections =
+      [ [ Benchmark.Outermost "gather_compute"; Benchmark.Outermost "scatter_add"; Benchmark.In_func "relax" ] ];
+    bm_expert_extra = 0.1;
+    bm_known_sequential =
+      [
+        Benchmark.In_func "mark_elements" (* order-dependent compaction cursor *);
+        Benchmark.Nth_in_func ("main", 1) (* relaxation iterations *);
+      ];
+  }

@@ -1,0 +1,292 @@
+(** PLDS ports, part 1: linked-list traversal loops from Table II whose
+    [p = p->next] updates defeat dependence analysis.
+
+    - [mcf_refresh]: 429.mcf's [refresh_potential]-style tree sweep.  Each
+      node's potential comes from its predecessor; the workload (like
+      SPEC's) never exercises the sibling-reading path, so the loop is
+      dynamically commutative — the paper's one "not statically
+      commutative" entry.
+    - [twolf_dbox]: 300.twolf's [new_dbox_a]-style doubly-nested list
+      walk accumulating a cost delta.
+    - [ks_swap]: PtrDist ks's [FindMaxGpAndSwap]-style max-gain search
+      (argmax over a list — a conditional update no reduction recognizer
+      accepts).
+    - [otter_light]: otter's lightest-child search (argmin). *)
+
+let mcf_refresh =
+  Benchmark.default ~name:"429.mcf" ~suite:Benchmark.Plds
+    ~description:"refresh_potential-style tree sweep with an unexercised sibling dependence"
+    ~source:
+      {|
+struct node {
+  float potential;
+  float cost;
+  int orientation;          // 1 = up (read parent), 0 = down (read sibling)
+  struct node *pred;
+  struct node *sibling;
+  struct node *next;        // traversal order
+}
+
+struct node *root;
+struct node *first;
+float checksum;
+
+void build(int nnodes) {
+  root = new struct node;
+  root->potential = 100.0;
+  root->cost = 0.0;
+  root->orientation = 1;
+  root->pred = null;
+  root->sibling = null;
+  root->next = null;
+  first = null;
+  int i;
+  for (i = 0; i < nnodes; i = i + 1) {
+    struct node *n = new struct node;
+    n->potential = 0.0;
+    n->cost = hrand(i) * 10.0;
+    n->orientation = 1;      // the workload never makes this 0
+    n->pred = root;          // flat tree: every node hangs off the root
+    n->sibling = null;
+    n->next = first;
+    first = n;
+  }
+}
+
+void refresh_potential() {
+  struct node *n = first;
+  while (n) {
+    if (n->orientation == 1) {
+      n->potential = n->pred->potential + n->cost;
+    } else {
+      // sibling path: a genuine cross-iteration dependence, never taken
+      n->potential = n->sibling->potential - n->cost;
+    }
+    n = n->next;
+  }
+}
+
+void main() {
+  build(160);
+  // several pricing sweeps, as mcf's simplex loop does
+  int sweep;
+  for (sweep = 0; sweep < 5; sweep = sweep + 1) { refresh_potential(); }
+  checksum = 0.0;
+  struct node *n = first;
+  while (n) {
+    checksum = checksum + n->potential;
+    n = n->next;
+  }
+  print(checksum);
+  printi(1);
+}
+|}
+
+let twolf_dbox =
+  Benchmark.default ~name:"300.twolf" ~suite:Benchmark.Plds
+    ~description:"new_dbox_a-style doubly-nested linked-list cost accumulation"
+    ~source:
+      {|
+struct term {
+  float x;
+  float y;
+  struct term *next;
+}
+struct net {
+  struct term *terms;
+  float weight;
+  struct net *next;
+}
+
+struct net *netlist;
+float delta_cost;
+
+void build(int nnets, int nterms) {
+  netlist = null;
+  int i;
+  for (i = 0; i < nnets; i = i + 1) {
+    struct net *nn = new struct net;
+    nn->weight = 0.5 + hrand(i);
+    nn->terms = null;
+    int j;
+    for (j = 0; j < nterms; j = j + 1) {
+      struct term *t = new struct term;
+      t->x = hrand(i * 97 + j) * 50.0;
+      t->y = hrand(i * 131 + j) * 50.0;
+      t->next = nn->terms;
+      nn->terms = t;
+    }
+    nn->next = netlist;
+    netlist = nn;
+  }
+}
+
+// the hot new_dbox_a loop: bounding-box cost over every net's terminals
+void new_dbox_a() {
+  struct net *nn = netlist;
+  while (nn) {
+    float minx = 1000000.0;
+    float maxx = -1000000.0;
+    float miny = 1000000.0;
+    float maxy = -1000000.0;
+    struct term *t = nn->terms;
+    while (t) {
+      minx = fmin(minx, t->x);
+      maxx = fmax(maxx, t->x);
+      miny = fmin(miny, t->y);
+      maxy = fmax(maxy, t->y);
+      t = t->next;
+    }
+    delta_cost = delta_cost + nn->weight * ((maxx - minx) + (maxy - miny));
+    nn = nn->next;
+  }
+}
+
+void main() {
+  build(40, 8);
+  delta_cost = 0.0;
+  int pass;
+  for (pass = 0; pass < 3; pass = pass + 1) { new_dbox_a(); }
+  print(delta_cost);
+  printi(1);
+}
+|}
+
+let ks_swap =
+  Benchmark.default ~name:"ks" ~suite:Benchmark.Plds
+    ~description:"FindMaxGpAndSwap-style max-gain pair search over linked module lists"
+    ~source:
+      {|
+struct module {
+  int id;
+  float gain;
+  struct module *next;
+}
+
+struct module *group_a;
+struct module *group_b;
+int best_a;
+int best_b;
+float best_gain;
+
+struct module *build(int n, int salt) {
+  struct module *head = null;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct module *m = new struct module;
+    m->id = salt * 1000 + i;
+    // distinct gains so the argmax is unique
+    m->gain = hrand(salt * 7919 + i) + itof(i) * 0.001;
+    m->next = head;
+    head = m;
+  }
+  return head;
+}
+
+// hot loop: examine all cross pairs for the best swap gain, then swap
+void find_max_gp_and_swap() {
+  best_gain = -1000000.0;
+  struct module *best_ma = null;
+  struct module *best_mb = null;
+  struct module *a = group_a;
+  while (a) {
+    struct module *b = group_b;
+    while (b) {
+      float g = a->gain + b->gain - 0.01 * itof((a->id + b->id) % 13);
+      if (g > best_gain) {
+        best_gain = g;
+        best_ma = a;
+        best_mb = b;
+      }
+      b = b->next;
+    }
+    a = a->next;
+  }
+  if (best_ma) {
+    best_a = best_ma->id;
+    best_b = best_mb->id;
+    // swap the gains so the next pass finds a different pair
+    float tmp = best_ma->gain;
+    best_ma->gain = best_mb->gain * 0.5;
+    best_mb->gain = tmp * 0.5;
+  }
+}
+
+void main() {
+  group_a = build(48, 1);
+  group_b = build(48, 2);
+  int pass;
+  for (pass = 0; pass < 3; pass = pass + 1) { find_max_gp_and_swap(); }
+  print(best_gain);
+  printi(best_a);
+  printi(best_b);
+  printi(1);
+}
+|}
+
+let otter_light =
+  Benchmark.default ~name:"otter" ~suite:Benchmark.Plds
+    ~description:"find_lightest_geo_child-style argmin over a child list"
+    ~source:
+      {|
+struct child {
+  float weight;
+  int id;
+  struct child *next;
+}
+struct parent {
+  struct child *children;
+  struct parent *next;
+}
+
+struct parent *parents;
+int lightest_sum;
+
+void build(int np, int nc) {
+  parents = null;
+  int i;
+  for (i = 0; i < np; i = i + 1) {
+    struct parent *p = new struct parent;
+    p->children = null;
+    int j;
+    for (j = 0; j < nc; j = j + 1) {
+      struct child *c = new struct child;
+      c->weight = hrand(i * 211 + j) + itof(j) * 0.0001;
+      c->id = j;
+      c->next = p->children;
+      p->children = c;
+    }
+    p->next = parents;
+    parents = p;
+  }
+}
+
+void find_lightest_geo_child() {
+  struct parent *p = parents;
+  while (p) {
+    float lightest = 1000000.0;
+    int lightest_id = -1;
+    struct child *c = p->children;
+    while (c) {
+      if (c->weight < lightest) {
+        lightest = c->weight;
+        lightest_id = c->id;
+      }
+      c = c->next;
+    }
+    lightest_sum = lightest_sum + lightest_id;
+    p = p->next;
+  }
+}
+
+void main() {
+  build(60, 12);
+  lightest_sum = 0;
+  int pass;
+  for (pass = 0; pass < 4; pass = pass + 1) { find_lightest_geo_child(); }
+  printi(lightest_sum);
+  printi(1);
+}
+|}
+
+let benchmarks = [ mcf_refresh; twolf_dbox; ks_swap; otter_light ]

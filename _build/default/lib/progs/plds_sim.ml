@@ -1,0 +1,365 @@
+(** PLDS ports, part 4: the irregular simulation programs of Fig. 5.
+
+    - [bfs]: Lonestar breadth-first search with frontier worklists
+      (the paper's Fig. 2);
+    - [ising]: lattice spin relaxation over a linked neighbor structure,
+      double-buffered so one sweep's updates read only old values;
+    - [spmatmat]: SPARK00-style sparse matrix–matrix product with linked
+      row lists;
+    - [water]: SPLASH water-spatial INTERF-style pairwise interactions
+      over cell lists, with scatter-add force accumulation. *)
+
+let bfs =
+  Benchmark.default ~name:"BFS" ~suite:Benchmark.Plds
+    ~description:"Lonestar-style BFS with frontier worklists (paper Fig. 2)"
+    ~source:
+      {|
+struct node { int vert; struct node *next; }
+struct list { struct node *head; int size; }
+
+int nvert;
+struct list *adj[224];
+int dist[224];
+struct list *frontier;
+struct list *next_frontier;
+int checksum;
+
+void push(struct list *l, int v) {
+  struct node *n = new struct node;
+  n->vert = v;
+  n->next = l->head;
+  l->head = n;
+  l->size = l->size + 1;
+}
+
+int pop(struct list *l) {
+  struct node *n = l->head;
+  l->head = n->next;
+  l->size = l->size - 1;
+  return n->vert;
+}
+
+void add_edge(int a, int b) {
+  push(adj[a], b);
+  push(adj[b], a);
+}
+
+void main() {
+  nvert = 224;
+  int i;
+  for (i = 0; i < nvert; i = i + 1) {
+    adj[i] = new struct list;
+    dist[i] = 1000000;
+  }
+  frontier = new struct list;
+  next_frontier = new struct list;
+  // ring + random chords
+  for (i = 0; i < nvert; i = i + 1) { add_edge(i, (i + 1) % nvert); }
+  for (i = 0; i < 448; i = i + 1) {
+    int a = ftoi(hrand(i) * itof(nvert)) % nvert;
+    int b = ftoi(hrand(i + 500) * itof(nvert)) % nvert;
+    if (a != b) { add_edge(a, b); }
+  }
+  dist[0] = 0;
+  bfs(0);
+  checksum = 0;
+  for (i = 0; i < nvert; i = i + 1) { checksum = checksum + dist[i]; }
+  printi(checksum);
+  printi(1);
+}
+
+void bfs(int source) {
+  push(frontier, source);
+  while (frontier->size) {
+    // top-down step: the loop DCA detects as commutative
+    while (frontier->size) {
+      int current = pop(frontier);
+      struct node *n = adj[current]->head;
+      while (n) {
+        if (dist[n->vert] > dist[current] + 1) {
+          dist[n->vert] = dist[current] + 1;
+          push(next_frontier, n->vert);
+        }
+        n = n->next;
+      }
+    }
+    struct list *tmp = frontier;
+    frontier = next_frontier;
+    next_frontier = tmp;
+  }
+}
+|}
+
+let ising =
+  Benchmark.default ~name:"ising" ~suite:Benchmark.Plds
+    ~description:"lattice spin relaxation over linked neighbors, double-buffered"
+    ~source:
+      {|
+struct site {
+  float spin;
+  float new_spin;
+  struct site *up;
+  struct site *down;
+  struct site *left;
+  struct site *right;
+  struct site *next;      // traversal order
+}
+
+struct site *lattice;
+float magnetization;
+
+void build(int n) {
+  // n x n torus of sites, linked four ways
+  int total = n * n;
+  struct site **cells = new struct site *[400];
+  int i;
+  for (i = 0; i < total; i = i + 1) {
+    struct site *s = new struct site;
+    s->spin = 1.0;
+    if (hrand(i) < 0.5) { s->spin = -1.0; }
+    s->new_spin = 0.0;
+    cells[i] = s;
+  }
+  for (i = 0; i < total; i = i + 1) {
+    int r = i / n;
+    int c = i % n;
+    cells[i]->up = cells[((r + n - 1) % n) * n + c];
+    cells[i]->down = cells[((r + 1) % n) * n + c];
+    cells[i]->left = cells[r * n + ((c + n - 1) % n)];
+    cells[i]->right = cells[r * n + ((c + 1) % n)];
+  }
+  lattice = null;
+  for (i = total - 1; i >= 0; i = i - 1) {
+    cells[i]->next = lattice;
+    lattice = cells[i];
+  }
+}
+
+// one relaxation sweep: compute new spins from the old neighborhood,
+// then commit (both loops commutative thanks to double buffering)
+void sweep() {
+  struct site *s = lattice;
+  while (s) {
+    float field = s->up->spin + s->down->spin + s->left->spin + s->right->spin;
+    if (field > 0.0) {
+      s->new_spin = 1.0;
+    } else {
+      if (field < 0.0) { s->new_spin = -1.0; } else { s->new_spin = s->spin; }
+    }
+    s = s->next;
+  }
+  s = lattice;
+  while (s) {
+    s->spin = s->new_spin;
+    s = s->next;
+  }
+}
+
+void main() {
+  int n = 18;
+  build(n);
+  int t;
+  for (t = 0; t < 8; t = t + 1) {
+    sweep();
+  }
+  magnetization = 0.0;
+  struct site *s = lattice;
+  while (s) {
+    magnetization = magnetization + s->spin;
+    s = s->next;
+  }
+  print(magnetization);
+  printi(1);
+}
+|}
+
+let spmatmat =
+  Benchmark.default ~name:"spmatmat" ~suite:Benchmark.Plds
+    ~description:"sparse matrix-matrix product over linked row lists (SPARK00)"
+    ~source:
+      {|
+struct elem {
+  int col;
+  float value;
+  struct elem *next;
+}
+struct row {
+  int id;
+  struct elem *elems;
+  struct row *next;
+}
+
+int n;
+struct row *matrix;
+float dense[32][8];
+float result[32][8];
+float checksum;
+
+void build() {
+  matrix = null;
+  int i;
+  for (i = n - 1; i >= 0; i = i - 1) {
+    struct row *r = new struct row;
+    r->id = i;
+    r->elems = null;
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+      struct elem *e = new struct elem;
+      e->col = (i * 5 + k * 11) % n;
+      e->value = 0.1 + hrand(i * 31 + k);
+      e->next = r->elems;
+      r->elems = e;
+    }
+    r->next = matrix;
+    matrix = r;
+  }
+}
+
+// hot loop: one output row per sparse row (commutative across rows)
+void spmatmat() {
+  struct row *r = matrix;
+  while (r) {
+    struct elem *e = r->elems;
+    while (e) {
+      int j;
+      for (j = 0; j < 8; j = j + 1) {
+        result[r->id][j] = result[r->id][j] + e->value * dense[e->col][j];
+      }
+      e = e->next;
+    }
+    r = r->next;
+  }
+}
+
+void main() {
+  n = 32;
+  build();
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) {
+      dense[i][j] = hrand(i * 8 + j);
+      result[i][j] = 0.0;
+    }
+  }
+  spmatmat();
+  checksum = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < 8; j = j + 1) { checksum = checksum + result[i][j]; }
+  }
+  print(checksum);
+  printi(1);
+}
+|}
+
+let water =
+  Benchmark.default ~name:"water-spatial" ~suite:Benchmark.Plds
+    ~description:"INTERF-style pairwise forces over spatial cell lists (SPLASH)"
+    ~source:
+      {|
+struct mol {
+  float x;
+  float y;
+  float fx;
+  float fy;
+  struct mol *next;       // next molecule in the same cell
+}
+struct cell {
+  struct mol *mols;
+  struct cell *next;      // next cell in the interaction schedule
+  struct cell *neighbor;  // one neighbor cell to interact with
+}
+
+struct cell *cells;
+float potential;
+float virial;
+
+void build(int ncells, int per_cell) {
+  cells = null;
+  struct cell *prev = null;
+  int i;
+  for (i = 0; i < ncells; i = i + 1) {
+    struct cell *c = new struct cell;
+    c->mols = null;
+    int j;
+    for (j = 0; j < per_cell; j = j + 1) {
+      struct mol *m = new struct mol;
+      m->x = hrand(i * 37 + j) * 10.0;
+      m->y = hrand(i * 41 + j) * 10.0;
+      m->fx = 0.0;
+      m->fy = 0.0;
+      m->next = c->mols;
+      c->mols = m;
+    }
+    c->neighbor = prev;     // interact with the previously built cell
+    c->next = cells;
+    cells = c;
+    prev = c;
+  }
+}
+
+// INTERF: intra-cell and neighbor-cell pairwise interactions
+void interf() {
+  struct cell *c = cells;
+  while (c) {
+    // intra-cell pairs
+    struct mol *a = c->mols;
+    while (a) {
+      struct mol *b = a->next;
+      while (b) {
+        float dx = a->x - b->x;
+        float dy = a->y - b->y;
+        float r2 = dx * dx + dy * dy + 0.01;
+        float f = 1.0 / (r2 * r2);
+        a->fx = a->fx + f * dx;
+        a->fy = a->fy + f * dy;
+        b->fx = b->fx - f * dx;
+        b->fy = b->fy - f * dy;
+        potential = potential + f;
+        b = b->next;
+      }
+      a = a->next;
+    }
+    // neighbor-cell pairs
+    if (c->neighbor) {
+      a = c->mols;
+      while (a) {
+        struct mol *b = c->neighbor->mols;
+        while (b) {
+          float dx = a->x - b->x;
+          float dy = a->y - b->y;
+          float r2 = dx * dx + dy * dy + 0.01;
+          float f = 0.5 / (r2 * r2);
+          a->fx = a->fx + f * dx;
+          b->fx = b->fx - f * dx;
+          potential = potential + f;
+          b = b->next;
+        }
+        a = a->next;
+      }
+    }
+    c = c->next;
+  }
+}
+
+void main() {
+  build(24, 6);
+  potential = 0.0;
+  interf();
+  virial = 0.0;
+  struct cell *cc = cells;
+  while (cc) {
+    struct mol *m = cc->mols;
+    while (m) {
+      virial = virial + fabs(m->fx) + fabs(m->fy);
+      m = m->next;
+    }
+    cc = cc->next;
+  }
+  print(potential);
+  print(virial);
+  printi(1);
+}
+|}
+
+let benchmarks = [ bfs; ising; spmatmat; water ]

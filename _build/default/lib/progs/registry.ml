@@ -1,0 +1,27 @@
+(** All benchmark programs of the reproduction. *)
+
+let npb =
+  [
+    Npb_bt.benchmark;
+    Npb_cg.benchmark;
+    Npb_dc.benchmark;
+    Npb_ep.benchmark;
+    Npb_ft.benchmark;
+    Npb_is.benchmark;
+    Npb_lu.benchmark;
+    Npb_mg.benchmark;
+    Npb_sp.benchmark;
+    Npb_ua.benchmark;
+  ]
+
+let plds =
+  Plds_list.benchmarks @ Plds_tree.benchmarks @ Plds_worklist.benchmarks @ Plds_sim.benchmarks
+
+let all = npb @ plds
+
+let find name = List.find_opt (fun bm -> bm.Benchmark.bm_name = name) all
+
+let find_exn name =
+  match find name with
+  | Some bm -> bm
+  | None -> invalid_arg (Printf.sprintf "Registry.find_exn: unknown benchmark '%s'" name)

@@ -1,0 +1,1 @@
+lib/support/intset.ml: Int List Set Stdlib

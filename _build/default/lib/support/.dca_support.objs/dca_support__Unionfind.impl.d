@@ -1,0 +1,1 @@
+lib/support/unionfind.ml: Array Hashtbl List

@@ -1,0 +1,17 @@
+(** Integer sets and maps used pervasively by the analyses (variable ids,
+    instruction ids, block ids). *)
+
+include Set.Make (Int)
+
+let of_option = function None -> empty | Some x -> singleton x
+let to_sorted_list s = elements s
+let unions l = List.fold_left union empty l
+
+module Map = struct
+  include Stdlib.Map.Make (Int)
+
+  let find_default key default m = match find_opt key m with Some v -> v | None -> default
+
+  let add_to_list_entry key x m =
+    update key (function None -> Some [ x ] | Some l -> Some (x :: l)) m
+end

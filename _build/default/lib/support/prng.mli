@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The whole reproduction is deterministic: every source of randomness —
+    permutation shuffles in the DCA dynamic stage, synthetic workload
+    generation, random CFGs in property tests — draws from an explicitly
+    seeded [Prng.t].  No global state, no wall-clock seeding. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of splitmix64. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by [t]. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val split : t -> t
+(** Derive an independent child generator (useful to decorrelate
+    subcomponents while keeping one root seed). *)

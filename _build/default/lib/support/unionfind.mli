@@ -1,0 +1,17 @@
+(** Union–find over dense integer elements, with path compression and union
+    by rank.  Used by the alias-class partitioning in the static baselines. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val classes : t -> int list list
+(** All equivalence classes, members ascending, classes ordered by their
+    smallest member. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dca_analysis Dca_baselines Dca_ir Dca_profiling List Proginfo String

@@ -1,0 +1,1 @@
+test/test_cexport.ml: Alcotest Benchmark Dca_analysis Dca_core Dca_frontend Dca_interp Dca_parallel Dca_profiling Dca_progs Filename Fun List Printf Registry String Sys Unix

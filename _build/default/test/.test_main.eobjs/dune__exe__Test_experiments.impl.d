@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dca_experiments Dca_progs Figures Lazy List Paper_data Printf Tables

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ast_printer Dca_frontend Fmt Lexer List Loc Parser QCheck QCheck_alcotest String Tast Token Typecheck

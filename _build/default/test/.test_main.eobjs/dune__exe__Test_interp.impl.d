@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Dca_interp Dca_ir Eval Lower Observable Printf Store String Value

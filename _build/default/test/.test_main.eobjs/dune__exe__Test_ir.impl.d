@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ast Cfg Dca_frontend Dca_ir Ir Ir_printer Layout List Lower String

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Dca_analysis Dca_core Dca_ir Dca_parallel Dca_profiling Float Gen List Machine Plan Planner Printf QCheck QCheck_alcotest Speedup String

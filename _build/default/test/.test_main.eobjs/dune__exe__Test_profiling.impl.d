@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Dca_analysis Dca_baselines Dca_interp Dca_ir Dca_profiling Depprof List Loops Proginfo

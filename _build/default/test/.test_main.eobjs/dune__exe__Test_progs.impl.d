@@ -1,0 +1,1 @@
+test/test_progs.ml: Alcotest Benchmark Dca_analysis Dca_interp Dca_progs List Printf Registry

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Dca_support Gen Intset List Listx Option Prng QCheck QCheck_alcotest Unionfind

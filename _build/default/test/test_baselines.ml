@@ -1,0 +1,187 @@
+(* Tests for the five baseline detectors: each tool's characteristic
+   strengths and blind spots on crafted loops. *)
+
+open Dca_analysis
+
+let eval_tools src =
+  let prog = Dca_ir.Lower.compile ~file:"<test>" src in
+  let info = Proginfo.analyze prog in
+  let profile = Dca_profiling.Depprof.profile_program info in
+  List.map
+    (fun tool ->
+      (tool.Dca_baselines.Tool.tool_name, tool.Dca_baselines.Tool.tool_analyze info (Some profile)))
+    Dca_baselines.Registry.all
+
+let verdict_of tools tool_name label =
+  match List.assoc_opt tool_name tools with
+  | None -> Alcotest.failf "unknown tool %s" tool_name
+  | Some results -> (
+      match
+        List.find_opt
+          (fun r -> r.Dca_baselines.Tool.bl_label = label)
+          results
+      with
+      | Some r -> Dca_baselines.Tool.is_parallel r
+      | None ->
+          Alcotest.failf "no loop labelled %s (have: %s)" label
+            (String.concat ", " (List.map (fun r -> r.Dca_baselines.Tool.bl_label) results)))
+
+(* the single loop of main — by construction of the test sources *)
+let single_verdicts src =
+  let tools = eval_tools src in
+  let label =
+    match tools with
+    | (_, r :: _) :: _ -> r.Dca_baselines.Tool.bl_label
+    | _ -> Alcotest.fail "no loops"
+  in
+  fun tool -> verdict_of tools tool label
+
+let affine_map = "int a[16]; void main() { int i; for (i = 0; i < 16; i = i + 1) { a[i] = i; } printi(a[3]); }"
+
+let test_affine_map_all_detect () =
+  let v = single_verdicts affine_map in
+  List.iter
+    (fun tool -> Alcotest.(check bool) (tool ^ " detects affine map") true (v tool))
+    [ "DepProfiling"; "DiscoPoP"; "Polly"; "ICC" ];
+  (* Idioms wants an accumulation idiom and skips plain maps *)
+  Alcotest.(check bool) "Idioms skips plain map" false (v "Idioms")
+
+let plds_map =
+  {|
+  struct node { int v; struct node *next; }
+  struct node *head;
+  void main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+      struct node *n = new struct node;
+      n->v = i;
+      n->next = head;
+      head = n;
+    }
+    struct node *p = head;
+    while (p) { p->v = p->v + 1; p = p->next; }
+    printi(head->v);
+  }
+  |}
+
+let test_plds_defeats_all () =
+  let tools = eval_tools plds_map in
+  (* the while loop is the second loop of main *)
+  List.iter
+    (fun (name, results) ->
+      let while_loop = List.nth results 1 in
+      Alcotest.(check bool)
+        (name ^ " fails on the PLDS loop")
+        false
+        (Dca_baselines.Tool.is_parallel while_loop))
+    tools
+
+let histogram =
+  "int h[8]; int k[32]; void main() { int i; for (i = 0; i < 32; i = i + 1) { h[k[i] % 8] = h[k[i] % 8] + 1; } printi(h[0]); }"
+
+let test_histogram_idioms_only_static () =
+  let v = single_verdicts histogram in
+  Alcotest.(check bool) "Idioms detects histogram" true (v "Idioms");
+  Alcotest.(check bool) "ICC misses histogram" false (v "ICC");
+  Alcotest.(check bool) "Polly misses histogram" false (v "Polly");
+  (* dynamic tools filter the RMW pair *)
+  Alcotest.(check bool) "DepProfiling detects" true (v "DepProfiling");
+  Alcotest.(check bool) "DiscoPoP detects" true (v "DiscoPoP")
+
+let max_reduction =
+  "float a[16]; float best; void main() { int i; for (i = 0; i < 16; i = i + 1) { best = fmax(best, a[i]); } print(best); }"
+
+let test_minmax_differentiates_dynamic_tools () =
+  let v = single_verdicts max_reduction in
+  Alcotest.(check bool) "DepProfiling handles max reduction" true (v "DepProfiling");
+  Alcotest.(check bool) "DiscoPoP misses max reduction" false (v "DiscoPoP")
+
+let pure_call_loop =
+  {|
+  float a[16];
+  float square(float x) { return x * x; }
+  void main() { int i; for (i = 0; i < 16; i = i + 1) { a[i] = square(a[i]); } print(a[3]); }
+  |}
+
+let test_calls_differentiate_icc_polly () =
+  let tools = eval_tools pure_call_loop in
+  (* main's loop is the only loop *)
+  let find name =
+    List.assoc name tools |> List.hd |> Dca_baselines.Tool.is_parallel
+  in
+  Alcotest.(check bool) "ICC inlines the pure call" true (find "ICC");
+  Alcotest.(check bool) "Polly rejects any call" false (find "Polly")
+
+let wavefront =
+  "float r[18]; void main() { int i; for (i = 1; i < 17; i = i + 1) { r[i] = r[i] + 0.5 * r[i - 1]; } print(r[16]); }"
+
+let test_wavefront_rejected_by_all () =
+  let v = single_verdicts wavefront in
+  List.iter
+    (fun tool -> Alcotest.(check bool) (tool ^ " rejects the wavefront") false (v tool))
+    [ "DepProfiling"; "DiscoPoP"; "Idioms"; "Polly"; "ICC" ]
+
+let global_sum =
+  "float total; float a[16]; void main() { int i; for (i = 0; i < 16; i = i + 1) { total = total + a[i]; } print(total); }"
+
+let test_global_reduction () =
+  let v = single_verdicts global_sum in
+  List.iter
+    (fun tool -> Alcotest.(check bool) (tool ^ " exploits the global sum") true (v tool))
+    [ "DepProfiling"; "DiscoPoP"; "Idioms"; "Polly"; "ICC" ]
+
+let io_loop = "void main() { int i; for (i = 0; i < 4; i = i + 1) { printi(i); } }"
+
+let test_io_rejected_by_all () =
+  let v = single_verdicts io_loop in
+  List.iter
+    (fun tool -> Alcotest.(check bool) (tool ^ " rejects I/O loops") false (v tool))
+    [ "DepProfiling"; "DiscoPoP"; "Idioms"; "Polly"; "ICC" ]
+
+let unexecuted =
+  "int flag; int a[4]; void main() { int i; if (flag) { for (i = 0; i < 4; i = i + 1) { a[i] = 1; } } printi(a[0]); }"
+
+let test_dynamic_tools_need_execution () =
+  let v = single_verdicts unexecuted in
+  Alcotest.(check bool) "DepProfiling cannot judge unexecuted loops" false (v "DepProfiling");
+  (* static tools still can *)
+  Alcotest.(check bool) "ICC can" true (v "ICC")
+
+let test_registry_shape () =
+  Alcotest.(check int) "five tools" 5 (List.length Dca_baselines.Registry.all);
+  Alcotest.(check int) "three static" 3 (List.length Dca_baselines.Registry.static_tools);
+  Alcotest.(check int) "two dynamic" 2 (List.length Dca_baselines.Registry.dynamic_tools);
+  List.iter
+    (fun t -> Alcotest.(check bool) "static flag" true t.Dca_baselines.Tool.tool_static)
+    Dca_baselines.Registry.static_tools
+
+let test_combined () =
+  (* combined = union of parallel ids, deduplicated *)
+  let prog = Dca_ir.Lower.compile ~file:"<test>" affine_map in
+  let info = Proginfo.analyze prog in
+  let profile = Dca_profiling.Depprof.profile_program info in
+  let per_tool =
+    List.map (fun t -> t.Dca_baselines.Tool.tool_analyze info (Some profile)) Dca_baselines.Registry.static_tools
+  in
+  let combined = Dca_baselines.Registry.combined_parallel_ids per_tool in
+  Alcotest.(check bool) "union non-empty" true (combined <> []);
+  Alcotest.(check bool) "no duplicates" true
+    (List.length combined = List.length (List.sort_uniq compare combined))
+
+let suites =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "affine map" `Quick test_affine_map_all_detect;
+        Alcotest.test_case "plds defeats all" `Quick test_plds_defeats_all;
+        Alcotest.test_case "histogram" `Quick test_histogram_idioms_only_static;
+        Alcotest.test_case "min/max reduction split" `Quick test_minmax_differentiates_dynamic_tools;
+        Alcotest.test_case "pure calls" `Quick test_calls_differentiate_icc_polly;
+        Alcotest.test_case "wavefront" `Quick test_wavefront_rejected_by_all;
+        Alcotest.test_case "global reduction" `Quick test_global_reduction;
+        Alcotest.test_case "io" `Quick test_io_rejected_by_all;
+        Alcotest.test_case "unexecuted" `Quick test_dynamic_tools_need_execution;
+        Alcotest.test_case "registry" `Quick test_registry_shape;
+        Alcotest.test_case "combined" `Quick test_combined;
+      ] );
+  ]

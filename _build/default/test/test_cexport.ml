@@ -1,0 +1,172 @@
+(* Differential testing of the C exporter: every benchmark, exported to
+   C99 and compiled with the system C compiler, must print exactly the
+   lines the interpreter prints.  This cross-checks the interpreter's
+   semantics (arithmetic, layout, generators) against gcc.  Skipped when
+   no C compiler is installed. *)
+
+open Dca_progs
+
+let cc = if Sys.command "command -v gcc > /dev/null 2> /dev/null" = 0 then Some "gcc" else None
+
+let run_interpreter bm =
+  let prog = Benchmark.compile bm in
+  let ctx = Dca_interp.Eval.create ~input:bm.Benchmark.bm_input prog in
+  Dca_interp.Eval.run_main ctx;
+  Dca_interp.Eval.outputs ctx
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with line -> go (line :: acc) | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let run_compiled compiler bm =
+  let dir = Filename.temp_file "dca_cexport" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let c_file = Filename.concat dir "prog.c" in
+      let exe = Filename.concat dir "prog" in
+      let out = Filename.concat dir "out.txt" in
+      let input = Filename.concat dir "input.txt" in
+      write_file c_file (Dca_frontend.C_export.export_source ~file:"prog.mc" bm.Benchmark.bm_source);
+      write_file input (String.concat " " (List.map string_of_int bm.Benchmark.bm_input));
+      let compile_cmd =
+        Printf.sprintf "%s -O1 -o %s %s -lm 2> %s/cc.err" compiler (Filename.quote exe)
+          (Filename.quote c_file) (Filename.quote dir)
+      in
+      if Sys.command compile_cmd <> 0 then
+        Alcotest.failf "%s: C compilation failed:\n%s" bm.Benchmark.bm_name
+          (String.concat "\n" (read_lines (Filename.concat dir "cc.err")));
+      let run_cmd =
+        Printf.sprintf "%s < %s > %s" (Filename.quote exe) (Filename.quote input)
+          (Filename.quote out)
+      in
+      if Sys.command run_cmd <> 0 then Alcotest.failf "%s: compiled binary failed" bm.Benchmark.bm_name;
+      read_lines out)
+
+let differential_case compiler bm =
+  Alcotest.test_case (bm.Benchmark.bm_name ^ " matches gcc") `Slow (fun () ->
+      Alcotest.(check (list string))
+        bm.Benchmark.bm_name (run_interpreter bm) (run_compiled compiler bm))
+
+let test_pragma_insertion () =
+  let src = "int a[8]; void main() { int i; for (i = 0; i < 8; i = i + 1) { a[i] = i; } printi(a[1]); }" in
+  let ast = Dca_frontend.Parser.parse_program ~file:"<t>" src in
+  let loop_line =
+    match (List.hd ast.Dca_frontend.Ast.funcs).Dca_frontend.Ast.f_body with
+    | _ :: { Dca_frontend.Ast.sdesc = Dca_frontend.Ast.Sfor _; sloc; _ } :: _ ->
+        sloc.Dca_frontend.Loc.line
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  let c =
+    Dca_frontend.C_export.export_source
+      ~pragmas:[ (loop_line, "#pragma omp parallel for schedule(static)") ]
+      ~file:"<t>" src
+  in
+  let has_pragma =
+    String.split_on_char '\n' c
+    |> List.exists (fun l -> String.trim l = "#pragma omp parallel for schedule(static)")
+  in
+  Alcotest.(check bool) "pragma emitted" true has_pragma
+
+let suites =
+  match cc with
+  | None ->
+      [ ( "c-export",
+          [
+            Alcotest.test_case "pragmas" `Quick test_pragma_insertion;
+            Alcotest.test_case "no C compiler installed (differential tests skipped)" `Quick
+              (fun () -> ());
+          ] ) ]
+  | Some compiler ->
+      [
+        ( "c-export",
+          Alcotest.test_case "pragmas" `Quick test_pragma_insertion
+          :: List.map (differential_case compiler) Registry.all );
+      ]
+
+(* The export-c pipeline with OpenMP pragmas: must compile under -fopenmp
+   and, pinned to one thread (DCA's pragmas carry scalar reduction clauses
+   but array read-modify-writes would need atomics for true concurrency),
+   reproduce the interpreter's outputs exactly. *)
+let run_openmp compiler bm =
+  let dir = Filename.temp_file "dca_omp" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let source = bm.Benchmark.bm_source in
+      let prog = Benchmark.compile bm in
+      let info = Dca_analysis.Proginfo.analyze prog in
+      let profile = Dca_profiling.Depprof.profile_program ~input:bm.Benchmark.bm_input info in
+      let spec =
+        { Dca_core.Commutativity.rs_input = bm.Benchmark.bm_input; rs_fuel = 200_000_000 }
+      in
+      let results = Dca_core.Driver.analyze_program ~spec info in
+      let plan =
+        Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
+          ~detected:(Dca_core.Driver.commutative_ids results)
+          ~strategy:Dca_parallel.Planner.Best_benefit
+      in
+      let ast = Dca_frontend.Parser.parse_program ~file:"prog.mc" source in
+      let pragmas =
+        List.filter_map
+          (fun lp ->
+            match Dca_analysis.Proginfo.loop_by_id info lp.Dca_parallel.Plan.lp_loop_id with
+            | Some (_, loop) ->
+                let line = loop.Dca_analysis.Loops.l_loc.Dca_frontend.Loc.line in
+                let inner = Dca_frontend.C_export.body_declared_names ast ~line in
+                let privates =
+                  List.filter (fun n -> not (List.mem n inner)) lp.Dca_parallel.Plan.lp_private
+                in
+                let priv =
+                  match privates with [] -> "" | l -> " private(" ^ String.concat ", " l ^ ")"
+                in
+                Some (line, "#pragma omp parallel for schedule(static)" ^ priv)
+            | None -> None)
+          plan.Dca_parallel.Plan.plan_loops
+      in
+      Alcotest.(check bool) (bm.Benchmark.bm_name ^ " has pragmas") true (pragmas <> []);
+      let c_file = Filename.concat dir "prog.c" in
+      let exe = Filename.concat dir "prog" in
+      let out = Filename.concat dir "out.txt" in
+      let input = Filename.concat dir "input.txt" in
+      write_file c_file (Dca_frontend.C_export.export_source ~pragmas ~file:"prog.mc" source);
+      write_file input (String.concat " " (List.map string_of_int bm.Benchmark.bm_input));
+      let compile_cmd =
+        Printf.sprintf "%s -fopenmp -O1 -o %s %s -lm 2> %s/cc.err" compiler (Filename.quote exe)
+          (Filename.quote c_file) (Filename.quote dir)
+      in
+      if Sys.command compile_cmd <> 0 then
+        Alcotest.failf "%s: OpenMP compilation failed:\n%s" bm.Benchmark.bm_name
+          (String.concat "\n" (read_lines (Filename.concat dir "cc.err")));
+      let run_cmd =
+        Printf.sprintf "OMP_NUM_THREADS=1 %s < %s > %s" (Filename.quote exe)
+          (Filename.quote input) (Filename.quote out)
+      in
+      if Sys.command run_cmd <> 0 then Alcotest.failf "%s: OpenMP binary failed" bm.Benchmark.bm_name;
+      read_lines out)
+
+let openmp_case compiler name =
+  Alcotest.test_case (name ^ " OpenMP export") `Slow (fun () ->
+      let bm = Registry.find_exn name in
+      Alcotest.(check (list string)) name (run_interpreter bm) (run_openmp compiler bm))
+
+let suites =
+  match cc with
+  | None -> suites
+  | Some compiler ->
+      suites
+      @ [ ("c-export-openmp", List.map (openmp_case compiler) [ "IS"; "EP"; "SP"; "UA" ]) ]

@@ -1,0 +1,156 @@
+(* Integration tests over the full evaluation: the qualitative shape of
+   every table and figure of the paper must hold on our ports.  These
+   share the memoized per-benchmark evaluations, so the whole suite costs
+   one pass over the 24 programs. *)
+
+open Dca_experiments
+
+let t1 = lazy (Tables.table1 ())
+let t2 = lazy (Tables.table2 ())
+let t3 = lazy (Tables.table3 ())
+let t4 = lazy (Tables.table4 ())
+
+let test_table1_dca_dominates_dynamic () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: DCA >= DepProfiling (%d vs %d)" r.Tables.t1_name r.Tables.t1_dca
+           r.Tables.t1_depprof)
+        true
+        (r.Tables.t1_dca >= r.Tables.t1_depprof);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: DCA >= DiscoPoP" r.Tables.t1_name)
+        true
+        (r.Tables.t1_dca >= r.Tables.t1_discopop))
+    (Lazy.force t1)
+
+let test_table1_totals () =
+  let rows = Lazy.force t1 in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Alcotest.(check int) "ten rows" 10 (List.length rows);
+  Alcotest.(check bool) "suite is large" true (total (fun r -> r.Tables.t1_loops) >= 100);
+  (* headline: DCA detects the large majority of NPB loops *)
+  let frac =
+    float_of_int (total (fun r -> r.Tables.t1_dca)) /. float_of_int (total (fun r -> r.Tables.t1_loops))
+  in
+  Alcotest.(check bool) (Printf.sprintf "DCA detects > 60%% (got %.0f%%)" (100. *. frac)) true (frac > 0.6)
+
+let test_table2_headline () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Tables.t2_name ^ ": DCA detects the hot PLDS loop") true r.Tables.t2_dca_detects;
+      Alcotest.(check int) (r.Tables.t2_name ^ ": no baseline detects it") 0 r.Tables.t2_baselines_detect)
+    (Lazy.force t2)
+
+let test_table3_static_ordering () =
+  let rows = Lazy.force t3 in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let idioms = total (fun r -> r.Tables.t3_idioms) in
+  let polly = total (fun r -> r.Tables.t3_polly) in
+  let icc = total (fun r -> r.Tables.t3_icc) in
+  let combined = total (fun r -> r.Tables.t3_combined) in
+  let dca = total (fun r -> r.Tables.t3_dca) in
+  Alcotest.(check bool) (Printf.sprintf "ICC (%d) > Polly (%d)" icc polly) true (icc > polly);
+  Alcotest.(check bool) (Printf.sprintf "Polly (%d) >= Idioms (%d)" polly idioms) true (polly >= idioms);
+  Alcotest.(check bool) "combined <= sum of parts" true (combined <= idioms + polly + icc);
+  Alcotest.(check bool)
+    (Printf.sprintf "DCA (%d) detects ~half more than combined static (%d)" dca combined)
+    true
+    (float_of_int dca >= 1.3 *. float_of_int combined);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Tables.t3_name ^ ": combined >= each tool") true
+        (r.Tables.t3_combined >= r.Tables.t3_icc
+        && r.Tables.t3_combined >= r.Tables.t3_polly
+        && r.Tables.t3_combined >= r.Tables.t3_idioms))
+    rows
+
+let test_table4_precision () =
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.Tables.t4_name ^ ": no false positives") 0 r.Tables.t4_false_pos;
+      Alcotest.(check int) (r.Tables.t4_name ^ ": no false negatives") 0 r.Tables.t4_false_neg;
+      Alcotest.(check bool) (r.Tables.t4_name ^ ": DCA coverage >= static coverage") true
+        (r.Tables.t4_dca_coverage >= r.Tables.t4_static_coverage -. 1e-9))
+    (Lazy.force t4)
+
+let test_table4_coverage_high () =
+  let high =
+    List.filter (fun r -> r.Tables.t4_dca_coverage > 0.8) (Lazy.force t4)
+  in
+  (* paper: above 80% for eight of ten *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage > 80%% for at least 7 benchmarks (got %d)" (List.length high))
+    true
+    (List.length high >= 7)
+
+let test_fig5_profitable () =
+  let rows = Figures.fig5 () in
+  Alcotest.(check int) "seven programs" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s speeds up (%.1fx)" r.Figures.f5_name r.Figures.f5_speedup)
+        true
+        (r.Figures.f5_speedup > 1.2))
+    rows
+
+let test_fig6_dca_wins () =
+  let rows = Figures.fig6 () in
+  let gm f = Figures.geomean (List.map f rows) in
+  let dca = gm (fun r -> r.Figures.f6_dca) in
+  Alcotest.(check bool) (Printf.sprintf "DCA gmean (%.1f) > every static tool" dca) true
+    (dca > gm (fun r -> r.Figures.f6_idioms)
+    && dca > gm (fun r -> r.Figures.f6_polly)
+    && dca > gm (fun r -> r.Figures.f6_icc));
+  Alcotest.(check bool) (Printf.sprintf "DCA gmean in the paper's range (%.1f)" dca) true
+    (dca >= 2.0 && dca <= 8.0);
+  let ep = List.find (fun r -> r.Figures.f6_name = "EP") rows in
+  Alcotest.(check bool) (Printf.sprintf "EP headline speedup (%.0fx)" ep.Figures.f6_dca) true
+    (ep.Figures.f6_dca > 30.0)
+
+let test_fig7_ordering () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: expert-full (%.1f) >= expert-loop (%.1f) - eps" r.Figures.f7_name
+           r.Figures.f7_expert_full r.Figures.f7_expert_loop)
+        true
+        (r.Figures.f7_expert_full >= r.Figures.f7_expert_loop -. 0.05);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: DCA within 25%% of expert-loop" r.Figures.f7_name)
+        true
+        (r.Figures.f7_dca >= (0.75 *. r.Figures.f7_expert_loop) -. 0.05))
+    (Figures.fig7 ())
+
+let test_paper_data_consistency () =
+  Alcotest.(check int) "ten NPB reference rows" 10 (List.length Paper_data.npb);
+  Alcotest.(check int) "fourteen PLDS reference rows" 14 (List.length Paper_data.plds);
+  List.iter
+    (fun bm ->
+      Alcotest.(check bool)
+        (bm.Dca_progs.Benchmark.bm_name ^ " has a reference row")
+        true
+        (match bm.Dca_progs.Benchmark.bm_suite with
+        | Dca_progs.Benchmark.Npb ->
+            List.exists (fun r -> r.Paper_data.p_name = bm.Dca_progs.Benchmark.bm_name) Paper_data.npb
+        | Dca_progs.Benchmark.Plds ->
+            List.exists (fun r -> r.Paper_data.q_name = bm.Dca_progs.Benchmark.bm_name) Paper_data.plds))
+    Dca_progs.Registry.all
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "table1 DCA >= dynamic tools" `Slow test_table1_dca_dominates_dynamic;
+        Alcotest.test_case "table1 totals" `Slow test_table1_totals;
+        Alcotest.test_case "table2 headline" `Slow test_table2_headline;
+        Alcotest.test_case "table3 static ordering" `Slow test_table3_static_ordering;
+        Alcotest.test_case "table4 precision" `Slow test_table4_precision;
+        Alcotest.test_case "table4 coverage" `Slow test_table4_coverage_high;
+        Alcotest.test_case "fig5 profitable" `Slow test_fig5_profitable;
+        Alcotest.test_case "fig6 dca wins" `Slow test_fig6_dca_wins;
+        Alcotest.test_case "fig7 ordering" `Slow test_fig7_ordering;
+        Alcotest.test_case "paper reference data" `Quick test_paper_data_consistency;
+      ] );
+  ]

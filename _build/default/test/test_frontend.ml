@@ -1,0 +1,317 @@
+(* Unit and property tests for the MiniC lexer, parser and type checker. *)
+
+open Dca_frontend
+
+let tokens_of src = List.map fst (Lexer.tokenize ~file:"<test>" src)
+
+let token_list =
+  Alcotest.testable
+    (fun fmt ts -> Fmt.string fmt (String.concat " " (List.map Token.to_string ts)))
+    ( = )
+
+let test_lex_simple () =
+  Alcotest.check token_list "arith"
+    [ Token.Tident "x"; Token.Assign; Token.Tint_lit 1; Token.Plus; Token.Tint_lit 2; Token.Semi; Token.Eof ]
+    (tokens_of "x = 1 + 2;")
+
+let test_lex_operators () =
+  Alcotest.check token_list "two-char ops"
+    [ Token.Arrow; Token.Eq; Token.Neq; Token.Le; Token.Ge; Token.Andand; Token.Oror; Token.Eof ]
+    (tokens_of "-> == != <= >= && ||")
+
+let test_lex_floats () =
+  match tokens_of "1.5 2e3 4.25e-2 7" with
+  | [ Token.Tfloat_lit a; Token.Tfloat_lit b; Token.Tfloat_lit c; Token.Tint_lit 7; Token.Eof ] ->
+      Alcotest.(check (float 1e-9)) "1.5" 1.5 a;
+      Alcotest.(check (float 1e-9)) "2e3" 2000.0 b;
+      Alcotest.(check (float 1e-9)) "4.25e-2" 0.0425 c
+  | ts -> Alcotest.failf "unexpected tokens: %s" (String.concat " " (List.map Token.to_string ts))
+
+let test_lex_comments () =
+  Alcotest.check token_list "comments skipped"
+    [ Token.Tint_lit 1; Token.Tint_lit 2; Token.Eof ]
+    (tokens_of "1 // line\n/* block\n comment */ 2")
+
+let test_lex_string () =
+  match tokens_of {|"a\nb"|} with
+  | [ Token.Tstring_lit s; Token.Eof ] -> Alcotest.(check string) "escape" "a\nb" s
+  | _ -> Alcotest.fail "expected a string literal"
+
+let test_lex_errors () =
+  Alcotest.check_raises "bad char" (Loc.Error (Loc.make ~file:"<test>" ~line:1 ~col:1, "unexpected character '#'"))
+    (fun () -> ignore (tokens_of "#"))
+
+(* --------------------------------------------------------------- *)
+
+let parse src = Parser.parse_program ~file:"<test>" src
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr_string "1 + 2 * 3 < 4 && x || !y" in
+  Alcotest.(check string)
+    "precedence" "((((1 + (2 * 3)) < 4) && x) || (!y))"
+    (Ast_printer.expr_to_string e)
+
+let test_parse_postfix () =
+  let e = Parser.parse_expr_string "a[i][j].f->g" in
+  Alcotest.(check string) "postfix chain" "a[i][j].f->g" (Ast_printer.expr_to_string e)
+
+let test_parse_program () =
+  let p =
+    parse
+      {|
+      struct node { int val; struct node *next; }
+      int total;
+      float grid[4][8];
+      int add(int a, int b) { return a + b; }
+      void main() {
+        int i;
+        for (i = 0; i < 4; i = i + 1) { total = add(total, i); }
+        while (total > 0) { total = total - 1; }
+        if (total == 0) { prints("done"); } else { printi(total); }
+      }
+      |}
+  in
+  Alcotest.(check int) "structs" 1 (List.length p.Ast.structs);
+  Alcotest.(check int) "globals" 2 (List.length p.Ast.globals);
+  Alcotest.(check int) "funcs" 2 (List.length p.Ast.funcs)
+
+let test_parse_new () =
+  let e = Parser.parse_expr_string "new struct node" in
+  (match e.Ast.edesc with
+  | Ast.Enew_struct "node" -> ()
+  | _ -> Alcotest.fail "expected new struct");
+  let e = Parser.parse_expr_string "new float[2 * n]" in
+  match e.Ast.edesc with
+  | Ast.Enew_array (Ast.Tfloat, _) -> ()
+  | _ -> Alcotest.fail "expected new array"
+
+let test_parse_error () =
+  match parse "void main() { x = ; }" with
+  | exception Loc.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+(* Round trip: parse → print → parse → print must be a fixpoint. *)
+let test_roundtrip () =
+  let src =
+    {|
+    struct pair { float a; float b; }
+    float acc;
+    void main() {
+      struct pair *p = new struct pair;
+      p->a = 1.5;
+      acc = p->a + p->b * 2.0;
+      int k = 0;
+      while (k < 10) {
+        if (k % 2 == 0) { acc = acc + itof(k); }
+        k = k + 1;
+      }
+      print(acc);
+    }
+    |}
+  in
+  let p1 = parse src in
+  let s1 = Ast_printer.program_to_string p1 in
+  let p2 = parse s1 in
+  let s2 = Ast_printer.program_to_string p2 in
+  Alcotest.(check string) "fixpoint" s1 s2
+
+(* --------------------------------------------------------------- *)
+
+let typecheck src = Typecheck.check_program (parse src)
+
+let expect_type_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match typecheck src with
+      | exception Loc.Error _ -> ()
+      | _ -> Alcotest.fail "expected a type error")
+
+let test_typecheck_ok () =
+  let p =
+    typecheck
+      {|
+      struct node { int val; struct node *next; }
+      struct node *head;
+      void main() {
+        struct node *p = head;
+        while (p) { p->val = p->val + 1; p = p->next; }
+        float x = 1;       // implicit int -> float
+        x = x + 2;
+        print(x);
+      }
+      |}
+  in
+  Alcotest.(check int) "funcs" 1 (List.length p.Tast.tp_funcs)
+
+let test_typecheck_coercion () =
+  let p = typecheck "void main() { float x = 1 + 2; print(x); }" in
+  let f = List.hd p.Tast.tp_funcs in
+  match (List.hd f.Tast.tf_body).Tast.tsdesc with
+  | Tast.TSdecl (_, Some { tdesc = Tast.Titof _; _ }) -> ()
+  | _ -> Alcotest.fail "expected an inserted int->float coercion"
+
+let type_error_cases =
+  [
+    expect_type_error "unbound var" "void main() { x = 1; }";
+    expect_type_error "void var" "void main() { void v; }";
+    expect_type_error "float mod" "void main() { float x; x = 1.0; int y = x % 2; printi(y); }";
+    expect_type_error "bad arity" "int f(int a) { return a; } void main() { int x = f(1, 2); printi(x); }";
+    expect_type_error "no main" "int f() { return 0; }";
+    expect_type_error "bad main sig" "int main() { return 0; }";
+    expect_type_error "break outside loop" "void main() { break; }";
+    expect_type_error "arrow on struct" "struct s { int x; } void main() { struct s v; v->x = 1; }";
+    expect_type_error "dot on pointer" "struct s { int x; } void main() { struct s *v; v.x = 1; }";
+    expect_type_error "assign to call" "int f() { return 0; } void main() { f() = 1; }";
+    expect_type_error "float to int implicit" "void main() { int x = 1.5; printi(x); }";
+    expect_type_error "recursive struct value" "struct s { struct s inner; } void main() { }";
+    expect_type_error "duplicate local" "void main() { int x; int x; }";
+    expect_type_error "non-const global init" "int g = f(); int f() { return 1; } void main() { }";
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Property: the printer/parser round trip holds on generated
+   expressions. *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ast.Eint (abs n)) small_int;
+        map (fun name -> Ast.Evar name) (oneofl [ "x"; "y"; "z" ]);
+      ]
+  in
+  let mk d = { Ast.edesc = d; eloc = Loc.dummy } in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then map mk leaf
+          else
+            frequency
+              [
+                (1, map mk leaf);
+                ( 3,
+                  map3
+                    (fun op l r -> mk (Ast.Ebinop (op, l, r)))
+                    (oneofl Ast.[ Add; Sub; Mul; Div; Lt; Le; Eq; And; Or ])
+                    (self (n / 2)) (self (n / 2)) );
+                (1, map (fun e -> mk (Ast.Eunop (Ast.Neg, e))) (self (n - 1)));
+                (1, map2 (fun b i -> mk (Ast.Eindex (b, i))) (self (n / 2)) (self (n / 2)));
+              ])
+        n)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"printed expressions re-parse to the same tree"
+    (QCheck.make gen_expr ~print:Ast_printer.expr_to_string)
+    (fun e ->
+      let s = Ast_printer.expr_to_string e in
+      let e' = Parser.parse_expr_string s in
+      Ast_printer.expr_to_string e' = s)
+
+let suites =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "simple" `Quick test_lex_simple;
+        Alcotest.test_case "operators" `Quick test_lex_operators;
+        Alcotest.test_case "floats" `Quick test_lex_floats;
+        Alcotest.test_case "comments" `Quick test_lex_comments;
+        Alcotest.test_case "strings" `Quick test_lex_string;
+        Alcotest.test_case "errors" `Quick test_lex_errors;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "postfix" `Quick test_parse_postfix;
+        Alcotest.test_case "program" `Quick test_parse_program;
+        Alcotest.test_case "new" `Quick test_parse_new;
+        Alcotest.test_case "error" `Quick test_parse_error;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+      ] );
+    ( "typecheck",
+      Alcotest.test_case "ok" `Quick test_typecheck_ok
+      :: Alcotest.test_case "coercion" `Quick test_typecheck_coercion
+      :: type_error_cases );
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Additional frontend edge cases                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_else_if_chain () =
+  let p =
+    parse
+      {|
+      void main() {
+        int x = reads();
+        int y;
+        if (x == 0) { y = 1; } else if (x == 1) { y = 2; } else { y = 3; }
+        printi(y);
+      }
+      |}
+  in
+  Alcotest.(check int) "parses" 1 (List.length p.Ast.funcs)
+
+let test_deeply_nested_expression () =
+  let e = Parser.parse_expr_string "((((((((1 + 2))))))))" in
+  Alcotest.(check string) "parens collapse" "(1 + 2)" (Ast_printer.expr_to_string e)
+
+let test_comment_at_eof () =
+  Alcotest.check token_list "line comment at eof" [ Token.Tint_lit 1; Token.Eof ]
+    (tokens_of "1 // trailing")
+
+let test_unterminated_block_comment () =
+  match tokens_of "1 /* oops" with
+  | exception Loc.Error _ -> ()
+  | _ -> Alcotest.fail "expected a lex error"
+
+let test_global_negative_literal () =
+  let p = typecheck "int g = -5; float h = -2.5; void main() { printi(g); }" in
+  Alcotest.(check int) "two globals" 2 (List.length p.Tast.tp_globals)
+
+let test_array_decay_param () =
+  let p =
+    typecheck
+      {|
+      float grid[4][4];
+      float first(float *cells) { return cells[0]; }
+      void main() { print(first(grid)); }
+      |}
+  in
+  Alcotest.(check int) "funcs" 2 (List.length p.Tast.tp_funcs)
+
+let more_type_errors =
+  [
+    expect_type_error "compare distinct struct pointers"
+      {|
+      struct a { int x; }
+      struct b { int y; }
+      void main() {
+        struct a *p = null;
+        struct b *q = null;
+        if (p == q) { printi(1); }
+      }
+      |};
+    expect_type_error "void call in expression"
+      "void f() { } void main() { int x = f(); printi(x); }";
+    expect_type_error "index a scalar" "void main() { int x = 1; printi(x[0]); }";
+    expect_type_error "call a variable" "void main() { int f = 1; printi(f(2)); }";
+    expect_type_error "prints with non-literal"
+      "void main() { int s = 1; prints(s); }";
+  ]
+
+let edge_suites =
+  [
+    ( "frontend-edge",
+      [
+        Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+        Alcotest.test_case "nested parens" `Quick test_deeply_nested_expression;
+        Alcotest.test_case "comment at eof" `Quick test_comment_at_eof;
+        Alcotest.test_case "unterminated comment" `Quick test_unterminated_block_comment;
+        Alcotest.test_case "negative global literals" `Quick test_global_negative_literal;
+        Alcotest.test_case "array decay" `Quick test_array_decay_param;
+      ]
+      @ more_type_errors );
+  ]
+
+let suites = suites @ edge_suites

@@ -1,0 +1,438 @@
+(* End-to-end interpreter tests: compile MiniC, run, inspect outputs and
+   state; checkpoint/restore; observable-state capture. *)
+
+open Dca_ir
+open Dca_interp
+
+let compile src = Lower.compile ~file:"<test>" src
+
+let run ?input src =
+  let p = compile src in
+  let ctx = Eval.create ?input p in
+  Eval.run_main ctx;
+  (ctx, Eval.outputs ctx)
+
+let outputs ?input src = snd (run ?input src)
+
+let test_arith () =
+  let out = outputs "void main() { printi(2 + 3 * 4); printi(10 / 3); printi(10 % 3); printi(-7); }" in
+  Alcotest.(check (list string)) "ints" [ "14"; "3"; "1"; "-7" ] out
+
+let test_float_math () =
+  match outputs "void main() { print(sqrt(2.0)); print(pow(2.0, 10.0)); print(fmax(1.5, -2.0)); }" with
+  | [ a; b; c ] ->
+      Alcotest.(check (float 1e-9)) "sqrt" (sqrt 2.0) (float_of_string a);
+      Alcotest.(check (float 1e-9)) "pow" 1024.0 (float_of_string b);
+      Alcotest.(check (float 1e-9)) "fmax" 1.5 (float_of_string c)
+  | out -> Alcotest.failf "unexpected output: %s" (String.concat "|" out)
+
+let test_control_flow () =
+  let out =
+    outputs
+      {|
+      void main() {
+        int total = 0;
+        int i;
+        for (i = 0; i < 10; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          if (i > 7) { break; }
+          total = total + i;
+        }
+        printi(total);  // 1 + 3 + 5 + 7 = 16
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "loop" [ "16" ] out
+
+let test_arrays () =
+  let out =
+    outputs
+      {|
+      float grid[3][4];
+      void main() {
+        int i;
+        int j;
+        for (i = 0; i < 3; i = i + 1) {
+          for (j = 0; j < 4; j = j + 1) { grid[i][j] = itof(i * 10 + j); }
+        }
+        print(grid[2][3]);
+        float total = 0.0;
+        for (i = 0; i < 3; i = i + 1) {
+          for (j = 0; j < 4; j = j + 1) { total = total + grid[i][j]; }
+        }
+        print(total);
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "grid" [ "23"; "138" ] out
+
+let test_plds () =
+  let out =
+    outputs
+      {|
+      struct node { int val; struct node *next; }
+      void main() {
+        struct node *head = null;
+        int i;
+        for (i = 0; i < 5; i = i + 1) {
+          struct node *n = new struct node;
+          n->val = i;
+          n->next = head;
+          head = n;
+        }
+        int total = 0;
+        struct node *p = head;
+        while (p) { total = total + p->val; p = p->next; }
+        printi(total);  // 0+1+2+3+4
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "list sum" [ "10" ] out
+
+let test_functions_recursion () =
+  let out =
+    outputs
+      {|
+      int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+      }
+      void main() { printi(fib(12)); }
+      |}
+  in
+  Alcotest.(check (list string)) "fib" [ "144" ] out
+
+let test_struct_values_in_arrays () =
+  let out =
+    outputs
+      {|
+      struct point { float x; float y; }
+      struct point pts[4];
+      void main() {
+        int i;
+        for (i = 0; i < 4; i = i + 1) {
+          pts[i].x = itof(i);
+          pts[i].y = itof(i * i);
+        }
+        print(pts[3].x + pts[3].y);  // 3 + 9
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "aos" [ "12" ] out
+
+let test_globals_and_calls () =
+  let out =
+    outputs
+      {|
+      int counter = 100;
+      void bump(int by) { counter = counter + by; }
+      void main() {
+        bump(1);
+        bump(2);
+        printi(counter);
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "globals" [ "103" ] out
+
+let test_drand_deterministic () =
+  let src = "void main() { dseed(42); print(drand()); print(drand()); }" in
+  Alcotest.(check (list string)) "same seed, same stream" (outputs src) (outputs src)
+
+let test_hrand_pure () =
+  let out = outputs "void main() { print(hrand(7)); print(hrand(7)); print(hrand(8)); }" in
+  match out with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "pure" a b;
+      Alcotest.(check bool) "distinct" true (a <> c)
+  | _ -> Alcotest.fail "expected 3 outputs"
+
+let test_reads_input () =
+  let out = outputs ~input:[ 5; 7 ] "void main() { printi(reads() + reads()); printi(reads()); }" in
+  Alcotest.(check (list string)) "input stream" [ "12"; "0" ] out
+
+let test_trap_null () =
+  let p = compile
+      {|
+      struct node { int val; struct node *next; }
+      void main() { struct node *p = null; p->val = 1; }
+      |}
+  in
+  let ctx = Eval.create p in
+  (match Eval.run_main ctx with
+  | exception Eval.Trap _ -> ()
+  | () -> Alcotest.fail "expected a trap")
+
+let test_trap_out_of_bounds () =
+  let p = compile "int a[4]; void main() { int i = 9; a[i] = 1; }" in
+  let ctx = Eval.create p in
+  (match Eval.run_main ctx with
+  | exception Eval.Trap _ -> ()
+  | () -> Alcotest.fail "expected a trap")
+
+let test_fuel () =
+  let p = compile "void main() { while (1) { } }" in
+  (* while(1) has an empty body: only the terminator executes, so give the
+     loop something to burn. *)
+  ignore p;
+  let p = compile "int x; void main() { while (1) { x = x + 1; } }" in
+  let ctx = Eval.create ~fuel:10_000 p in
+  match Eval.run_main ctx with
+  | exception Eval.Out_of_fuel -> ()
+  | () -> Alcotest.fail "expected to run out of fuel"
+
+let test_snapshot_restore () =
+  let p =
+    compile
+      {|
+      int g;
+      int a[4];
+      void main() { g = 1; a[0] = 10; }
+      |}
+  in
+  let ctx = Eval.create p in
+  Eval.run_main ctx;
+  let st = Eval.store ctx in
+  let snap = Store.snapshot st in
+  (* mutate: globals and heap *)
+  Store.write_global st 0 (Value.VInt 999);
+  (match Store.read_global st 1 with
+  | Value.VPtr (b, _) -> Store.store st ~block:b ~off:0 (Value.VInt 777)
+  | _ -> Alcotest.fail "expected array global pointer");
+  Store.restore st snap;
+  Alcotest.(check bool) "global restored" true (Store.read_global st 0 = Value.VInt 1);
+  (match Store.read_global st 1 with
+  | Value.VPtr (b, _) ->
+      Alcotest.(check bool) "heap restored" true (Store.load st ~block:b ~off:0 = Value.VInt 10)
+  | _ -> Alcotest.fail "expected array global pointer")
+
+(* Observable captures: isomorphic heaps must compare equal regardless of
+   allocation order. *)
+let test_observable_isomorphic () =
+  let build order =
+    let src =
+      Printf.sprintf
+        {|
+        struct node { int val; struct node *next; }
+        struct node *head;
+        void main() {
+          %s
+        }
+        |}
+        order
+    in
+    let p = compile src in
+    let ctx = Eval.create p in
+    Eval.run_main ctx;
+    let st = Eval.store ctx in
+    Observable.capture st ~scalars:[] ~roots:[ Store.read_global st 0 ]
+  in
+  (* same final list 1 -> 2, built with different allocation orders *)
+  let a =
+    build
+      {|
+      struct node *n1 = new struct node;
+      struct node *n2 = new struct node;
+      n1->val = 1; n2->val = 2; n1->next = n2; n2->next = null; head = n1;
+      |}
+  in
+  let b =
+    build
+      {|
+      struct node *n2 = new struct node;
+      struct node *dead = new struct node;
+      struct node *n1 = new struct node;
+      dead->val = 99;
+      n1->val = 1; n2->val = 2; n1->next = n2; n2->next = null; head = n1;
+      |}
+  in
+  Alcotest.(check bool) "isomorphic heaps equal" true (Observable.equal a b)
+
+let test_observable_differs () =
+  let capture_of src =
+    let p = compile src in
+    let ctx = Eval.create p in
+    Eval.run_main ctx;
+    let st = Eval.store ctx in
+    Observable.capture st ~scalars:[] ~roots:[ Store.read_global st 0 ]
+  in
+  let a = capture_of "int a[3]; void main() { a[1] = 5; }" in
+  let b = capture_of "int a[3]; void main() { a[1] = 6; }" in
+  Alcotest.(check bool) "different states differ" false (Observable.equal a b)
+
+let test_observable_float_tolerance () =
+  let mk v =
+    Observable.capture
+      (Eval.store (Eval.create (compile "void main() { }")))
+      ~scalars:[ Value.VFloat v ] ~roots:[]
+  in
+  Alcotest.(check bool) "close floats equal" true
+    (Observable.equal (mk 1.0) (mk (1.0 +. 1e-13)));
+  Alcotest.(check bool) "distant floats differ" false (Observable.equal (mk 1.0) (mk 1.1))
+
+let test_outputs_equal_tolerant () =
+  Alcotest.(check bool) "tolerant" true
+    (Observable.outputs_equal [ "1.00000000000001"; "x" ] [ "1.0"; "x" ]);
+  Alcotest.(check bool) "different text" false (Observable.outputs_equal [ "a" ] [ "b" ]);
+  Alcotest.(check bool) "different lengths" false (Observable.outputs_equal [ "1" ] [ "1"; "2" ])
+
+let suites =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "arith" `Quick test_arith;
+        Alcotest.test_case "float math" `Quick test_float_math;
+        Alcotest.test_case "control flow" `Quick test_control_flow;
+        Alcotest.test_case "arrays" `Quick test_arrays;
+        Alcotest.test_case "plds" `Quick test_plds;
+        Alcotest.test_case "recursion" `Quick test_functions_recursion;
+        Alcotest.test_case "struct arrays" `Quick test_struct_values_in_arrays;
+        Alcotest.test_case "globals" `Quick test_globals_and_calls;
+        Alcotest.test_case "drand deterministic" `Quick test_drand_deterministic;
+        Alcotest.test_case "hrand pure" `Quick test_hrand_pure;
+        Alcotest.test_case "reads input" `Quick test_reads_input;
+        Alcotest.test_case "trap null" `Quick test_trap_null;
+        Alcotest.test_case "trap oob" `Quick test_trap_out_of_bounds;
+        Alcotest.test_case "fuel" `Quick test_fuel;
+        Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+      ] );
+    ( "observable",
+      [
+        Alcotest.test_case "isomorphic heaps" `Quick test_observable_isomorphic;
+        Alcotest.test_case "state diff" `Quick test_observable_differs;
+        Alcotest.test_case "float tolerance" `Quick test_observable_float_tolerance;
+        Alcotest.test_case "outputs tolerant" `Quick test_outputs_equal_tolerant;
+      ] );
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Additional interpreter edge cases                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_deep_recursion () =
+  let out =
+    outputs
+      {|
+      int depth(int n) { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+      void main() { printi(depth(500)); }
+      |}
+  in
+  Alcotest.(check (list string)) "deep recursion" [ "500" ] out
+
+let test_zero_length_alloc () =
+  let out =
+    outputs
+      {|
+      void main() {
+        int *p = new int[0];
+        if (p) { printi(1); } else { printi(0); }
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "zero-length allocation yields a valid pointer" [ "1" ] out
+
+let test_div_by_zero_traps () =
+  let p = compile "void main() { int z = 0; printi(10 / z); }" in
+  let ctx = Eval.create p in
+  (match Eval.run_main ctx with
+  | exception Eval.Trap _ -> ()
+  | () -> Alcotest.fail "expected a trap")
+
+let test_mod_by_zero_traps () =
+  let p = compile "void main() { int z = 0; printi(10 % z); }" in
+  let ctx = Eval.create p in
+  (match Eval.run_main ctx with
+  | exception Eval.Trap _ -> ()
+  | () -> Alcotest.fail "expected a trap")
+
+let test_uninitialized_use_traps () =
+  let p = compile "void main() { int x; printi(x + 1); }" in
+  let ctx = Eval.create p in
+  (match Eval.run_main ctx with
+  | exception Eval.Trap _ -> ()
+  | () -> Alcotest.fail "expected a trap")
+
+let test_negative_modulo_semantics () =
+  (* OCaml's [mod] semantics: sign follows the dividend, like C *)
+  let out = outputs "void main() { printi(-7 % 3); printi(7 % -3); }" in
+  Alcotest.(check (list string)) "C-style remainder" [ "-1"; "1" ] out
+
+let test_short_circuit_effects () =
+  let out =
+    outputs
+      {|
+      int calls;
+      int noisy(int v) { calls = calls + 1; return v; }
+      void main() {
+        calls = 0;
+        if (noisy(0) != 0 && noisy(1) != 0) { printi(99); }
+        printi(calls);          // 1: the second operand must not run
+        if (noisy(1) != 0 || noisy(1) != 0) { printi(7); }
+        printi(calls);          // 2: short-circuit or
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "short circuit" [ "1"; "7"; "2" ] out
+
+let test_pointer_equality () =
+  let out =
+    outputs
+      {|
+      struct cell { int v; struct cell *next; }
+      void main() {
+        struct cell *a = new struct cell;
+        struct cell *b = new struct cell;
+        struct cell *c = a;
+        if (a == c) { printi(1); } else { printi(0); }
+        if (a == b) { printi(1); } else { printi(0); }
+        if (a != null) { printi(1); } else { printi(0); }
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "pointer identity" [ "1"; "0"; "1" ] out
+
+let test_struct_value_copy_semantics () =
+  (* struct values live in place; assignments go field by field *)
+  let out =
+    outputs
+      {|
+      struct pt { float x; float y; }
+      struct pt grid[2];
+      void main() {
+        grid[0].x = 1.0;
+        grid[1].x = grid[0].x + 1.0;
+        grid[0].x = 9.0;
+        print(grid[1].x);   // copied before the overwrite
+      }
+      |}
+  in
+  Alcotest.(check (list string)) "field copies" [ "2" ] out
+
+let test_steps_counter_monotone () =
+  let p = compile "void main() { int i; int s = 0; for (i = 0; i < 50; i = i + 1) { s = s + i; } printi(s); }" in
+  let ctx = Eval.create p in
+  Eval.run_main ctx;
+  let small = Eval.steps ctx in
+  let p2 = compile "void main() { int i; int s = 0; for (i = 0; i < 500; i = i + 1) { s = s + i; } printi(s); }" in
+  let ctx2 = Eval.create p2 in
+  Eval.run_main ctx2;
+  Alcotest.(check bool) "10x iterations cost more" true (Eval.steps ctx2 > small * 5)
+
+let extra_suites =
+  [
+    ( "interp-edge",
+      [
+        Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+        Alcotest.test_case "zero-length alloc" `Quick test_zero_length_alloc;
+        Alcotest.test_case "div by zero" `Quick test_div_by_zero_traps;
+        Alcotest.test_case "mod by zero" `Quick test_mod_by_zero_traps;
+        Alcotest.test_case "uninitialized use" `Quick test_uninitialized_use_traps;
+        Alcotest.test_case "negative modulo" `Quick test_negative_modulo_semantics;
+        Alcotest.test_case "short circuit effects" `Quick test_short_circuit_effects;
+        Alcotest.test_case "pointer equality" `Quick test_pointer_equality;
+        Alcotest.test_case "struct field copies" `Quick test_struct_value_copy_semantics;
+        Alcotest.test_case "steps monotone" `Quick test_steps_counter_monotone;
+      ] );
+  ]
+
+let suites = suites @ extra_suites

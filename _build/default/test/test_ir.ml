@@ -1,0 +1,222 @@
+(* Tests for lowering and CFG construction. *)
+
+open Dca_frontend
+open Dca_ir
+
+let compile src = Lower.compile ~file:"<test>" src
+
+let func_named p name = Ir.find_func_exn p name
+
+let count_instrs pred f =
+  Array.fold_left
+    (fun acc blk -> acc + List.length (List.filter (fun i -> pred i.Ir.idesc) blk.Ir.instrs))
+    0 f.Ir.fblocks
+
+let test_lower_simple_loop () =
+  let p =
+    compile
+      {|
+      float a[10];
+      void main() {
+        int i;
+        for (i = 0; i < 10; i = i + 1) { a[i] = a[i] + 1.0; }
+      }
+      |}
+  in
+  let main = func_named p "main" in
+  let cfg = Cfg.of_func main in
+  (* entry, header, body, step, exit at minimum *)
+  Alcotest.(check bool) "at least 5 reachable blocks" true (List.length (Cfg.reverse_postorder cfg) >= 5);
+  let loads = count_instrs (function Ir.Load _ -> true | _ -> false) main in
+  let stores = count_instrs (function Ir.Store _ -> true | _ -> false) main in
+  Alcotest.(check int) "one load in body" 1 loads;
+  Alcotest.(check int) "one store in body" 1 stores
+
+let test_lower_plds_loop () =
+  let p =
+    compile
+      {|
+      struct node { int val; struct node *next; }
+      struct node *head;
+      void main() {
+        struct node *p = head;
+        while (p) { p->val = p->val + 1; p = p->next; }
+      }
+      |}
+  in
+  let main = func_named p "main" in
+  let geps = count_instrs (function Ir.Gep _ -> true | _ -> false) main in
+  Alcotest.(check bool) "field addressing uses gep" true (geps >= 2)
+
+let test_lower_multidim () =
+  let p =
+    compile
+      {|
+      float u[3][4][5];
+      void main() {
+        u[1][2][3] = 7.0;
+      }
+      |}
+  in
+  let main = func_named p "main" in
+  (* Expect geps with scales 20 (for [1]), 5 (for [2]), 1 (for [3]). *)
+  let scales =
+    Array.fold_left
+      (fun acc blk ->
+        List.fold_left
+          (fun acc i -> match i.Ir.idesc with Ir.Gep (_, _, _, s) -> s :: acc | _ -> acc)
+          acc blk.Ir.instrs)
+      [] main.Ir.fblocks
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "gep scales" [ 1; 5; 20 ] scales
+
+let test_lower_short_circuit () =
+  let p =
+    compile
+      {|
+      void main() {
+        int x = 1;
+        int y = 0;
+        if (x > 0 && y > 0) { printi(1); }
+      }
+      |}
+  in
+  let main = func_named p "main" in
+  let cfg = Cfg.of_func main in
+  (* && introduces a diamond: more than the plain if's blocks *)
+  Alcotest.(check bool) "short-circuit blocks" true (List.length (Cfg.reverse_postorder cfg) >= 6)
+
+let test_lower_break_continue () =
+  let p =
+    compile
+      {|
+      void main() {
+        int i = 0;
+        int n = 0;
+        while (1) {
+          i = i + 1;
+          if (i > 10) { break; }
+          if (i % 2 == 0) { continue; }
+          n = n + i;
+        }
+        printi(n);
+      }
+      |}
+  in
+  let main = func_named p "main" in
+  let cfg = Cfg.of_func main in
+  (* The loop must terminate through the break edge; exit blocks reachable. *)
+  Alcotest.(check bool) "has an exit" true (Cfg.exit_blocks cfg <> [])
+
+let test_global_init () =
+  let p = compile "int g = 42; float h = -1.5; void main() { printi(g); }" in
+  let inits =
+    Array.to_list p.Ir.p_globals
+    |> List.map (fun g -> g.Ir.g_init)
+  in
+  Alcotest.(check bool) "g init" true (List.mem (Some (Ir.Oint 42)) inits);
+  Alcotest.(check bool) "h init" true (List.mem (Some (Ir.Ofloat (-1.5))) inits)
+
+let test_layout () =
+  let p =
+    compile
+      {|
+      struct inner { int a; float b; }
+      struct outer { int x; struct inner in; struct inner *ptr; }
+      void main() { }
+      |}
+  in
+  let l = p.Ir.p_layout in
+  Alcotest.(check int) "inner size" 2 (Layout.size l (Ast.Tstruct "inner"));
+  Alcotest.(check int) "outer size" 4 (Layout.size l (Ast.Tstruct "outer"));
+  Alcotest.(check int) "field offset of in" 1 (Layout.field_offset l "outer" 1);
+  Alcotest.(check int) "field offset of ptr" 3 (Layout.field_offset l "outer" 2);
+  Alcotest.(check int) "array size" 24 (Layout.size l (Ast.Tarray (Ast.Tstruct "inner", [ 3; 4 ])))
+
+let test_cfg_rpo_starts_at_entry () =
+  let p = compile "void main() { int i = 0; while (i < 3) { i = i + 1; } }" in
+  let cfg = Cfg.of_func (func_named p "main") in
+  match Cfg.reverse_postorder cfg with
+  | e :: _ -> Alcotest.(check int) "entry first" (Cfg.entry cfg) e
+  | [] -> Alcotest.fail "empty rpo"
+
+let test_printer_stable () =
+  let src = "float a[4]; void main() { int i; for (i = 0; i < 4; i = i + 1) { a[i] = 0.5; } }" in
+  let s1 = Ir_printer.program_to_string (compile src) in
+  let s2 = Ir_printer.program_to_string (compile src) in
+  let contains_substring haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check string) "deterministic lowering" s1 s2;
+  Alcotest.(check bool) "mentions gep" true (contains_substring s1 "gep")
+
+let suites =
+  [
+    ( "lower",
+      [
+        Alcotest.test_case "simple loop" `Quick test_lower_simple_loop;
+        Alcotest.test_case "plds loop" `Quick test_lower_plds_loop;
+        Alcotest.test_case "multidim arrays" `Quick test_lower_multidim;
+        Alcotest.test_case "short circuit" `Quick test_lower_short_circuit;
+        Alcotest.test_case "break/continue" `Quick test_lower_break_continue;
+        Alcotest.test_case "global init" `Quick test_global_init;
+      ] );
+    ( "layout+cfg",
+      [
+        Alcotest.test_case "layout" `Quick test_layout;
+        Alcotest.test_case "rpo entry" `Quick test_cfg_rpo_starts_at_entry;
+        Alcotest.test_case "printer stable" `Quick test_printer_stable;
+      ] );
+  ]
+
+(* Golden IR: the exact lowering of the paper's Fig. 1(b) loop.  Guards
+   against silent changes in lowering shape, which the DCA engine's slice
+   machinery depends on. *)
+let test_golden_plds_ir () =
+  let p =
+    compile
+      {|
+struct node { int val; struct node *next; }
+struct node *head;
+void main() {
+  struct node *ptr = head;
+  while (ptr) {
+    ptr->val = ptr->val + 1;
+    ptr = ptr->next;
+  }
+}
+|}
+  in
+  let expected =
+    "func main() : void {\n\
+     b0:\n\
+    \  %t0 = gload @head\n\
+    \  ptr = %t0\n\
+    \  br b1\n\
+     b1:\n\
+    \  %t1 = cmp!= ptr, null\n\
+    \  cbr %t1, b2, b3\n\
+     b2:\n\
+    \  %t2 = gep ptr, 0 x1\n\
+    \  %t3 = gep ptr, 0 x1\n\
+    \  %t4 = load %t3\n\
+    \  %t5 = add %t4, 1\n\
+    \  store %t2, %t5\n\
+    \  %t6 = gep ptr, 1 x1\n\
+    \  %t7 = load %t6\n\
+    \  ptr = %t7\n\
+    \  br b1\n\
+     b3:\n\
+    \  ret\n\
+     }\n"
+  in
+  Alcotest.(check string) "golden IR" expected
+    (Ir_printer.func_to_string (func_named p "main"))
+
+let golden_suites =
+  [ ("golden-ir", [ Alcotest.test_case "fig1b lowering" `Quick test_golden_plds_ir ]) ]
+
+let suites = suites @ golden_suites

@@ -1,0 +1,81 @@
+(* Tests for the benchmark suite: every port compiles, runs, self-verifies
+   and is deterministic; structural loop annotations resolve. *)
+
+open Dca_progs
+
+let run bm =
+  let prog = Benchmark.compile bm in
+  let ctx = Dca_interp.Eval.create ~input:bm.Benchmark.bm_input prog in
+  Dca_interp.Eval.run_main ctx;
+  Dca_interp.Eval.outputs ctx
+
+let per_benchmark_cases () =
+  List.concat_map
+    (fun bm ->
+      let name = bm.Benchmark.bm_name in
+      [
+        Alcotest.test_case (name ^ " self-verifies") `Quick (fun () ->
+            match List.rev (run bm) with
+            | last :: _ -> Alcotest.(check string) (name ^ " verified flag") "1" last
+            | [] -> Alcotest.fail "no output");
+        Alcotest.test_case (name ^ " is deterministic") `Quick (fun () ->
+            Alcotest.(check (list string)) name (run bm) (run bm));
+        Alcotest.test_case (name ^ " annotations resolve") `Quick (fun () ->
+            let info = Dca_analysis.Proginfo.analyze (Benchmark.compile bm) in
+            let check_refs what refs =
+              List.iter
+                (fun r ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: %s resolves" what (Benchmark.loop_ref_to_string r))
+                    true
+                    (Benchmark.resolve info [ r ] <> []))
+                refs
+            in
+            check_refs "expert" bm.Benchmark.bm_expert_loops;
+            check_refs "sequential" bm.Benchmark.bm_known_sequential;
+            List.iter (check_refs "section") bm.Benchmark.bm_expert_sections);
+      ])
+    Registry.all
+
+let test_registry () =
+  Alcotest.(check int) "ten NPB programs" 10 (List.length Registry.npb);
+  Alcotest.(check int) "fourteen PLDS programs" 14 (List.length Registry.plds);
+  Alcotest.(check bool) "lookup works" true (Registry.find "BFS" <> None);
+  Alcotest.(check bool) "unknown is None" true (Registry.find "nope" = None);
+  (* names are unique *)
+  let names = List.map (fun bm -> bm.Benchmark.bm_name) Registry.all in
+  Alcotest.(check int) "unique names" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_suite_loop_population () =
+  (* the NPB ports together must expose a non-trivial loop population *)
+  let total =
+    List.fold_left
+      (fun acc bm ->
+        let info = Dca_analysis.Proginfo.analyze (Benchmark.compile bm) in
+        acc + List.length (Dca_analysis.Proginfo.all_loops info))
+      0 Registry.npb
+  in
+  Alcotest.(check bool) (Printf.sprintf "NPB has >= 100 loops (got %d)" total) true (total >= 100)
+
+let test_loop_ref_matching () =
+  let bm = Registry.find_exn "EP" in
+  let info = Dca_analysis.Proginfo.analyze (Benchmark.compile bm) in
+  let all = Benchmark.resolve info [ Benchmark.In_func "main" ] in
+  let outer = Benchmark.resolve info [ Benchmark.Outermost "main" ] in
+  let nth = Benchmark.resolve info [ Benchmark.Nth_in_func ("main", 0) ] in
+  Alcotest.(check bool) "In_func superset of Outermost" true
+    (List.for_all (fun id -> List.mem id all) outer);
+  Alcotest.(check int) "Nth picks one" 1 (List.length nth);
+  Alcotest.(check (list string)) "no match for unknown function" []
+    (Benchmark.resolve info [ Benchmark.In_func "nope" ])
+
+let suites =
+  [
+    ( "progs-registry",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "loop population" `Quick test_suite_loop_population;
+        Alcotest.test_case "loop refs" `Quick test_loop_ref_matching;
+      ] );
+    ("progs-benchmarks", per_benchmark_cases ());
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the support utilities: deterministic PRNG, list helpers,
+   union-find, int sets. *)
+
+open Dca_support
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_split_decorrelates () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  Alcotest.(check bool) "child differs from parent" true (Prng.next_int64 a <> Prng.next_int64 child)
+
+let prop_prng_int_in_bounds =
+  QCheck.Test.make ~count:500 ~name:"Prng.int stays within bounds"
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let t = Prng.create seed in
+      let v = Prng.int t bound in
+      v >= 0 && v < bound)
+
+let prop_permutation_bijective =
+  QCheck.Test.make ~count:200 ~name:"Prng.permutation is a bijection"
+    QCheck.(pair small_int (int_range 0 300))
+    (fun (seed, n) ->
+      let p = Prng.permutation (Prng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.length p = n && Array.for_all (fun b -> b) seen)
+
+let prop_float_unit_interval =
+  QCheck.Test.make ~count:500 ~name:"Prng.float is in [0,1)" QCheck.small_int (fun seed ->
+      let t = Prng.create seed in
+      let f = Prng.float t in
+      f >= 0.0 && f < 1.0)
+
+(* --------------------------------------------------------------- *)
+
+let test_listx_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1; 2; 3 ] (Listx.take 9 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Listx.drop 9 [ 1; 2; 3 ])
+
+let test_listx_helpers () =
+  Alcotest.(check int) "sum" 6 (Listx.sum_int [ 1; 2; 3 ]);
+  Alcotest.(check (option int)) "index_of" (Some 1) (Listx.index_of (fun x -> x = 5) [ 3; 5; 7 ]);
+  Alcotest.(check (option int)) "index_of missing" None (Listx.index_of (fun x -> x = 9) [ 3; 5 ]);
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 3 ] (Listx.dedup_keep_order ( = ) [ 1; 2; 1; 3; 2 ]);
+  Alcotest.(check (float 1e-9)) "max_float" 7.5 (Listx.max_float [ 1.0; 7.5; -3.0 ]);
+  let grouped = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "two groups" 2 (List.length grouped);
+  Alcotest.(check (list int)) "odd group" [ 1; 3; 5 ] (List.assoc 1 grouped)
+
+let test_listx_fold_lefti () =
+  let result = Listx.fold_lefti (fun acc i x -> acc + (i * x)) 0 [ 10; 20; 30 ] in
+  Alcotest.(check int) "indexed fold" 80 result
+
+let test_topological_sort () =
+  let succs = function 1 -> [ 2; 3 ] | 2 -> [ 4 ] | 3 -> [ 4 ] | _ -> [] in
+  (match Listx.topological_sort succs [ 1; 2; 3; 4 ] with
+  | Some order ->
+      let pos x = Option.get (Listx.index_of (fun y -> y = x) order) in
+      Alcotest.(check bool) "1 before 2" true (pos 1 < pos 2);
+      Alcotest.(check bool) "2 before 4" true (pos 2 < pos 4);
+      Alcotest.(check bool) "3 before 4" true (pos 3 < pos 4)
+  | None -> Alcotest.fail "acyclic graph must sort");
+  let cyclic = function 1 -> [ 2 ] | 2 -> [ 1 ] | _ -> [] in
+  Alcotest.(check bool) "cycle detected" true (Listx.topological_sort cyclic [ 1; 2 ] = None)
+
+(* --------------------------------------------------------------- *)
+
+let test_unionfind () =
+  let uf = Unionfind.create 6 in
+  Unionfind.union uf 0 1;
+  Unionfind.union uf 2 3;
+  Unionfind.union uf 1 2;
+  Alcotest.(check bool) "0 ~ 3" true (Unionfind.same uf 0 3);
+  Alcotest.(check bool) "0 !~ 4" false (Unionfind.same uf 0 4);
+  let classes = Unionfind.classes uf in
+  Alcotest.(check int) "three classes" 3 (List.length classes);
+  Alcotest.(check (list int)) "big class" [ 0; 1; 2; 3 ] (List.hd classes)
+
+let prop_unionfind_transitive =
+  QCheck.Test.make ~count:200 ~name:"union-find equivalence is transitive"
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_bound 19) (int_bound 19)))
+    (fun unions ->
+      let uf = Unionfind.create 20 in
+      List.iter (fun (a, b) -> Unionfind.union uf a b) unions;
+      (* check transitivity on all triples *)
+      let ok = ref true in
+      for a = 0 to 19 do
+        for b = 0 to 19 do
+          for c = 0 to 19 do
+            if Unionfind.same uf a b && Unionfind.same uf b c && not (Unionfind.same uf a c) then
+              ok := false
+          done
+        done
+      done;
+      !ok)
+
+let test_intset () =
+  let s = Intset.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check int) "cardinal dedups" 4 (Intset.cardinal s);
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 4; 5 ] (Intset.to_sorted_list s);
+  Alcotest.(check bool) "unions" true
+    (Intset.equal (Intset.unions [ Intset.singleton 1; Intset.singleton 2 ]) (Intset.of_list [ 1; 2 ]));
+  let m = Intset.Map.add_to_list_entry 1 "a" Intset.Map.empty in
+  let m = Intset.Map.add_to_list_entry 1 "b" m in
+  Alcotest.(check (list string)) "map list entry" [ "b"; "a" ] (Intset.Map.find 1 m);
+  Alcotest.(check int) "find_default" 9 (Intset.Map.find_default 2 9 (Intset.Map.empty : int Intset.Map.t))
+
+let suites =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng seeds" `Quick test_prng_seeds_differ;
+        Alcotest.test_case "prng copy" `Quick test_prng_copy_independent;
+        Alcotest.test_case "prng split" `Quick test_prng_split_decorrelates;
+        QCheck_alcotest.to_alcotest prop_prng_int_in_bounds;
+        QCheck_alcotest.to_alcotest prop_permutation_bijective;
+        QCheck_alcotest.to_alcotest prop_float_unit_interval;
+        Alcotest.test_case "listx take/drop" `Quick test_listx_take_drop;
+        Alcotest.test_case "listx helpers" `Quick test_listx_helpers;
+        Alcotest.test_case "listx fold_lefti" `Quick test_listx_fold_lefti;
+        Alcotest.test_case "topological sort" `Quick test_topological_sort;
+        Alcotest.test_case "union-find" `Quick test_unionfind;
+        QCheck_alcotest.to_alcotest prop_unionfind_transitive;
+        Alcotest.test_case "intset" `Quick test_intset;
+      ] );
+  ]
