@@ -8,46 +8,48 @@
      dca tools <prog>              compare the five baseline detectors
      dca speedup <prog>            plan + simulated multicore speedup
 
-   <prog> is a path to a .mc file or the name of a built-in benchmark. *)
+   <prog> is a path to a .mc file or the name of a built-in benchmark.
+
+   Every analysis command goes through Dca_core.Session: one memoized
+   pipeline (ir → proginfo → profile → dca_results → plan) and one worker
+   pool, selected with --jobs (or the DCA_JOBS environment variable). *)
 
 open Cmdliner
+module Session = Dca_core.Session
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Resolve a program argument to (name, source, input). *)
-let load prog =
-  match Dca_progs.Registry.find prog with
-  | Some bm ->
-      Ok (bm.Dca_progs.Benchmark.bm_name, bm.Dca_progs.Benchmark.bm_source, bm.Dca_progs.Benchmark.bm_input)
-  | None ->
-      if Sys.file_exists prog then Ok (Filename.basename prog, read_file prog, [])
-      else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" prog)
-
-let with_program prog f =
-  match load prog with
+(* Open a session for PROG and run [f] on it, mapping the standard failure
+   modes to exit codes. *)
+let with_session ?config ?spec ?hierarchical ?jobs prog f =
+  match Session.load ?config ?spec ?hierarchical ?jobs prog with
   | Error msg ->
       Printf.eprintf "dca: %s\n" msg;
       1
-  | Ok (name, source, input) -> (
-      match f name source input with
-      | () -> 0
-      | exception Dca_frontend.Loc.Error (loc, msg) ->
-          Printf.eprintf "dca: %s: %s\n" (Dca_frontend.Loc.to_string loc) msg;
-          1
-      | exception Dca_interp.Eval.Trap msg ->
-          Printf.eprintf "dca: runtime trap: %s\n" msg;
-          1
-      | exception Dca_interp.Eval.Out_of_fuel ->
-          Printf.eprintf "dca: execution exceeded the fuel bound\n";
-          1)
+  | Ok s ->
+      Fun.protect
+        ~finally:(fun () -> Session.close s)
+        (fun () ->
+          match f s with
+          | () -> 0
+          | exception Dca_frontend.Loc.Error (loc, msg) ->
+              Printf.eprintf "dca: %s: %s\n" (Dca_frontend.Loc.to_string loc) msg;
+              1
+          | exception Dca_interp.Eval.Trap msg ->
+              Printf.eprintf "dca: runtime trap: %s\n" msg;
+              1
+          | exception Dca_interp.Eval.Out_of_fuel ->
+              Printf.eprintf "dca: execution exceeded the fuel bound\n";
+              1)
 
 let prog_arg =
   let doc = "Program: a .mc source file or a built-in benchmark name (see $(b,dca list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROG" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the dynamic stage.  Defaults to $(b,DCA_JOBS) if set, otherwise the \
+     recommended domain count.  Results are bit-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* ------------------------------------------------------------------ *)
 
@@ -69,9 +71,8 @@ let list_cmd =
 
 let run_cmd =
   let run prog =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let ctx = Dca_interp.Eval.create ~input p in
+    with_session prog (fun s ->
+        let ctx = Dca_interp.Eval.create ~input:(Session.input s) (Session.ir s) in
         Dca_interp.Eval.run_main ctx;
         List.iter print_endline (Dca_interp.Eval.outputs ctx);
         Printf.printf "(%d instructions executed)\n" (Dca_interp.Eval.steps ctx))
@@ -81,9 +82,7 @@ let run_cmd =
 
 let ir_cmd =
   let run prog =
-    with_program prog (fun _name source _input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        print_string (Dca_ir.Ir_printer.program_to_string p))
+    with_session prog (fun s -> print_string (Dca_ir.Ir_printer.program_to_string (Session.ir s)))
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered intermediate representation")
     Term.(const run $ prog_arg)
@@ -97,33 +96,36 @@ let no_escalate_arg =
     & info [ "no-escalate" ]
         ~doc:"Disable whole-program verification; strict live-out digests only.")
 
+let hierarchical_arg =
+  Arg.(
+    value & flag
+    & info [ "hierarchical" ]
+        ~doc:
+          "Explore loops top-down: skip (as subsumed) loops nested inside a loop already found \
+           commutative.")
+
 let analyze_cmd =
-  let run prog shuffles no_escalate =
-    with_program prog (fun _name source input ->
-        let config =
-          {
-            Dca_core.Commutativity.default_config with
-            Dca_core.Commutativity.cc_schedules = Dca_core.Schedule.presets ~shuffles ();
-            cc_escalate = not no_escalate;
-          }
-        in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let _, results = Dca_core.Driver.analyze_source ~config ~spec ~file:prog source in
-        Dca_core.Report.print results)
+  let run prog shuffles no_escalate hierarchical jobs =
+    let config =
+      {
+        Dca_core.Commutativity.default_config with
+        Dca_core.Commutativity.cc_schedules = Dca_core.Schedule.presets ~shuffles ();
+        cc_escalate = not no_escalate;
+      }
+    in
+    with_session ~config ~hierarchical ?jobs prog (fun s -> print_string (Session.report s))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Dynamic Commutativity Analysis on every loop of the program")
-    Term.(const run $ prog_arg $ shuffles_arg $ no_escalate_arg)
+    Term.(const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ jobs_arg)
 
 let tools_cmd =
-  let run prog =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let info = Dca_analysis.Proginfo.analyze p in
-        let profile = Dca_profiling.Depprof.profile_program ~input info in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let dca = Dca_core.Driver.analyze_program ~spec info in
+  let run prog jobs =
+    with_session ?jobs prog (fun s ->
+        let info = Session.proginfo s in
+        let profile = Session.profile s in
+        let dca = Session.dca_results s in
         let tool_results =
           List.map
             (fun tool ->
@@ -150,32 +152,23 @@ let tools_cmd =
   in
   Cmd.v
     (Cmd.info "tools" ~doc:"Compare the five baseline detectors and DCA, loop by loop")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ jobs_arg)
 
 let workers_arg =
   Arg.(value & opt int 72 & info [ "workers" ] ~docv:"P" ~doc:"Simulated worker count.")
 
 let speedup_cmd =
-  let run prog workers =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let info = Dca_analysis.Proginfo.analyze p in
-        let profile = Dca_profiling.Depprof.profile_program ~input info in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let dca = Dca_core.Driver.analyze_program ~spec info in
+  let run prog workers jobs =
+    with_session ?jobs prog (fun s ->
         let machine = Dca_parallel.Machine.with_workers Dca_parallel.Machine.default workers in
-        let plan =
-          Dca_parallel.Planner.select ~machine info profile
-            ~detected:(Dca_core.Driver.commutative_ids dca)
-            ~strategy:Dca_parallel.Planner.Best_benefit
-        in
-        let result = Dca_parallel.Speedup.simulate ~machine info profile plan in
+        let plan = Session.plan ~machine s in
+        let result = Dca_parallel.Speedup.simulate ~machine (Session.proginfo s) (Session.profile s) plan in
         Printf.printf "parallel plan:\n%s\n" (Dca_parallel.Plan.to_string plan);
         List.iter
-          (fun s ->
+          (fun sl ->
             Printf.printf "  %-24s seq %12.0f  par %12.0f  saved %12.0f\n"
-              s.Dca_parallel.Speedup.ls_loop_id s.Dca_parallel.Speedup.ls_seq_cost
-              s.Dca_parallel.Speedup.ls_par_cost s.Dca_parallel.Speedup.ls_saved)
+              sl.Dca_parallel.Speedup.ls_loop_id sl.Dca_parallel.Speedup.ls_seq_cost
+              sl.Dca_parallel.Speedup.ls_par_cost sl.Dca_parallel.Speedup.ls_saved)
           result.Dca_parallel.Speedup.sp_loops;
         Printf.printf "sequential work: %.0f\nsimulated parallel time (%d workers): %.0f\nspeedup: %.2fx\n"
           result.Dca_parallel.Speedup.sp_seq workers result.Dca_parallel.Speedup.sp_par
@@ -184,60 +177,37 @@ let speedup_cmd =
   Cmd.v
     (Cmd.info "speedup"
        ~doc:"Parallelize the DCA-commutative loops and report the simulated speedup")
-    Term.(const run $ prog_arg $ workers_arg)
+    Term.(const run $ prog_arg $ workers_arg $ jobs_arg)
 
 let advise_cmd =
-  let run prog =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let info = Dca_analysis.Proginfo.analyze p in
-        let profile = Dca_profiling.Depprof.profile_program ~input info in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let results = Dca_core.Driver.analyze_program ~spec info in
-        let advices = Dca_core.Advisor.advise info profile results in
-        print_string (Dca_core.Advisor.report advices))
+  let run prog jobs =
+    with_session ?jobs prog (fun s -> print_string (Dca_core.Advisor.report (Session.advise s)))
   in
   Cmd.v
     (Cmd.info "advise"
        ~doc:
          "Full parallelism advisory: per loop, whether to parallelize (and with which OpenMP \
           clauses), leave serial, or keep sequential — with the evidence")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ jobs_arg)
 
 let annotate_cmd =
-  let run prog =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let info = Dca_analysis.Proginfo.analyze p in
-        let profile = Dca_profiling.Depprof.profile_program ~input info in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let results = Dca_core.Driver.analyze_program ~spec info in
-        let plan =
-          Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
-            ~detected:(Dca_core.Driver.commutative_ids results)
-            ~strategy:Dca_parallel.Planner.Best_benefit
-        in
-        print_string (Dca_parallel.Codegen.annotate_source info ~source plan))
+  let run prog jobs =
+    with_session ?jobs prog (fun s ->
+        print_string
+          (Dca_parallel.Codegen.annotate_source (Session.proginfo s) ~source:(Session.source s)
+             (Session.plan s)))
   in
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Emit the source with OpenMP-style pragmas inserted above every loop DCA parallelizes")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ jobs_arg)
 
 let export_c_cmd =
-  let run prog =
-    with_program prog (fun _name source input ->
-        let p = Dca_ir.Lower.compile ~file:prog source in
-        let info = Dca_analysis.Proginfo.analyze p in
-        let profile = Dca_profiling.Depprof.profile_program ~input info in
-        let spec = { Dca_core.Commutativity.rs_input = input; rs_fuel = 200_000_000 } in
-        let results = Dca_core.Driver.analyze_program ~spec info in
-        let plan =
-          Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
-            ~detected:(Dca_core.Driver.commutative_ids results)
-            ~strategy:Dca_parallel.Planner.Best_benefit
-        in
-        let ast = Dca_frontend.Parser.parse_program ~file:prog source in
+  let run prog jobs =
+    with_session ?jobs prog (fun s ->
+        let info = Session.proginfo s in
+        let plan = Session.plan s in
+        let ast = Dca_frontend.Parser.parse_program ~file:(Session.file s) (Session.source s) in
         let pragmas =
           List.filter_map
             (fun lp ->
@@ -267,13 +237,15 @@ let export_c_cmd =
               | None -> None)
             plan.Dca_parallel.Plan.plan_loops
         in
-        print_string (Dca_frontend.C_export.export_source ~pragmas ~file:prog source))
+        print_string
+          (Dca_frontend.C_export.export_source ~pragmas ~file:(Session.file s) (Session.source s)))
   in
   Cmd.v
     (Cmd.info "export-c"
        ~doc:
-         "Export the program as compilable C99 with real OpenMP pragmas on every loop DCA           parallelizes (build with: cc -fopenmp prog.c -lm)")
-    Term.(const run $ prog_arg)
+         "Export the program as compilable C99 with real OpenMP pragmas on every loop DCA \
+          parallelizes (build with: cc -fopenmp prog.c -lm)")
+    Term.(const run $ prog_arg $ jobs_arg)
 
 let () =
   let doc = "Loop parallelization using Dynamic Commutativity Analysis (CGO 2021 reproduction)" in

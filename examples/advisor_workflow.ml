@@ -70,25 +70,23 @@ let source =
 
 let () =
   print_endline "=== Parallelism advisor workflow ===\n";
-  let prog = Dca_ir.Lower.compile ~file:"advisor.mc" source in
-  let info = Dca_analysis.Proginfo.analyze prog in
-
+  (* The whole advisory rides on one Session: detection, profiling and
+     planning are memoized stages, so each is computed exactly once no
+     matter how many products below consume it. *)
+  Dca_core.Session.with_session ~jobs:1 ~hierarchical:true
+    (Dca_core.Session.Source { file = "advisor.mc"; source; input = [] })
+  @@ fun session ->
   (* 1. hierarchical detection *)
-  let results = Dca_core.Driver.analyze_program ~hierarchical:true info in
+  let results = Dca_core.Session.dca_results session in
   Printf.printf "1. hierarchical detection (%d loops):\n" (List.length results);
   Dca_core.Report.print results;
 
   (* 2. the advisory *)
-  let profile = Dca_profiling.Depprof.profile_program info in
-  let advices = Dca_core.Advisor.advise info profile results in
   print_endline "\n2. advisory:";
-  print_string (Dca_core.Advisor.report advices);
+  print_string (Dca_core.Advisor.report (Dca_core.Session.advise session));
 
   (* 3. the artifact the user reviews *)
-  let plan =
-    Dca_parallel.Planner.select ~machine:Dca_parallel.Machine.default info profile
-      ~detected:(Dca_core.Driver.commutative_ids results)
-      ~strategy:Dca_parallel.Planner.Best_benefit
-  in
+  let info = Dca_core.Session.proginfo session in
   print_endline "3. annotated source (review and commit):\n";
-  print_string (Dca_parallel.Codegen.annotate_source info ~source plan)
+  print_string
+    (Dca_parallel.Codegen.annotate_source info ~source (Dca_core.Session.plan session))

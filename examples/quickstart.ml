@@ -46,20 +46,27 @@ let source =
 let () =
   print_endline "=== DCA quickstart: the paper's Fig. 1 ===\n";
 
+  (* One Session is the whole pipeline: every stage (ir, proginfo, profile,
+     dca_results, plan) is computed on first access and memoized.  [jobs]
+     picks the worker-pool width for the dynamic stage; results are
+     bit-identical for every value, so examples default to 1. *)
+  Dca_core.Session.with_session ~jobs:1
+    (Dca_core.Session.Source { file = "quickstart.mc"; source; input = [] })
+  @@ fun session ->
   (* 1. Compile: parse, type-check, lower to the IR. *)
-  let prog = Dca_ir.Lower.compile ~file:"quickstart.mc" source in
-  let info = Dca_analysis.Proginfo.analyze prog in
+  let prog = Dca_core.Session.ir session in
+  let info = Dca_core.Session.proginfo session in
   Printf.printf "compiled: %d function(s), %d loop(s) total\n\n"
     (List.length prog.Dca_ir.Ir.p_funcs)
     (List.length (Dca_analysis.Proginfo.all_loops info));
 
   (* 2. Run DCA on every loop. *)
-  let results = Dca_core.Driver.analyze_program info in
+  let results = Dca_core.Session.dca_results session in
   print_endline "DCA verdicts:";
   Dca_core.Report.print results;
 
   (* 3. Contrast with a dependence-based dynamic tool. *)
-  let profile = Dca_profiling.Depprof.profile_program info in
+  let profile = Dca_core.Session.profile session in
   let dp = Dca_baselines.Depprofiling_tool.tool.Dca_baselines.Tool.tool_analyze info (Some profile) in
   print_endline "\nDependence profiling (Tournavitis-style) verdicts:";
   List.iter

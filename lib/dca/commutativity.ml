@@ -344,7 +344,75 @@ let widen_or_fail fi state violations =
     Ok ()
   end
 
-let test_invocation config fi state ctx frame =
+(* Run the post-identity permutation schedules.  With a pool of width > 1
+   every schedule replays on a {!Eval.fork}ed replica of the entry state in
+   parallel; the outcomes are then folded in schedule order, reproducing the
+   sequential control flow exactly: escalation marks accumulate in schedule
+   order and a trap verdict cuts off the marks of every later schedule, so
+   [jobs = n] and [jobs = 1] reach bit-identical verdicts. *)
+let run_schedules pool config fi state ctx frame g restore0 =
+  let sequential () =
+    let rec schedules = function
+      | [] -> Commutative
+      | sched :: rest -> begin
+          restore0 ();
+          match replay ctx frame fi state.ts_sep g sched with
+          | exception Replay_mismatch _ ->
+              (* control divergence prevents loop-local digesting;
+                 decide via whole-program verification *)
+              state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+              schedules rest
+          | exception Eval.Trap msg ->
+              Non_commutative (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
+          | d ->
+              if Observable.equal ~eps:config.cc_eps d g.g_digest then schedules rest
+              else begin
+                state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+                schedules rest
+              end
+        end
+    in
+    schedules config.cc_schedules
+  in
+  match pool with
+  | Some p when Pool.jobs p > 1 && List.length config.cc_schedules > 1 ->
+      restore0 ();
+      (* every replica forks from the restored entry state; the parent only
+         participates in the pool while the map is in flight, so the shared
+         store is read-only for its duration *)
+      let outcomes =
+        Pool.map p
+          (fun sched ->
+            let ctx' = Eval.fork ctx in
+            let frame' = { Eval.ffunc = frame.Eval.ffunc; regs = Array.copy frame.Eval.regs } in
+            match replay ctx' frame' fi state.ts_sep g sched with
+            | d -> `Digest d
+            | exception Replay_mismatch _ -> `Mismatch
+            | exception Eval.Trap msg -> `Trap msg
+            | exception Eval.Out_of_fuel -> `Fuel)
+          config.cc_schedules
+      in
+      let rec merge = function
+        | [] -> Commutative
+        | (sched, outcome) :: rest -> (
+            match outcome with
+            | `Mismatch ->
+                state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+                merge rest
+            | `Trap msg ->
+                Non_commutative (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
+            | `Fuel -> raise Eval.Out_of_fuel
+            | `Digest d ->
+                if Observable.equal ~eps:config.cc_eps d g.g_digest then merge rest
+                else begin
+                  state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
+                  merge rest
+                end)
+      in
+      merge (List.combine config.cc_schedules outcomes)
+  | _ -> sequential ()
+
+let test_invocation ?pool config fi state ctx frame =
   let st = Eval.store ctx in
   let s0 = Store.snapshot st in
   let regs0 = Array.copy frame.Eval.regs in
@@ -375,30 +443,7 @@ let test_invocation config fi state ctx frame =
           | d_id ->
               if not (Observable.equal ~eps:config.cc_eps d_id g.g_digest) then
                 Untestable "identity replay does not reproduce the golden state"
-              else begin
-                let rec schedules = function
-                  | [] -> Commutative
-                  | sched :: rest -> begin
-                      restore0 ();
-                      match replay ctx frame fi state.ts_sep g sched with
-                      | exception Replay_mismatch _ ->
-                          (* control divergence prevents loop-local digesting;
-                             decide via whole-program verification *)
-                          state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-                          schedules rest
-                      | exception Eval.Trap msg ->
-                          Non_commutative
-                            (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
-                      | d ->
-                          if Observable.equal ~eps:config.cc_eps d g.g_digest then schedules rest
-                          else begin
-                            state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-                            schedules rest
-                          end
-                    end
-                in
-                schedules config.cc_schedules
-              end
+              else run_schedules pool config fi state ctx frame g restore0
         end
       end
   in
@@ -437,31 +482,75 @@ let whole_program_run (info : Proginfo.t) spec fi sep sched =
   Eval.run_main ctx;
   Eval.outputs ctx
 
-let escalate config info spec fi sep scheds =
-  let prog = Proginfo.program info in
-  let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
-  Eval.run_main plain_ctx;
-  let golden_out = Eval.outputs plain_ctx in
-  let rec go = function
-    | [] -> Commutative
-    | sched :: rest -> begin
-        match whole_program_run info spec fi sep sched with
-        | exception Replay_mismatch msg -> Untestable ("whole-program replay: " ^ msg)
-        | exception Eval.Trap msg ->
-            Non_commutative (Printf.sprintf "whole-program trap under %s: %s" (Schedule.to_string sched) msg)
-        | exception Eval.Out_of_fuel -> Untestable "whole-program replay ran out of fuel"
-        | out ->
-            if Observable.outputs_equal ~eps:config.cc_eps golden_out out then go rest
-            else Non_commutative (Printf.sprintf "program output differs under %s" (Schedule.to_string sched))
-      end
+(* Whole-program verification is one plain golden run plus one permuted
+   run per schedule — every run builds its own evaluator from scratch, so
+   with a pool they all execute concurrently.  The merge walks schedules
+   in their (deduplicated) order and applies the sequential decision rule,
+   so the verdict is identical to the sequential short-circuiting loop —
+   the parallel path merely runs schedules speculatively. *)
+let escalate ?pool config info spec fi sep scheds =
+  let scheds = Listx.dedup_keep_order ( = ) scheds in
+  let golden_run () =
+    let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input (Proginfo.program info) in
+    Eval.run_main plain_ctx;
+    Eval.outputs plain_ctx
   in
-  go (Listx.dedup_keep_order ( = ) scheds)
+  let sched_run sched =
+    match whole_program_run info spec fi sep sched with
+    | out -> `Out out
+    | exception Replay_mismatch msg -> `Verdict (Untestable ("whole-program replay: " ^ msg))
+    | exception Eval.Trap msg ->
+        `Verdict
+          (Non_commutative (Printf.sprintf "whole-program trap under %s: %s" (Schedule.to_string sched) msg))
+    | exception Eval.Out_of_fuel -> `Verdict (Untestable "whole-program replay ran out of fuel")
+    | exception e -> `Raised (e, Printexc.get_raw_backtrace ())
+  in
+  (* Decide in schedule order.  The (sched, result) pairs arrive as a
+     sequence: lazy in the sequential path (so a decisive early schedule
+     short-circuits the later runs, as always), precomputed in the parallel
+     path (the runs were speculative, but the decision rule consumes them
+     in the same order, so the verdict is the same). *)
+  let merge golden_out pairs =
+    let rec go pairs =
+      match Seq.uncons pairs with
+      | None -> Commutative
+      | Some ((_, `Raised (e, bt)), _) -> Printexc.raise_with_backtrace e bt
+      | Some ((_, `Verdict v), _) -> v
+      | Some ((sched, `Out out), rest) ->
+          if Observable.outputs_equal ~eps:config.cc_eps golden_out out then go rest
+          else Non_commutative (Printf.sprintf "program output differs under %s" (Schedule.to_string sched))
+    in
+    go pairs
+  in
+  match pool with
+  | Some p when Pool.jobs p > 1 && scheds <> [] ->
+      let results =
+        Pool.map p
+          (function
+            | `Golden -> (
+                match golden_run () with
+                | out -> `Out out
+                | exception e -> `Raised (e, Printexc.get_raw_backtrace ()))
+            | `Sched sched -> sched_run sched)
+          (`Golden :: List.map (fun s -> `Sched s) scheds)
+      in
+      let golden_out, sched_results =
+        match results with
+        (* the sequential path runs golden first: its failure wins *)
+        | `Raised (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+        | `Out golden_out :: rest -> (golden_out, rest)
+        | `Verdict _ :: _ | [] -> assert false
+      in
+      merge golden_out (List.to_seq (List.combine scheds sched_results))
+  | _ ->
+      let golden_out = golden_run () in
+      merge golden_out (Seq.map (fun sched -> (sched, sched_run sched)) (List.to_seq scheds))
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let test_loop config (info : Proginfo.t) spec fi sep =
+let test_loop ?pool config (info : Proginfo.t) spec fi sep =
   let loop = sep.sep_loop in
   let state =
     {
@@ -481,7 +570,7 @@ let test_loop config (info : Proginfo.t) spec fi sep =
     else begin
       state.ts_tested <- state.ts_tested + 1;
       let pending_before = List.length state.ts_needs_escalation in
-      let v = test_invocation config fi state ctx frame in
+      let v = test_invocation ?pool config fi state ctx frame in
       let v_recorded =
         (* a strict digest mismatch defers to whole-program verification;
            surface that in the per-invocation trail *)
@@ -509,7 +598,7 @@ let test_loop config (info : Proginfo.t) spec fi sep =
   let verdict =
     match base_verdict with
     | Commutative when escalated ->
-        if config.cc_escalate then escalate config info spec fi state.ts_sep state.ts_needs_escalation
+        if config.cc_escalate then escalate ?pool config info spec fi state.ts_sep state.ts_needs_escalation
         else Non_commutative "live-out digest differs (escalation disabled)"
     | v -> v
   in
@@ -524,11 +613,11 @@ let test_loop config (info : Proginfo.t) spec fi sep =
 
 (* Combined testing over several workloads (§V-D): every executed input
    must agree on commutativity. *)
-let test_loop_inputs config info specs fi sep =
+let test_loop_inputs ?pool config info specs fi sep =
   match specs with
   | [] -> invalid_arg "Commutativity.test_loop_inputs: no run specs"
   | _ ->
-      let outcomes = List.map (fun spec -> test_loop config info spec fi sep) specs in
+      let outcomes = List.map (fun spec -> test_loop ?pool config info spec fi sep) specs in
       let executed =
         List.filter
           (fun oc ->

@@ -68,6 +68,7 @@ type run_spec = { rs_input : int list; rs_fuel : int }
 val default_run_spec : run_spec
 
 val test_loop :
+  ?pool:Dca_support.Pool.t ->
   config ->
   Dca_analysis.Proginfo.t ->
   run_spec ->
@@ -75,9 +76,20 @@ val test_loop :
   Iterator_rec.separation ->
   outcome
 (** Run the whole program once with the loop under test intercepted (plus
-    whole-program verification runs if escalation triggers). *)
+    whole-program verification runs if escalation triggers).
+
+    With [?pool] of width > 1, the per-schedule work fans out across
+    domains: every permuted replay of an invocation runs on an
+    {!Dca_interp.Eval.fork}ed replica of the entry state, and every
+    whole-program verification run (which builds its own evaluator anyway)
+    becomes one pool task.  Outcomes are merged in schedule order under
+    the sequential decision rule, so the verdict, the escalation trail and
+    [oc_per_invocation] are bit-identical to the [jobs = 1] path — the
+    parallel engine only ever runs {e speculatively}, never decides
+    differently. *)
 
 val test_loop_inputs :
+  ?pool:Dca_support.Pool.t ->
   config ->
   Dca_analysis.Proginfo.t ->
   run_spec list ->

@@ -1,3 +1,4 @@
+open Dca_support
 open Dca_analysis
 
 type decision =
@@ -22,7 +23,7 @@ let decision_to_string = function
   | Subsumed parent -> Printf.sprintf "subsumed by commutative ancestor %s" parent
 
 let analyze_program ?(config = Commutativity.default_config)
-    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) info =
+    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?pool info =
   (* loops arrive outermost-first within each function, so a commutative
      ancestor is always decided before its descendants *)
   let commutative_ancestors : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -33,33 +34,98 @@ let analyze_program ?(config = Commutativity.default_config)
       |> List.find_opt (fun anc ->
              anc.Loops.l_id <> loop.Loops.l_id && Hashtbl.mem commutative_ancestors anc.Loops.l_id)
   in
-  List.map
-    (fun (fi, loop) ->
-      let label = Proginfo.loop_label info loop in
-      match subsuming_ancestor fi loop with
-      | Some anc ->
-          { lr_loop = loop; lr_label = label; lr_decision = Subsumed anc.Loops.l_id; lr_outcome = None }
-      | None -> (
-          match Candidate.examine info fi loop with
-          | Candidate.Rejected r ->
-              { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
-          | Candidate.Accepted sep ->
-              let outcome = Commutativity.test_loop config info spec fi sep in
-              let decision =
-                match outcome.Commutativity.oc_verdict with
-                | Commutativity.Commutative ->
-                    Hashtbl.replace commutative_ancestors loop.Loops.l_id ();
-                    Commutative
-                | Commutativity.Non_commutative why -> Non_commutative why
-                | Commutativity.Untestable why -> Untestable why
-              in
-              { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome }))
-    (Proginfo.all_loops info)
+  (* [examine_and_test] is free of shared mutable state, so calls for
+     distinct loops can run on distinct domains: each dynamic test builds
+     its own evaluator over the (read-only) program info. *)
+  let examine_and_test (fi, loop) =
+    let label = Proginfo.loop_label info loop in
+    match Candidate.examine info fi loop with
+    | Candidate.Rejected r ->
+        { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
+    | Candidate.Accepted sep ->
+        let outcome = Commutativity.test_loop ?pool config info spec fi sep in
+        let decision =
+          match outcome.Commutativity.oc_verdict with
+          | Commutativity.Commutative -> Commutative
+          | Commutativity.Non_commutative why -> Non_commutative why
+          | Commutativity.Untestable why -> Untestable why
+        in
+        { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome }
+  in
+  let note_commutative r =
+    match r.lr_decision with
+    | Commutative -> Hashtbl.replace commutative_ancestors r.lr_loop.Loops.l_id ()
+    | _ -> ()
+  in
+  let loops = Proginfo.all_loops info in
+  match pool with
+  | Some p when Pool.jobs p > 1 ->
+      if not hierarchical then
+        (* every loop's test is independent: one pool task per loop,
+           results collected in program order *)
+        Pool.map p examine_and_test loops
+      else begin
+        (* Hierarchical mode tests in waves of equal nesting depth.  A
+           loop's only inter-loop dependence is on its ancestors (all of
+           strictly smaller depth), so when a wave starts, every ancestor
+           verdict is final — the wave can check subsumption up front,
+           skip the subsumed loops entirely (the sequential cancellation
+           semantics), and fan the surviving tests out in parallel. *)
+        let indexed = List.mapi (fun i fl -> (i, fl)) loops in
+        let waves =
+          Listx.group_by (fun (_, (_, loop)) -> loop.Loops.l_depth) indexed
+          |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+          |> List.map snd
+        in
+        let results : (int, loop_result) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun wave ->
+            let to_test =
+              List.filter
+                (fun (i, (fi, loop)) ->
+                  match subsuming_ancestor fi loop with
+                  | Some anc ->
+                      Hashtbl.replace results i
+                        {
+                          lr_loop = loop;
+                          lr_label = Proginfo.loop_label info loop;
+                          lr_decision = Subsumed anc.Loops.l_id;
+                          lr_outcome = None;
+                        };
+                      false
+                  | None -> true)
+                wave
+            in
+            let tested = Pool.map p (fun (_, fl) -> examine_and_test fl) to_test in
+            List.iter2
+              (fun (i, _) r ->
+                note_commutative r;
+                Hashtbl.replace results i r)
+              to_test tested)
+          waves;
+        List.mapi (fun i _ -> Hashtbl.find results i) loops
+      end
+  | _ ->
+      List.map
+        (fun (fi, loop) ->
+          match subsuming_ancestor fi loop with
+          | Some anc ->
+              {
+                lr_loop = loop;
+                lr_label = Proginfo.loop_label info loop;
+                lr_decision = Subsumed anc.Loops.l_id;
+                lr_outcome = None;
+              }
+          | None ->
+              let r = examine_and_test (fi, loop) in
+              note_commutative r;
+              r)
+        loops
 
-let analyze_source ?config ?spec ~file src =
+let analyze_source ?config ?spec ?hierarchical ?pool ~file src =
   let prog = Dca_ir.Lower.compile ~file src in
   let info = Proginfo.analyze prog in
-  (info, analyze_program ?config ?spec info)
+  (info, analyze_program ?config ?spec ?hierarchical ?pool info)
 
 let is_commutative r = match r.lr_decision with Commutative -> true | _ -> false
 

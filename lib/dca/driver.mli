@@ -23,17 +23,30 @@ val analyze_program :
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
   ?hierarchical:bool ->
+  ?pool:Dca_support.Pool.t ->
   Dca_analysis.Proginfo.t ->
   loop_result list
 (** Results in program order (function order, then outermost-first).
     With [~hierarchical:true] (default [false]), loops nested inside a
     loop already found commutative are not tested and come back
     [Subsumed] — the paper's top-down exploration, which saves dynamic
-    test invocations when outer parallelism is preferred anyway. *)
+    test invocations when outer parallelism is preferred anyway.
+
+    With [?pool] of width > 1 the per-loop dynamic tests fan out across
+    domains (each test owns its evaluator; the program info is shared
+    read-only), and the pool is also threaded into each test's
+    per-schedule replays.  Results are returned in program order and are
+    bit-identical to the sequential path.  Hierarchical mode proceeds in
+    nesting-depth waves: by the time a wave is scheduled, every ancestor
+    verdict is final, so subsumed descendants are cancelled before any
+    work is queued for them — the parallel engine never tests a loop the
+    sequential engine would have skipped. *)
 
 val analyze_source :
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
+  ?hierarchical:bool ->
+  ?pool:Dca_support.Pool.t ->
   file:string ->
   string ->
   Dca_analysis.Proginfo.t * loop_result list

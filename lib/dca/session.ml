@@ -1,0 +1,153 @@
+open Dca_support
+
+type origin =
+  | Source of { file : string; source : string; input : int list }
+  | Benchmark of Dca_progs.Benchmark.t
+
+type t = {
+  s_name : string;
+  s_file : string;
+  s_source : string;
+  s_input : int list;
+  s_jobs : int;
+  s_config : Commutativity.config;
+  s_spec : Commutativity.run_spec;
+  s_hierarchical : bool;
+  mutable s_pool : Pool.t option;
+  mutable s_closed : bool;
+  mutable s_ir : Dca_ir.Ir.program option;
+  mutable s_info : Dca_analysis.Proginfo.t option;
+  mutable s_profile : Dca_profiling.Depprof.profile option;
+  mutable s_results : Driver.loop_result list option;
+  mutable s_plan : Dca_parallel.Plan.t option;
+}
+
+(* The fuel bound every front end used for analysis runs. *)
+let default_fuel = 200_000_000
+
+let create ?jobs ?config ?spec ?(hierarchical = false) origin =
+  let name, file, source, input =
+    match origin with
+    | Source { file; source; input } -> (Filename.basename file, file, source, input)
+    | Benchmark bm ->
+        ( bm.Dca_progs.Benchmark.bm_name,
+          bm.Dca_progs.Benchmark.bm_name ^ ".mc",
+          bm.Dca_progs.Benchmark.bm_source,
+          bm.Dca_progs.Benchmark.bm_input )
+  in
+  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  let config = Option.value config ~default:Commutativity.default_config in
+  let spec =
+    match spec with
+    | Some s -> s
+    | None -> { Commutativity.rs_input = input; rs_fuel = default_fuel }
+  in
+  {
+    s_name = name;
+    s_file = file;
+    s_source = source;
+    s_input = input;
+    s_jobs = jobs;
+    s_config = config;
+    s_spec = spec;
+    s_hierarchical = hierarchical;
+    s_pool = None;
+    s_closed = false;
+    s_ir = None;
+    s_info = None;
+    s_profile = None;
+    s_results = None;
+    s_plan = None;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?jobs ?config ?spec ?hierarchical prog =
+  match Dca_progs.Registry.find prog with
+  | Some bm -> Ok (create ?jobs ?config ?spec ?hierarchical (Benchmark bm))
+  | None ->
+      if Sys.file_exists prog then
+        Ok
+          (create ?jobs ?config ?spec ?hierarchical
+             (Source { file = prog; source = read_file prog; input = [] }))
+      else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" prog)
+
+let name t = t.s_name
+let file t = t.s_file
+let source t = t.s_source
+let input t = t.s_input
+let jobs t = t.s_jobs
+
+let memo cell compute store =
+  match cell with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      store v;
+      v
+
+let ir t = memo t.s_ir (fun () -> Dca_ir.Lower.compile ~file:t.s_file t.s_source) (fun v -> t.s_ir <- Some v)
+
+let proginfo t =
+  memo t.s_info (fun () -> Dca_analysis.Proginfo.analyze (ir t)) (fun v -> t.s_info <- Some v)
+
+let profile t =
+  memo t.s_profile
+    (fun () -> Dca_profiling.Depprof.profile_program ~input:t.s_input (proginfo t))
+    (fun v -> t.s_profile <- Some v)
+
+(* The pool exists only while the session wants parallel stages: started on
+   first demand, torn down by [close].  A closed session (or [jobs = 1])
+   yields no pool and the stages run sequentially. *)
+let pool_of t =
+  if t.s_jobs <= 1 || t.s_closed then None
+  else
+    match t.s_pool with
+    | Some _ as p -> p
+    | None ->
+        let p = Pool.create ~jobs:t.s_jobs in
+        t.s_pool <- Some p;
+        Some p
+
+let dca_results t =
+  memo t.s_results
+    (fun () ->
+      Driver.analyze_program ~config:t.s_config ~spec:t.s_spec ~hierarchical:t.s_hierarchical
+        ?pool:(pool_of t) (proginfo t))
+    (fun v -> t.s_results <- Some v)
+
+let compute_plan t ~machine ~strategy =
+  Dca_parallel.Planner.select ~machine (proginfo t) (profile t)
+    ~detected:(Driver.commutative_ids (dca_results t))
+    ~strategy
+
+let plan ?machine ?strategy t =
+  match (machine, strategy) with
+  | None, None ->
+      memo t.s_plan
+        (fun () ->
+          compute_plan t ~machine:Dca_parallel.Machine.default ~strategy:Dca_parallel.Planner.Best_benefit)
+        (fun v -> t.s_plan <- Some v)
+  | _ ->
+      compute_plan t
+        ~machine:(Option.value machine ~default:Dca_parallel.Machine.default)
+        ~strategy:(Option.value strategy ~default:Dca_parallel.Planner.Best_benefit)
+
+let advise t = Advisor.advise (proginfo t) (profile t) (dca_results t)
+let report t = Report.to_string (dca_results t)
+
+let close t =
+  t.s_closed <- true;
+  match t.s_pool with
+  | Some p ->
+      t.s_pool <- None;
+      Pool.shutdown p
+  | None -> ()
+
+let with_session ?jobs ?config ?spec ?hierarchical origin f =
+  let t = create ?jobs ?config ?spec ?hierarchical origin in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

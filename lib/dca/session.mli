@@ -1,0 +1,111 @@
+(** The unified entry point of the DCA pipeline.
+
+    A session owns one program (from a source string, a file, or a
+    built-in benchmark) together with the analysis configuration and a
+    worker-pool width, and exposes every pipeline stage as a {e memoized}
+    accessor:
+
+    {v
+      source ──▶ ir ──▶ proginfo ──┬──▶ profile ──┐
+                                   └──▶ dca_results ──▶ plan
+    v}
+
+    Each stage is computed on first access and cached; repeated access
+    returns the {e physically equal} value, so downstream consumers (the
+    CLI commands, the advisor, the exporters) can be written independently
+    without re-running earlier stages.  This replaces the
+    compile → proginfo → profile → spec boilerplate previously duplicated
+    across every front end.
+
+    With [~jobs] > 1 the dynamic stage runs on a {!Dca_support.Pool}
+    shared by the session: per-loop commutativity tests and per-schedule
+    permuted replays fan out across OCaml domains with a deterministic
+    merge — verdicts and reports are bit-identical to [~jobs:1].  The
+    pool is created lazily on the first stage that needs it and released
+    by {!close} (or automatically by {!with_session}). *)
+
+type origin =
+  | Source of { file : string; source : string; input : int list }
+      (** a MiniC source string; [file] is used in diagnostics, [input]
+          feeds the program's [reads()] stream *)
+  | Benchmark of Dca_progs.Benchmark.t  (** a built-in benchmark program *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?config:Commutativity.config ->
+  ?spec:Commutativity.run_spec ->
+  ?hierarchical:bool ->
+  origin ->
+  t
+(** [jobs] defaults to {!Dca_support.Pool.default_jobs} (the [DCA_JOBS]
+    environment variable, else the recommended domain count).  [spec]
+    defaults to the origin's input stream with a 200-million-instruction
+    fuel bound.  [hierarchical] (default [false]) makes {!dca_results}
+    skip loops subsumed by a commutative ancestor. *)
+
+val load :
+  ?jobs:int ->
+  ?config:Commutativity.config ->
+  ?spec:Commutativity.run_spec ->
+  ?hierarchical:bool ->
+  string ->
+  (t, string) result
+(** Resolve a program argument the way the CLI does: a built-in benchmark
+    name from {!Dca_progs.Registry}, else a path to a [.mc] file. *)
+
+(** {1 Identity} *)
+
+val name : t -> string
+val file : t -> string
+val source : t -> string
+val input : t -> int list
+val jobs : t -> int
+
+(** {1 Memoized pipeline stages} *)
+
+val ir : t -> Dca_ir.Ir.program
+(** Parse, type-check and lower the source. *)
+
+val proginfo : t -> Dca_analysis.Proginfo.t
+(** All static analyses over {!ir}. *)
+
+val profile : t -> Dca_profiling.Depprof.profile
+(** One instrumented run: dependences, costs, coverage. *)
+
+val dca_results : t -> Driver.loop_result list
+(** The DCA verdict for every loop, in program order.  Runs on the
+    session pool when [jobs > 1]. *)
+
+val plan :
+  ?machine:Dca_parallel.Machine.t ->
+  ?strategy:Dca_parallel.Planner.strategy ->
+  t ->
+  Dca_parallel.Plan.t
+(** Parallelization plan over the DCA-commutative loops.  The
+    default-machine, default-strategy plan is memoized; passing an
+    explicit [machine] or [strategy] computes a fresh plan. *)
+
+(** {1 Derived products} *)
+
+val advise : t -> Advisor.advice list
+val report : t -> string
+(** {!Report.to_string} of {!dca_results}. *)
+
+(** {1 Lifecycle} *)
+
+val close : t -> unit
+(** Release the worker pool (if one was started).  Idempotent; the
+    memoized stages stay readable after [close], but further stage
+    computations run sequentially. *)
+
+val with_session :
+  ?jobs:int ->
+  ?config:Commutativity.config ->
+  ?spec:Commutativity.run_spec ->
+  ?hierarchical:bool ->
+  origin ->
+  (t -> 'a) ->
+  'a
+(** [create], run, then {!close} (also on exception). *)

@@ -30,6 +30,17 @@ let create ?(fuel = default_fuel) ?(input = []) prog =
   List.iter (fun f -> Hashtbl.replace funcs f.Ir.fname f) prog.Ir.p_funcs;
   { prog; st = Store.create prog ~input; funcs; sink = None; nsteps = 0; fuel; interceptors = [] }
 
+let fork ctx =
+  {
+    prog = ctx.prog;
+    st = Store.copy ctx.st;
+    funcs = ctx.funcs;
+    sink = None;
+    nsteps = ctx.nsteps;
+    fuel = ctx.fuel;
+    interceptors = [];
+  }
+
 let program ctx = ctx.prog
 let store ctx = ctx.st
 let steps ctx = ctx.nsteps

@@ -28,6 +28,15 @@ type frame = { ffunc : Dca_ir.Ir.func; regs : Value.t array }
 val create : ?fuel:int -> ?input:int list -> Dca_ir.Ir.program -> ctx
 (** Default fuel: 200 million instructions. *)
 
+val fork : ctx -> ctx
+(** A private replica of the context at its current state: the store is
+    deep-copied ({!Store.copy}), the (read-only) program and function
+    table are shared, and the replica starts with no sink and no
+    interceptors.  Forking is how DCA's parallel engine gives each
+    permuted replay its own interpreter — replicas on different domains
+    never share mutable state.  The step counter is inherited so the fuel
+    headroom of the replica matches the parent at the fork point. *)
+
 val program : ctx -> Dca_ir.Ir.program
 val store : ctx -> Store.t
 val steps : ctx -> int

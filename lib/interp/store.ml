@@ -139,3 +139,14 @@ let restore t s =
   t.input_pos <- s.s_input_pos
 
 let heap_blocks t = t.next_block
+
+let copy t =
+  {
+    blocks = Array.init t.next_block (fun i -> Array.copy t.blocks.(i));
+    next_block = t.next_block;
+    globals = Array.copy t.globals;
+    out_rev = t.out_rev;
+    rng = t.rng;
+    input = t.input;
+    input_pos = t.input_pos;
+  }

@@ -41,5 +41,10 @@ val read_input : t -> int
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+val copy : t -> t
+(** Deep copy: heap blocks and the global table are duplicated, so the
+    copy can be mutated by another domain without affecting the original.
+    The (immutable) input stream is shared. *)
+
 val heap_blocks : t -> int
 (** Number of live blocks (diagnostics). *)

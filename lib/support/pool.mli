@@ -1,0 +1,46 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    The DCA dynamic stage is an embarrassingly parallel fan-out: every
+    (loop, schedule, invocation) commutativity test depends only on its
+    own snapshot of the program state, never on a sibling test.  The pool
+    turns that independence into multicore execution while keeping every
+    user-visible result {e deterministic}: {!map} returns results in input
+    order, and when several tasks raise, the exception of the
+    {e lowest-indexed} input is re-raised — exactly what a sequential
+    [List.map] would have surfaced first.
+
+    A pool created with [~jobs:1] spawns no domains and runs everything in
+    the calling domain ([map] is literally [List.map]), so [jobs = 1] is
+    bit-identical to the historical sequential path by construction.
+
+    Nested use is supported: a task running on a worker may itself call
+    {!map} on the same pool.  The waiting caller {e participates} — it
+    drains queued tasks (its own or siblings') instead of blocking a
+    worker slot — so nested fan-outs (per-loop tests spawning per-schedule
+    replays) cannot deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool with [jobs] total executors: the caller plus
+    [jobs - 1] worker domains.  [jobs] is clamped to [1 .. 128]. *)
+
+val jobs : t -> int
+(** The configured parallelism width (1 = sequential). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element, potentially in parallel,
+    and returns the results in the order of [xs].  If any application
+    raises, the exception of the earliest input element is re-raised
+    (with its backtrace) after all tasks have settled. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Must not be called
+    while a {!map} is in flight. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val default_jobs : unit -> int
+(** The [DCA_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)

@@ -123,6 +123,46 @@ let test_intset () =
   Alcotest.(check (list string)) "map list entry" [ "b"; "a" ] (Intset.Map.find 1 m);
   Alcotest.(check int) "find_default" 9 (Intset.Map.find_default 2 9 (Intset.Map.empty : int Intset.Map.t))
 
+(* --------------------------------------------------------------- *)
+
+let test_pool_map_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int)) "results in input order" (List.map (fun x -> x * x) xs)
+        (Pool.map p (fun x -> x * x) xs));
+  Pool.with_pool ~jobs:1 (fun p ->
+      Alcotest.(check (list int)) "jobs=1 is List.map" [ 2; 4; 6 ] (Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_earliest_exception () =
+  (* several tasks raise; the exception of the lowest-indexed input must
+     surface, as sequential List.map would have raised it first *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      for _ = 1 to 20 do
+        match Pool.map p (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x) (List.init 32 (fun i -> i + 1)) with
+        | _ -> Alcotest.fail "expected an exception"
+        | exception Failure msg -> Alcotest.(check string) "earliest input's exception" "3" msg
+      done)
+
+let test_pool_nested_map () =
+  (* a task may fan out on the same pool; the waiting caller participates,
+     so this must terminate even with more tasks than workers *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      let rows = Pool.map p (fun i -> Listx.sum_int (Pool.map p (fun j -> i * j) [ 1; 2; 3 ])) (List.init 16 (fun i -> i + 1)) in
+      Alcotest.(check (list int)) "nested maps" (List.init 16 (fun i -> (i + 1) * 6)) rows)
+
+let test_pool_empty_and_shutdown () =
+  let p = Pool.create ~jobs:2 in
+  Alcotest.(check (list int)) "empty input" [] (Pool.map p Fun.id []);
+  Alcotest.(check int) "jobs accessor" 2 (Pool.jobs p);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let prop_pool_matches_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.map agrees with List.map"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun p -> Pool.map p (fun x -> x * x + 1) xs) = List.map (fun x -> x * x + 1) xs)
+
 let suites =
   [
     ( "support",
@@ -138,6 +178,11 @@ let suites =
         Alcotest.test_case "listx helpers" `Quick test_listx_helpers;
         Alcotest.test_case "listx fold_lefti" `Quick test_listx_fold_lefti;
         Alcotest.test_case "topological sort" `Quick test_topological_sort;
+        Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+        Alcotest.test_case "pool earliest exception" `Quick test_pool_earliest_exception;
+        Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
+        Alcotest.test_case "pool empty + shutdown" `Quick test_pool_empty_and_shutdown;
+        QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
         Alcotest.test_case "union-find" `Quick test_unionfind;
         QCheck_alcotest.to_alcotest prop_unionfind_transitive;
         Alcotest.test_case "intset" `Quick test_intset;
