@@ -154,6 +154,99 @@ let run_jobs () =
     "  (on a single-CPU host the extra domains only add stop-the-world\n\
     \   rendezvous overhead; the speedup needs real cores)"
 
+(* ------------------------------------------------------------------ *)
+(* Interpreter micro-benchmarks (BENCH_interp.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Smoke mode (BENCH_SMOKE=1, used by CI) runs every probe with minimal
+   repetitions: it validates the target end to end without the statistical
+   stability of a full run. *)
+let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
+
+let median samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let sample_ns ~reps f =
+  f ();
+  (* warm-up: fault in code paths and steady-state the allocator *)
+  median
+    (Array.init reps (fun _ ->
+         let t0 = Unix.gettimeofday () in
+         f ();
+         (Unix.gettimeofday () -. t0) *. 1e9))
+
+let run_interp () =
+  section "Interpreter micro-benchmarks";
+  let open Dca_interp in
+  let open Dca_progs in
+  let reps_run = if smoke then 3 else 15 in
+  let reps_snap = if smoke then 50 else 400 in
+  let reps_dca = if smoke then 1 else 5 in
+  let bms = [ Registry.find_exn "LU"; Registry.find_exn "treeadd" ] in
+  let entries = ref [] in
+  let push name v =
+    Printf.printf "  %-34s %14.0f\n%!" name v;
+    entries := (name, v) :: !entries
+  in
+  (* 1. golden runs: the pre-decoded evaluator end to end *)
+  List.iter
+    (fun bm ->
+      let prog = Dca_ir.Lower.compile ~file:bm.Benchmark.bm_name bm.Benchmark.bm_source in
+      let ns =
+        sample_ns ~reps:reps_run (fun () ->
+            let ctx = Eval.create ~input:bm.Benchmark.bm_input prog in
+            Eval.run_main ctx)
+      in
+      push (Printf.sprintf "interp_run_%s_ns" bm.Benchmark.bm_name) ns)
+    bms;
+  (* 2. snapshot + dirty + restore cycle on a <=10%-dirtied heap: the undo
+     journal's O(dirty) against the deep oracle's O(heap) *)
+  let blocks = 4096 and dirty = 256 in
+  let cycle mode =
+    let p = Dca_ir.Lower.compile ~file:"<bench>" "void main() { }" in
+    let st = Store.create ~mode p ~input:[] in
+    let ids = Array.init blocks (fun _ -> Store.alloc st [| Dca_ir.Layout.KInt |] ~count:16) in
+    let stride = blocks / dirty in
+    sample_ns ~reps:reps_snap (fun () ->
+        let s = Store.snapshot st in
+        for k = 0 to dirty - 1 do
+          Store.store st ~block:ids.(k * stride) ~off:0 (Value.VInt k)
+        done;
+        Store.restore st s;
+        Store.release st s)
+  in
+  let j = cycle Store.Journal in
+  let d = cycle Store.Deep in
+  push "snapshot_restore_journal_ns" j;
+  push "snapshot_restore_deep_ns" d;
+  push "snapshot_restore_speedup" (d /. j);
+  Printf.printf "  (%d heap blocks, %d dirtied = %.1f%% of the heap)\n%!" blocks dirty
+    (100.0 *. float_of_int dirty /. float_of_int blocks);
+  (* 3. the full dynamic stage: golden recording plus every schedule replay *)
+  List.iter
+    (fun bm ->
+      let ns =
+        sample_ns ~reps:reps_dca (fun () ->
+            Dca_core.Session.with_session ~jobs:1 (Dca_core.Session.Benchmark bm) (fun s ->
+                ignore (Dca_core.Session.dca_results s)))
+      in
+      push (Printf.sprintf "dca_dynamic_%s_ns" bm.Benchmark.bm_name) ns)
+    bms;
+  let oc = open_out "BENCH_interp.json" in
+  output_string oc "{\n";
+  let rec emit = function
+    | [] -> ()
+    | (name, v) :: rest ->
+        Printf.fprintf oc "  %S: %.0f%s\n" name v (if rest = [] then "" else ",");
+        emit rest
+  in
+  emit (List.rev !entries);
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_interp.json\n%!"
+
 let targets =
   [
     ("table1", run_table1);
@@ -165,6 +258,7 @@ let targets =
     ("fig7", run_fig7);
     ("ablation", run_ablation);
     ("perf", run_perf);
+    ("interp", run_interp);
     ("jobs", run_jobs);
   ]
 

@@ -33,6 +33,9 @@ type outcome = {
   oc_invocations : int;
   oc_escalated : bool;
   oc_promotions : int;
+  oc_skipped_schedules : int;
+      (** schedule replays skipped because the induced permutation was the
+          identity (trip count <= 1) or duplicated an earlier schedule's *)
   oc_separation : Iterator_rec.separation;
   oc_per_invocation : verdict list;
 }
@@ -73,7 +76,11 @@ let is_mem_loc = function
   | Events.Lheap _ | Events.Lglob _ | Events.Lrng -> true
   | Events.Lreg _ -> false
 
-let capture_digest fi loop ctx frame =
+(* The live-out interface of [loop] in the current machine state: scalar
+   values in fixed order plus the global aggregate roots.  Feeds both
+   digest construction (golden run) and the in-place comparison every
+   replay performs against the golden digest. *)
+let digest_liveout fi loop ctx frame =
   let live = Liveness.loop_live_out fi.Proginfo.fi_live loop in
   let scalar_values =
     Intset.elements live
@@ -85,7 +92,15 @@ let capture_digest fi loop ctx frame =
   let gvals = Eval.globals_of ctx in
   let gscalars = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then None else Some v) gvals in
   let roots = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then Some v else None) gvals in
-  Observable.capture (Eval.store ctx) ~scalars:(scalar_values @ gscalars) ~roots
+  (scalar_values @ gscalars, roots)
+
+let capture_digest fi loop ctx frame =
+  let scalars, roots = digest_liveout fi loop ctx frame in
+  Observable.capture (Eval.store ctx) ~scalars ~roots
+
+let matches_digest ~eps golden fi loop ctx frame =
+  let scalars, roots = digest_liveout fi loop ctx frame in
+  Observable.matches ~eps golden (Eval.store ctx) ~scalars ~roots
 
 (* Run the loop once in original order under a recording sink. *)
 let record_golden ctx frame fi sep =
@@ -307,8 +322,13 @@ let replay ctx frame fi sep g sched =
       | Eval.Returned _ -> raise (Replay_mismatch "payload pass returned"))
     perm;
   (* restore iterator exit values clobbered by interface presets *)
-  List.iter (fun (v, value) -> frame.Eval.regs.(v.Ir.vslot) <- value) slice_exit_values;
-  capture_digest fi loop ctx frame
+  List.iter (fun (v, value) -> frame.Eval.regs.(v.Ir.vslot) <- value) slice_exit_values
+
+(* Replay under [sched], then compare the state left behind against the
+   golden digest in place (no second capture is materialized). *)
+let replay_matches ~eps ctx frame fi sep g sched =
+  replay ctx frame fi sep g sched;
+  matches_digest ~eps g.g_digest fi sep.sep_loop ctx frame
 
 (* ------------------------------------------------------------------ *)
 (* Mode A: loop-local testing via interception                         *)
@@ -320,6 +340,7 @@ type tester_state = {
   mutable ts_failure : verdict option;
   mutable ts_needs_escalation : Schedule.t list;
   mutable ts_promotions : int;
+  mutable ts_skipped : int;
   mutable ts_per_invocation : verdict list;  (** reversed *)
 }
 
@@ -344,73 +365,129 @@ let widen_or_fail fi state violations =
     Ok ()
   end
 
+(* Sift out the schedules whose replay is redundant, keeping one
+   representative per distinct permutation.  At trip count n <= 1 every
+   preset induces the identity permutation, and distinct presets can
+   collide on small n (reverse = rotate-half at n = 2, seeded shuffles can
+   agree).  Replaying the identity permutation re-runs the self-check that
+   already passed, and replaying a duplicate permutation re-derives the
+   identical digest from the identical entry state — so neither can change
+   the decision.  Returns the representatives (in preset order, paired
+   with their permutation) and the number of sifted-out schedules. *)
+let sift_schedules schedules n_iters =
+  let identity = Array.init n_iters (fun i -> i) in
+  let rec sift kept skipped = function
+    | [] -> (List.rev kept, skipped)
+    | sched :: rest ->
+        let perm = Schedule.apply sched n_iters in
+        if perm = identity || List.exists (fun (_, p) -> p = perm) kept then
+          sift kept (skipped + 1) rest
+        else sift ((sched, perm) :: kept) skipped rest
+  in
+  sift [] 0 schedules
+
 (* Run the post-identity permutation schedules.  With a pool of width > 1
-   every schedule replays on a {!Eval.fork}ed replica of the entry state in
-   parallel; the outcomes are then folded in schedule order, reproducing the
-   sequential control flow exactly: escalation marks accumulate in schedule
-   order and a trap verdict cuts off the marks of every later schedule, so
-   [jobs = n] and [jobs = 1] reach bit-identical verdicts. *)
+   every representative replays on a {!Eval.fork}ed replica of the entry
+   state in parallel; the outcomes are then folded in schedule order,
+   reproducing the sequential control flow exactly: escalation marks
+   accumulate in schedule order and a trap verdict cuts off the marks of
+   every later schedule, so [jobs = n] and [jobs = 1] reach bit-identical
+   verdicts.  A skipped duplicate inherits its representative's loop-local
+   decision (a whole-program verification applies the schedule at *every*
+   invocation of the loop, where two presets equal at this trip count need
+   not coincide), so escalation marks are rebuilt over the full preset
+   list — verdicts are identical to replaying everything. *)
 let run_schedules pool config fi state ctx frame g restore0 =
-  let sequential () =
-    let rec schedules = function
-      | [] -> Commutative
-      | sched :: rest -> begin
+  let n_iters = List.length g.g_payload_segments in
+  let identity = Array.init n_iters (fun i -> i) in
+  let schedules, skipped = sift_schedules config.cc_schedules n_iters in
+  state.ts_skipped <- state.ts_skipped + skipped;
+  (* per-representative loop-local decision, in representative order *)
+  let decide_sequential () =
+    let rec run acc = function
+      | [] -> List.rev acc
+      | (sched, _) :: rest -> begin
           restore0 ();
-          match replay ctx frame fi state.ts_sep g sched with
+          match replay_matches ~eps:config.cc_eps ctx frame fi state.ts_sep g sched with
           | exception Replay_mismatch _ ->
               (* control divergence prevents loop-local digesting;
                  decide via whole-program verification *)
-              state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-              schedules rest
-          | exception Eval.Trap msg ->
-              Non_commutative (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
-          | d ->
-              if Observable.equal ~eps:config.cc_eps d g.g_digest then schedules rest
-              else begin
-                state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-                schedules rest
-              end
+              run (`Escalate :: acc) rest
+          | exception Eval.Trap msg -> List.rev (`Trap msg :: acc)
+          | true -> run (`Ok :: acc) rest
+          | false -> run (`Escalate :: acc) rest
         end
     in
-    schedules config.cc_schedules
+    run [] schedules
   in
-  match pool with
-  | Some p when Pool.jobs p > 1 && List.length config.cc_schedules > 1 ->
-      restore0 ();
-      (* every replica forks from the restored entry state; the parent only
-         participates in the pool while the map is in flight, so the shared
-         store is read-only for its duration *)
-      let outcomes =
-        Pool.map p
-          (fun sched ->
-            let ctx' = Eval.fork ctx in
-            let frame' = { Eval.ffunc = frame.Eval.ffunc; regs = Array.copy frame.Eval.regs } in
-            match replay ctx' frame' fi state.ts_sep g sched with
-            | d -> `Digest d
-            | exception Replay_mismatch _ -> `Mismatch
-            | exception Eval.Trap msg -> `Trap msg
-            | exception Eval.Out_of_fuel -> `Fuel)
-          config.cc_schedules
-      in
-      let rec merge = function
-        | [] -> Commutative
-        | (sched, outcome) :: rest -> (
-            match outcome with
-            | `Mismatch ->
-                state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-                merge rest
-            | `Trap msg ->
-                Non_commutative (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg)
-            | `Fuel -> raise Eval.Out_of_fuel
-            | `Digest d ->
-                if Observable.equal ~eps:config.cc_eps d g.g_digest then merge rest
-                else begin
-                  state.ts_needs_escalation <- sched :: state.ts_needs_escalation;
-                  merge rest
-                end)
-      in
-      merge (List.combine config.cc_schedules outcomes)
-  | _ -> sequential ()
+  let decide_parallel p =
+    restore0 ();
+    (* every replica forks from the restored entry state; the parent only
+       participates in the pool while the map is in flight, so the shared
+       store is read-only for its duration *)
+    let outcomes =
+      Pool.map p
+        (fun (sched, _) ->
+          let ctx' = Eval.fork ctx in
+          let frame' = Eval.copy_frame frame in
+          (* the digest comparison runs in the worker, against the
+             worker-local replica state; only the boolean crosses back *)
+          match replay_matches ~eps:config.cc_eps ctx' frame' fi state.ts_sep g sched with
+          | true -> `Ok
+          | false -> `Mismatch
+          | exception Replay_mismatch _ -> `Mismatch
+          | exception Eval.Trap msg -> `Trap msg
+          | exception Eval.Out_of_fuel -> `Fuel)
+        schedules
+    in
+    (* fold speculative outcomes in schedule order: decisions after a trap
+       are discarded, exactly as the sequential loop never reaches them *)
+    let rec fold acc = function
+      | [] -> List.rev acc
+      | outcome :: rest -> (
+          match outcome with
+          | `Ok -> fold (`Ok :: acc) rest
+          | `Mismatch -> fold (`Escalate :: acc) rest
+          | `Trap msg -> List.rev (`Trap msg :: acc)
+          | `Fuel -> raise Eval.Out_of_fuel)
+    in
+    fold [] outcomes
+  in
+  let decisions =
+    match pool with
+    | Some p when Pool.jobs p > 1 && List.length schedules > 1 -> decide_parallel p
+    | _ -> decide_sequential ()
+  in
+  (* rebuild escalation marks over the full preset list in preset order —
+     the exact pushes the undeduplicated sequential loop performed: every
+     schedule (representative or duplicate) whose permutation escalated is
+     marked, and a trap cuts off the marks of every later preset *)
+  let decision_of perm =
+    let rec find kept decisions =
+      match (kept, decisions) with
+      | (_, p) :: _, d :: _ when p = perm -> Some d
+      | _ :: kept', _ :: decisions' -> find kept' decisions'
+      | _, _ -> None  (* representative unreached: a trap cut it off *)
+    in
+    find schedules decisions
+  in
+  let verdict = ref Commutative in
+  (try
+     List.iter
+       (fun sched ->
+         let perm = Schedule.apply sched n_iters in
+         if perm <> identity then
+           match decision_of perm with
+           | Some `Ok -> ()
+           | Some `Escalate -> state.ts_needs_escalation <- sched :: state.ts_needs_escalation
+           | Some (`Trap msg) ->
+               verdict :=
+                 Non_commutative (Printf.sprintf "trap under %s: %s" (Schedule.to_string sched) msg);
+               raise Exit
+           | None -> raise Exit)
+       config.cc_schedules
+   with Exit -> ());
+  !verdict
 
 let test_invocation ?pool config fi state ctx frame =
   let st = Eval.store ctx in
@@ -437,20 +514,21 @@ let test_invocation ?pool config fi state ctx frame =
         else begin
           (* identity self-check *)
           restore0 ();
-          match replay ctx frame fi state.ts_sep g Schedule.Identity with
+          match replay_matches ~eps:config.cc_eps ctx frame fi state.ts_sep g Schedule.Identity with
           | exception Replay_mismatch msg -> Untestable ("identity replay: " ^ msg)
           | exception Eval.Trap msg -> Untestable ("identity replay trap: " ^ msg)
-          | d_id ->
-              if not (Observable.equal ~eps:config.cc_eps d_id g.g_digest) then
-                Untestable "identity replay does not reproduce the golden state"
-              else run_schedules pool config fi state ctx frame g restore0
+          | false -> Untestable "identity replay does not reproduce the golden state"
+          | true -> run_schedules pool config fi state ctx frame g restore0
         end
       end
   in
-  let verdict = attempt config.cc_promote_rounds in
-  (* leave the program in its untested, original-order state *)
-  restore0 ();
-  verdict
+  Fun.protect
+    ~finally:(fun () -> Store.release st s0)
+    (fun () ->
+      let verdict = attempt config.cc_promote_rounds in
+      (* leave the program in its untested, original-order state *)
+      restore0 ();
+      verdict)
 
 (* ------------------------------------------------------------------ *)
 (* Mode B: whole-program verification                                  *)
@@ -470,13 +548,16 @@ let whole_program_run (info : Proginfo.t) spec fi sep sched =
       Store.restore st s0;
       Array.blit regs0 0 frame.Eval.regs 0 (Array.length regs0)
     in
-    let g = record_golden ctx frame fi sep in
-    if not (Intset.is_empty (separability_violations g)) then
-      raise (Replay_mismatch "separability violated in whole-program run");
-    restore0 ();
-    ignore (replay ctx frame fi sep g sched : Observable.t);
-    (* continue the program from the permuted state *)
-    g.g_exit_block
+    Fun.protect
+      ~finally:(fun () -> Store.release st s0)
+      (fun () ->
+        let g = record_golden ctx frame fi sep in
+        if not (Intset.is_empty (separability_violations g)) then
+          raise (Replay_mismatch "separability violated in whole-program run");
+        restore0 ();
+        replay ctx frame fi sep g sched;
+        (* continue the program from the permuted state *)
+        g.g_exit_block)
   in
   Eval.add_interceptor ctx ~fname:loop.Loops.l_func ~header:loop.Loops.l_header handler;
   Eval.run_main ctx;
@@ -559,6 +640,7 @@ let test_loop ?pool config (info : Proginfo.t) spec fi sep =
       ts_failure = None;
       ts_needs_escalation = [];
       ts_promotions = 0;
+      ts_skipped = 0;
       ts_per_invocation = [];
     }
   in
@@ -607,6 +689,7 @@ let test_loop ?pool config (info : Proginfo.t) spec fi sep =
     oc_invocations = state.ts_tested;
     oc_escalated = escalated && config.cc_escalate;
     oc_promotions = state.ts_promotions;
+    oc_skipped_schedules = state.ts_skipped;
     oc_separation = state.ts_sep;
     oc_per_invocation = List.rev state.ts_per_invocation;
   }
@@ -641,5 +724,6 @@ let test_loop_inputs ?pool config info specs fi sep =
         oc_invocations = List.fold_left (fun acc oc -> acc + oc.oc_invocations) 0 outcomes;
         oc_escalated = List.exists (fun oc -> oc.oc_escalated) outcomes;
         oc_promotions = List.fold_left (fun acc oc -> max acc oc.oc_promotions) 0 outcomes;
+        oc_skipped_schedules = List.fold_left (fun acc oc -> acc + oc.oc_skipped_schedules) 0 outcomes;
         oc_per_invocation = List.concat_map (fun oc -> oc.oc_per_invocation) outcomes;
       }

@@ -55,6 +55,12 @@ type outcome = {
   oc_invocations : int;  (** dynamic invocations actually tested *)
   oc_escalated : bool;
   oc_promotions : int;  (** worklist promotion rounds applied *)
+  oc_skipped_schedules : int;
+      (** schedule replays skipped across all tested invocations because
+          the induced permutation was the identity (trip count <= 1) or
+          duplicated an earlier schedule's permutation.  Skipping never
+          changes the verdict: a skipped duplicate inherits its
+          representative's loop-local decision. *)
   oc_separation : Iterator_rec.separation;  (** final (possibly widened) separation *)
   oc_per_invocation : verdict list;
       (** verdict of each tested dynamic invocation, in execution order —

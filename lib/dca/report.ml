@@ -7,10 +7,13 @@ let summary_line (r : Driver.loop_result) =
   let extra =
     match r.Driver.lr_outcome with
     | Some oc ->
-        Printf.sprintf " [tested %d invocation(s)%s%s]" oc.Commutativity.oc_invocations
+        Printf.sprintf " [tested %d invocation(s)%s%s%s]" oc.Commutativity.oc_invocations
           (if oc.Commutativity.oc_escalated then ", escalated" else "")
           (if oc.Commutativity.oc_promotions > 0 then
              Printf.sprintf ", %d worklist promotion(s)" oc.Commutativity.oc_promotions
+           else "")
+          (if oc.Commutativity.oc_skipped_schedules > 0 then
+             Printf.sprintf ", skipped %d duplicate schedule(s)" oc.Commutativity.oc_skipped_schedules
            else "")
     | None -> ""
   in

@@ -4,7 +4,90 @@ open Value
 exception Trap of string
 exception Out_of_fuel
 
-type frame = { ffunc : Ir.func; regs : Value.t array }
+(* ------------------------------------------------------------------ *)
+(* Pre-decoded code                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The evaluator does not interpret [Ir.instr] lists directly: at context
+   creation every function is decoded once into arrays of pre-resolved
+   instructions.  Constant operands become ready-made values (no [VInt]
+   allocation per use), [Alloc] types become pre-computed cell-kind
+   patterns, call targets are classified (builtin id / user function), and
+   instruction lists become arrays.  Every decoded instruction keeps the
+   original [Ir.instr] for sinks, filters and diagnostics, so event
+   streams are identical to the direct interpreter's. *)
+
+type dop = Dconst of Value.t | Dvar of Ir.var
+
+type builtin =
+  | Bsqrt
+  | Bfabs
+  | Bsin
+  | Bcos
+  | Bexp
+  | Blog
+  | Bfloor
+  | Bpow
+  | Bfmod
+  | Bfmin
+  | Bfmax
+  | Bimin
+  | Bimax
+  | Biabs
+  | Bitof
+  | Bftoi
+  | Bhrand
+  | Bdrand
+  | Bdseed
+  | Breads
+
+let builtin_of_name = function
+  | "sqrt" -> Some Bsqrt
+  | "fabs" -> Some Bfabs
+  | "sin" -> Some Bsin
+  | "cos" -> Some Bcos
+  | "exp" -> Some Bexp
+  | "log" -> Some Blog
+  | "floor" -> Some Bfloor
+  | "pow" -> Some Bpow
+  | "fmod" -> Some Bfmod
+  | "fmin" -> Some Bfmin
+  | "fmax" -> Some Bfmax
+  | "imin" -> Some Bimin
+  | "imax" -> Some Bimax
+  | "iabs" -> Some Biabs
+  | "itof" -> Some Bitof
+  | "ftoi" -> Some Bftoi
+  | "hrand" -> Some Bhrand
+  | "drand" -> Some Bdrand
+  | "dseed" -> Some Bdseed
+  | "reads" -> Some Breads
+  | _ -> None
+
+type ddesc =
+  | DBin of Ir.var * Ir.binop * dop * dop
+  | DUn of Ir.var * Ir.unop * dop
+  | DMov of Ir.var * dop
+  | DLoad of Ir.var * dop
+  | DStore of dop * dop
+  | DGep of Ir.var * dop * dop * int
+  | DGload of Ir.var * Ir.var
+  | DGstore of Ir.var * dop
+  | DGaddr of Ir.var * Ir.var
+  | DAlloc of Ir.var * Layout.cellkind array * dop
+  | DCall of Ir.var option * string * builtin option * dop array
+  | DPrint of dop
+  | DPrints of string
+
+type dinstr = { di : Ir.instr;  (** the source instruction, for sinks and filters *) dd : ddesc }
+
+type dterm = TBr of int | TCbr of dop * int * int | TRet of dop option
+
+type dblock = { db_instrs : dinstr array; db_term : dterm }
+
+type dfunc = { df_func : Ir.func; df_blocks : dblock array }
+
+type frame = { ffunc : Ir.func; fcode : dblock array; regs : Value.t array }
 
 type interceptor = { it_fname : string; it_header : int; mutable it_active : bool; it_handler : handler }
 and handler = Handler of (ctx -> frame -> int)
@@ -12,7 +95,7 @@ and handler = Handler of (ctx -> frame -> int)
 and ctx = {
   prog : Ir.program;
   st : Store.t;
-  funcs : (string, Ir.func) Hashtbl.t;
+  funcs : (string, dfunc) Hashtbl.t;
   mutable sink : Events.sink option;
   mutable nsteps : int;
   fuel : int;
@@ -25,10 +108,79 @@ type stop_reason = Stopped_at of int | Returned of Value.t option
 
 let default_fuel = 200_000_000
 
+let decode_op = function
+  | Ir.Ovar v -> Dvar v
+  | Ir.Oint n -> Dconst (VInt n)
+  | Ir.Ofloat f -> Dconst (VFloat f)
+  | Ir.Onull -> Dconst VNull
+
+let decode_instr layout (i : Ir.instr) =
+  let dd =
+    match i.Ir.idesc with
+    | Ir.Bin (d, op, a, b) -> DBin (d, op, decode_op a, decode_op b)
+    | Ir.Un (d, op, a) -> DUn (d, op, decode_op a)
+    | Ir.Mov (d, a) -> DMov (d, decode_op a)
+    | Ir.Load (d, p) -> DLoad (d, decode_op p)
+    | Ir.Store (p, src) -> DStore (decode_op p, decode_op src)
+    | Ir.Gep (d, base, idx, scale) -> DGep (d, decode_op base, decode_op idx, scale)
+    | Ir.Gload (d, g) -> DGload (d, g)
+    | Ir.Gstore (g, src) -> DGstore (g, decode_op src)
+    | Ir.Gaddr (d, g) -> DGaddr (d, g)
+    | Ir.Alloc (d, ty, count) -> DAlloc (d, Layout.cell_kinds layout ty, decode_op count)
+    | Ir.Call (dst, name, args) ->
+        DCall (dst, name, builtin_of_name name, Array.of_list (List.map decode_op args))
+    | Ir.Print v -> DPrint (decode_op v)
+    | Ir.Prints s -> DPrints s
+  in
+  { di = i; dd }
+
+let decode_block layout (b : Ir.block) =
+  {
+    db_instrs = Array.of_list (List.map (decode_instr layout) b.Ir.instrs);
+    db_term =
+      (match b.Ir.bterm with
+      | Ir.Br t -> TBr t
+      | Ir.Cbr (c, a, b) -> TCbr (decode_op c, a, b)
+      | Ir.Ret op -> TRet (Option.map decode_op op));
+  }
+
+let decode_func layout (f : Ir.func) =
+  { df_func = f; df_blocks = Array.map (decode_block layout) f.Ir.fblocks }
+
+(* Decoding is pure per program, and the dynamic stage builds evaluators
+   for the same program over and over (one per whole-program verification
+   run), so decoded function tables are memoized on physical program
+   identity.  A decoded table is immutable once published, hence safe to
+   share between contexts and across domains; the mutex only guards the
+   cache list.  The cache keeps the last few programs alive — bounded, and
+   negligible next to their heaps. *)
+let decode_cache : (Ir.program * (string, dfunc) Hashtbl.t) list ref = ref []
+let decode_cache_mutex = Mutex.create ()
+let decode_cache_limit = 8
+
+let decoded_funcs prog =
+  Mutex.protect decode_cache_mutex (fun () ->
+      match List.find_opt (fun (p, _) -> p == prog) !decode_cache with
+      | Some (_, funcs) -> funcs
+      | None ->
+          let funcs = Hashtbl.create 16 in
+          List.iter
+            (fun f -> Hashtbl.replace funcs f.Ir.fname (decode_func prog.Ir.p_layout f))
+            prog.Ir.p_funcs;
+          decode_cache :=
+            (prog, funcs) :: List.filteri (fun k _ -> k < decode_cache_limit - 1) !decode_cache;
+          funcs)
+
 let create ?(fuel = default_fuel) ?(input = []) prog =
-  let funcs = Hashtbl.create 16 in
-  List.iter (fun f -> Hashtbl.replace funcs f.Ir.fname f) prog.Ir.p_funcs;
-  { prog; st = Store.create prog ~input; funcs; sink = None; nsteps = 0; fuel; interceptors = [] }
+  {
+    prog;
+    st = Store.create prog ~input;
+    funcs = decoded_funcs prog;
+    sink = None;
+    nsteps = 0;
+    fuel;
+    interceptors = [];
+  }
 
 let fork ctx =
   {
@@ -55,13 +207,15 @@ let read_var frame (v : Ir.var) =
 
 let write_var frame (v : Ir.var) x = frame.regs.(v.vslot) <- x
 
-let eval_operand ctx frame = function
-  | Ir.Ovar v ->
-      (match ctx.sink with Some s -> s.Events.on_read (Events.Lreg v.vid) (-1) | None -> ());
+(* Operand evaluation outside any instruction (terminators): register
+   reads are attributed to instruction id -1, constants are free. *)
+let eval_dop ctx frame = function
+  | Dvar v ->
+      (match ctx.sink with Some s -> s.Events.on_read (Events.Lreg v.Ir.vid) (-1) | None -> ());
       read_var frame v
-  | Ir.Oint n -> VInt n
-  | Ir.Ofloat f -> VFloat f
-  | Ir.Onull -> VNull
+  | Dconst v -> v
+
+let eval_operand ctx frame op = eval_dop ctx frame (decode_op op)
 
 (* ------------------------------------------------------------------ *)
 (* Operators                                                           *)
@@ -144,130 +298,151 @@ let emit_read ctx loc instr =
 let emit_write ctx loc instr =
   match ctx.sink with Some s -> s.Events.on_write loc instr | None -> ()
 
-let rec exec_instr ctx frame (i : Ir.instr) =
+let rec exec_instr ctx frame (d : dinstr) =
   ctx.nsteps <- ctx.nsteps + 1;
   if ctx.nsteps > ctx.fuel then raise Out_of_fuel;
+  let i = d.di in
   (match ctx.sink with Some s -> s.Events.on_exec i | None -> ());
+  (* operand evaluation with register-read events attributed to [i] *)
   let ev op =
-    (* operand evaluation with register-read events attributed to [i] *)
     match op with
-    | Ir.Ovar v ->
-        emit_read ctx (Events.Lreg v.vid) i.iid;
+    | Dvar v ->
+        emit_read ctx (Events.Lreg v.Ir.vid) i.Ir.iid;
         read_var frame v
-    | Ir.Oint n -> VInt n
-    | Ir.Ofloat f -> VFloat f
-    | Ir.Onull -> VNull
+    | Dconst v -> v
   in
   let def v x =
-    emit_write ctx (Events.Lreg v.Ir.vid) i.iid;
+    emit_write ctx (Events.Lreg v.Ir.vid) i.Ir.iid;
     write_var frame v x
   in
-  match i.idesc with
-  | Ir.Bin (d, op, a, b) ->
+  match d.dd with
+  | DBin (dst, op, a, b) ->
       let va = ev a in
       let vb = ev b in
-      def d (eval_binop op va vb)
-  | Ir.Un (d, op, a) -> def d (eval_unop op (ev a))
-  | Ir.Mov (d, a) -> def d (ev a)
-  | Ir.Load (d, p) -> begin
+      def dst (eval_binop op va vb)
+  | DUn (dst, op, a) -> def dst (eval_unop op (ev a))
+  | DMov (dst, a) -> def dst (ev a)
+  | DLoad (dst, p) -> begin
       match ev p with
       | VPtr (block, off) ->
-          emit_read ctx (Events.Lheap (block, off)) i.iid;
+          emit_read ctx (Events.Lheap (block, off)) i.Ir.iid;
           let v =
             try Store.load ctx.st ~block ~off with Failure msg -> trap "%s" msg
           in
-          def d v
-      | VNull -> trap "load through null pointer at %s" (Dca_frontend.Loc.to_string i.iloc)
+          def dst v
+      | VNull -> trap "load through null pointer at %s" (Dca_frontend.Loc.to_string i.Ir.iloc)
       | v -> trap "load through non-pointer %s" (to_string v)
     end
-  | Ir.Store (p, src) -> begin
+  | DStore (p, src) -> begin
       match ev p with
       | VPtr (block, off) ->
           let v = ev src in
-          emit_write ctx (Events.Lheap (block, off)) i.iid;
+          emit_write ctx (Events.Lheap (block, off)) i.Ir.iid;
           (try Store.store ctx.st ~block ~off v with Failure msg -> trap "%s" msg)
-      | VNull -> trap "store through null pointer at %s" (Dca_frontend.Loc.to_string i.iloc)
+      | VNull -> trap "store through null pointer at %s" (Dca_frontend.Loc.to_string i.Ir.iloc)
       | v -> trap "store through non-pointer %s" (to_string v)
     end
-  | Ir.Gep (d, base, idx, scale) -> begin
+  | DGep (dst, base, idx, scale) -> begin
       match (ev base, ev idx) with
-      | VPtr (block, off), VInt k -> def d (VPtr (block, off + (k * scale)))
-      | VNull, _ -> trap "pointer arithmetic on null at %s" (Dca_frontend.Loc.to_string i.iloc)
+      | VPtr (block, off), VInt k -> def dst (VPtr (block, off + (k * scale)))
+      | VNull, _ -> trap "pointer arithmetic on null at %s" (Dca_frontend.Loc.to_string i.Ir.iloc)
       | vb, vi -> trap "gep on %s with index %s" (to_string vb) (to_string vi)
     end
-  | Ir.Gload (d, g) ->
-      emit_read ctx (Events.Lglob g.vslot) i.iid;
-      def d (Store.read_global ctx.st g.vslot)
-  | Ir.Gstore (g, src) ->
+  | DGload (dst, g) ->
+      emit_read ctx (Events.Lglob g.Ir.vslot) i.Ir.iid;
+      def dst (Store.read_global ctx.st g.Ir.vslot)
+  | DGstore (g, src) ->
       let v = ev src in
-      emit_write ctx (Events.Lglob g.vslot) i.iid;
-      Store.write_global ctx.st g.vslot v
-  | Ir.Gaddr (d, g) -> def d (Store.read_global ctx.st g.vslot)
-  | Ir.Alloc (d, ty, count) -> begin
+      emit_write ctx (Events.Lglob g.Ir.vslot) i.Ir.iid;
+      Store.write_global ctx.st g.Ir.vslot v
+  | DGaddr (dst, g) -> def dst (Store.read_global ctx.st g.Ir.vslot)
+  | DAlloc (dst, kinds, count) -> begin
       match ev count with
       | VInt n when n >= 0 ->
-          let kinds = Layout.cell_kinds ctx.prog.Ir.p_layout ty in
           let id = Store.alloc ctx.st kinds ~count:n in
-          def d (VPtr (id, 0))
+          def dst (VPtr (id, 0))
       | v -> trap "alloc with bad count %s" (to_string v)
     end
-  | Ir.Call (dst, name, args) -> begin
-      let vargs = List.map ev args in
-      match eval_builtin ctx i name vargs with
-      | Some result -> ( match dst with Some d -> def d result | None -> ())
-      | None -> (
-          let ret = call_user ctx name vargs in
-          match (dst, ret) with
-          | Some d, Some v -> def d v
-          | Some d, None -> trap "function %s returned no value for %s" name d.vname
-          | None, _ -> ())
+  | DCall (dst, name, builtin, args) -> begin
+      let n = Array.length args in
+      let vargs = Array.make n VNull in
+      for k = 0 to n - 1 do
+        vargs.(k) <- ev args.(k)
+      done;
+      let user_call () =
+        let ret = call_user ctx name vargs in
+        match (dst, ret) with
+        | Some d, Some v -> def d v
+        | Some d, None -> trap "function %s returned no value for %s" name d.Ir.vname
+        | None, _ -> ()
+      in
+      match builtin with
+      | Some b -> begin
+          (* a builtin name with the wrong arity falls through to a user
+             function of the same name, exactly like the name-based
+             dispatch did *)
+          match eval_builtin ctx i b vargs with
+          | Some result -> ( match dst with Some d -> def d result | None -> ())
+          | None -> user_call ()
+        end
+      | None -> user_call ()
     end
-  | Ir.Print v -> Store.print_value ctx.st (ev v)
-  | Ir.Prints s -> Store.print_string_ ctx.st s
+  | DPrint v -> Store.print_value ctx.st (ev v)
+  | DPrints s -> Store.print_string_ ctx.st s
 
-and eval_builtin ctx instr name args : Value.t option =
+and eval_builtin ctx instr b (args : Value.t array) : Value.t option =
   let iid = instr.Ir.iid in
-  match (name, args) with
-  | "sqrt", [ v ] -> Some (float1 "sqrt" sqrt v)
-  | "fabs", [ v ] -> Some (float1 "fabs" abs_float v)
-  | "sin", [ v ] -> Some (float1 "sin" sin v)
-  | "cos", [ v ] -> Some (float1 "cos" cos v)
-  | "exp", [ v ] -> Some (float1 "exp" exp v)
-  | "log", [ v ] -> Some (float1 "log" log v)
-  | "floor", [ v ] -> Some (float1 "floor" floor v)
-  | "pow", [ a; b ] -> Some (float2 "pow" ( ** ) a b)
-  | "fmod", [ a; b ] -> Some (float2 "fmod" Float.rem a b)
-  | "fmin", [ a; b ] -> Some (float2 "fmin" Float.min a b)
-  | "fmax", [ a; b ] -> Some (float2 "fmax" Float.max a b)
-  | "imin", [ a; b ] -> Some (int2 "imin" min a b)
-  | "imax", [ a; b ] -> Some (int2 "imax" max a b)
-  | "iabs", [ v ] -> Some (match v with VInt x -> VInt (abs x) | _ -> trap "iabs expects an int")
-  | "itof", [ v ] -> Some (eval_unop Ir.Itof v)
-  | "ftoi", [ v ] -> Some (eval_unop Ir.Ftoi v)
-  | "hrand", [ v ] -> Some (match v with VInt x -> VFloat (hrand_of_int x) | _ -> trap "hrand expects an int")
-  | "drand", [] ->
+  match (b, args) with
+  | Bsqrt, [| v |] -> Some (float1 "sqrt" sqrt v)
+  | Bfabs, [| v |] -> Some (float1 "fabs" abs_float v)
+  | Bsin, [| v |] -> Some (float1 "sin" sin v)
+  | Bcos, [| v |] -> Some (float1 "cos" cos v)
+  | Bexp, [| v |] -> Some (float1 "exp" exp v)
+  | Blog, [| v |] -> Some (float1 "log" log v)
+  | Bfloor, [| v |] -> Some (float1 "floor" floor v)
+  | Bpow, [| a; b |] -> Some (float2 "pow" ( ** ) a b)
+  | Bfmod, [| a; b |] -> Some (float2 "fmod" Float.rem a b)
+  | Bfmin, [| a; b |] -> Some (float2 "fmin" Float.min a b)
+  | Bfmax, [| a; b |] -> Some (float2 "fmax" Float.max a b)
+  | Bimin, [| a; b |] -> Some (int2 "imin" min a b)
+  | Bimax, [| a; b |] -> Some (int2 "imax" max a b)
+  | Biabs, [| v |] -> Some (match v with VInt x -> VInt (abs x) | _ -> trap "iabs expects an int")
+  | Bitof, [| v |] -> Some (eval_unop Ir.Itof v)
+  | Bftoi, [| v |] -> Some (eval_unop Ir.Ftoi v)
+  | Bhrand, [| v |] -> Some (match v with VInt x -> VFloat (hrand_of_int x) | _ -> trap "hrand expects an int")
+  | Bdrand, [||] ->
       emit_read ctx Events.Lrng iid;
       emit_write ctx Events.Lrng iid;
       Some (VFloat (Store.drand ctx.st))
-  | "dseed", [ v ] ->
+  | Bdseed, [| v |] ->
       emit_write ctx Events.Lrng iid;
       (match v with VInt x -> Store.dseed ctx.st x | _ -> trap "dseed expects an int");
       Some (VInt 0)
-  | "reads", [] -> Some (VInt (Store.read_input ctx.st))
+  | Breads, [||] -> Some (VInt (Store.read_input ctx.st))
   | _ -> None
 
-and call_user ctx name vargs : Value.t option =
+and call_user ctx name (vargs : Value.t array) : Value.t option =
   let f =
     match Hashtbl.find_opt ctx.funcs name with
     | Some f -> f
     | None -> trap "call to undefined function '%s'" name
   in
-  let frame = { ffunc = f; regs = Array.make f.Ir.fnslots VUndef } in
-  (try List.iter2 (fun p v -> write_var frame p v) f.Ir.fparams vargs
-   with Invalid_argument _ -> trap "arity mismatch calling %s" name);
+  let fn = f.df_func in
+  let frame = { ffunc = fn; fcode = f.df_blocks; regs = Array.make fn.Ir.fnslots VUndef } in
+  let nargs = Array.length vargs in
+  let rec bind k = function
+    | [] -> if k <> nargs then trap "arity mismatch calling %s" name
+    | p :: ps ->
+        if k >= nargs then trap "arity mismatch calling %s" name
+        else begin
+          write_var frame p vargs.(k);
+          bind (k + 1) ps
+        end
+  in
+  bind 0 fn.Ir.fparams;
   (match ctx.sink with Some s -> s.Events.on_call name | None -> ());
   let result =
-    match exec_from ctx frame f.Ir.fentry ~stop:(fun _ -> false) ~control:None ~src:(-1) with
+    match exec_from ctx frame fn.Ir.fentry ~stop:(fun _ -> false) ~control:None ~src:(-1) with
     | Returned v -> v
     | Stopped_at _ -> assert false
   in
@@ -295,12 +470,18 @@ and exec_from ctx frame bid ~stop ~control ~src : stop_reason =
       exec_from ctx frame continue_at ~stop ~control ~src:bid
   | None ->
       (match ctx.sink with Some s -> s.Events.on_block ~fname:frame.ffunc.Ir.fname ~src ~dst:bid | None -> ());
-      let blk = frame.ffunc.Ir.fblocks.(bid) in
-      List.iter
-        (fun i ->
-          let keep = match control with Some c -> c.sc_filter i | None -> true in
-          if keep then exec_instr ctx frame i)
-        blk.Ir.instrs;
+      let blk = frame.fcode.(bid) in
+      let instrs = blk.db_instrs in
+      (match control with
+      | None ->
+          for k = 0 to Array.length instrs - 1 do
+            exec_instr ctx frame instrs.(k)
+          done
+      | Some c ->
+          for k = 0 to Array.length instrs - 1 do
+            let d = instrs.(k) in
+            if c.sc_filter d.di then exec_instr ctx frame d
+          done);
       let continue_to target =
         if stop target then begin
           (* surface the pending transfer so recorders see loop-exit and
@@ -312,23 +493,30 @@ and exec_from ctx frame bid ~stop ~control ~src : stop_reason =
         end
         else exec_from ctx frame target ~stop ~control ~src:bid
       in
-      (match blk.Ir.bterm with
-      | Ir.Br t -> continue_to t
-      | Ir.Cbr (c, a, b) -> begin
+      (match blk.db_term with
+      | TBr t -> continue_to t
+      | TCbr (c, a, b) -> begin
           let forced = match control with Some ctl -> ctl.sc_override bid | None -> None in
           match forced with
           | Some t -> continue_to t
           | None ->
-              let v = eval_operand ctx frame c in
+              let v = eval_dop ctx frame c in
               continue_to (if truthy v then a else b)
         end
-      | Ir.Ret op -> Returned (Option.map (eval_operand ctx frame) op))
+      | TRet op -> Returned (Option.map (eval_dop ctx frame) op))
 
 let exec_upto ctx frame ~start ~stop ~control = exec_from ctx frame start ~stop ~control ~src:(-1)
 
-let call_function ctx name args = call_user ctx name args
+let call_function ctx name args = call_user ctx name (Array.of_list args)
 
-let run_main ctx = ignore (call_user ctx "main" [])
+let run_main ctx = ignore (call_user ctx "main" [||])
+
+let frame_for ctx fname =
+  match Hashtbl.find_opt ctx.funcs fname with
+  | Some f -> { ffunc = f.df_func; fcode = f.df_blocks; regs = Array.make f.df_func.Ir.fnslots VUndef }
+  | None -> invalid_arg (Printf.sprintf "Eval.frame_for: no function '%s'" fname)
+
+let copy_frame frame = { frame with regs = Array.copy frame.regs }
 
 let add_interceptor ctx ~fname ~header handler =
   ctx.interceptors <-

@@ -23,7 +23,15 @@ exception Out_of_fuel
 
 type ctx
 
-type frame = { ffunc : Dca_ir.Ir.func; regs : Value.t array }
+type dblock
+(** A basic block pre-decoded at {!create} time: instruction arrays with
+    constant operands resolved to ready-made values — the direct-threaded
+    form the hot loop executes instead of re-interpreting [Ir.instr]
+    lists. *)
+
+type frame = { ffunc : Dca_ir.Ir.func; fcode : dblock array; regs : Value.t array }
+(** [fcode] is the decoded body of [ffunc]; build frames with
+    {!frame_for} or {!copy_frame} rather than by hand. *)
 
 val create : ?fuel:int -> ?input:int list -> Dca_ir.Ir.program -> ctx
 (** Default fuel: 200 million instructions. *)
@@ -49,6 +57,13 @@ val outputs : ctx -> string list
 val eval_operand : ctx -> frame -> Dca_ir.Ir.operand -> Value.t
 val read_var : frame -> Dca_ir.Ir.var -> Value.t
 val write_var : frame -> Dca_ir.Ir.var -> Value.t -> unit
+
+val frame_for : ctx -> string -> frame
+(** A fresh frame (all slots [VUndef]) for the named function.  Raises
+    [Invalid_argument] on an unknown function. *)
+
+val copy_frame : frame -> frame
+(** Same function and decoded code, private copy of the register file. *)
 
 type step_control = {
   sc_filter : Dca_ir.Ir.instr -> bool;  (** execute only instructions satisfying this *)

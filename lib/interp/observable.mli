@@ -30,6 +30,14 @@ val capture : Store.t -> scalars:Value.t list -> roots:Value.t list -> t
 val equal : ?eps:float -> t -> t -> bool
 (** Structural equality with relative float tolerance (default 1e-9). *)
 
+val matches : ?eps:float -> t -> Store.t -> scalars:Value.t list -> roots:Value.t list -> bool
+(** [matches golden st ~scalars ~roots] is [equal golden (capture st
+    ~scalars ~roots)] without materializing the second capture: the live
+    state is walked in capture order and compared cell-by-cell against
+    [golden], allocating only the canonical-renaming table.  This is the
+    replay hot path — one digest is captured per golden run and every
+    schedule replay checks the state it left behind against it. *)
+
 val size : t -> int
 (** Number of captured cells (diagnostics). *)
 

@@ -270,6 +270,78 @@ let test_observable_float_tolerance () =
     (Observable.equal (mk 1.0) (mk (1.0 +. 1e-13)));
   Alcotest.(check bool) "distant floats differ" false (Observable.equal (mk 1.0) (mk 1.1))
 
+(* [Observable.matches] must decide exactly like capture-then-equal, on
+   isomorphic heaps (canonical renaming) as well as genuinely different
+   states. *)
+let test_observable_matches () =
+  let run src =
+    let ctx = Eval.create (compile src) in
+    Eval.run_main ctx;
+    Eval.store ctx
+  in
+  let list_src order =
+    Printf.sprintf
+      {|
+      struct node { int val; struct node *next; }
+      struct node *head;
+      void main() { %s }
+      |}
+      order
+  in
+  let a =
+    run
+      (list_src
+         {|
+         struct node *n1 = new struct node;
+         struct node *n2 = new struct node;
+         n1->val = 1; n2->val = 2; n1->next = n2; n2->next = null; head = n1;
+         |})
+  in
+  let b =
+    run
+      (list_src
+         {|
+         struct node *n2 = new struct node;
+         struct node *dead = new struct node;
+         struct node *n1 = new struct node;
+         dead->val = 99;
+         n1->val = 1; n2->val = 2; n1->next = n2; n2->next = null; head = n1;
+         |})
+  in
+  let golden = Observable.capture a ~scalars:[] ~roots:[ Store.read_global a 0 ] in
+  Alcotest.(check bool) "matches self" true
+    (Observable.matches golden a ~scalars:[] ~roots:[ Store.read_global a 0 ]);
+  Alcotest.(check bool) "matches isomorphic heap" true
+    (Observable.matches golden b ~scalars:[] ~roots:[ Store.read_global b 0 ]);
+  (match Store.read_global b 0 with
+  | Value.VPtr (blk, _) -> Store.store b ~block:blk ~off:0 (Value.VInt 42)
+  | _ -> Alcotest.fail "expected pointer global");
+  Alcotest.(check bool) "mutated heap differs" false
+    (Observable.matches golden b ~scalars:[] ~roots:[ Store.read_global b 0 ])
+
+(* Property: on random array states, [matches] and capture-then-[equal]
+   agree (both verdicts, not just the positive case). *)
+let prop_matches_agrees_with_equal =
+  QCheck.Test.make ~count:200 ~name:"Observable.matches = capture+equal"
+    QCheck.(pair (list (int_range 0 7)) (list (int_range 0 7)))
+    (fun (pokes_a, pokes_b) ->
+      let mk pokes =
+        let ctx = Eval.create (compile "int a[8]; int total; void main() { }") in
+        Eval.run_main ctx;
+        let st = Eval.store ctx in
+        (match Store.read_global st 0 with
+        | Value.VPtr (blk, _) ->
+            List.iteri (fun i off -> Store.store st ~block:blk ~off (Value.VInt (i + off))) pokes
+        | _ -> failwith "expected array global");
+        st
+      in
+      let liveout st = ([ Store.read_global st 1 ], [ Store.read_global st 0 ]) in
+      let sa = mk pokes_a and sb = mk pokes_b in
+      let (sc_a, rt_a), (sc_b, rt_b) = (liveout sa, liveout sb) in
+      let golden = Observable.capture sa ~scalars:sc_a ~roots:rt_a in
+      Observable.matches golden sb ~scalars:sc_b ~roots:rt_b
+      = Observable.equal golden (Observable.capture sb ~scalars:sc_b ~roots:rt_b))
+
 let test_outputs_equal_tolerant () =
   Alcotest.(check bool) "tolerant" true
     (Observable.outputs_equal [ "1.00000000000001"; "x" ] [ "1.0"; "x" ]);
@@ -301,6 +373,8 @@ let suites =
         Alcotest.test_case "isomorphic heaps" `Quick test_observable_isomorphic;
         Alcotest.test_case "state diff" `Quick test_observable_differs;
         Alcotest.test_case "float tolerance" `Quick test_observable_float_tolerance;
+        Alcotest.test_case "in-place matches" `Quick test_observable_matches;
+        QCheck_alcotest.to_alcotest prop_matches_agrees_with_equal;
         Alcotest.test_case "outputs tolerant" `Quick test_outputs_equal_tolerant;
       ] );
   ]
@@ -435,4 +509,200 @@ let extra_suites =
       ] );
   ]
 
-let suites = suites @ extra_suites
+(* ---------------------------------------------------------------- *)
+(* Checkpointing: journal/COW vs deep-copy oracle                     *)
+(* ---------------------------------------------------------------- *)
+
+(* The journal store (write barrier + undo journal, COW forks) and the
+   deep store (eager heap duplication) implement the same contract.  The
+   properties below drive one of each through the same random interleaving
+   of allocations, stores, global writes, snapshots, restores (to random
+   stack depths), releases and forks — and require the two to agree on
+   every observable at the end, including on every fork taken along the
+   way (a fork diverging from its deep twin means state leaked between
+   parent and replica through a shared cells array). *)
+
+let checkpoint_program =
+  lazy (compile "int g0; int g1; float gf; int arr[3]; void main() { }")
+
+let mk_store mode =
+  Store.create ~mode (Lazy.force checkpoint_program) ~input:[ 3; 1; 4; 1; 5 ]
+
+let n_global_slots = 4
+
+let stores_agree sj sd =
+  let agree = ref (Store.heap_blocks sj = Store.heap_blocks sd) in
+  for b = 0 to Store.heap_blocks sj - 1 do
+    if Store.block_cells sj b <> Store.block_cells sd b then agree := false
+  done;
+  for slot = 0 to n_global_slots - 1 do
+    if Store.read_global sj slot <> Store.read_global sd slot then agree := false
+  done;
+  if Store.outputs sj <> Store.outputs sd then agree := false;
+  (* same rng / input-cursor position: the next draws must coincide *)
+  if Store.drand sj <> Store.drand sd then agree := false;
+  if Store.read_input sj <> Store.read_input sd then agree := false;
+  !agree
+
+(* Decode one op from an integer and apply it to both stores.  Every
+   choice is derived from the code and the (identical) current state, so
+   the two stores always see the same operation. *)
+let apply_op sj sd stack copies code =
+  let both f =
+    f sj;
+    f sd
+  in
+  let n = Store.heap_blocks sj in
+  let value c =
+    match (c / 7) mod 4 with
+    | 0 -> Value.VFloat (float_of_int (c mod 17) /. 3.0)
+    | 1 -> if n > 0 then Value.VPtr (c mod n, 0) else Value.VNull
+    | _ -> Value.VInt (c mod 1000)
+  in
+  match code mod 10 with
+  | 0 | 1 | 2 ->
+      if n > 0 then begin
+        let b = code / 10 mod n in
+        match Store.block_size sj b with
+        | Some sz when sz > 0 ->
+            let off = code / 100 mod sz in
+            let v = value (code / 1000) in
+            both (fun s -> Store.store s ~block:b ~off v)
+        | _ -> ()
+      end
+  | 3 ->
+      let slot = code / 10 mod n_global_slots in
+      let v = value (code / 100) in
+      both (fun s -> Store.write_global s slot v)
+  | 4 ->
+      let count = 1 + (code / 10 mod 3) in
+      both (fun s -> ignore (Store.alloc s [| Layout.KInt |] ~count : int))
+  | 5 -> stack := (Store.snapshot sj, Store.snapshot sd) :: !stack
+  | 6 -> (
+      (* restore a random live snapshot; the ones taken after it are
+         invalidated and must only be released *)
+      match !stack with
+      | [] -> ()
+      | live ->
+          let k = code / 10 mod List.length live in
+          let rec split i acc = function
+            | x :: rest when i < k -> split (i + 1) (x :: acc) rest
+            | rest -> (List.rev acc, rest)
+          in
+          let above, keep = split 0 [] live in
+          let mj, md = List.hd keep in
+          Store.restore sj mj;
+          Store.restore sd md;
+          List.iter
+            (fun (aj, ad) ->
+              Store.release sj aj;
+              Store.release sd ad)
+            above;
+          stack := keep)
+  | 7 -> (
+      match !stack with
+      | (mj, md) :: rest ->
+          Store.release sj mj;
+          Store.release sd md;
+          stack := rest
+      | [] -> ())
+  | 8 ->
+      (* fork both stores; dirty the forks identically so COW privatizes
+         in the replica direction too *)
+      let cj = Store.copy sj and cd = Store.copy sd in
+      (match Store.block_size cj 0 with
+      | Some sz when sz > 0 ->
+          Store.store cj ~block:0 ~off:0 (Value.VInt code);
+          Store.store cd ~block:0 ~off:0 (Value.VInt code)
+      | _ -> ());
+      Store.write_global cj 0 (Value.VInt (code + 1));
+      Store.write_global cd 0 (Value.VInt (code + 1));
+      copies := (cj, cd) :: !copies
+  | _ -> (
+      match code / 10 mod 3 with
+      | 0 -> both (fun s -> ignore (Store.drand s : float))
+      | 1 -> both (fun s -> ignore (Store.read_input s : int))
+      | _ -> both (fun s -> Store.print_string_ s (string_of_int (code mod 50))))
+
+let prop_journal_matches_deep =
+  QCheck.Test.make ~count:300 ~name:"journal/COW store agrees with deep-copy oracle"
+    QCheck.(list (int_range 0 999_999))
+    (fun codes ->
+      let sj = mk_store Store.Journal and sd = mk_store Store.Deep in
+      let stack = ref [] and copies = ref [] in
+      List.iter (apply_op sj sd stack copies) codes;
+      stores_agree sj sd
+      && List.for_all (fun (cj, cd) -> stores_agree cj cd) !copies)
+
+let prop_restore_round_trip =
+  QCheck.Test.make ~count:300 ~name:"snapshot/mutate/restore round-trips in both modes"
+    QCheck.(pair (list (int_range 0 999_999)) (list (int_range 0 999_999)))
+    (fun (pre, post) ->
+      (* only non-checkpoint ops: keep the snapshot stack in this test's hands *)
+      let mutation_only c = match c mod 10 with 5 | 6 | 7 | 8 -> false | _ -> true in
+      let pre = List.filter mutation_only pre and post = List.filter mutation_only post in
+      let sj = mk_store Store.Journal and sd = mk_store Store.Deep in
+      let stack = ref [] and copies = ref [] in
+      List.iter (apply_op sj sd stack copies) pre;
+      let mj = Store.snapshot sj and md = Store.snapshot sd in
+      List.iter (apply_op sj sd stack copies) post;
+      Store.restore sj mj;
+      Store.restore sd md;
+      let first = stores_agree sj sd in
+      (* a snapshot survives repeated restores: mutate and rewind again *)
+      List.iter (apply_op sj sd stack copies) post;
+      Store.restore sj mj;
+      Store.restore sd md;
+      Store.release sj mj;
+      Store.release sd md;
+      first && stores_agree sj sd)
+
+(* Pointers into blocks allocated after the snapshot dangle once restored;
+   Observable.capture canonicalizes them to CUndef, so a digest taken
+   through a dangling pointer equals one taken through VUndef. *)
+let test_dangling_canonicalizes () =
+  List.iter
+    (fun mode ->
+      let st = mk_store mode in
+      let snap = Store.snapshot st in
+      let b = Store.alloc st [| Layout.KInt |] ~count:2 in
+      Store.write_global st 0 (Value.VPtr (b, 0));
+      Store.restore st snap;
+      Store.release st snap;
+      let dangling = Value.VPtr (b, 0) in
+      Alcotest.(check bool) "block dangles" true (Store.block_size st b = None);
+      let obs = Observable.capture st ~scalars:[ dangling ] ~roots:[] in
+      let undef = Observable.capture st ~scalars:[ Value.VUndef ] ~roots:[] in
+      Alcotest.(check bool) "dangling pointer digests as undef" true (Observable.equal obs undef))
+    [ Store.Journal; Store.Deep ]
+
+let test_stale_snapshot_rejected () =
+  let st = mk_store Store.Journal in
+  let outer = Store.snapshot st in
+  Store.write_global st 0 (Value.VInt 1);
+  let inner = Store.snapshot st in
+  Store.write_global st 0 (Value.VInt 2);
+  Store.restore st outer;
+  (match Store.restore st inner with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "restoring an invalidated snapshot must raise");
+  let released = Store.snapshot st in
+  Store.release st released;
+  Store.release st released;
+  (* idempotent *)
+  match Store.restore st released with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "restoring a released snapshot must raise"
+
+let checkpoint_suites =
+  [
+    ( "checkpoint",
+      [
+        QCheck_alcotest.to_alcotest prop_journal_matches_deep;
+        QCheck_alcotest.to_alcotest prop_restore_round_trip;
+        Alcotest.test_case "dangling canonicalizes" `Quick test_dangling_canonicalizes;
+        Alcotest.test_case "stale/released rejected" `Quick test_stale_snapshot_rejected;
+      ] );
+  ]
+
+let suites = suites @ extra_suites @ checkpoint_suites
