@@ -9,13 +9,19 @@
      dune exec bench/main.exe -- --list  # available targets            *)
 
 open Dca_experiments
+module Telemetry = Dca_support.Telemetry
 
 let section title = Printf.printf "\n================ %s ================\n%!" title
 
+(* All wall-clock measurement goes through the telemetry monotonic clock:
+   [Unix.gettimeofday] is wall time and jumps under NTP adjustment, which
+   is exactly what a benchmark harness must not be sensitive to. *)
+let seconds_since t0_ns = float_of_int (Telemetry.now_ns () - t0_ns) *. 1e-9
+
 let timed name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now_ns () in
   let result = f () in
-  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  Printf.printf "[%s: %.1fs]\n%!" name (seconds_since t0);
   result
 
 let run_table1 () =
@@ -141,9 +147,9 @@ let run_jobs () =
       Dca_core.Session.report
   in
   let time jobs =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.now_ns () in
     let report = analyze jobs in
-    (Unix.gettimeofday () -. t0, report)
+    (seconds_since t0, report)
   in
   let t1, r1 = time 1 in
   Printf.printf "  %-22s %8.2fs\n%!" "LU analyze, jobs=1" t1;
@@ -173,9 +179,9 @@ let sample_ns ~reps f =
   (* warm-up: fault in code paths and steady-state the allocator *)
   median
     (Array.init reps (fun _ ->
-         let t0 = Unix.gettimeofday () in
+         let t0 = Telemetry.now_ns () in
          f ();
-         (Unix.gettimeofday () -. t0) *. 1e9))
+         float_of_int (Telemetry.now_ns () - t0)))
 
 let run_interp () =
   section "Interpreter micro-benchmarks";
@@ -224,7 +230,10 @@ let run_interp () =
   push "snapshot_restore_speedup" (d /. j);
   Printf.printf "  (%d heap blocks, %d dirtied = %.1f%% of the heap)\n%!" blocks dirty
     (100.0 *. float_of_int dirty /. float_of_int blocks);
-  (* 3. the full dynamic stage: golden recording plus every schedule replay *)
+  (* 3. the full dynamic stage: golden recording plus every schedule
+     replay — timed, and its work counters recorded alongside: the
+     counters are deterministic, so a counter drift between two runs of
+     this harness is an analysis change, not noise *)
   List.iter
     (fun bm ->
       let ns =
@@ -232,7 +241,16 @@ let run_interp () =
             Dca_core.Session.with_session ~jobs:1 (Dca_core.Session.Benchmark bm) (fun s ->
                 ignore (Dca_core.Session.dca_results s)))
       in
-      push (Printf.sprintf "dca_dynamic_%s_ns" bm.Benchmark.bm_name) ns)
+      push (Printf.sprintf "dca_dynamic_%s_ns" bm.Benchmark.bm_name) ns;
+      let counters =
+        Dca_core.Session.with_session ~jobs:1 (Dca_core.Session.Benchmark bm) (fun s ->
+            Dca_core.Report.counters (Dca_core.Session.dca_results s))
+      in
+      List.iter
+        (fun (key, v) ->
+          let key = String.map (fun c -> if c = '-' then '_' else c) key in
+          push (Printf.sprintf "dca_%s_%s" bm.Benchmark.bm_name key) (float_of_int v))
+        counters)
     bms;
   let oc = open_out "BENCH_interp.json" in
   output_string oc "{\n";

@@ -16,17 +16,35 @@
 
 open Cmdliner
 module Session = Dca_core.Session
+module Telemetry = Dca_support.Telemetry
 
 (* Open a session for PROG and run [f] on it, mapping the standard failure
-   modes to exit codes. *)
-let with_session ?config ?spec ?hierarchical ?jobs prog f =
+   modes to exit codes.  [trace]/[stats] layer the command-line telemetry
+   flags over whatever DCA_TRACE / DCA_STATS configured; the sinks are
+   flushed on every exit path so a trace survives a trap. *)
+let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) prog f =
+  Telemetry.init_from_env ();
+  (match (trace, stats) with
+  | None, false -> ()
+  | _ ->
+      let cur = Telemetry.config () in
+      let is_jsonl f = Filename.check_suffix f ".jsonl" in
+      Telemetry.configure
+        {
+          Telemetry.cfg_trace =
+            (match trace with Some f when not (is_jsonl f) -> Some f | _ -> cur.Telemetry.cfg_trace);
+          cfg_jsonl = (match trace with Some f when is_jsonl f -> Some f | _ -> cur.Telemetry.cfg_jsonl);
+          cfg_stats = stats || cur.Telemetry.cfg_stats;
+        });
   match Session.load ?config ?spec ?hierarchical ?jobs prog with
   | Error msg ->
       Printf.eprintf "dca: %s\n" msg;
       1
   | Ok s ->
       Fun.protect
-        ~finally:(fun () -> Session.close s)
+        ~finally:(fun () ->
+          Session.close s;
+          Telemetry.flush ())
         (fun () ->
           match f s with
           | () -> 0
@@ -50,6 +68,21 @@ let jobs_arg =
      recommended domain count.  Results are bit-identical for every value."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write an execution trace to $(docv): Chrome trace-event JSON (load in Perfetto or \
+     about://tracing), or a JSONL event stream if $(docv) ends in $(b,.jsonl)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the telemetry counter table to stderr on exit: deterministic work counters \
+           (identical for every $(b,--jobs) value) and diagnostic counters.")
 
 (* ------------------------------------------------------------------ *)
 
@@ -105,7 +138,7 @@ let hierarchical_arg =
            commutative.")
 
 let analyze_cmd =
-  let run prog shuffles no_escalate hierarchical jobs =
+  let run prog shuffles no_escalate hierarchical jobs trace stats =
     let config =
       {
         Dca_core.Commutativity.default_config with
@@ -113,16 +146,19 @@ let analyze_cmd =
         cc_escalate = not no_escalate;
       }
     in
-    with_session ~config ~hierarchical ?jobs prog (fun s -> print_string (Session.report s))
+    with_session ~config ~hierarchical ?jobs ?trace ~stats prog (fun s ->
+        print_string (Session.report s))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Dynamic Commutativity Analysis on every loop of the program")
-    Term.(const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ jobs_arg)
+    Term.(
+      const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ jobs_arg $ trace_arg
+      $ stats_arg)
 
 let tools_cmd =
-  let run prog jobs =
-    with_session ?jobs prog (fun s ->
+  let run prog jobs trace stats =
+    with_session ?jobs ?trace ~stats prog (fun s ->
         let info = Session.proginfo s in
         let profile = Session.profile s in
         let dca = Session.dca_results s in
@@ -152,14 +188,14 @@ let tools_cmd =
   in
   Cmd.v
     (Cmd.info "tools" ~doc:"Compare the five baseline detectors and DCA, loop by loop")
-    Term.(const run $ prog_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let workers_arg =
   Arg.(value & opt int 72 & info [ "workers" ] ~docv:"P" ~doc:"Simulated worker count.")
 
 let speedup_cmd =
-  let run prog workers jobs =
-    with_session ?jobs prog (fun s ->
+  let run prog workers jobs trace stats =
+    with_session ?jobs ?trace ~stats prog (fun s ->
         let machine = Dca_parallel.Machine.with_workers Dca_parallel.Machine.default workers in
         let plan = Session.plan ~machine s in
         let result = Dca_parallel.Speedup.simulate ~machine (Session.proginfo s) (Session.profile s) plan in
@@ -177,22 +213,23 @@ let speedup_cmd =
   Cmd.v
     (Cmd.info "speedup"
        ~doc:"Parallelize the DCA-commutative loops and report the simulated speedup")
-    Term.(const run $ prog_arg $ workers_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ workers_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let advise_cmd =
-  let run prog jobs =
-    with_session ?jobs prog (fun s -> print_string (Dca_core.Advisor.report (Session.advise s)))
+  let run prog jobs trace stats =
+    with_session ?jobs ?trace ~stats prog (fun s ->
+        print_string (Dca_core.Advisor.report (Session.advise s)))
   in
   Cmd.v
     (Cmd.info "advise"
        ~doc:
          "Full parallelism advisory: per loop, whether to parallelize (and with which OpenMP \
           clauses), leave serial, or keep sequential — with the evidence")
-    Term.(const run $ prog_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let annotate_cmd =
-  let run prog jobs =
-    with_session ?jobs prog (fun s ->
+  let run prog jobs trace stats =
+    with_session ?jobs ?trace ~stats prog (fun s ->
         print_string
           (Dca_parallel.Codegen.annotate_source (Session.proginfo s) ~source:(Session.source s)
              (Session.plan s)))
@@ -200,11 +237,11 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Emit the source with OpenMP-style pragmas inserted above every loop DCA parallelizes")
-    Term.(const run $ prog_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let export_c_cmd =
-  let run prog jobs =
-    with_session ?jobs prog (fun s ->
+  let run prog jobs trace stats =
+    with_session ?jobs ?trace ~stats prog (fun s ->
         let info = Session.proginfo s in
         let plan = Session.plan s in
         let ast = Dca_frontend.Parser.parse_program ~file:(Session.file s) (Session.source s) in
@@ -245,7 +282,7 @@ let export_c_cmd =
        ~doc:
          "Export the program as compilable C99 with real OpenMP pragmas on every loop DCA \
           parallelizes (build with: cc -fopenmp prog.c -lm)")
-    Term.(const run $ prog_arg $ jobs_arg)
+    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
 let () =
   let doc = "Loop parallelization using Dynamic Commutativity Analysis (CGO 2021 reproduction)" in

@@ -36,6 +36,9 @@ type outcome = {
   oc_skipped_schedules : int;
       (** schedule replays skipped because the induced permutation was the
           identity (trip count <= 1) or duplicated an earlier schedule's *)
+  oc_golden_runs : int;
+  oc_replays : int;
+  oc_replay_steps : int;
   oc_separation : Iterator_rec.separation;
   oc_per_invocation : verdict list;
 }
@@ -45,6 +48,24 @@ type run_spec = { rs_input : int list; rs_fuel : int }
 let default_run_spec = { rs_input = []; rs_fuel = 100_000_000 }
 
 exception Replay_mismatch of string
+
+(* Work counters: jobs-invariant by construction.  Every increment happens
+   either on the main evaluation path (identical across worker counts) or
+   from totals accumulated at the deterministic merge that consumes
+   speculative per-schedule results in schedule order — work a parallel
+   run performed but then discarded (schedules past a trap) is never
+   counted.  [interp.instructions] is the exception: it is a diagnostic,
+   because workers burn instructions on exactly that discarded work. *)
+let c_invocations = Telemetry.counter "dca.invocations"
+let c_golden_runs = Telemetry.counter "dca.golden_runs"
+let c_replays = Telemetry.counter "dca.replays"
+let c_replay_steps = Telemetry.counter "dca.replay_steps"
+let c_skipped = Telemetry.counter "dca.schedules_skipped"
+let c_promotions = Telemetry.counter "dca.promotions"
+let c_escalated = Telemetry.counter "dca.loops_escalated"
+let c_wp_golden_runs = Telemetry.counter "dca.wp_golden_runs"
+let c_wp_schedule_runs = Telemetry.counter "dca.wp_schedule_runs"
+let d_instructions = Telemetry.counter ~kind:Telemetry.Diag "interp.instructions"
 
 (* ------------------------------------------------------------------ *)
 (* Golden recording                                                    *)
@@ -341,6 +362,9 @@ type tester_state = {
   mutable ts_needs_escalation : Schedule.t list;
   mutable ts_promotions : int;
   mutable ts_skipped : int;
+  mutable ts_goldens : int;  (** loop-local golden recordings *)
+  mutable ts_replays : int;  (** counted replays, identity self-checks included *)
+  mutable ts_replay_steps : int;  (** instructions those replays executed *)
   mutable ts_per_invocation : verdict list;  (** reversed *)
 }
 
@@ -386,6 +410,44 @@ let sift_schedules schedules n_iters =
   in
   sift [] 0 schedules
 
+(* One counted replay: run [sched] on [ctx]/[frame], classify the result,
+   and measure the instructions it executed.  Both the sequential path
+   (main context) and parallel workers (forked replicas) go through here,
+   so the two paths meter identical work per schedule.  [Eval.Out_of_fuel]
+   escapes — workers catch it, the main context lets it abort the
+   analysis — and the trace span is closed on every exit path. *)
+let replay_counted ~eps ctx frame fi sep g sched =
+  let traced = Telemetry.tracing () in
+  let name = if traced then "replay " ^ Schedule.to_string sched else "" in
+  let s0 = Eval.steps ctx in
+  let label = ref "out-of-fuel" in
+  if traced then Telemetry.begin_span ~cat:"dynamic" name;
+  Fun.protect
+    ~finally:(fun () ->
+      if traced then
+        Telemetry.end_span
+          ~args:[ ("outcome", !label); ("instructions", string_of_int (Eval.steps ctx - s0)) ]
+          name)
+    (fun () ->
+      let d =
+        match replay_matches ~eps ctx frame fi sep g sched with
+        | true ->
+            label := "match";
+            `Ok
+        | false ->
+            label := "digest-mismatch";
+            `Escalate
+        | exception Replay_mismatch _ ->
+            (* control divergence prevents loop-local digesting;
+               decide via whole-program verification *)
+            label := "control-divergence";
+            `Escalate
+        | exception Eval.Trap msg ->
+            label := "trap";
+            `Trap msg
+      in
+      (d, Eval.steps ctx - s0))
+
 (* Run the post-identity permutation schedules.  With a pool of width > 1
    every representative replays on a {!Eval.fork}ed replica of the entry
    state in parallel; the outcomes are then folded in schedule order,
@@ -408,20 +470,16 @@ let run_schedules pool config fi state ctx frame g restore0 =
       | [] -> List.rev acc
       | (sched, _) :: rest -> begin
           restore0 ();
-          match replay_matches ~eps:config.cc_eps ctx frame fi state.ts_sep g sched with
-          | exception Replay_mismatch _ ->
-              (* control divergence prevents loop-local digesting;
-                 decide via whole-program verification *)
-              run (`Escalate :: acc) rest
-          | exception Eval.Trap msg -> List.rev (`Trap msg :: acc)
-          | true -> run (`Ok :: acc) rest
-          | false -> run (`Escalate :: acc) rest
+          match replay_counted ~eps:config.cc_eps ctx frame fi state.ts_sep g sched with
+          | ((`Trap _, _) as d) -> List.rev (d :: acc)
+          | d -> run (d :: acc) rest
         end
     in
     run [] schedules
   in
   let decide_parallel p =
     restore0 ();
+    let base_steps = Eval.steps ctx in
     (* every replica forks from the restored entry state; the parent only
        participates in the pool while the map is in flight, so the shared
        store is read-only for its duration *)
@@ -431,25 +489,26 @@ let run_schedules pool config fi state ctx frame g restore0 =
           let ctx' = Eval.fork ctx in
           let frame' = Eval.copy_frame frame in
           (* the digest comparison runs in the worker, against the
-             worker-local replica state; only the boolean crosses back *)
-          match replay_matches ~eps:config.cc_eps ctx' frame' fi state.ts_sep g sched with
-          | true -> `Ok
-          | false -> `Mismatch
-          | exception Replay_mismatch _ -> `Mismatch
-          | exception Eval.Trap msg -> `Trap msg
-          | exception Eval.Out_of_fuel -> `Fuel)
+             worker-local replica state; only the decision crosses back *)
+          let r =
+            match replay_counted ~eps:config.cc_eps ctx' frame' fi state.ts_sep g sched with
+            | d -> `Done d
+            | exception Eval.Out_of_fuel -> `Fuel
+          in
+          (* replica-side diagnostics: the fork's checkpoint traffic and
+             the instructions it executed, speculative work included *)
+          Store.flush_telemetry (Eval.store ctx');
+          Telemetry.add d_instructions (Eval.steps ctx' - base_steps);
+          r)
         schedules
     in
     (* fold speculative outcomes in schedule order: decisions after a trap
        are discarded, exactly as the sequential loop never reaches them *)
     let rec fold acc = function
       | [] -> List.rev acc
-      | outcome :: rest -> (
-          match outcome with
-          | `Ok -> fold (`Ok :: acc) rest
-          | `Mismatch -> fold (`Escalate :: acc) rest
-          | `Trap msg -> List.rev (`Trap msg :: acc)
-          | `Fuel -> raise Eval.Out_of_fuel)
+      | `Done ((`Trap _, _) as d) :: _ -> List.rev (d :: acc)
+      | `Done d :: rest -> fold (d :: acc) rest
+      | `Fuel :: _ -> raise Eval.Out_of_fuel
     in
     fold [] outcomes
   in
@@ -458,6 +517,13 @@ let run_schedules pool config fi state ctx frame g restore0 =
     | Some p when Pool.jobs p > 1 && List.length schedules > 1 -> decide_parallel p
     | _ -> decide_sequential ()
   in
+  (* meter only the consumed decisions, and only once the list completed
+     normally: schedules past a trap are never counted (the sequential
+     loop never ran them), and an [Out_of_fuel] abort leaves the totals
+     untouched in both paths *)
+  state.ts_replays <- state.ts_replays + List.length decisions;
+  state.ts_replay_steps <-
+    List.fold_left (fun acc (_, steps) -> acc + steps) state.ts_replay_steps decisions;
   (* rebuild escalation marks over the full preset list in preset order —
      the exact pushes the undeduplicated sequential loop performed: every
      schedule (representative or duplicate) whose permutation escalated is
@@ -465,7 +531,7 @@ let run_schedules pool config fi state ctx frame g restore0 =
   let decision_of perm =
     let rec find kept decisions =
       match (kept, decisions) with
-      | (_, p) :: _, d :: _ when p = perm -> Some d
+      | (_, p) :: _, (d, _) :: _ when p = perm -> Some d
       | _ :: kept', _ :: decisions' -> find kept' decisions'
       | _, _ -> None  (* representative unreached: a trap cut it off *)
     in
@@ -490,6 +556,7 @@ let run_schedules pool config fi state ctx frame g restore0 =
   !verdict
 
 let test_invocation ?pool config fi state ctx frame =
+  Telemetry.span ~cat:"dynamic" "invocation" @@ fun () ->
   let st = Eval.store ctx in
   let s0 = Store.snapshot st in
   let regs0 = Array.copy frame.Eval.regs in
@@ -499,7 +566,8 @@ let test_invocation ?pool config fi state ctx frame =
   in
   let rec attempt rounds =
     restore0 ();
-    match record_golden ctx frame fi state.ts_sep with
+    state.ts_goldens <- state.ts_goldens + 1;
+    match Telemetry.span ~cat:"dynamic" "golden" (fun () -> record_golden ctx frame fi state.ts_sep) with
     | exception Replay_mismatch msg -> Untestable msg
     | exception Eval.Trap msg -> Untestable ("trap during golden run: " ^ msg)
     | g -> begin
@@ -512,13 +580,30 @@ let test_invocation ?pool config fi state ctx frame =
           else Untestable "memory separability violated"
         end
         else begin
-          (* identity self-check *)
+          (* identity self-check — metered like any other replay; it runs
+             on the main context in both the sequential and parallel paths *)
           restore0 ();
-          match replay_matches ~eps:config.cc_eps ctx frame fi state.ts_sep g Schedule.Identity with
-          | exception Replay_mismatch msg -> Untestable ("identity replay: " ^ msg)
-          | exception Eval.Trap msg -> Untestable ("identity replay trap: " ^ msg)
-          | false -> Untestable "identity replay does not reproduce the golden state"
-          | true -> run_schedules pool config fi state ctx frame g restore0
+          let steps0 = Eval.steps ctx in
+          let count () =
+            state.ts_replays <- state.ts_replays + 1;
+            state.ts_replay_steps <- state.ts_replay_steps + (Eval.steps ctx - steps0)
+          in
+          match
+            Telemetry.span ~cat:"dynamic" "replay identity" (fun () ->
+                replay_matches ~eps:config.cc_eps ctx frame fi state.ts_sep g Schedule.Identity)
+          with
+          | exception Replay_mismatch msg ->
+              count ();
+              Untestable ("identity replay: " ^ msg)
+          | exception Eval.Trap msg ->
+              count ();
+              Untestable ("identity replay trap: " ^ msg)
+          | false ->
+              count ();
+              Untestable "identity replay does not reproduce the golden state"
+          | true ->
+              count ();
+              run_schedules pool config fi state ctx frame g restore0
         end
       end
   in
@@ -560,8 +645,13 @@ let whole_program_run (info : Proginfo.t) spec fi sep sched =
         g.g_exit_block)
   in
   Eval.add_interceptor ctx ~fname:loop.Loops.l_func ~header:loop.Loops.l_header handler;
-  Eval.run_main ctx;
-  Eval.outputs ctx
+  Fun.protect
+    ~finally:(fun () ->
+      Store.flush_telemetry (Eval.store ctx);
+      Telemetry.add d_instructions (Eval.steps ctx))
+    (fun () ->
+      Eval.run_main ctx;
+      Eval.outputs ctx)
 
 (* Whole-program verification is one plain golden run plus one permuted
    run per schedule — every run builds its own evaluator from scratch, so
@@ -571,20 +661,32 @@ let whole_program_run (info : Proginfo.t) spec fi sep sched =
    the parallel path merely runs schedules speculatively. *)
 let escalate ?pool config info spec fi sep scheds =
   let scheds = Listx.dedup_keep_order ( = ) scheds in
+  (* the golden reference runs exactly once per escalated loop, in both
+     the sequential and the pool-mapped paths *)
+  Telemetry.incr c_wp_golden_runs;
   let golden_run () =
-    let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input (Proginfo.program info) in
-    Eval.run_main plain_ctx;
-    Eval.outputs plain_ctx
+    Telemetry.span ~cat:"dynamic" "wp-golden" (fun () ->
+        let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input (Proginfo.program info) in
+        Fun.protect
+          ~finally:(fun () ->
+            Store.flush_telemetry (Eval.store plain_ctx);
+            Telemetry.add d_instructions (Eval.steps plain_ctx))
+          (fun () ->
+            Eval.run_main plain_ctx;
+            Eval.outputs plain_ctx))
   in
   let sched_run sched =
-    match whole_program_run info spec fi sep sched with
-    | out -> `Out out
-    | exception Replay_mismatch msg -> `Verdict (Untestable ("whole-program replay: " ^ msg))
-    | exception Eval.Trap msg ->
-        `Verdict
-          (Non_commutative (Printf.sprintf "whole-program trap under %s: %s" (Schedule.to_string sched) msg))
-    | exception Eval.Out_of_fuel -> `Verdict (Untestable "whole-program replay ran out of fuel")
-    | exception e -> `Raised (e, Printexc.get_raw_backtrace ())
+    let name = if Telemetry.tracing () then "wp-run " ^ Schedule.to_string sched else "" in
+    Telemetry.span ~cat:"dynamic" name (fun () ->
+        match whole_program_run info spec fi sep sched with
+        | out -> `Out out
+        | exception Replay_mismatch msg -> `Verdict (Untestable ("whole-program replay: " ^ msg))
+        | exception Eval.Trap msg ->
+            `Verdict
+              (Non_commutative
+                 (Printf.sprintf "whole-program trap under %s: %s" (Schedule.to_string sched) msg))
+        | exception Eval.Out_of_fuel -> `Verdict (Untestable "whole-program replay ran out of fuel")
+        | exception e -> `Raised (e, Printexc.get_raw_backtrace ()))
   in
   (* Decide in schedule order.  The (sched, result) pairs arrive as a
      sequence: lazy in the sequential path (so a decisive early schedule
@@ -595,11 +697,18 @@ let escalate ?pool config info spec fi sep scheds =
     let rec go pairs =
       match Seq.uncons pairs with
       | None -> Commutative
-      | Some ((_, `Raised (e, bt)), _) -> Printexc.raise_with_backtrace e bt
-      | Some ((_, `Verdict v), _) -> v
-      | Some ((sched, `Out out), rest) ->
-          if Observable.outputs_equal ~eps:config.cc_eps golden_out out then go rest
-          else Non_commutative (Printf.sprintf "program output differs under %s" (Schedule.to_string sched))
+      | Some (pair, rest) -> (
+          (* metered at consumption: the sequential path executed exactly
+             the runs the merge consumes, so the total is jobs-invariant *)
+          Telemetry.incr c_wp_schedule_runs;
+          match pair with
+          | _, `Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | _, `Verdict v -> v
+          | sched, `Out out ->
+              if Observable.outputs_equal ~eps:config.cc_eps golden_out out then go rest
+              else
+                Non_commutative
+                  (Printf.sprintf "program output differs under %s" (Schedule.to_string sched)))
     in
     go pairs
   in
@@ -641,6 +750,9 @@ let test_loop ?pool config (info : Proginfo.t) spec fi sep =
       ts_needs_escalation = [];
       ts_promotions = 0;
       ts_skipped = 0;
+      ts_goldens = 0;
+      ts_replays = 0;
+      ts_replay_steps = 0;
       ts_per_invocation = [];
     }
   in
@@ -684,15 +796,33 @@ let test_loop ?pool config (info : Proginfo.t) spec fi sep =
         else Non_commutative "live-out digest differs (escalation disabled)"
     | v -> v
   in
-  {
-    oc_verdict = verdict;
-    oc_invocations = state.ts_tested;
-    oc_escalated = escalated && config.cc_escalate;
-    oc_promotions = state.ts_promotions;
-    oc_skipped_schedules = state.ts_skipped;
-    oc_separation = state.ts_sep;
-    oc_per_invocation = List.rev state.ts_per_invocation;
-  }
+  let outcome =
+    {
+      oc_verdict = verdict;
+      oc_invocations = state.ts_tested;
+      oc_escalated = escalated && config.cc_escalate;
+      oc_promotions = state.ts_promotions;
+      oc_skipped_schedules = state.ts_skipped;
+      oc_golden_runs = state.ts_goldens;
+      oc_replays = state.ts_replays;
+      oc_replay_steps = state.ts_replay_steps;
+      oc_separation = state.ts_sep;
+      oc_per_invocation = List.rev state.ts_per_invocation;
+    }
+  in
+  (* publish the work counters from the outcome record — the same totals
+     the report derives, hence jobs-invariant by construction — and drain
+     the main evaluator's diagnostics *)
+  Telemetry.add c_invocations outcome.oc_invocations;
+  Telemetry.add c_golden_runs outcome.oc_golden_runs;
+  Telemetry.add c_replays outcome.oc_replays;
+  Telemetry.add c_replay_steps outcome.oc_replay_steps;
+  Telemetry.add c_skipped outcome.oc_skipped_schedules;
+  Telemetry.add c_promotions outcome.oc_promotions;
+  if outcome.oc_escalated then Telemetry.incr c_escalated;
+  Store.flush_telemetry (Eval.store ctx);
+  Telemetry.add d_instructions (Eval.steps ctx);
+  outcome
 
 (* Combined testing over several workloads (§V-D): every executed input
    must agree on commutativity. *)
@@ -725,5 +855,8 @@ let test_loop_inputs ?pool config info specs fi sep =
         oc_escalated = List.exists (fun oc -> oc.oc_escalated) outcomes;
         oc_promotions = List.fold_left (fun acc oc -> max acc oc.oc_promotions) 0 outcomes;
         oc_skipped_schedules = List.fold_left (fun acc oc -> acc + oc.oc_skipped_schedules) 0 outcomes;
+        oc_golden_runs = List.fold_left (fun acc oc -> acc + oc.oc_golden_runs) 0 outcomes;
+        oc_replays = List.fold_left (fun acc oc -> acc + oc.oc_replays) 0 outcomes;
+        oc_replay_steps = List.fold_left (fun acc oc -> acc + oc.oc_replay_steps) 0 outcomes;
         oc_per_invocation = List.concat_map (fun oc -> oc.oc_per_invocation) outcomes;
       }

@@ -61,6 +61,17 @@ type outcome = {
           duplicated an earlier schedule's permutation.  Skipping never
           changes the verdict: a skipped duplicate inherits its
           representative's loop-local decision. *)
+  oc_golden_runs : int;
+      (** loop-local golden recordings (one per separability-widening
+          attempt of every tested invocation; whole-program verification
+          runs are counted separately by the [dca.wp_*] counters) *)
+  oc_replays : int;
+      (** permuted replays whose decision was consumed, identity
+          self-checks included.  Replays a parallel engine ran
+          speculatively but discarded (schedules past a trap) are not
+          counted, so this total — like every field of this record — is
+          identical across worker counts. *)
+  oc_replay_steps : int;  (** interpreter instructions those replays executed *)
   oc_separation : Iterator_rec.separation;  (** final (possibly widened) separation *)
   oc_per_invocation : verdict list;
       (** verdict of each tested dynamic invocation, in execution order —

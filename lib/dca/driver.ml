@@ -15,6 +15,13 @@ type loop_result = {
   lr_outcome : Commutativity.outcome option;
 }
 
+(* Work counters: one tick per loop outcome, always at the point where
+   the result record is built — reached exactly once per loop in both the
+   sequential and the pool-mapped paths, so totals are jobs-invariant. *)
+let c_examined = Telemetry.counter "dca.loops_examined"
+let c_rejected = Telemetry.counter "dca.loops_rejected"
+let c_subsumed = Telemetry.counter "dca.loops_subsumed"
+
 let decision_to_string = function
   | Commutative -> "commutative"
   | Non_commutative why -> Printf.sprintf "non-commutative: %s" why
@@ -39,18 +46,21 @@ let analyze_program ?(config = Commutativity.default_config)
      its own evaluator over the (read-only) program info. *)
   let examine_and_test (fi, loop) =
     let label = Proginfo.loop_label info loop in
-    match Candidate.examine info fi loop with
-    | Candidate.Rejected r ->
-        { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
-    | Candidate.Accepted sep ->
-        let outcome = Commutativity.test_loop ?pool config info spec fi sep in
-        let decision =
-          match outcome.Commutativity.oc_verdict with
-          | Commutativity.Commutative -> Commutative
-          | Commutativity.Non_commutative why -> Non_commutative why
-          | Commutativity.Untestable why -> Untestable why
-        in
-        { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome }
+    Telemetry.incr c_examined;
+    Telemetry.span ~cat:"dynamic" ("loop " ^ label) (fun () ->
+        match Telemetry.span ~cat:"static" "examine" (fun () -> Candidate.examine info fi loop) with
+        | Candidate.Rejected r ->
+            Telemetry.incr c_rejected;
+            { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
+        | Candidate.Accepted sep ->
+            let outcome = Commutativity.test_loop ?pool config info spec fi sep in
+            let decision =
+              match outcome.Commutativity.oc_verdict with
+              | Commutativity.Commutative -> Commutative
+              | Commutativity.Non_commutative why -> Non_commutative why
+              | Commutativity.Untestable why -> Untestable why
+            in
+            { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome })
   in
   let note_commutative r =
     match r.lr_decision with
@@ -85,6 +95,7 @@ let analyze_program ?(config = Commutativity.default_config)
                 (fun (i, (fi, loop)) ->
                   match subsuming_ancestor fi loop with
                   | Some anc ->
+                      Telemetry.incr c_subsumed;
                       Hashtbl.replace results i
                         {
                           lr_loop = loop;
@@ -110,6 +121,7 @@ let analyze_program ?(config = Commutativity.default_config)
         (fun (fi, loop) ->
           match subsuming_ancestor fi loop with
           | Some anc ->
+              Telemetry.incr c_subsumed;
               {
                 lr_loop = loop;
                 lr_label = Proginfo.loop_label info loop;

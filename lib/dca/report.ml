@@ -7,19 +7,52 @@ let summary_line (r : Driver.loop_result) =
   let extra =
     match r.Driver.lr_outcome with
     | Some oc ->
-        Printf.sprintf " [tested %d invocation(s)%s%s%s]" oc.Commutativity.oc_invocations
+        Printf.sprintf " [tested %d invocation(s)%s%s]" oc.Commutativity.oc_invocations
           (if oc.Commutativity.oc_escalated then ", escalated" else "")
           (if oc.Commutativity.oc_promotions > 0 then
              Printf.sprintf ", %d worklist promotion(s)" oc.Commutativity.oc_promotions
-           else "")
-          (if oc.Commutativity.oc_skipped_schedules > 0 then
-             Printf.sprintf ", skipped %d duplicate schedule(s)" oc.Commutativity.oc_skipped_schedules
            else "")
     | None -> ""
   in
   Printf.sprintf "%-24s depth=%d  %s%s" r.Driver.lr_label r.Driver.lr_loop.Loops.l_depth
     (Driver.decision_to_string r.Driver.lr_decision)
     extra
+
+(* Aggregated over the outcome records only — a pure fold, so the footer
+   is byte-identical for identical results regardless of worker count,
+   checkpoint mode, or whether telemetry was even enabled. *)
+let counters results =
+  let count pred = List.length (List.filter pred results) in
+  let sum f =
+    List.fold_left
+      (fun acc (r : Driver.loop_result) ->
+        match r.Driver.lr_outcome with Some oc -> acc + f oc | None -> acc)
+      0 results
+  in
+  [
+    ("loops", List.length results);
+    ("commutative", count Driver.is_commutative);
+    ( "non-commutative",
+      count (fun r -> match r.Driver.lr_decision with Driver.Non_commutative _ -> true | _ -> false) );
+    ("untestable", count (fun r -> match r.Driver.lr_decision with Driver.Untestable _ -> true | _ -> false));
+    ("rejected", count (fun r -> match r.Driver.lr_decision with Driver.Rejected _ -> true | _ -> false));
+    ("subsumed", count (fun r -> match r.Driver.lr_decision with Driver.Subsumed _ -> true | _ -> false));
+    ("invocations", sum (fun oc -> oc.Commutativity.oc_invocations));
+    ("golden-runs", sum (fun oc -> oc.Commutativity.oc_golden_runs));
+    ("replays", sum (fun oc -> oc.Commutativity.oc_replays));
+    ("replay-steps", sum (fun oc -> oc.Commutativity.oc_replay_steps));
+    ("skipped-schedules", sum (fun oc -> oc.Commutativity.oc_skipped_schedules));
+    ( "escalated-loops",
+      count (fun r ->
+          match r.Driver.lr_outcome with Some oc -> oc.Commutativity.oc_escalated | None -> false) );
+    ("promotions", sum (fun oc -> oc.Commutativity.oc_promotions));
+  ]
+
+let footer_line results =
+  counters results
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+  |> String.concat " "
+  |> Printf.sprintf "counters: %s"
 
 let to_string results =
   let total = List.length results in
@@ -28,6 +61,7 @@ let to_string results =
   Buffer.add_string buf
     (Printf.sprintf "DCA: %d/%d loop(s) commutative\n" commutative total);
   List.iter (fun r -> Buffer.add_string buf ("  " ^ summary_line r ^ "\n")) results;
+  Buffer.add_string buf (footer_line results ^ "\n");
   Buffer.contents buf
 
 let print results = print_string (to_string results)

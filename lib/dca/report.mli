@@ -1,0 +1,23 @@
+(** Human-readable reports of DCA results (the "auxiliary reports" of
+    paper §IV-A4). *)
+
+val summary_line : Driver.loop_result -> string
+(** One line per loop: label, depth, decision, and the tested-invocation
+    annotation for loops that reached the dynamic stage. *)
+
+val counters : Driver.loop_result list -> (string * int) list
+(** Work counters aggregated from the outcome records, in a fixed order:
+    loop totals by decision, then the dynamic-stage effort (invocations,
+    golden runs, replays, replay steps, skipped schedules, escalated
+    loops, promotions).  A pure fold over the results — deterministic
+    across worker counts and checkpoint modes, and available whether or
+    not {!Dca_support.Telemetry} counting is enabled. *)
+
+val footer_line : Driver.loop_result list -> string
+(** [counters] rendered as the stable machine-readable report footer:
+    ["counters: loops=7 commutative=3 ..."]. *)
+
+val to_string : Driver.loop_result list -> string
+(** Header, one {!summary_line} per loop, then {!footer_line}. *)
+
+val print : Driver.loop_result list -> unit

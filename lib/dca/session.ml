@@ -35,6 +35,9 @@ let create ?jobs ?config ?spec ?(hierarchical = false) origin =
           bm.Dca_progs.Benchmark.bm_source,
           bm.Dca_progs.Benchmark.bm_input )
   in
+  (* honor DCA_TRACE / DCA_STATS unless the embedder already configured
+     telemetry explicitly; a no-op on every later session *)
+  Telemetry.init_from_env ();
   let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
   let config = Option.value config ~default:Commutativity.default_config in
   let spec =
@@ -90,14 +93,26 @@ let memo cell compute store =
       store v;
       v
 
-let ir t = memo t.s_ir (fun () -> Dca_ir.Lower.compile ~file:t.s_file t.s_source) (fun v -> t.s_ir <- Some v)
+let ir t =
+  memo t.s_ir
+    (fun () ->
+      Telemetry.span ~cat:"frontend" "session.ir" (fun () ->
+          Dca_ir.Lower.compile ~file:t.s_file t.s_source))
+    (fun v -> t.s_ir <- Some v)
 
 let proginfo t =
-  memo t.s_info (fun () -> Dca_analysis.Proginfo.analyze (ir t)) (fun v -> t.s_info <- Some v)
+  memo t.s_info
+    (fun () ->
+      let prog = ir t in
+      Telemetry.span ~cat:"static" "session.proginfo" (fun () -> Dca_analysis.Proginfo.analyze prog))
+    (fun v -> t.s_info <- Some v)
 
 let profile t =
   memo t.s_profile
-    (fun () -> Dca_profiling.Depprof.profile_program ~input:t.s_input (proginfo t))
+    (fun () ->
+      let info = proginfo t in
+      Telemetry.span ~cat:"profile" "session.profile" (fun () ->
+          Dca_profiling.Depprof.profile_program ~input:t.s_input info))
     (fun v -> t.s_profile <- Some v)
 
 (* The pool exists only while the session wants parallel stages: started on
@@ -116,14 +131,18 @@ let pool_of t =
 let dca_results t =
   memo t.s_results
     (fun () ->
-      Driver.analyze_program ~config:t.s_config ~spec:t.s_spec ~hierarchical:t.s_hierarchical
-        ?pool:(pool_of t) (proginfo t))
+      let info = proginfo t in
+      Telemetry.span ~cat:"dynamic" "session.dca" (fun () ->
+          Driver.analyze_program ~config:t.s_config ~spec:t.s_spec ~hierarchical:t.s_hierarchical
+            ?pool:(pool_of t) info))
     (fun v -> t.s_results <- Some v)
 
 let compute_plan t ~machine ~strategy =
-  Dca_parallel.Planner.select ~machine (proginfo t) (profile t)
-    ~detected:(Driver.commutative_ids (dca_results t))
-    ~strategy
+  let info = proginfo t in
+  let prof = profile t in
+  let detected = Driver.commutative_ids (dca_results t) in
+  Telemetry.span ~cat:"plan" "session.plan" (fun () ->
+      Dca_parallel.Planner.select ~machine info prof ~detected ~strategy)
 
 let plan ?machine ?strategy t =
   match (machine, strategy) with
@@ -139,6 +158,7 @@ let plan ?machine ?strategy t =
 
 let advise t = Advisor.advise (proginfo t) (profile t) (dca_results t)
 let report t = Report.to_string (dca_results t)
+let telemetry _t = Telemetry.counters ()
 
 let close t =
   t.s_closed <- true;

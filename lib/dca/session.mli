@@ -43,7 +43,12 @@ val create :
     environment variable, else the recommended domain count).  [spec]
     defaults to the origin's input stream with a 200-million-instruction
     fuel bound.  [hierarchical] (default [false]) makes {!dca_results}
-    skip loops subsumed by a commutative ancestor. *)
+    skip loops subsumed by a commutative ancestor.
+
+    Creation also arms telemetry from the environment
+    ({!Dca_support.Telemetry.init_from_env}: [DCA_TRACE] names a trace
+    file and enables spans, [DCA_STATS=1] enables counters and the exit
+    summary) unless the embedder configured it explicitly first. *)
 
 val load :
   ?jobs:int ->
@@ -92,6 +97,15 @@ val plan :
 val advise : t -> Advisor.advice list
 val report : t -> string
 (** {!Report.to_string} of {!dca_results}. *)
+
+val telemetry : t -> (string * int) list
+(** Snapshot of the process-wide {!Dca_support.Telemetry} counters
+    (name/value, sorted by name; empty while counting is disabled).
+    Counters are process-global, not per-session: embedders running
+    several sessions see their aggregate.  The work-kind counters
+    ([dca.*]) are deterministic — bit-identical across [jobs] settings
+    and checkpoint modes; the diagnostic ones ([store.*],
+    [interp.instructions]) are not. *)
 
 (** {1 Lifecycle} *)
 

@@ -1,4 +1,5 @@
 open Dca_ir
+open Dca_support
 open Value
 
 (* ------------------------------------------------------------------ *)
@@ -7,7 +8,10 @@ open Value
 
 type checkpoint_mode = Journal | Deep
 
-let default_mode =
+(* A function, not a value: re-reading the environment per store lets a
+   test (or a long-lived host) flip DCA_CHECKPOINT with [putenv] and have
+   the next store honor it. *)
+let default_mode () =
   match Sys.getenv_opt "DCA_CHECKPOINT" with Some "deep" -> Deep | _ -> Journal
 
 (* An undo-journal entry, recorded by the write barrier on the first
@@ -23,6 +27,43 @@ type jentry =
   | Jglobal of int * Value.t
 
 let jdummy = Jglobal (-1, VUndef)
+
+(* Checkpointing statistics, kept as plain mutable fields: every bump sits
+   on an already-expensive event (an array copy, a journal push, a
+   snapshot), never on the per-write fast path, so the cost is one integer
+   store.  [flush_telemetry] drains them into the process-wide diagnostic
+   counters. *)
+type stats = {
+  mutable st_snapshots : int;
+  mutable st_restores : int;
+  mutable st_journal_entries : int;
+  mutable st_journal_peak : int;
+  mutable st_blocks_privatized : int;
+  mutable st_cells_dirtied : int;
+  mutable st_snapshot_depth_peak : int;
+  mutable st_watermark_hits : int;
+  mutable st_forks : int;
+}
+
+let fresh_stats () =
+  {
+    st_snapshots = 0;
+    st_restores = 0;
+    st_journal_entries = 0;
+    st_journal_peak = 0;
+    st_blocks_privatized = 0;
+    st_cells_dirtied = 0;
+    st_snapshot_depth_peak = 0;
+    st_watermark_hits = 0;
+    st_forks = 0;
+  }
+
+(* The replica records its own birth: concurrent forks of a quiescent
+   parent must not race on the parent's stats record. *)
+let forked_stats () =
+  let s = fresh_stats () in
+  s.st_forks <- 1;
+  s
 
 type t = {
   mutable blocks : Value.t array array;  (** indexed by block id; [||] = never allocated *)
@@ -51,6 +92,7 @@ type t = {
   mutable journal : jentry array;
   mutable jlen : int;
   mutable active_marks : int;  (** live journal snapshots; journaling is on iff > 0 *)
+  stats : stats;  (** never shared: {!copy} gives the replica a fresh record *)
 }
 
 type snapshot =
@@ -101,7 +143,8 @@ let alloc t kinds ~count =
   let cells = Array.init (count * m) (fun i -> zero_of_kind kinds.(i mod m)) in
   alloc_raw t cells
 
-let create ?(mode = default_mode) (p : Ir.program) ~input =
+let create ?mode (p : Ir.program) ~input =
+  let mode = match mode with Some m -> m | None -> default_mode () in
   let t =
     {
       blocks = Array.make initial_capacity [||];
@@ -119,6 +162,7 @@ let create ?(mode = default_mode) (p : Ir.program) ~input =
       journal = [||];
       jlen = 0;
       active_marks = 0;
+      stats = fresh_stats ();
     }
   in
   Array.iteri
@@ -155,7 +199,9 @@ let journal_push t e =
     t.journal <- bigger
   end;
   t.journal.(t.jlen) <- e;
-  t.jlen <- t.jlen + 1
+  t.jlen <- t.jlen + 1;
+  t.stats.st_journal_entries <- t.stats.st_journal_entries + 1;
+  if t.jlen > t.stats.st_journal_peak then t.stats.st_journal_peak <- t.jlen
 
 (* The write barrier.  A stale stamp means the current cells array may
    still be needed elsewhere: by the undo journal of a live snapshot (it
@@ -171,6 +217,8 @@ let privatize t block cells =
   t.blocks.(block) <- fresh;
   if t.active_marks > 0 then journal_push t (Jblock (block, cells, t.owned.(block)));
   t.owned.(block) <- t.epoch;
+  t.stats.st_blocks_privatized <- t.stats.st_blocks_privatized + 1;
+  t.stats.st_cells_dirtied <- t.stats.st_cells_dirtied + Array.length cells;
   fresh
 
 let store t ~block ~off v =
@@ -180,7 +228,10 @@ let store t ~block ~off v =
   let stamp = t.owned.(block) in
   let cells =
     if stamp >= t.epoch then cells
-    else if t.active_marks > 0 || stamp < t.shared_below then privatize t block cells
+    else if t.active_marks > 0 || stamp < t.shared_below then begin
+      if stamp < t.shared_below then t.stats.st_watermark_hits <- t.stats.st_watermark_hits + 1;
+      privatize t block cells
+    end
     else begin
       t.owned.(block) <- t.epoch;
       cells
@@ -228,6 +279,7 @@ let read_input t =
   else 0
 
 let snapshot t =
+  t.stats.st_snapshots <- t.stats.st_snapshots + 1;
   match t.mode with
   | Deep ->
       SDeep
@@ -242,6 +294,8 @@ let snapshot t =
   | Journal ->
       t.epoch <- t.epoch + 1;
       t.active_marks <- t.active_marks + 1;
+      if t.active_marks > t.stats.st_snapshot_depth_peak then
+        t.stats.st_snapshot_depth_peak <- t.active_marks;
       SMark
         {
           m_released = false;
@@ -253,6 +307,7 @@ let snapshot t =
         }
 
 let restore t s =
+  t.stats.st_restores <- t.stats.st_restores + 1;
   match s with
   | SDeep s ->
       ensure_capacity t s.s_next_block;
@@ -323,6 +378,7 @@ let copy t =
         journal = [||];
         jlen = 0;
         active_marks = 0;
+        stats = forked_stats ();
       }
   | Journal ->
       (* Copy-on-write: the replica shares every cells array with the
@@ -343,4 +399,43 @@ let copy t =
         journal = [||];
         jlen = 0;
         active_marks = 0;
+        stats = forked_stats ();
       }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stats t = t.stats
+
+let d_snapshots = Telemetry.counter ~kind:Telemetry.Diag "store.snapshots"
+let d_restores = Telemetry.counter ~kind:Telemetry.Diag "store.restores"
+let d_journal_entries = Telemetry.counter ~kind:Telemetry.Diag "store.journal_entries"
+let d_journal_peak = Telemetry.counter ~kind:Telemetry.Diag "store.journal_peak"
+let d_blocks_privatized = Telemetry.counter ~kind:Telemetry.Diag "store.blocks_privatized"
+let d_cells_dirtied = Telemetry.counter ~kind:Telemetry.Diag "store.cells_dirtied"
+let d_snapshot_depth_peak = Telemetry.counter ~kind:Telemetry.Diag "store.snapshot_depth_peak"
+let d_watermark_hits = Telemetry.counter ~kind:Telemetry.Diag "store.fork_watermark_hits"
+let d_forks = Telemetry.counter ~kind:Telemetry.Diag "store.forks"
+
+let flush_telemetry t =
+  if Telemetry.counting () then begin
+    let s = t.stats in
+    Telemetry.add d_snapshots s.st_snapshots;
+    Telemetry.add d_restores s.st_restores;
+    Telemetry.add d_journal_entries s.st_journal_entries;
+    Telemetry.add_max d_journal_peak s.st_journal_peak;
+    Telemetry.add d_blocks_privatized s.st_blocks_privatized;
+    Telemetry.add d_cells_dirtied s.st_cells_dirtied;
+    Telemetry.add_max d_snapshot_depth_peak s.st_snapshot_depth_peak;
+    Telemetry.add d_watermark_hits s.st_watermark_hits;
+    Telemetry.add d_forks s.st_forks;
+    (* drained: a later flush of the same store only adds the delta *)
+    s.st_snapshots <- 0;
+    s.st_restores <- 0;
+    s.st_journal_entries <- 0;
+    s.st_blocks_privatized <- 0;
+    s.st_cells_dirtied <- 0;
+    s.st_watermark_hits <- 0;
+    s.st_forks <- 0
+  end

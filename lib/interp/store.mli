@@ -24,7 +24,23 @@
     Journal snapshots obey a stack discipline: restoring a snapshot
     invalidates every snapshot taken after it, and {!release} must be
     called when a snapshot is no longer needed so the journal (and the
-    write barrier) can be retired. *)
+    write barrier) can be retired.
+
+    {2 Statistics}
+
+    Every store counts its own checkpointing traffic in a {!stats}
+    record (plain fields bumped on events that already copy arrays or
+    push journal entries — the per-write fast path is untouched):
+    snapshots and restores taken, undo-journal entries pushed and the
+    journal's peak length, blocks privatized by the write barrier with
+    the total cells those copies moved, the deepest nesting of live
+    snapshots, privatizations forced by copy-on-write sharing after a
+    fork ({e fork watermark hits}), and replicas forked off with
+    {!copy}.  {!flush_telemetry} drains the record into the process-wide
+    {!Dca_support.Telemetry} diagnostic counters ([store.*]); these are
+    diagnostics, not work counters — a parallel run forks replica stores
+    and shifts snapshot/restore traffic onto them, so the totals
+    legitimately differ across worker counts. *)
 
 type t
 
@@ -32,9 +48,10 @@ type snapshot
 
 type checkpoint_mode = Journal | Deep
 
-val default_mode : checkpoint_mode
+val default_mode : unit -> checkpoint_mode
 (** [Journal], unless the [DCA_CHECKPOINT] environment variable is set to
-    ["deep"]. *)
+    ["deep"].  Reads the environment on every call, so a [putenv] between
+    store creations takes effect. *)
 
 val create : ?mode:checkpoint_mode -> Dca_ir.Ir.program -> input:int list -> t
 (** Fresh state with globals zero-initialized (or set to their constant
@@ -98,3 +115,33 @@ val copy : t -> t
 
 val heap_blocks : t -> int
 (** Number of live blocks (diagnostics). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable st_snapshots : int;  (** {!snapshot} calls *)
+  mutable st_restores : int;  (** {!restore} calls *)
+  mutable st_journal_entries : int;  (** undo-journal entries pushed *)
+  mutable st_journal_peak : int;  (** longest the journal ever grew *)
+  mutable st_blocks_privatized : int;  (** barrier-installed private copies *)
+  mutable st_cells_dirtied : int;  (** total cells across those copies *)
+  mutable st_snapshot_depth_peak : int;  (** deepest live-snapshot nesting *)
+  mutable st_watermark_hits : int;
+      (** privatizations forced by post-fork copy-on-write sharing
+          (block stamp below the [shared_below] fork watermark) *)
+  mutable st_forks : int;
+      (** [1] when this store was itself created by {!copy}, [0]
+          otherwise — recorded on the replica, not the parent, so
+          concurrent forks of a quiescent parent never race on the
+          parent's stats.  Summed over flushed stores this counts the
+          replicas forked. *)
+}
+
+val stats : t -> stats
+(** The store's live statistics record (not a copy). *)
+
+val flush_telemetry : t -> unit
+(** Add this store's statistics to the process-wide
+    {!Dca_support.Telemetry} diagnostic counters ([store.*] — peaks
+    max-merge, the rest sum) and zero the summed fields, so repeated
+    flushes only contribute deltas.  No-op while counting is disabled. *)

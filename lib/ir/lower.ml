@@ -474,6 +474,7 @@ let lower_program (p : tprogram) : Ir.program =
   { p_structs = p.tp_structs; p_layout = layout; p_globals = Array.of_list globals; p_funcs = funcs }
 
 let compile ~file src =
-  let ast = Parser.parse_program ~file src in
-  let tast = Typecheck.check_program ast in
-  lower_program tast
+  let module T = Dca_support.Telemetry in
+  let ast = T.span ~cat:"frontend" "parse" (fun () -> Parser.parse_program ~file src) in
+  let tast = T.span ~cat:"frontend" "typecheck" (fun () -> Typecheck.check_program ast) in
+  T.span ~cat:"frontend" "lower" (fun () -> lower_program tast)

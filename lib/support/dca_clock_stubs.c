@@ -1,0 +1,16 @@
+/* Monotonic clock for Dca_support.Telemetry.
+ *
+ * CLOCK_MONOTONIC nanoseconds folded into an OCaml immediate int: 63 bits
+ * hold ~292 years of nanoseconds, so Val_long never overflows in practice
+ * and the external can be [@@noalloc] — no boxing on the hot path.
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value dca_monotonic_now_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

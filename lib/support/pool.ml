@@ -63,9 +63,13 @@ let map t f xs =
         let results = Array.make n None in
         let remaining = ref n in
         let run i () =
+          (* span per task, on whichever domain executes it: the trace's
+             per-tid lanes show worker utilization directly *)
+          Telemetry.begin_span ~cat:"pool" "task";
           let r =
             try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
           in
+          Telemetry.end_span "task";
           Mutex.lock t.lock;
           results.(i) <- Some r;
           decr remaining;
@@ -81,7 +85,11 @@ let map t f xs =
            we pick up may belong to a sibling or nested map — running it
            still makes global progress, and our own slots are guaranteed to
            fill because every queued task is eventually executed by someone
-           whose wait loop woke up. *)
+           whose wait loop woke up.  The drain span covers exactly this
+           participate-or-wait region, so the deterministic-merge stall
+           (caller blocked on the last straggler) is visible in the trace
+           as drain time not covered by nested task spans. *)
+        Telemetry.begin_span ~cat:"pool" "drain";
         while !remaining > 0 do
           match Queue.take_opt t.queue with
           | Some task ->
@@ -91,6 +99,7 @@ let map t f xs =
           | None -> if !remaining > 0 then Condition.wait t.cond t.lock
         done;
         Mutex.unlock t.lock;
+        Telemetry.end_span "drain";
         (* Deterministic failure propagation: earliest input's exception. *)
         Array.iter
           (function

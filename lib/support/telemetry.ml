@@ -1,0 +1,234 @@
+external now_ns : unit -> int = "dca_monotonic_now_ns" [@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* Collection flags                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Atomics, not plain refs: the flags are read from pool worker domains.
+   The reads compile to plain loads — the disabled fast path is one load
+   and one branch, with no allocation. *)
+let tracing_flag = Atomic.make false
+let counting_flag = Atomic.make false
+
+let tracing () = Atomic.get tracing_flag
+let counting () = Atomic.get counting_flag
+let set_tracing b = Atomic.set tracing_flag b
+let set_counting b = Atomic.set counting_flag b
+
+type config = { cfg_trace : string option; cfg_jsonl : string option; cfg_stats : bool }
+
+let current_config = ref { cfg_trace = None; cfg_jsonl = None; cfg_stats = false }
+let explicitly_configured = ref false
+let env_inited = ref false
+
+let configure cfg =
+  explicitly_configured := true;
+  current_config := cfg;
+  let tracing = cfg.cfg_trace <> None || cfg.cfg_jsonl <> None in
+  set_tracing tracing;
+  set_counting (tracing || cfg.cfg_stats)
+
+let config () = !current_config
+
+let init_from_env () =
+  if not (!explicitly_configured || !env_inited) then begin
+    env_inited := true;
+    let trace = Sys.getenv_opt "DCA_TRACE" in
+    let stats =
+      match Sys.getenv_opt "DCA_STATS" with Some "" | Some "0" | None -> false | Some _ -> true
+    in
+    let cfg =
+      match trace with
+      | Some f when f <> "" ->
+          if Filename.check_suffix f ".jsonl" then
+            { cfg_trace = None; cfg_jsonl = Some f; cfg_stats = stats }
+          else { cfg_trace = Some f; cfg_jsonl = None; cfg_stats = stats }
+      | _ -> { cfg_trace = None; cfg_jsonl = None; cfg_stats = stats }
+    in
+    current_config := cfg;
+    let tracing = cfg.cfg_trace <> None || cfg.cfg_jsonl <> None in
+    set_tracing tracing;
+    set_counting (tracing || cfg.cfg_stats)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Work | Diag
+
+type counter = { c_name : string; c_kind : kind; c_cell : int Atomic.t }
+
+let registry : counter list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let counter ?(kind = Work) name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun c -> c.c_name = name) !registry with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_kind = kind; c_cell = Atomic.make 0 } in
+          registry := c :: !registry;
+          c)
+
+let add c n = if Atomic.get counting_flag then ignore (Atomic.fetch_and_add c.c_cell n)
+
+let incr c = add c 1
+
+let add_max c n =
+  if Atomic.get counting_flag then begin
+    let rec bump () =
+      let cur = Atomic.get c.c_cell in
+      if n > cur && not (Atomic.compare_and_set c.c_cell cur n) then bump ()
+    in
+    bump ()
+  end
+
+let value c = Atomic.get c.c_cell
+
+let counters ?kind () =
+  Mutex.protect registry_mutex (fun () ->
+      List.filter (fun c -> match kind with None -> true | Some k -> c.c_kind = k) !registry)
+  |> List.map (fun c -> (c.c_name, Atomic.get c.c_cell))
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain event buffers                                            *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  e_ph : char;
+  e_name : string;
+  e_cat : string;
+  e_ts : int;
+  e_tid : int;
+  e_args : (string * string) list;
+}
+
+(* One buffer per domain, registered on the domain's first event.  Events
+   are consed locally (newest first) with no cross-domain synchronization;
+   sinks read the buffers only from the main domain, after the workers
+   have gone quiet (pool maps are synchronous).  [reset] swaps the inner
+   refs rather than the registry so stale DLS handles stay harmless. *)
+let buffers : event list ref list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = ref [] in
+      Mutex.protect buffers_mutex (fun () -> buffers := b :: !buffers);
+      b)
+
+let record ph ?(args = []) ~cat name =
+  let ev =
+    {
+      e_ph = ph;
+      e_name = name;
+      e_cat = cat;
+      e_ts = now_ns ();
+      e_tid = (Domain.self () :> int);
+      e_args = args;
+    }
+  in
+  let b = Domain.DLS.get buffer_key in
+  b := ev :: !b
+
+let begin_span ?(cat = "") name = if Atomic.get tracing_flag then record 'B' ~cat name
+
+let end_span ?args name = if Atomic.get tracing_flag then record 'E' ?args ~cat:"" name
+
+let span ?cat name f =
+  if Atomic.get tracing_flag then begin
+    begin_span ?cat name;
+    Fun.protect ~finally:(fun () -> end_span name) f
+  end
+  else f ()
+
+let instant ?args name = if Atomic.get tracing_flag then record 'i' ?args ~cat:"" name
+
+let events () =
+  Mutex.protect buffers_mutex (fun () -> List.rev !buffers)
+  |> List.concat_map (fun b -> List.rev !b)
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter (fun c -> Atomic.set c.c_cell 0) !registry);
+  Mutex.protect buffers_mutex (fun () -> List.iter (fun b -> b := []) !buffers)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_table () =
+  let render title kind buf =
+    let nonzero = List.filter (fun (_, v) -> v <> 0) (counters ~kind ()) in
+    if nonzero <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "%s\n" title);
+      List.iter (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-36s %14d\n" n v)) nonzero
+    end
+  in
+  let buf = Buffer.create 512 in
+  render "-- work counters (deterministic across jobs and checkpoint modes) --" Work buf;
+  render "-- diagnostic counters (machine- and schedule-dependent) --" Diag buf;
+  if Buffer.length buf = 0 then Buffer.add_string buf "(no counters recorded)\n";
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let args_json args =
+  if args = [] then ""
+  else
+    Printf.sprintf ",\"args\":{%s}"
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) args))
+
+let with_out file f =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let write_chrome_trace file =
+  let evs = events () in
+  let t0 = List.fold_left (fun acc e -> min acc e.e_ts) max_int evs in
+  with_out file (fun oc ->
+      output_string oc "{\"traceEvents\":[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",";
+          (* microsecond timestamps, rebased to the first event *)
+          Printf.fprintf oc "\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\"%s%s}"
+            e.e_ph e.e_tid
+            (float_of_int (e.e_ts - t0) /. 1000.0)
+            (json_escape e.e_name)
+            (if e.e_cat = "" then "" else Printf.sprintf ",\"cat\":\"%s\"" (json_escape e.e_cat))
+            (args_json e.e_args))
+        evs;
+      output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n")
+
+let write_jsonl file =
+  with_out file (fun oc ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"name\":\"%s\"%s%s}\n"
+            e.e_ph e.e_tid e.e_ts (json_escape e.e_name)
+            (if e.e_cat = "" then "" else Printf.sprintf ",\"cat\":\"%s\"" (json_escape e.e_cat))
+            (args_json e.e_args))
+        (events ()))
+
+let flush () =
+  let cfg = !current_config in
+  (match cfg.cfg_trace with Some f -> write_chrome_trace f | None -> ());
+  (match cfg.cfg_jsonl with Some f -> write_jsonl f | None -> ());
+  if cfg.cfg_stats then prerr_string (stats_table ())

@@ -1,0 +1,158 @@
+(** Process-wide instrumentation: monotonic-clock spans, named monotonic
+    counters, and domain-tagged events, with three sinks — a human
+    {!stats_table}, a JSONL event stream, and a Chrome
+    [trace.json] (about://tracing / Perfetto compatible).
+
+    The engine is {e zero-overhead when disabled}: with tracing and
+    counting off (the default), {!span}, {!begin_span}/{!end_span},
+    {!add} and {!instant} reduce to one atomic load and a branch, and
+    allocate nothing.  Enable collection with {!set_tracing} /
+    {!set_counting}, with {!configure}, or through the [DCA_TRACE] /
+    [DCA_STATS] environment variables ({!init_from_env}).
+
+    {2 Counters and determinism}
+
+    Counters come in two kinds.  {e Work} counters (the default) count
+    decisions the deterministic merge of the parallel engine consumes —
+    loops examined, invocations tested, replays decided, instructions
+    those replays executed — and are {b bit-identical} for any worker
+    count and either checkpointing mode: CI compares them across
+    [jobs=1] / [jobs=4] as a cheap invariant on the parallel engine.
+    {e Diag} counters record how the work was carried out (snapshots,
+    journal traffic, forks, per-context instruction totals) and may
+    legitimately differ across job counts; the stats table reports the
+    two classes separately.
+
+    Counter cells are atomics: increments from worker domains are safe,
+    and a deterministic multiset of increments sums to a deterministic
+    value regardless of interleaving.
+
+    {2 Spans}
+
+    Spans are recorded into per-domain buffers (no cross-domain
+    contention, no reordering): each domain's event stream is
+    chronological and properly nested by construction, and events carry
+    the recording domain's id as [tid] — worker utilization and the
+    deterministic-merge stalls are directly visible in the trace
+    viewer. *)
+
+val now_ns : unit -> int
+(** Monotonic clock, nanoseconds from an arbitrary origin
+    ([CLOCK_MONOTONIC]).  Never goes backwards; unaffected by wall-clock
+    adjustments.  Allocation-free. *)
+
+(** {1 Enabling} *)
+
+val tracing : unit -> bool
+(** Event collection on?  Guard construction of span argument lists with
+    this so the disabled path stays allocation-free. *)
+
+val counting : unit -> bool
+
+val set_tracing : bool -> unit
+val set_counting : bool -> unit
+
+type config = {
+  cfg_trace : string option;  (** Chrome [trace.json] output path *)
+  cfg_jsonl : string option;  (** JSONL event-stream output path *)
+  cfg_stats : bool;  (** print {!stats_table} to [stderr] on {!flush} *)
+}
+
+val configure : config -> unit
+(** Install [config] and derive the collection flags: tracing iff an
+    output file is set, counting iff tracing or [cfg_stats]. *)
+
+val config : unit -> config
+
+val init_from_env : unit -> unit
+(** One-shot environment wiring: [DCA_TRACE=FILE] enables tracing (a
+    [.jsonl] suffix selects the JSONL sink, anything else the Chrome
+    sink) and [DCA_STATS=1] enables the stats table.  The first call
+    reads the environment; later calls — and calls after an explicit
+    {!configure} — are no-ops, so a front end's flags always win. *)
+
+(** {1 Counters} *)
+
+type kind = Work | Diag
+
+type counter
+
+val counter : ?kind:kind -> string -> counter
+(** Find-or-create the named counter ([kind] defaults to [Work] and is
+    fixed by whichever call registers the name first).  Make handles
+    top-level [let]s: registration at module initialization keeps the
+    registered set identical across runs, so counter snapshots compare
+    structurally. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val add_max : counter -> int -> unit
+(** Max-merge instead of sum: the counter keeps the largest value ever
+    offered (peaks: journal length, snapshot depth). *)
+
+val value : counter -> int
+
+val counters : ?kind:kind -> unit -> (string * int) list
+(** Registered counters with their current values, sorted by name;
+    restricted to one kind when given. *)
+
+val reset : unit -> unit
+(** Zero every counter and drop every recorded event.  Flags and config
+    are untouched. *)
+
+(** {1 Spans and events} *)
+
+val begin_span : ?cat:string -> string -> unit
+(** Record a ["B"] event on the calling domain (no-op unless tracing).
+    Every [begin_span] must be paired with an {!end_span} on the same
+    domain — use {!span} unless an exception cannot escape between the
+    two. *)
+
+val end_span : ?args:(string * string) list -> string -> unit
+(** Record the matching ["E"] event.  [args] (attached to the end event,
+    where results like a verdict or an instruction count are known) must
+    only be constructed under a {!tracing} guard to keep the disabled
+    path allocation-free. *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a [begin_span]/[end_span] pair; the
+    end event is recorded even if [f] raises.  When tracing is off this
+    is exactly [f ()]. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration ["i"] event. *)
+
+type event = {
+  e_ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant *)
+  e_name : string;
+  e_cat : string;
+  e_ts : int;  (** {!now_ns} at recording *)
+  e_tid : int;  (** recording domain id *)
+  e_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Every recorded event, grouped by domain, chronological within each
+    domain (the order balance checks care about). *)
+
+(** {1 Sinks} *)
+
+val stats_table : unit -> string
+(** Human-readable counter table: work counters, then diagnostic
+    counters, sorted by name; zero-valued counters are elided. *)
+
+val write_chrome_trace : string -> unit
+(** Write every recorded event as a Chrome trace
+    ([{"traceEvents":[...]}]) with [ph]/[pid]/[tid]/[ts]/[name] fields,
+    timestamps in microseconds rebased to the earliest event.  Loadable
+    in about://tracing and Perfetto. *)
+
+val write_jsonl : string -> unit
+(** Write every recorded event as one JSON object per line, timestamps
+    in raw monotonic nanoseconds. *)
+
+val flush : unit -> unit
+(** Drive the configured sinks: write [cfg_trace] and [cfg_jsonl] if
+    set, print the stats table to [stderr] if [cfg_stats].  Idempotent —
+    later flushes rewrite the files with the fuller event set. *)
