@@ -284,10 +284,86 @@ let export_c_cmd =
           parallelizes (build with: cc -fopenmp prog.c -lm)")
     Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
+(* Exit-code contract: 0 = clean run, 1 = soundness violation found,
+   2 = usage error.  cmdliner reports its own parse failures as 124, so
+   flag-value validation that must yield 2 happens here. *)
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed for the program stream.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let max_iters_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-iters" ] ~docv:"N"
+          ~doc:
+            "Largest trip count of the loop under test (2-7; the oracle runs all $(i,N)! \
+             iteration orders).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Write shrunk counterexamples to $(docv) as .mc files.")
+  in
+  let no_metamorphic_arg =
+    Arg.(
+      value & flag
+      & info [ "no-metamorphic" ]
+          ~doc:
+            "Skip the metamorphic invariants (report equality across --jobs 1/4 and checkpoint \
+             modes); roughly 4x faster.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report counterexamples without minimizing them.")
+  in
+  let run seed count max_iters jobs corpus no_metamorphic no_shrink =
+    if count < 0 then begin
+      Printf.eprintf "dca fuzz: --count must be non-negative (got %d)\n" count;
+      2
+    end
+    else if max_iters < 2 || max_iters > Dca_gen.Oracle.max_trip then begin
+      Printf.eprintf "dca fuzz: --max-iters must be in 2..%d (got %d)\n" Dca_gen.Oracle.max_trip
+        max_iters;
+      2
+    end
+    else if match jobs with Some j when j < 1 -> true | _ -> false then begin
+      Printf.eprintf "dca fuzz: --jobs must be positive\n";
+      2
+    end
+    else begin
+      let cfg =
+        {
+          Dca_gen.Fuzz_driver.default_config with
+          Dca_gen.Fuzz_driver.fz_seed = seed;
+          fz_count = count;
+          fz_max_iters = max_iters;
+          fz_jobs = Option.value jobs ~default:1;
+          fz_metamorphic = not no_metamorphic;
+          fz_shrink = not no_shrink;
+          fz_corpus = corpus;
+        }
+      in
+      let result = Dca_gen.Fuzz_driver.run cfg in
+      print_string result.Dca_gen.Fuzz_driver.r_report;
+      if result.Dca_gen.Fuzz_driver.r_violations = [] then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random loop programs, decide ground-truth commutativity \
+          with an exhaustive permutation oracle, and cross-check the DCA verdicts both ways")
+    Term.(
+      const run $ seed_arg $ count_arg $ max_iters_arg $ jobs_arg $ corpus_arg $ no_metamorphic_arg
+      $ no_shrink_arg)
+
 let () =
   let doc = "Loop parallelization using Dynamic Commutativity Analysis (CGO 2021 reproduction)" in
   let info = Cmd.info "dca" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; run_cmd; ir_cmd; analyze_cmd; tools_cmd; speedup_cmd; advise_cmd; annotate_cmd; export_c_cmd ]))
+          [ list_cmd; run_cmd; ir_cmd; analyze_cmd; tools_cmd; speedup_cmd; advise_cmd; annotate_cmd; export_c_cmd; fuzz_cmd ]))

@@ -66,8 +66,7 @@ let block_defs t b = t.defs.(b)
 let loop_defs t (l : Loops.loop) =
   Intset.fold (fun b acc -> Intset.union acc t.defs.(b)) l.Loops.l_blocks Intset.empty
 
-let loop_live_out t (l : Loops.loop) =
-  let defined = loop_defs t l in
+let loop_live_exit t (l : Loops.loop) =
   let live_at_exits =
     List.fold_left
       (fun acc (src, target) ->
@@ -85,7 +84,9 @@ let loop_live_out t (l : Loops.loop) =
         | _ -> acc)
       l.Loops.l_blocks Intset.empty
   in
-  Intset.inter defined (Intset.union live_at_exits ret_uses)
+  Intset.union live_at_exits ret_uses
+
+let loop_live_out t (l : Loops.loop) = Intset.inter (loop_defs t l) (loop_live_exit t l)
 
 let loop_live_in t (l : Loops.loop) = t.live_in.(l.Loops.l_header)
 

@@ -30,9 +30,16 @@ val block_defs : t -> int -> Dca_support.Intset.t
 val loop_defs : t -> Loops.loop -> Dca_support.Intset.t
 (** Variable ids possibly defined by instructions of the loop. *)
 
+val loop_live_exit : t -> Loops.loop -> Dca_support.Intset.t
+(** All variables live along some exit edge of the loop (or used by a
+    [Ret] that exits the function from inside the loop), whether or not
+    the loop defines them.  Pointers among them reach the heap the caller
+    can still observe after the loop — the digest roots itself there. *)
+
 val loop_live_out : t -> Loops.loop -> Dca_support.Intset.t
 (** Loop-defined variables live along some exit edge of the loop (or used
-    by a [Ret] that exits the function from inside the loop). *)
+    by a [Ret] that exits the function from inside the loop):
+    [loop_live_exit] restricted to [loop_defs]. *)
 
 val loop_live_in : t -> Loops.loop -> Dca_support.Intset.t
 (** Variables live at the loop header and not defined before use inside —

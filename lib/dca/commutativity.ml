@@ -110,10 +110,25 @@ let digest_liveout fi loop ctx frame =
            | Some v when not v.Ir.vglobal -> Some frame.Eval.regs.(v.Ir.vslot)
            | _ -> None)
   in
+  (* Heap the caller can still reach through a pointer the loop did NOT
+     define — a local array, a list head — is observable after the loop
+     even though no loop-defined scalar carries it, so those pointers must
+     root the digest walk too.  Loop-defined pointers are already in
+     [scalar_values] (capture dereferences every pointer cell). *)
+  let exit_ptr_roots =
+    Intset.elements (Intset.diff (Liveness.loop_live_exit fi.Proginfo.fi_live loop) live)
+    |> List.filter_map (fun vid ->
+           match Liveness.var_of_id fi.Proginfo.fi_live vid with
+           | Some v when not v.Ir.vglobal -> (
+               match frame.Eval.regs.(v.Ir.vslot) with
+               | Value.VPtr _ as p -> Some p
+               | _ -> None)
+           | _ -> None)
+  in
   let gvals = Eval.globals_of ctx in
   let gscalars = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then None else Some v) gvals in
-  let roots = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then Some v else None) gvals in
-  (scalar_values @ gscalars, roots)
+  let groots = List.filter_map (fun (g, v) -> if g.Ir.g_aggregate then Some v else None) gvals in
+  (scalar_values @ gscalars, exit_ptr_roots @ groots)
 
 let capture_digest fi loop ctx frame =
   let scalars, roots = digest_liveout fi loop ctx frame in
@@ -397,18 +412,10 @@ let widen_or_fail fi state violations =
    already passed, and replaying a duplicate permutation re-derives the
    identical digest from the identical entry state — so neither can change
    the decision.  Returns the representatives (in preset order, paired
-   with their permutation) and the number of sifted-out schedules. *)
-let sift_schedules schedules n_iters =
-  let identity = Array.init n_iters (fun i -> i) in
-  let rec sift kept skipped = function
-    | [] -> (List.rev kept, skipped)
-    | sched :: rest ->
-        let perm = Schedule.apply sched n_iters in
-        if perm = identity || List.exists (fun (_, p) -> p = perm) kept then
-          sift kept (skipped + 1) rest
-        else sift ((sched, perm) :: kept) skipped rest
-  in
-  sift [] 0 schedules
+   with their permutation) and the number of sifted-out schedules.
+   The sifting itself lives in {!Schedule.sift} so the property tests
+   (and the fuzzer) can exercise it directly. *)
+let sift_schedules schedules n_iters = Schedule.sift schedules n_iters
 
 (* One counted replay: run [sched] on [ctx]/[frame], classify the result,
    and measure the instructions it executed.  Both the sequential path

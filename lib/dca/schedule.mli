@@ -19,3 +19,16 @@ val presets : ?shuffles:int -> ?seed:int -> unit -> t list
     seeded shuffles (default 3, seed 2021). *)
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (used by the fuzzer to recover the witness
+    schedule named in a non-commutative verdict message). *)
+
+val sift : t list -> int -> (t * int array) list * int
+(** [sift schedules n] drops, for trip count [n], every schedule whose
+    induced permutation is the identity or duplicates the permutation of
+    an earlier schedule in the list; the survivors come back paired with
+    their permutation, in input order, together with the dropped count.
+    Sifting never drops a {e distinct} permutation — the property tests
+    check that the kept permutation set equals the distinct non-identity
+    permutation set of the input. *)

@@ -1,0 +1,373 @@
+open Dca_frontend
+open Dca_support
+open Ast
+
+type recipe =
+  | Affine
+  | Indirect
+  | Same_cell
+  | Reduction
+  | Carried
+  | Cond
+  | Chase
+  | Nest
+  | Io_inside
+
+let recipe_to_string = function
+  | Affine -> "affine"
+  | Indirect -> "indirect"
+  | Same_cell -> "same-cell"
+  | Reduction -> "reduction"
+  | Carried -> "carried"
+  | Cond -> "cond"
+  | Chase -> "chase"
+  | Nest -> "nest"
+  | Io_inside -> "io"
+
+type t = { g_prog : Ast.program; g_source : string; g_recipes : recipe list; g_trip : int }
+
+let marker = "DCA_FUZZ_LOOP"
+let array_size = 8
+
+(* ------------------------------------------------------------------ *)
+(* AST construction helpers (all nodes at Loc.dummy; the fuzz driver   *)
+(* re-parses the printed source, so real locations come from there)    *)
+(* ------------------------------------------------------------------ *)
+
+let e d = { edesc = d; eloc = Loc.dummy }
+let st d = { sdesc = d; sloc = Loc.dummy }
+let ei n = e (Eint n)
+let ef x = e (Efloat x)
+let ev x = e (Evar x)
+let idx a i = e (Eindex (ev a, i))
+let bin op a b = e (Ebinop (op, a, b))
+let call f args = e (Ecall (f, args))
+let arrow p f = e (Earrow (ev p, f))
+let assign l r = st (Sassign (l, r))
+let decl ty name init = st (Sdecl (ty, name, init))
+let node_ptr = Tptr (Tstruct "node")
+
+(* state the clause drawing threads through: which optional furniture
+   (float accumulator, linked list) the prelude/epilogue must provide *)
+type flags = { mutable fl_float : bool; mutable fl_chase : bool }
+
+let pick rng arr = arr.(Prng.int rng (Array.length arr))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Always-in-range index expression over the loop variable [iv].  [x0]
+   is the read-only index array the prelude fills with values in
+   [0, array_size). *)
+let gen_index rng iv =
+  match Prng.int rng 6 with
+  | 0 | 1 -> ev iv
+  | 2 -> ei (Prng.int rng array_size)
+  | 3 -> bin Mod (bin Add (ev iv) (ei (Prng.int rng array_size))) (ei array_size)
+  | 4 -> idx "x0" (ev iv)
+  | _ -> bin Sub (ei (array_size - 1)) (ev iv)
+
+(* Injective index map: distinct iterations hit distinct cells, so a
+   plain write through it is commutative.  [i*c + d mod 8] is injective
+   for odd [c] (c coprime to the array size). *)
+let gen_injective_index rng iv =
+  match Prng.int rng 3 with
+  | 0 -> ev iv
+  | 1 -> bin Sub (ei (array_size - 1)) (ev iv)
+  | _ ->
+      let c = pick rng [| 1; 3; 5; 7 |] and d = Prng.int rng array_size in
+      bin Mod (bin Add (bin Mul (ev iv) (ei c)) (ei d)) (ei array_size)
+
+(* Pure int-valued expression reading loop-constant state, the loop
+   variable(s) in [vars], the data arrays and (rarely) a reduction
+   scalar.  Division/modulus only ever by literal constants >= 2, so no
+   generated program can hit Division_by_zero. *)
+let rec gen_ie rng vars depth =
+  if depth <= 0 || Prng.int rng 3 = 0 then
+    match Prng.int rng 6 with
+    | 0 -> ei (Prng.int rng 10)
+    | 1 | 2 -> ev (pick rng vars)
+    | 3 -> idx (pick rng [| "a0"; "a1" |]) (gen_index rng (pick rng vars))
+    | 4 -> idx "x0" (gen_index rng (pick rng vars))
+    | _ -> ev "s0"
+  else
+    let op = pick rng [| Add; Sub; Mul |] in
+    bin op (gen_ie rng vars (depth - 1)) (gen_ie rng vars (depth - 1))
+
+let gen_fe rng vars depth =
+  let leaf () =
+    match Prng.int rng 3 with
+    | 0 -> ef (0.25 +. (0.25 *. float_of_int (Prng.int rng 8)))
+    | 1 -> idx "fa0" (gen_index rng (pick rng vars))
+    | _ -> call "itof" [ gen_ie rng vars 1 ]
+  in
+  if depth <= 0 || Prng.bool rng then leaf ()
+  else bin (pick rng [| Add; Mul |]) (leaf ()) (leaf ())
+
+let gen_cond rng vars =
+  match Prng.int rng 3 with
+  | 0 ->
+      bin Eq
+        (bin Mod (idx (pick rng [| "a0"; "a1"; "x0" |]) (gen_index rng (pick rng vars))) (ei 2))
+        (ei 0)
+  | 1 -> bin Lt (ev (pick rng vars)) (ei (1 + Prng.int rng 6))
+  | _ -> bin Gt (idx "x0" (ev (pick rng vars))) (ei (Prng.int rng (array_size - 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Clauses                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let data_arr rng = pick rng [| "a0"; "a1" |]
+
+let affine_clause rng iv =
+  [ assign (idx (data_arr rng) (gen_injective_index rng iv)) (gen_ie rng [| iv |] 2) ]
+
+let indirect_clause rng iv =
+  [ assign (idx (data_arr rng) (idx "x0" (ev iv))) (gen_ie rng [| iv |] 2) ]
+
+let same_cell_clause rng iv =
+  [ assign (idx (data_arr rng) (ei (Prng.int rng array_size))) (gen_ie rng [| iv |] 2) ]
+
+let reduction_clause rng iv flags =
+  match Prng.int rng 5 with
+  | 0 -> [ assign (ev "s0") (bin Add (ev "s0") (gen_ie rng [| iv |] 2)) ]
+  | 1 -> [ assign (ev "s0") (bin Sub (ev "s0") (gen_ie rng [| iv |] 2)) ]
+  | 2 -> [ assign (ev "s0") (call "imax" [ ev "s0"; gen_ie rng [| iv |] 2 ]) ]
+  | 3 -> [ assign (ev "s0") (bin Mul (ev "s0") (gen_ie rng [| iv |] 1)) ]
+  | _ ->
+      flags.fl_float <- true;
+      [ assign (ev "f0") (bin Add (ev "f0") (gen_fe rng [| iv |] 1)) ]
+
+let carried_clause rng iv =
+  match Prng.int rng 4 with
+  | 0 -> [ assign (ev "s1") (bin Add (bin Mul (ev "s1") (ei 2)) (gen_ie rng [| iv |] 1)) ]
+  | 1 -> [ assign (ev "s1") (bin Sub (gen_ie rng [| iv |] 1) (ev "s1")) ]
+  | 2 -> [ assign (ev "s1") (gen_ie rng [| iv |] 2) ]
+  | _ ->
+      (* cross-iteration neighbour read: a0[i] = a0[(i+1)%8] + c *)
+      [
+        assign (idx "a0" (ev iv))
+          (bin Add
+             (idx "a0" (bin Mod (bin Add (ev iv) (ei 1)) (ei array_size)))
+             (ei (Prng.int rng 5)));
+      ]
+
+let chase_clause rng iv ci flags =
+  flags.fl_chase <- true;
+  let p = Printf.sprintf "p%d" ci and k = Printf.sprintf "k%d" ci in
+  let walk =
+    [
+      decl node_ptr p (Some (ev "head"));
+      decl Tint k (Some (ei 0));
+      st
+        (Swhile
+           ( bin Lt (ev k) (ev iv),
+             [ assign (ev p) (arrow p "next"); assign (ev k) (bin Add (ev k) (ei 1)) ] ));
+    ]
+  in
+  let payload =
+    match Prng.int rng 3 with
+    | 0 -> assign (arrow p "val") (bin Add (arrow p "val") (gen_ie rng [| iv |] 1))
+    | 1 -> assign (ev "s0") (bin Add (ev "s0") (arrow p "val"))
+    | _ -> assign (arrow p "val") (gen_ie rng [| iv |] 1)
+  in
+  walk @ [ payload ]
+
+let nest_clause rng iv ci =
+  let j = Printf.sprintf "j%d" ci in
+  let m = 2 + Prng.int rng 2 in
+  let body =
+    match Prng.int rng 2 with
+    | 0 ->
+        [
+          assign
+            (idx (data_arr rng) (bin Mod (bin Add (bin Mul (ev iv) (ei m)) (ev j)) (ei array_size)))
+            (gen_ie rng [| iv; j |] 1);
+        ]
+    | _ -> [ assign (ev "s0") (bin Add (ev "s0") (bin Mul (ev iv) (ev j))) ]
+  in
+  [
+    st
+      (Sfor
+         ( Some (decl Tint j (Some (ei 0))),
+           Some (bin Lt (ev j) (ei m)),
+           Some (assign (ev j) (bin Add (ev j) (ei 1))),
+           body ));
+  ]
+
+let io_clause rng iv = [ st (Sexpr (call "printi" [ gen_ie rng [| iv |] 1 ])) ]
+
+(* One clause.  The weights skew toward shapes DCA accepts dynamically;
+   [Io_inside] is rare and exists to exercise the static-rejection path
+   of the cross-check. *)
+let gen_clause rng ~iv ~ci flags =
+  let w =
+    [|
+      (18, Affine);
+      (9, Indirect);
+      (7, Same_cell);
+      (20, Reduction);
+      (12, Carried);
+      (12, Cond);
+      (9, Chase);
+      (7, Nest);
+      (2, Io_inside);
+    |]
+  in
+  let total = Array.fold_left (fun acc (k, _) -> acc + k) 0 w in
+  let rec choose n j =
+    let k, r = w.(j) in
+    if n < k then r else choose (n - k) (j + 1)
+  in
+  let recipe = choose (Prng.int rng total) 0 in
+  let stmts =
+    match recipe with
+    | Affine -> affine_clause rng iv
+    | Indirect -> indirect_clause rng iv
+    | Same_cell -> same_cell_clause rng iv
+    | Reduction -> reduction_clause rng iv flags
+    | Carried -> carried_clause rng iv
+    | Cond ->
+        (* wrap a simple clause; no clause-local declarations inside the
+           branch, so any simple recipe is safe to nest *)
+        let inner () =
+          match pick rng [| `A; `R; `S; `C |] with
+          | `A -> affine_clause rng iv
+          | `R -> reduction_clause rng iv flags
+          | `S -> same_cell_clause rng iv
+          | `C -> carried_clause rng iv
+        in
+        let else_b = if Prng.int rng 3 = 0 then inner () else [] in
+        [ st (Sif (gen_cond rng [| iv |], inner (), else_b)) ]
+    | Chase -> chase_clause rng iv ci flags
+    | Nest -> nest_clause rng iv ci
+    | Io_inside -> io_clause rng iv
+  in
+  (recipe, stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let node_struct =
+  { str_name = "node"; str_fields = [ (Tint, "val"); (node_ptr, "next") ]; str_loc = Loc.dummy }
+
+let prelude rng flags trip =
+  let ca = 1 + Prng.int rng 6 and da = Prng.int rng 9 in
+  let cb = 1 + Prng.int rng 6 and db = Prng.int rng 9 in
+  let cx = 1 + Prng.int rng 7 and dx = Prng.int rng array_size in
+  let decls =
+    [
+      decl (Tarray (Tint, [ array_size ])) "a0" None;
+      decl (Tarray (Tint, [ array_size ])) "a1" None;
+      decl (Tarray (Tint, [ array_size ])) "x0" None;
+      decl Tint "s0" (Some (ei (Prng.int rng 20)));
+      decl Tint "s1" (Some (ei (Prng.int rng 20)));
+    ]
+    @ (if flags.fl_float then
+         [ decl Tfloat "f0" (Some (ef 0.0)); decl (Tarray (Tfloat, [ array_size ])) "fa0" None ]
+       else [])
+  in
+  let fill_one name c d m = assign (idx name (ev "t")) (bin Mod (bin Add (bin Mul (ev "t") (ei c)) (ei d)) (ei m)) in
+  let fill =
+    [
+      decl Tint "t" (Some (ei 0));
+      st
+        (Swhile
+           ( bin Lt (ev "t") (ei array_size),
+             [ fill_one "a0" ca da 13; fill_one "a1" cb db 11; fill_one "x0" cx dx array_size ]
+             @ (if flags.fl_float then
+                  [
+                    assign (idx "fa0" (ev "t"))
+                      (bin Add (bin Mul (call "itof" [ ev "t" ]) (ef 0.5)) (ef 0.25));
+                  ]
+                else [])
+             @ [ assign (ev "t") (bin Add (ev "t") (ei 1)) ] ));
+    ]
+  in
+  let build_list =
+    if not flags.fl_chase then []
+    else
+      let cv = 1 + Prng.int rng 5 and dv = Prng.int rng 6 in
+      [
+        decl node_ptr "head" (Some (e Enull));
+        decl Tint "b" (Some (ei 0));
+        st
+          (Swhile
+             ( bin Lt (ev "b") (ei trip),
+               [
+                 decl node_ptr "nn" (Some (e (Enew_struct "node")));
+                 assign (arrow "nn" "val") (bin Add (bin Mul (ev "b") (ei cv)) (ei dv));
+                 assign (arrow "nn" "next") (ev "head");
+                 assign (ev "head") (ev "nn");
+                 assign (ev "b") (bin Add (ev "b") (ei 1));
+               ] ));
+      ]
+  in
+  decls @ fill @ build_list
+
+let epilogue flags =
+  let print_arrays =
+    [
+      decl Tint "q" (Some (ei 0));
+      st
+        (Swhile
+           ( bin Lt (ev "q") (ei array_size),
+             [
+               st (Sexpr (call "printi" [ idx "a0" (ev "q") ]));
+               st (Sexpr (call "printi" [ idx "a1" (ev "q") ]));
+               assign (ev "q") (bin Add (ev "q") (ei 1));
+             ] ));
+    ]
+  in
+  let print_scalars =
+    [ st (Sexpr (call "printi" [ ev "s0" ])); st (Sexpr (call "printi" [ ev "s1" ])) ]
+    @ if flags.fl_float then [ st (Sexpr (call "print" [ ev "f0" ])) ] else []
+  in
+  let print_list =
+    if not flags.fl_chase then []
+    else
+      [
+        decl node_ptr "pp" (Some (ev "head"));
+        st
+          (Swhile
+             ( ev "pp",
+               [ st (Sexpr (call "printi" [ arrow "pp" "val" ])); assign (ev "pp") (arrow "pp" "next") ]
+             ));
+      ]
+  in
+  print_arrays @ print_scalars @ print_list
+
+let generate ?(max_iters = 4) rng =
+  let max_iters = max 2 (min 7 max_iters) in
+  let trip = 2 + Prng.int rng (max_iters - 1) in
+  let flags = { fl_float = false; fl_chase = false } in
+  let nclauses = 1 + Prng.int rng 3 in
+  let clauses = List.init nclauses (fun ci -> gen_clause rng ~iv:"i" ~ci flags) in
+  let recipes = List.map fst clauses in
+  let body = List.concat_map snd clauses in
+  let loop =
+    st
+      (Sfor
+         ( Some (decl Tint "i" (Some (ei 0))),
+           Some (bin Lt (ev "i") (ei trip)),
+           Some (assign (ev "i") (bin Add (ev "i") (ei 1))),
+           body ))
+  in
+  let main_body = prelude rng flags trip @ [ st (Sprints marker); loop ] @ epilogue flags in
+  let prog =
+    {
+      structs = (if flags.fl_chase then [ node_struct ] else []);
+      globals = [];
+      funcs =
+        [ { f_name = "main"; f_params = []; f_ret = Tvoid; f_body = main_body; f_loc = Loc.dummy } ];
+    }
+  in
+  (match Typecheck.check_program prog with
+  | _ -> ()
+  | exception Loc.Error (l, msg) ->
+      invalid_arg
+        (Printf.sprintf "Gen_program.generate produced an ill-typed program (%s: %s)"
+           (Loc.to_string l) msg));
+  { g_prog = prog; g_source = Ast_printer.program_to_string prog; g_recipes = recipes; g_trip = trip }

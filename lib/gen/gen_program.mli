@@ -1,0 +1,61 @@
+(** Seeded, sized generator of well-typed MiniC loop programs.
+
+    Every generated program is a single [main] containing one {e marked}
+    loop under test in the canonical counted form
+
+    {v
+      prints("DCA_FUZZ_LOOP");
+      for (int i = 0; i < n; i = i + 1) { <body> }
+    v}
+
+    preceded by deterministic array/scalar/list setup and followed by an
+    epilogue that prints {e every} live-out (scalars, arrays, list
+    payloads).  Printing the live-outs makes whole-program output equality
+    coincide with live-out state equality, which is what lets the
+    {!Oracle} decide ground-truth commutativity by re-running unrolled
+    program variants instead of reusing any of DCA's replay machinery.
+
+    The body is assembled from 1–3 independently drawn {e clauses}
+    covering the loop shapes the pipeline claims to handle: disjoint
+    affine array writes, indirectly indexed writes, same-cell writes,
+    scalar and float reductions, order-dependent carried updates,
+    conditional writes, PLDS-style pointer chases over a freshly built
+    linked list, nested inner loops, and (rarely) I/O inside the loop to
+    exercise the static-rejection path.
+
+    All randomness comes from the caller's {!Dca_support.Prng.t}; equal
+    states generate equal programs.  Every program is type-checked before
+    being returned — generation of an ill-typed program is a bug and
+    raises. *)
+
+type recipe =
+  | Affine  (** disjoint (injective-index) array write *)
+  | Indirect  (** write through a prefilled index array (may collide) *)
+  | Same_cell  (** write to one fixed cell *)
+  | Reduction  (** [s = s op e] with [op] order-insensitive; int or float *)
+  | Carried  (** order-dependent scalar/array update *)
+  | Cond  (** conditional wrapper around another clause *)
+  | Chase  (** walk-to-i pointer chase over a linked list *)
+  | Nest  (** inner counted loop *)
+  | Io_inside  (** I/O in the body: statically rejected by DCA *)
+
+val recipe_to_string : recipe -> string
+
+type t = {
+  g_prog : Dca_frontend.Ast.program;  (** well-typed by construction *)
+  g_source : string;  (** [Ast_printer] rendering of [g_prog] *)
+  g_recipes : recipe list;  (** clauses of the loop body, in order *)
+  g_trip : int;  (** static trip count of the marked loop *)
+}
+
+val marker : string
+(** The [prints] payload marking the loop under test
+    (["DCA_FUZZ_LOOP"]). *)
+
+val array_size : int
+(** Length of every generated array (8); trip counts never exceed it. *)
+
+val generate : ?max_iters:int -> Dca_support.Prng.t -> t
+(** [generate rng] draws one program.  [max_iters] (default 4, clamped to
+    [2..7]) bounds the trip count of the marked loop so the oracle's
+    exhaustive [n!] sweep stays affordable. *)

@@ -1,0 +1,166 @@
+open Dca_frontend
+open Ast
+
+let ( ++ ) = Seq.append
+
+(* ------------------------------------------------------------------ *)
+(* Termination measure                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let madd (a, b) (c, d) = (a + c, b + d)
+
+let rec expr_size e =
+  match e.edesc with
+  | Eint n -> (1, min (abs n) 1000)
+  | Efloat _ | Enull | Evar _ | Enew_struct _ -> (1, 0)
+  | Eunop (_, x) -> madd (1, 0) (expr_size x)
+  | Ebinop (_, l, r) -> madd (1, 0) (madd (expr_size l) (expr_size r))
+  | Eindex (b, i) -> madd (1, 0) (madd (expr_size b) (expr_size i))
+  | Efield (b, _) | Earrow (b, _) -> madd (1, 0) (expr_size b)
+  | Ecall (_, args) -> List.fold_left (fun acc a -> madd acc (expr_size a)) (1, 0) args
+  | Enew_array (_, c) -> madd (1, 0) (expr_size c)
+
+let rec stmt_size s =
+  match s.sdesc with
+  | Sdecl (_, _, None) | Sprints _ | Sbreak | Scontinue | Sreturn None -> (1, 0)
+  | Sdecl (_, _, Some e) | Sexpr e | Sreturn (Some e) -> madd (1, 0) (expr_size e)
+  | Sassign (l, r) -> madd (1, 0) (madd (expr_size l) (expr_size r))
+  | Sif (c, t, e) -> madd (1, 0) (madd (expr_size c) (madd (stmts_size t) (stmts_size e)))
+  | Swhile (c, b) -> madd (1, 0) (madd (expr_size c) (stmts_size b))
+  | Sfor (i, c, st, b) ->
+      let opt f = function None -> (0, 0) | Some x -> f x in
+      madd (1, 0)
+        (madd (opt stmt_size i) (madd (opt expr_size c) (madd (opt stmt_size st) (stmts_size b))))
+  | Sblock b -> madd (1, 0) (stmts_size b)
+
+and stmts_size l = List.fold_left (fun acc s -> madd acc (stmt_size s)) (0, 0) l
+
+let size (p : program) =
+  List.fold_left (fun acc f -> madd acc (stmts_size f.f_body)) (0, 0) p.funcs
+
+(* ------------------------------------------------------------------ *)
+(* One-step reductions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Variants of a list where exactly one element was replaced. *)
+let list_variants1 f l =
+  let rec go prefix = function
+    | [] -> Seq.empty
+    | x :: rest ->
+        Seq.map (fun x' -> List.rev_append prefix (x' :: rest)) (f x)
+        ++ fun () -> go (x :: prefix) rest ()
+  in
+  go [] l
+
+(* Variants of a list where exactly one element was dropped. *)
+let list_drop1 l =
+  let rec go prefix = function
+    | [] -> Seq.empty
+    | x :: rest -> Seq.cons (List.rev_append prefix rest) (fun () -> go (x :: prefix) rest ())
+  in
+  go [] l
+
+let rec expr_variants e0 =
+  let w d = { e0 with edesc = d } in
+  match e0.edesc with
+  | Eint n when n <> 0 -> Seq.return (w (Eint 0))
+  | Eint _ | Efloat _ | Enull | Evar _ | Enew_struct _ -> Seq.empty
+  | Eunop (op, x) -> Seq.cons x (Seq.map (fun x' -> w (Eunop (op, x'))) (expr_variants x))
+  | Ebinop (op, l, r) ->
+      (* replacing an arithmetic node by one operand is type-preserving
+         whenever the candidate still type-checks — keep decides *)
+      let drops =
+        match op with
+        | Add | Sub | Mul | And | Or -> List.to_seq [ l; r ]
+        | Div | Mod -> Seq.return l
+        | Eq | Ne | Lt | Le | Gt | Ge -> Seq.empty
+      in
+      drops
+      ++ Seq.map (fun l' -> w (Ebinop (op, l', r))) (expr_variants l)
+      ++ Seq.map (fun r' -> w (Ebinop (op, l, r'))) (expr_variants r)
+  | Eindex (b, i) ->
+      Seq.map (fun i' -> w (Eindex (b, i'))) (expr_variants i)
+      ++ Seq.map (fun b' -> w (Eindex (b', i))) (expr_variants b)
+  | Efield (b, f) -> Seq.map (fun b' -> w (Efield (b', f))) (expr_variants b)
+  | Earrow (b, f) -> Seq.map (fun b' -> w (Earrow (b', f))) (expr_variants b)
+  | Ecall (f, args) -> Seq.map (fun args' -> w (Ecall (f, args'))) (list_variants1 expr_variants args)
+  | Enew_array (t, c) -> Seq.map (fun c' -> w (Enew_array (t, c'))) (expr_variants c)
+
+let rec stmt_variants s0 =
+  let w d = { s0 with sdesc = d } in
+  match s0.sdesc with
+  | Sdecl (ty, n, Some e0) ->
+      Seq.cons
+        (w (Sdecl (ty, n, None)))
+        (Seq.map (fun e' -> w (Sdecl (ty, n, Some e'))) (expr_variants e0))
+  | Sdecl (_, _, None) | Sprints _ | Sbreak | Scontinue | Sreturn None -> Seq.empty
+  | Sassign (l, r) ->
+      Seq.map (fun r' -> w (Sassign (l, r'))) (expr_variants r)
+      ++ Seq.map (fun l' -> w (Sassign (l', r))) (expr_variants l)
+  | Sif (c, t, e) ->
+      Seq.cons
+        (w (Sblock t))
+        ((if e = [] then Seq.empty else Seq.return (w (Sblock e)))
+        ++ Seq.map (fun c' -> w (Sif (c', t, e))) (expr_variants c)
+        ++ Seq.map (fun t' -> w (Sif (c, t', e))) (stmts_variants t)
+        ++ Seq.map (fun e' -> w (Sif (c, t, e'))) (stmts_variants e))
+  | Swhile (c, b) ->
+      Seq.cons
+        (w (Sblock b))
+        (Seq.map (fun c' -> w (Swhile (c', b))) (expr_variants c)
+        ++ Seq.map (fun b' -> w (Swhile (c, b'))) (stmts_variants b))
+  | Sfor (init, cond, step, b) ->
+      (* decrement a literal counted bound: shaves iterations off both
+         inner loops and the marked loop without leaving canonical form *)
+      let bound_dec =
+        match cond with
+        | Some ({ edesc = Ebinop (Lt, lv, ({ edesc = Eint n; _ } as ne)); _ } as c0) when n > 1 ->
+            Seq.return
+              (w
+                 (Sfor
+                    ( init,
+                      Some { c0 with edesc = Ebinop (Lt, lv, { ne with edesc = Eint (n - 1) }) },
+                      step,
+                      b )))
+        | _ -> Seq.empty
+      in
+      bound_dec ++ Seq.map (fun b' -> w (Sfor (init, cond, step, b'))) (stmts_variants b)
+  | Sblock b -> Seq.map (fun b' -> w (Sblock b')) (stmts_variants b)
+  | Sexpr e0 -> Seq.map (fun e' -> w (Sexpr e')) (expr_variants e0)
+  | Sreturn (Some e0) ->
+      Seq.cons (w (Sreturn None)) (Seq.map (fun e' -> w (Sreturn (Some e'))) (expr_variants e0))
+
+and stmts_variants stmts = list_drop1 stmts ++ list_variants1 stmt_variants stmts
+
+let program_variants (p : program) =
+  Seq.map
+    (fun funcs -> { p with funcs })
+    (list_variants1
+       (fun f -> Seq.map (fun b -> { f with f_body = b }) (stmts_variants f.f_body))
+       p.funcs)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy driver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lt (a, b) (c, d) = a < c || (a = c && b < d)
+
+let program ~keep ?(max_evals = 400) p0 =
+  let evals = ref 0 in
+  let rec improve p =
+    let sz = size p in
+    let rec search vars =
+      if !evals >= max_evals then None
+      else
+        match Seq.uncons vars with
+        | None -> None
+        | Some (cand, rest) ->
+            if not (lt (size cand) sz) then search rest
+            else begin
+              incr evals;
+              if keep cand then Some cand else search rest
+            end
+    in
+    match search (program_variants p) with Some better -> improve better | None -> p
+  in
+  improve p0

@@ -1,0 +1,29 @@
+(** Greedy AST shrinker for failing fuzz programs.
+
+    Given a predicate [keep] that re-checks whether a candidate program
+    still exhibits the original failure, {!program} repeatedly tries
+    one-step reductions — deleting a statement, collapsing an [if] to one
+    branch, unwrapping a loop to its body, dropping an initializer,
+    replacing an arithmetic expression by one operand, zeroing an integer
+    literal, decrementing a loop bound — and commits the first reduction
+    [keep] accepts, restarting until a whole pass yields nothing or the
+    evaluation budget is spent.
+
+    Every committed candidate is strictly smaller under the (node count,
+    integer-literal mass) lexicographic measure, so shrinking terminates
+    regardless of [keep].  [keep] is expected to treat ill-typed or
+    otherwise broken candidates as failures (return [false]), which is
+    what lets the moves stay type-oblivious. *)
+
+val size : Dca_frontend.Ast.program -> int * int
+(** The termination measure: (AST node count, summed magnitude of integer
+    literals, capped per literal). *)
+
+val program :
+  keep:(Dca_frontend.Ast.program -> bool) ->
+  ?max_evals:int ->
+  Dca_frontend.Ast.program ->
+  Dca_frontend.Ast.program
+(** [program ~keep p] assumes [keep p = true] and returns a minimal (under
+    the greedy strategy) program still accepted by [keep].  [max_evals]
+    (default 400) bounds the number of [keep] evaluations. *)
