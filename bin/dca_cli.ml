@@ -17,13 +17,19 @@
 open Cmdliner
 module Session = Dca_core.Session
 module Telemetry = Dca_support.Telemetry
+module Faultpoint = Dca_support.Faultpoint
 
 (* Open a session for PROG and run [f] on it, mapping the standard failure
    modes to exit codes.  [trace]/[stats] layer the command-line telemetry
    flags over whatever DCA_TRACE / DCA_STATS configured; the sinks are
    flushed on every exit path so a trace survives a trap. *)
-let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) prog f =
+let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) ?faults ?deadline_ms
+    ?heap_words prog f =
   Telemetry.init_from_env ();
+  (* --faults replaces whatever DCA_FAULTS would have armed; a malformed
+     plan raises Faultpoint.Bad_plan, mapped to a usage error at top
+     level *)
+  (match faults with Some plan -> Faultpoint.arm_string plan | None -> ());
   (match (trace, stats) with
   | None, false -> ()
   | _ ->
@@ -36,7 +42,7 @@ let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) prog 
           cfg_jsonl = (match trace with Some f when is_jsonl f -> Some f | _ -> cur.Telemetry.cfg_jsonl);
           cfg_stats = stats || cur.Telemetry.cfg_stats;
         });
-  match Session.load ?config ?spec ?hierarchical ?jobs prog with
+  match Session.load ?config ?spec ?deadline_ms ?heap_words ?hierarchical ?jobs prog with
   | Error msg ->
       Printf.eprintf "dca: %s\n" msg;
       1
@@ -56,6 +62,12 @@ let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) prog 
               1
           | exception Dca_interp.Eval.Out_of_fuel ->
               Printf.eprintf "dca: execution exceeded the fuel bound\n";
+              1
+          | exception Dca_interp.Eval.Deadline_exceeded ->
+              Printf.eprintf "dca: execution exceeded the wall-clock deadline\n";
+              1
+          | exception Dca_interp.Eval.Heap_exhausted ->
+              Printf.eprintf "dca: execution exceeded the heap budget\n";
               1)
 
 let prog_arg =
@@ -83,6 +95,30 @@ let stats_arg =
         ~doc:
           "Print the telemetry counter table to stderr on exit: deterministic work counters \
            (identical for every $(b,--jobs) value) and diagnostic counters.")
+
+let faults_arg =
+  let doc =
+    "Deterministic fault plan, e.g. $(b,driver.loop[main:3(d1)]@1=raise; eval.step@100+=delay:2).  \
+     Entries are $(i,site[ctx]@N=action) with action one of $(b,raise), $(b,trap), $(b,fuel), \
+     $(b,delay:MS); $(b,@N+) fires from the Nth hit on.  Also honored from $(b,DCA_FAULTS) \
+     (this flag wins).  Injected failures are contained per loop and reported as \
+     $(b,aborted) verdicts."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget in milliseconds for each dynamic-stage invocation; exceeding it aborts \
+     that loop's test (with one 4x-escalated retry), not the session."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let heap_arg =
+  let doc =
+    "Major-heap growth budget in words for each dynamic-stage invocation; exceeding it aborts \
+     that loop's test, not the session."
+  in
+  Arg.(value & opt (some int) None & info [ "heap-words" ] ~docv:"W" ~doc)
 
 (* ------------------------------------------------------------------ *)
 
@@ -138,7 +174,7 @@ let hierarchical_arg =
            commutative.")
 
 let analyze_cmd =
-  let run prog shuffles no_escalate hierarchical jobs trace stats =
+  let run prog shuffles no_escalate hierarchical jobs trace stats faults deadline_ms heap_words =
     let config =
       {
         Dca_core.Commutativity.default_config with
@@ -146,15 +182,15 @@ let analyze_cmd =
         cc_escalate = not no_escalate;
       }
     in
-    with_session ~config ~hierarchical ?jobs ?trace ~stats prog (fun s ->
-        print_string (Session.report s))
+    with_session ~config ~hierarchical ?jobs ?trace ~stats ?faults ?deadline_ms ?heap_words prog
+      (fun s -> print_string (Session.report s))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Dynamic Commutativity Analysis on every loop of the program")
     Term.(
       const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ jobs_arg $ trace_arg
-      $ stats_arg)
+      $ stats_arg $ faults_arg $ deadline_arg $ heap_arg)
 
 let tools_cmd =
   let run prog jobs trace stats =
@@ -284,6 +320,146 @@ let export_c_cmd =
           parallelizes (build with: cc -fopenmp prog.c -lm)")
     Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+
+(* dca batch: sweep a directory of .mc files (and/or the registry) and
+   keep going — one program's failure must never abort the sweep.  Exit
+   0 iff no program crashed: a crash is an exception the per-loop
+   containment did not absorb, or a loop-level Aborted verdict whose
+   cause is a Crash.  Without --keep-going the sweep stops at the first
+   non-ok program and exits 1. *)
+let batch_cmd =
+  let dir_arg =
+    let doc = "Directory to sweep: every $(b,*.mc) file, in name order." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let registry_arg =
+    Arg.(
+      value & flag
+      & info [ "registry" ]
+          ~doc:"Also analyze every built-in benchmark (the default when no DIR is given).")
+  in
+  let keep_going_arg =
+    Arg.(
+      value & flag
+      & info [ "keep-going"; "k" ]
+          ~doc:
+            "Analyze every program even after failures; the exit code then reflects only whether \
+             any program $(i,crashed).")
+  in
+  let run dir registry keep_going jobs faults deadline_ms heap_words =
+    Telemetry.init_from_env ();
+    (match faults with Some plan -> Faultpoint.arm_string plan | None -> ());
+    let dir_programs =
+      match dir with
+      | None -> Ok []
+      | Some d ->
+          if Sys.file_exists d && Sys.is_directory d then
+            Ok
+              (Sys.readdir d |> Array.to_list
+              |> List.filter (fun f -> Filename.check_suffix f ".mc")
+              |> List.sort compare
+              |> List.map (Filename.concat d))
+          else Error (Printf.sprintf "'%s' is not a directory" (Option.value dir ~default:""))
+    in
+    match dir_programs with
+    | Error msg ->
+        Printf.eprintf "dca batch: %s\n" msg;
+        2
+    | Ok from_dir -> (
+        let programs =
+          (if registry || dir = None then
+             List.map (fun bm -> bm.Dca_progs.Benchmark.bm_name) Dca_progs.Registry.all
+           else [])
+          @ from_dir
+        in
+        match programs with
+        | [] ->
+            Printf.eprintf "dca batch: nothing to analyze\n";
+            2
+        | programs ->
+            let module Driver = Dca_core.Driver in
+            let analyze_one prog =
+              (* re-zero the plan's hit counters so a one-shot fault
+                 applies to every program independently *)
+              Faultpoint.reset_hits ();
+              match Session.load ?jobs ?deadline_ms ?heap_words prog with
+              | Error msg -> `Error msg
+              | Ok s -> (
+                  Fun.protect
+                    ~finally:(fun () -> Session.close s)
+                    (fun () ->
+                      match Session.dca_results s with
+                      | results ->
+                          let count p = List.length (List.filter p results) in
+                          let contained =
+                            count (fun (r : Driver.loop_result) ->
+                                match r.Driver.lr_decision with
+                                | Driver.Aborted { ab_cause = Driver.Crash _; _ } -> true
+                                | _ -> false)
+                          in
+                          let aborted =
+                            count (fun (r : Driver.loop_result) ->
+                                match r.Driver.lr_decision with
+                                | Driver.Aborted _ -> true
+                                | _ -> false)
+                          in
+                          `Done
+                            ( List.length results,
+                              count Driver.is_commutative,
+                              aborted,
+                              contained )
+                      | exception Dca_frontend.Loc.Error (loc, msg) ->
+                          `Error (Dca_frontend.Loc.to_string loc ^ ": " ^ msg)
+                      | exception Dca_interp.Eval.Trap msg -> `Error ("runtime trap: " ^ msg)
+                      | exception Dca_interp.Eval.Out_of_fuel -> `Error "fuel bound exceeded"
+                      | exception Dca_interp.Eval.Deadline_exceeded ->
+                          `Error "wall-clock deadline exceeded"
+                      | exception Dca_interp.Eval.Heap_exhausted -> `Error "heap budget exhausted"
+                      | exception e -> `Crash (Printexc.to_string e)))
+            in
+            Printf.printf "%-36s %6s %6s %6s  %s\n" "program" "loops" "comm" "abrt" "status";
+            let ok = ref 0 and errors = ref 0 and crashed = ref 0 in
+            let stopped = ref false in
+            List.iter
+              (fun prog ->
+                if not !stopped then begin
+                  let row status = Printf.printf "%-36s %s\n" prog status in
+                  let failed =
+                    match analyze_one prog with
+                    | `Done (loops, comm, abrt, contained) ->
+                        Printf.printf "%-36s %6d %6d %6d  %s\n" prog loops comm abrt
+                          (if contained > 0 then
+                             Printf.sprintf "contained-crash(%d)" contained
+                           else "ok");
+                        if contained > 0 then incr crashed else incr ok;
+                        contained > 0
+                    | `Error msg ->
+                        row ("error: " ^ msg);
+                        incr errors;
+                        true
+                    | `Crash msg ->
+                        row ("CRASH: " ^ msg);
+                        incr crashed;
+                        true
+                  in
+                  if failed && not keep_going then stopped := true
+                end)
+              programs;
+            Printf.printf "batch: %d program(s): %d ok, %d error(s), %d crashed%s\n"
+              (!ok + !errors + !crashed) !ok !errors !crashed
+              (if !stopped then " (stopped at first failure; use --keep-going)" else "");
+            if !crashed > 0 then 1 else if !stopped then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze every .mc program of a directory (and/or every built-in benchmark) with per-loop \
+          crash containment; exit 0 only if no program crashed")
+    Term.(
+      const run $ dir_arg $ registry_arg $ keep_going_arg $ jobs_arg $ faults_arg $ deadline_arg
+      $ heap_arg)
+
 (* Exit-code contract: 0 = clean run, 1 = soundness violation found,
    2 = usage error.  cmdliner reports its own parse failures as 124, so
    flag-value validation that must yield 2 happens here. *)
@@ -319,7 +495,16 @@ let fuzz_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report counterexamples without minimizing them.")
   in
-  let run seed count max_iters jobs corpus no_metamorphic no_shrink =
+  let fault_mode_arg =
+    Arg.(
+      value & flag
+      & info [ "fault-mode" ]
+          ~doc:
+            "For every loop of every generated program, re-run the session with an injected \
+             one-shot crash scoped to that loop's test and assert containment: the victim must \
+             abort, every other loop's verdict must be byte-identical.")
+  in
+  let run seed count max_iters jobs corpus no_metamorphic no_shrink fault_mode =
     if count < 0 then begin
       Printf.eprintf "dca fuzz: --count must be non-negative (got %d)\n" count;
       2
@@ -342,6 +527,7 @@ let fuzz_cmd =
           fz_max_iters = max_iters;
           fz_jobs = Option.value jobs ~default:1;
           fz_metamorphic = not no_metamorphic;
+          fz_fault_mode = fault_mode;
           fz_shrink = not no_shrink;
           fz_corpus = corpus;
         }
@@ -358,12 +544,42 @@ let fuzz_cmd =
           with an exhaustive permutation oracle, and cross-check the DCA verdicts both ways")
     Term.(
       const run $ seed_arg $ count_arg $ max_iters_arg $ jobs_arg $ corpus_arg $ no_metamorphic_arg
-      $ no_shrink_arg)
+      $ no_shrink_arg $ fault_mode_arg)
 
+(* Top-level exit-code contract: 0 = success, 1 = analysis/program
+   failure, 2 = usage error (including a malformed fault plan), 3 =
+   internal error (an exception no containment layer absorbed).  Set
+   DCA_DEBUG=1 for a backtrace on internal errors. *)
 let () =
+  let debug = Sys.getenv_opt "DCA_DEBUG" = Some "1" in
+  if debug then Printexc.record_backtrace true;
   let doc = "Loop parallelization using Dynamic Commutativity Analysis (CGO 2021 reproduction)" in
   let info = Cmd.info "dca" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ list_cmd; run_cmd; ir_cmd; analyze_cmd; tools_cmd; speedup_cmd; advise_cmd; annotate_cmd; export_c_cmd; fuzz_cmd ]))
+  let code =
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group info
+           [
+             list_cmd;
+             run_cmd;
+             ir_cmd;
+             analyze_cmd;
+             batch_cmd;
+             tools_cmd;
+             speedup_cmd;
+             advise_cmd;
+             annotate_cmd;
+             export_c_cmd;
+             fuzz_cmd;
+           ])
+    with
+    | Faultpoint.Bad_plan msg ->
+        Printf.eprintf "dca: invalid fault plan: %s\n" msg;
+        2
+    | e ->
+        let bt = Printexc.get_backtrace () in
+        Printf.eprintf "dca: internal error: %s\n" (Printexc.to_string e);
+        if debug then prerr_string bt;
+        3
+  in
+  exit code

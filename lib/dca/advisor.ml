@@ -65,6 +65,7 @@ let advise ?(machine = Machine.default) info profile (results : Driver.loop_resu
       | Driver.Rejected reason -> (Keep_sequential (Candidate.rejection_to_string reason), None)
       | Driver.Non_commutative why -> (Keep_sequential ("order-dependent: " ^ why), None)
       | Driver.Untestable why -> (Keep_sequential ("could not be tested: " ^ why), None)
+      | Driver.Aborted _ as d -> (Keep_sequential ("analysis " ^ Driver.decision_to_string d), None)
       | Driver.Subsumed parent ->
           (Not_profitable (Printf.sprintf "enclosing loop %s is already parallel" parent), None)
       | Driver.Commutative -> (

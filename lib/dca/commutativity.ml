@@ -43,9 +43,30 @@ type outcome = {
   oc_per_invocation : verdict list;
 }
 
-type run_spec = { rs_input : int list; rs_fuel : int }
+type run_spec = {
+  rs_input : int list;
+  rs_fuel : int;
+  rs_deadline_ns : int option;
+  rs_heap_words : int option;
+}
 
-let default_run_spec = { rs_input = []; rs_fuel = 100_000_000 }
+(* The single fuel default shared by every entry point (Session used to
+   carry its own 200M while the bare dynamic stage defaulted to 100M —
+   fuel-sensitive programs got different verdicts depending on the door
+   they came in through). *)
+let default_fuel = 200_000_000
+
+let make_run_spec ?(fuel = default_fuel) ?deadline_ns ?heap_words input =
+  { rs_input = input; rs_fuel = fuel; rs_deadline_ns = deadline_ns; rs_heap_words = heap_words }
+
+let default_run_spec = make_run_spec []
+
+(* Every evaluator of a dynamic-stage run is created here so the resource
+   guards apply uniformly; forks inherit the absolute deadline, so one
+   invocation's golden run and all its replays share a single budget. *)
+let context_of_spec spec prog =
+  Eval.create ~fuel:spec.rs_fuel ?deadline_ns:spec.rs_deadline_ns ?heap_words:spec.rs_heap_words
+    ~input:spec.rs_input prog
 
 exception Replay_mismatch of string
 
@@ -66,6 +87,20 @@ let c_escalated = Telemetry.counter "dca.loops_escalated"
 let c_wp_golden_runs = Telemetry.counter "dca.wp_golden_runs"
 let c_wp_schedule_runs = Telemetry.counter "dca.wp_schedule_runs"
 let d_instructions = Telemetry.counter ~kind:Telemetry.Diag "interp.instructions"
+
+(* Fault points of the dynamic stage.  [trap]/[fuel] actions map onto the
+   evaluator's own exceptions, so an injected fault exercises exactly the
+   degradation path a guest-program fault would: a trap under a permuted
+   replay is non-commutativity evidence, a golden-run trap makes the loop
+   untestable. *)
+let fp_golden = Faultpoint.site "commutativity.golden"
+let fp_replay = Faultpoint.site "commutativity.replay"
+
+let fault_hit ?ctx site name =
+  match Faultpoint.hit ?ctx site with
+  | Faultpoint.Pass -> ()
+  | Faultpoint.Fire_trap -> raise (Eval.Trap (Faultpoint.injected_msg ?ctx name))
+  | Faultpoint.Fire_fuel -> raise Eval.Out_of_fuel
 
 (* ------------------------------------------------------------------ *)
 (* Golden recording                                                    *)
@@ -140,6 +175,7 @@ let matches_digest ~eps golden fi loop ctx frame =
 
 (* Run the loop once in original order under a recording sink. *)
 let record_golden ctx frame fi sep =
+  fault_hit fp_golden "commutativity.golden";
   let loop = sep.sep_loop in
   let header = loop.Loops.l_header in
   let in_loop b = Intset.mem b loop.Loops.l_blocks in
@@ -437,7 +473,10 @@ let replay_counted ~eps ctx frame fi sep g sched =
           name)
     (fun () ->
       let d =
-        match replay_matches ~eps ctx frame fi sep g sched with
+        match
+          fault_hit ~ctx:(Schedule.to_string sched) fp_replay "commutativity.replay";
+          replay_matches ~eps ctx frame fi sep g sched
+        with
         | true ->
             label := "match";
             `Ok
@@ -630,7 +669,7 @@ let test_invocation ?pool config fi state ctx frame =
    [sched]; return its outputs. *)
 let whole_program_run (info : Proginfo.t) spec fi sep sched =
   let prog = Proginfo.program info in
-  let ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
+  let ctx = context_of_spec spec prog in
   let loop = sep.sep_loop in
   let handler ctx frame =
     let st = Eval.store ctx in
@@ -673,7 +712,7 @@ let escalate ?pool config info spec fi sep scheds =
   Telemetry.incr c_wp_golden_runs;
   let golden_run () =
     Telemetry.span ~cat:"dynamic" "wp-golden" (fun () ->
-        let plain_ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input (Proginfo.program info) in
+        let plain_ctx = context_of_spec spec (Proginfo.program info) in
         Fun.protect
           ~finally:(fun () ->
             Store.flush_telemetry (Eval.store plain_ctx);
@@ -764,7 +803,7 @@ let test_loop ?pool config (info : Proginfo.t) spec fi sep =
     }
   in
   let prog = Proginfo.program info in
-  let ctx = Eval.create ~fuel:spec.rs_fuel ~input:spec.rs_input prog in
+  let ctx = context_of_spec spec prog in
   let handler ctx frame =
     if state.ts_failure <> None || state.ts_tested >= config.cc_max_invocations then
       run_loop_plain ctx frame loop

@@ -80,7 +80,20 @@ type outcome = {
           and not in others shows up as a mixed list here *)
 }
 
-type run_spec = { rs_input : int list; rs_fuel : int }
+type run_spec = {
+  rs_input : int list;
+  rs_fuel : int;  (** instruction budget per evaluator *)
+  rs_deadline_ns : int option;  (** wall-clock budget per evaluator; [None] = unlimited *)
+  rs_heap_words : int option;  (** major-heap growth budget; [None] = unlimited *)
+}
+
+val default_fuel : int
+(** 200 million instructions — the one fuel default shared by every
+    entry point ({!default_run_spec}, [Session]). *)
+
+val make_run_spec : ?fuel:int -> ?deadline_ns:int -> ?heap_words:int -> int list -> run_spec
+(** [make_run_spec input] with all resource bounds defaulted —
+    prefer this over record literals so new bounds don't ripple. *)
 
 val default_run_spec : run_spec
 

@@ -1,5 +1,13 @@
 open Dca_support
 open Dca_analysis
+module Eval = Dca_interp.Eval
+
+type abort_cause =
+  | Trap of string
+  | Fuel
+  | Deadline
+  | Heap
+  | Crash of { exn : string; backtrace : string }
 
 type decision =
   | Commutative
@@ -7,6 +15,7 @@ type decision =
   | Untestable of string
   | Rejected of Candidate.rejection
   | Subsumed of string
+  | Aborted of { ab_cause : abort_cause; ab_retries : int }
 
 type loop_result = {
   lr_loop : Loops.loop;
@@ -21,6 +30,19 @@ type loop_result = {
 let c_examined = Telemetry.counter "dca.loops_examined"
 let c_rejected = Telemetry.counter "dca.loops_rejected"
 let c_subsumed = Telemetry.counter "dca.loops_subsumed"
+let c_aborted = Telemetry.counter "dca.aborted"
+let c_retries = Telemetry.counter "dca.retries"
+let c_deadline_hits = Telemetry.counter "dca.deadline-hits"
+let c_faults_injected = Telemetry.counter "dca.faults-injected"
+
+let fp_loop = Faultpoint.site "driver.loop"
+
+let abort_cause_to_string = function
+  | Trap m -> "trap escaped the loop harness: " ^ m
+  | Fuel -> "instruction fuel exhausted"
+  | Deadline -> "wall-clock deadline exceeded"
+  | Heap -> "heap budget exhausted"
+  | Crash { exn; _ } -> "crash: " ^ exn
 
 let decision_to_string = function
   | Commutative -> "commutative"
@@ -28,6 +50,34 @@ let decision_to_string = function
   | Untestable why -> Printf.sprintf "untestable: %s" why
   | Rejected r -> Printf.sprintf "rejected: %s" (Candidate.rejection_to_string r)
   | Subsumed parent -> Printf.sprintf "subsumed by commutative ancestor %s" parent
+  | Aborted { ab_cause; ab_retries } ->
+      (* the backtrace is deliberately excluded: report lines must be
+         deterministic (and byte-identical across job counts) *)
+      Printf.sprintf "aborted: %s%s"
+        (abort_cause_to_string ab_cause)
+        (if ab_retries > 0 then Printf.sprintf " (%d escalated retry exhausted)" ab_retries else "")
+
+(* Classification of an exception that escaped one loop's test.  The
+   whole taxonomy is caught at the loop boundary: nothing a loop's test
+   raises may poison the verdicts of its siblings. *)
+let classify_abort e bt =
+  match e with
+  | Eval.Trap m -> Trap m
+  | Eval.Out_of_fuel -> Fuel
+  | Eval.Deadline_exceeded -> Deadline
+  | Eval.Heap_exhausted -> Heap
+  | Faultpoint.Injected m -> Crash { exn = m; backtrace = bt }
+  | e -> Crash { exn = Printexc.to_string e; backtrace = bt }
+
+let retry_limit = 1
+let escalation_factor = 4
+
+let escalate_spec (spec : Commutativity.run_spec) =
+  {
+    spec with
+    Commutativity.rs_fuel = spec.Commutativity.rs_fuel * escalation_factor;
+    rs_deadline_ns = Option.map (fun d -> d * escalation_factor) spec.Commutativity.rs_deadline_ns;
+  }
 
 let analyze_program ?(config = Commutativity.default_config)
     ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?pool info =
@@ -43,24 +93,74 @@ let analyze_program ?(config = Commutativity.default_config)
   in
   (* [examine_and_test] is free of shared mutable state, so calls for
      distinct loops can run on distinct domains: each dynamic test builds
-     its own evaluator over the (read-only) program info. *)
+     its own evaluator over the (read-only) program info.
+
+     It is also the containment boundary: any exception escaping one
+     loop's examine or test — guest traps that slipped past the harness,
+     resource-guard raises, injected faults, genuine analyzer bugs — is
+     classified into [abort_cause] and recorded as an [Aborted] verdict,
+     so every other loop still runs and the merge stays deterministic.
+     [Fuel]/[Deadline] escapes get one bounded retry with escalated
+     budgets before giving up. *)
   let examine_and_test (fi, loop) =
     let label = Proginfo.loop_label info loop in
     Telemetry.incr c_examined;
     Telemetry.span ~cat:"dynamic" ("loop " ^ label) (fun () ->
-        match Telemetry.span ~cat:"static" "examine" (fun () -> Candidate.examine info fi loop) with
-        | Candidate.Rejected r ->
-            Telemetry.incr c_rejected;
-            { lr_loop = loop; lr_label = label; lr_decision = Rejected r; lr_outcome = None }
-        | Candidate.Accepted sep ->
-            let outcome = Commutativity.test_loop ?pool config info spec fi sep in
-            let decision =
-              match outcome.Commutativity.oc_verdict with
-              | Commutativity.Commutative -> Commutative
-              | Commutativity.Non_commutative why -> Non_commutative why
-              | Commutativity.Untestable why -> Untestable why
-            in
-            { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = Some outcome })
+        let decision, outcome =
+          match
+            (match Faultpoint.hit ~ctx:label fp_loop with
+            | Faultpoint.Pass -> ()
+            | Faultpoint.Fire_trap ->
+                raise (Eval.Trap (Faultpoint.injected_msg ~ctx:label "driver.loop"))
+            | Faultpoint.Fire_fuel -> raise Eval.Out_of_fuel);
+            Telemetry.span ~cat:"static" "examine" (fun () -> Candidate.examine info fi loop)
+          with
+          | Candidate.Rejected r ->
+              Telemetry.incr c_rejected;
+              (Rejected r, None)
+          | Candidate.Accepted sep -> (
+              let rec run spec retries =
+                match Commutativity.test_loop ?pool config info spec fi sep with
+                | outcome -> Ok outcome
+                | exception e -> (
+                    let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+                    let cause = classify_abort e bt in
+                    (match cause with Deadline -> Telemetry.incr c_deadline_hits | _ -> ());
+                    match cause with
+                    | (Fuel | Deadline) when retries < retry_limit ->
+                        Telemetry.incr c_retries;
+                        run (escalate_spec spec) (retries + 1)
+                    | cause -> Error (cause, retries))
+              in
+              match run spec 0 with
+              | Ok outcome ->
+                  let decision =
+                    match outcome.Commutativity.oc_verdict with
+                    | Commutativity.Commutative -> Commutative
+                    | Commutativity.Non_commutative why -> Non_commutative why
+                    | Commutativity.Untestable why -> Untestable why
+                  in
+                  (decision, Some outcome)
+              | Error (cause, retries) -> (Aborted { ab_cause = cause; ab_retries = retries }, None))
+          | exception e ->
+              (* examine-stage crash, or the loop-boundary fault point:
+                 classified like a test-stage escape but never retried
+                 (the static stage has no resource budget to escalate) *)
+              let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+              (Aborted { ab_cause = classify_abort e bt; ab_retries = 0 }, None)
+        in
+        (match decision with
+        | Aborted { ab_cause; _ } ->
+            Telemetry.incr c_aborted;
+            (match ab_cause with
+            | Crash { exn; _ } when Faultpoint.is_injected_message exn ->
+                Telemetry.incr c_faults_injected
+            | Trap m when Faultpoint.is_injected_message m -> Telemetry.incr c_faults_injected
+            | _ -> ())
+        | Non_commutative why | Untestable why ->
+            if Faultpoint.is_injected_message why then Telemetry.incr c_faults_injected
+        | _ -> ());
+        { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = outcome })
   in
   let note_commutative r =
     match r.lr_decision with

@@ -2,6 +2,16 @@
     dynamic commutativity test per loop (paper Fig. 3).  Loops are tested
     one per program execution, as in §IV-E. *)
 
+type abort_cause =
+  | Trap of string  (** a guest trap escaped the harness's own handling *)
+  | Fuel  (** instruction budget exhausted (after any retry) *)
+  | Deadline  (** wall-clock budget exhausted (after any retry) *)
+  | Heap  (** heap growth budget exhausted *)
+  | Crash of { exn : string; backtrace : string }
+      (** unexpected analyzer exception; the backtrace is carried for
+          debugging but never printed into reports (which must stay
+          deterministic) *)
+
 type decision =
   | Commutative
   | Non_commutative of string
@@ -11,6 +21,13 @@ type decision =
       (** hierarchical mode only: an enclosing loop (by id) is already
           commutative, so this loop was not tested (paper §IV-E explores
           loops top-down) *)
+  | Aborted of { ab_cause : abort_cause; ab_retries : int }
+      (** this loop's examine/test raised; the exception was contained at
+          the loop boundary and classified, and every other loop still
+          ran.  [ab_retries] counts fuel/deadline-escalated retries that
+          were consumed before giving up (at most one). *)
+
+val abort_cause_to_string : abort_cause -> string
 
 type loop_result = {
   lr_loop : Dca_analysis.Loops.loop;
@@ -40,7 +57,15 @@ val analyze_program :
     nesting-depth waves: by the time a wave is scheduled, every ancestor
     verdict is final, so subsumed descendants are cancelled before any
     work is queued for them — the parallel engine never tests a loop the
-    sequential engine would have skipped. *)
+    sequential engine would have skipped.
+
+    {b Crash containment}: no exception raised by one loop's examine or
+    dynamic test escapes this function.  Escapes are classified into
+    {!abort_cause} and returned as [Aborted] results; [Fuel]/[Deadline]
+    causes get one retry with 4x-escalated budgets first.  Containment
+    happens inside the per-loop task, so the deterministic merge (and
+    jobs=1 vs jobs=n bit-identity) is preserved under faults that fire
+    at deterministic points. *)
 
 val analyze_source :
   ?config:Commutativity.config ->

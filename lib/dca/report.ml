@@ -37,6 +37,7 @@ let counters results =
     ("untestable", count (fun r -> match r.Driver.lr_decision with Driver.Untestable _ -> true | _ -> false));
     ("rejected", count (fun r -> match r.Driver.lr_decision with Driver.Rejected _ -> true | _ -> false));
     ("subsumed", count (fun r -> match r.Driver.lr_decision with Driver.Subsumed _ -> true | _ -> false));
+    ("aborted", count (fun r -> match r.Driver.lr_decision with Driver.Aborted _ -> true | _ -> false));
     ("invocations", sum (fun oc -> oc.Commutativity.oc_invocations));
     ("golden-runs", sum (fun oc -> oc.Commutativity.oc_golden_runs));
     ("replays", sum (fun oc -> oc.Commutativity.oc_replays));

@@ -22,10 +22,7 @@ type t = {
   mutable s_plan : Dca_parallel.Plan.t option;
 }
 
-(* The fuel bound every front end used for analysis runs. *)
-let default_fuel = 200_000_000
-
-let create ?jobs ?config ?spec ?(hierarchical = false) origin =
+let create ?jobs ?config ?spec ?deadline_ms ?heap_words ?(hierarchical = false) origin =
   let name, file, source, input =
     match origin with
     | Source { file; source; input } -> (Filename.basename file, file, source, input)
@@ -38,12 +35,17 @@ let create ?jobs ?config ?spec ?(hierarchical = false) origin =
   (* honor DCA_TRACE / DCA_STATS unless the embedder already configured
      telemetry explicitly; a no-op on every later session *)
   Telemetry.init_from_env ();
+  (* honor DCA_FAULTS the same way (a front end's --faults wins) *)
+  Faultpoint.init_from_env ();
   let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
   let config = Option.value config ~default:Commutativity.default_config in
   let spec =
     match spec with
     | Some s -> s
-    | None -> { Commutativity.rs_input = input; rs_fuel = default_fuel }
+    | None ->
+        Commutativity.make_run_spec
+          ?deadline_ns:(Option.map (fun ms -> ms * 1_000_000) deadline_ms)
+          ?heap_words input
   in
   {
     s_name = name;
@@ -69,13 +71,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load ?jobs ?config ?spec ?hierarchical prog =
+let load ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical prog =
   match Dca_progs.Registry.find prog with
-  | Some bm -> Ok (create ?jobs ?config ?spec ?hierarchical (Benchmark bm))
+  | Some bm -> Ok (create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical (Benchmark bm))
   | None ->
       if Sys.file_exists prog then
         Ok
-          (create ?jobs ?config ?spec ?hierarchical
+          (create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical
              (Source { file = prog; source = read_file prog; input = [] }))
       else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" prog)
 
@@ -168,6 +170,6 @@ let close t =
       Pool.shutdown p
   | None -> ()
 
-let with_session ?jobs ?config ?spec ?hierarchical origin f =
-  let t = create ?jobs ?config ?spec ?hierarchical origin in
+let with_session ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin f =
+  let t = create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -36,6 +36,8 @@ val create :
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
+  ?deadline_ms:int ->
+  ?heap_words:int ->
   ?hierarchical:bool ->
   origin ->
   t
@@ -48,12 +50,21 @@ val create :
     Creation also arms telemetry from the environment
     ({!Dca_support.Telemetry.init_from_env}: [DCA_TRACE] names a trace
     file and enables spans, [DCA_STATS=1] enables counters and the exit
-    summary) unless the embedder configured it explicitly first. *)
+    summary) and fault injection ([DCA_FAULTS], see
+    {!Dca_support.Faultpoint}) unless the embedder configured either
+    explicitly first.
+
+    [deadline_ms] / [heap_words] apply per-invocation resource guards to
+    the dynamic stage (wall-clock budget, major-heap growth budget);
+    they are folded into the derived run spec and ignored when an
+    explicit [spec] is given. *)
 
 val load :
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
+  ?deadline_ms:int ->
+  ?heap_words:int ->
   ?hierarchical:bool ->
   string ->
   (t, string) result
@@ -118,6 +129,8 @@ val with_session :
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
+  ?deadline_ms:int ->
+  ?heap_words:int ->
   ?hierarchical:bool ->
   origin ->
   (t -> 'a) ->

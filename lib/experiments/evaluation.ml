@@ -16,7 +16,7 @@ let evaluate ?(config = Commutativity.default_config) bm =
   let prog = Benchmark.compile bm in
   let info = Proginfo.analyze prog in
   let spec =
-    { Commutativity.rs_input = bm.Benchmark.bm_input; rs_fuel = 200_000_000 }
+    Commutativity.make_run_spec ~fuel:200_000_000 bm.Benchmark.bm_input
   in
   let dca = Driver.analyze_program ~config ~spec info in
   let profile =

@@ -13,6 +13,7 @@ type violation_kind =
   | Dca_crash
   | Jobs_report_divergence
   | Checkpoint_report_divergence
+  | Containment_breach
 
 let violation_kind_to_string = function
   | Roundtrip_drift -> "printer/parser round-trip drift"
@@ -22,6 +23,7 @@ let violation_kind_to_string = function
   | Dca_crash -> "DCA pipeline raised an internal exception"
   | Jobs_report_divergence -> "report differs between jobs=1 and jobs=4"
   | Checkpoint_report_divergence -> "report differs between DCA_CHECKPOINT=journal and deep"
+  | Containment_breach -> "an injected fault leaked outside its loop's containment boundary"
 
 let kind_slug = function
   | Roundtrip_drift -> "roundtrip"
@@ -31,6 +33,7 @@ let kind_slug = function
   | Dca_crash -> "crash"
   | Jobs_report_divergence -> "jobs-divergence"
   | Checkpoint_report_divergence -> "checkpoint-divergence"
+  | Containment_breach -> "containment-breach"
 
 type violation = {
   vi_program : int;
@@ -45,6 +48,7 @@ type config = {
   fz_max_iters : int;
   fz_jobs : int;
   fz_metamorphic : bool;
+  fz_fault_mode : bool;
   fz_shrink : bool;
   fz_corpus : string option;
   fz_eps : float;
@@ -57,6 +61,7 @@ let default_config =
     fz_max_iters = 4;
     fz_jobs = 1;
     fz_metamorphic = true;
+    fz_fault_mode = false;
     fz_shrink = true;
     fz_corpus = None;
     fz_eps = 1e-6;
@@ -88,6 +93,15 @@ let dca_run ~jobs ~line source =
       in
       (report, dec))
 
+(* Every loop of one full DCA session over [source], as
+   (label, decision string) rows in report order. *)
+let dca_run_all ~jobs source =
+  Session.with_session ~jobs (Session.Source { file = "<fuzz>"; source; input = [] }) (fun s ->
+      List.map
+        (fun (r : Driver.loop_result) ->
+          (r.Driver.lr_label, Driver.decision_to_string r.Driver.lr_decision))
+        (Session.dca_results s))
+
 (* ------------------------------------------------------------------ *)
 (* Witness-schedule recovery                                           *)
 (* ------------------------------------------------------------------ *)
@@ -108,6 +122,69 @@ let witness_schedule why =
       Schedule.of_string (String.trim (String.sub why start (stop - start)))
 
 (* ------------------------------------------------------------------ *)
+(* Fault-plan containment mode                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* For every loop L of the program, arm a one-shot injected crash scoped
+   to L's test and re-analyze: the session must complete, L must come
+   back [Aborted], and no other loop's verdict may change — an injected
+   fault must never leak across the containment boundary.  [arm] zeroes
+   hit counters, and the plan is dropped before returning, so runs are
+   independent. *)
+let containment_violations ~jobs ~index source =
+  let vio detail =
+    { vi_program = index; vi_kind = Containment_breach; vi_detail = detail; vi_source = source }
+  in
+  match dca_run_all ~jobs source with
+  | exception _ -> [] (* the primary run already reported this as Dca_crash *)
+  | base ->
+      let check_victim (victim, _) =
+        Faultpoint.arm
+          [
+            {
+              Faultpoint.sp_site = "driver.loop";
+              sp_ctx = Some victim;
+              sp_nth = 1;
+              sp_repeat = false;
+              sp_action = Faultpoint.Raise;
+            };
+          ];
+        Fun.protect ~finally:Faultpoint.disarm (fun () ->
+            match dca_run_all ~jobs source with
+            | exception e ->
+                [
+                  vio
+                    (Printf.sprintf "session died with %s under an injected fault at loop %s"
+                       (Printexc.to_string e) victim);
+                ]
+            | faulted when List.length faulted <> List.length base ->
+                [ vio (Printf.sprintf "loop set changed under an injected fault at %s" victim) ]
+            | faulted ->
+                List.concat
+                  (List.map2
+                     (fun (bl, bd) (fl, fd) ->
+                       if fl <> bl then
+                         [ vio (Printf.sprintf "loop order changed at %s (victim %s)" bl victim) ]
+                       else if fl = victim then
+                         if Faultpoint.is_injected_message fd then []
+                         else
+                           [
+                             vio
+                               (Printf.sprintf "victim %s reported %S, expected a contained abort"
+                                  victim fd);
+                           ]
+                       else if fd <> bd then
+                         [
+                           vio
+                             (Printf.sprintf "loop %s changed %S -> %S under a fault at %s" fl bd fd
+                                victim);
+                         ]
+                       else [])
+                     base faulted))
+      in
+      List.concat_map check_victim base
+
+(* ------------------------------------------------------------------ *)
 (* Per-program cross-check                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -120,7 +197,8 @@ type program_outcome = {
 (* Cross-check one source string.  All failure modes are turned into
    violations or counted outcomes; exceptions escape only for internal
    errors. *)
-let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ~index source =
+let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ?(fault_mode = false) ~index
+    source =
   let vio kind detail = { vi_program = index; vi_kind = kind; vi_detail = detail; vi_source = source } in
   match Parser.parse_program ~file:"<fuzz>" source with
   | exception Loc.Error (l, msg) ->
@@ -189,6 +267,10 @@ let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ~index source =
                                 | `Mismatch | `Error _ -> []
                                 | `Match ->
                                     [ vio (Bogus_witness (Schedule.to_string sched)) why ]))))
+                | Some (Driver.Aborted { ab_cause = Driver.Crash { exn; _ }; _ }) ->
+                    (* with crash containment the pipeline no longer dies;
+                       a contained analyzer crash is the same finding *)
+                    [ vio Dca_crash ("contained: " ^ exn) ]
                 | Some _ -> []
               in
               let metamorphic_v =
@@ -210,7 +292,14 @@ let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ~index source =
                   with e -> [ vio Dca_crash (Printexc.to_string e) ]
                 end
               in
-              { po_oracle = oracle; po_dca = dec; po_violations = roundtrip @ soundness @ metamorphic_v }))
+              let containment_v =
+                if not fault_mode then [] else containment_violations ~jobs ~index source
+              in
+              {
+                po_oracle = oracle;
+                po_dca = dec;
+                po_violations = roundtrip @ soundness @ metamorphic_v @ containment_v;
+              }))
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
@@ -233,9 +322,11 @@ let still_fails ~eps ~kind (p : Ast.program) =
             match kind with
             | Dca_crash -> (
                 match dca_run ~jobs:1 ~line:spec.Oracle.sp_line src with
+                | _, Some (Driver.Aborted { ab_cause = Driver.Crash _; _ }) -> true
                 | _ -> false
                 | exception Loc.Error _ -> false
                 | exception _ -> true)
+            | Containment_breach -> containment_violations ~jobs:1 ~index:0 src <> []
             | False_non_commutative -> (
                 match dca_run ~jobs:1 ~line:spec.Oracle.sp_line src with
                 | _, Some (Driver.Non_commutative _) ->
@@ -320,7 +411,7 @@ let run cfg =
   let ct tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
   let oracle_comm = ref 0 and oracle_noncomm = ref 0 and oracle_unsup = ref 0 in
   let dca_comm = ref 0 and dca_noncomm = ref 0 and dca_untestable = ref 0 in
-  let dca_rejected = ref 0 and dca_missing = ref 0 in
+  let dca_rejected = ref 0 and dca_aborted = ref 0 and dca_missing = ref 0 in
   let agree_comm = ref 0 and confirmed_noncomm = ref 0 and missed = ref 0 and no_claim = ref 0 in
   let violations = ref [] in
   for index = 0 to cfg.fz_count - 1 do
@@ -329,8 +420,8 @@ let run cfg =
     List.iter (fun r -> bump recipe_counts (Gen_program.recipe_to_string r)) g.Gen_program.g_recipes;
     bump trip_counts g.Gen_program.g_trip;
     let out =
-      check_source ~eps:cfg.fz_eps ~jobs:cfg.fz_jobs ~metamorphic:cfg.fz_metamorphic ~index
-        g.Gen_program.g_source
+      check_source ~eps:cfg.fz_eps ~jobs:cfg.fz_jobs ~metamorphic:cfg.fz_metamorphic
+        ~fault_mode:cfg.fz_fault_mode ~index g.Gen_program.g_source
     in
     (match out.po_oracle with
     | Oracle.Commutative -> incr oracle_comm
@@ -341,12 +432,13 @@ let run cfg =
     | Some (Driver.Non_commutative _) -> incr dca_noncomm
     | Some (Driver.Untestable _) -> incr dca_untestable
     | Some (Driver.Rejected _) -> incr dca_rejected
+    | Some (Driver.Aborted _) -> incr dca_aborted
     | Some (Driver.Subsumed _) | None -> incr dca_missing);
     (match (out.po_oracle, out.po_dca) with
     | Oracle.Commutative, Some Driver.Commutative -> incr agree_comm
     | Oracle.Non_commutative _, Some (Driver.Non_commutative _) -> incr confirmed_noncomm
     | Oracle.Non_commutative _, Some Driver.Commutative -> incr missed
-    | _, Some (Driver.Untestable _ | Driver.Rejected _) -> incr no_claim
+    | _, Some (Driver.Untestable _ | Driver.Rejected _ | Driver.Aborted _) -> incr no_claim
     | _ -> ());
     let shrunk =
       if cfg.fz_shrink then List.map (shrink_violation ~eps:cfg.fz_eps) out.po_violations
@@ -358,9 +450,10 @@ let run cfg =
   let violations = List.rev !violations in
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "dca fuzz: seed=%d count=%d max-iters=%d metamorphic=%s shrink=%s" cfg.fz_seed cfg.fz_count
-    max_iters
+  line "dca fuzz: seed=%d count=%d max-iters=%d metamorphic=%s fault-mode=%s shrink=%s" cfg.fz_seed
+    cfg.fz_count max_iters
     (if cfg.fz_metamorphic then "on" else "off")
+    (if cfg.fz_fault_mode then "on" else "off")
     (if cfg.fz_shrink then "on" else "off");
   line "recipes: %s"
     (String.concat " "
@@ -374,8 +467,8 @@ let run cfg =
           [ 2; 3; 4; 5; 6; 7 ]));
   line "oracle: commutative=%d non-commutative=%d unsupported=%d" !oracle_comm !oracle_noncomm
     !oracle_unsup;
-  line "dca: commutative=%d non-commutative=%d untestable=%d rejected=%d missing=%d" !dca_comm
-    !dca_noncomm !dca_untestable !dca_rejected !dca_missing;
+  line "dca: commutative=%d non-commutative=%d untestable=%d rejected=%d aborted=%d missing=%d"
+    !dca_comm !dca_noncomm !dca_untestable !dca_rejected !dca_aborted !dca_missing;
   line "cross-check: agree-commutative=%d confirmed-non-commutative=%d missed-by-sampling=%d no-claim=%d"
     !agree_comm !confirmed_noncomm !missed !no_claim;
   line "violations: %d" (List.length violations);

@@ -32,9 +32,15 @@ type violation_kind =
   | Generator_invalid
   | False_non_commutative
   | Bogus_witness of string  (** the witness schedule name *)
-  | Dca_crash  (** the DCA pipeline raised an internal exception *)
+  | Dca_crash
+      (** the DCA pipeline raised an internal exception — or, with crash
+          containment, a loop came back [Aborted] with a [Crash] cause *)
   | Jobs_report_divergence
   | Checkpoint_report_divergence
+  | Containment_breach
+      (** fault-plan mode only: an injected one-loop fault changed
+          another loop's verdict, reordered the report, or killed the
+          session *)
 
 val violation_kind_to_string : violation_kind -> string
 
@@ -51,6 +57,10 @@ type config = {
   fz_max_iters : int;  (** trip-count bound, clamped to [2 .. Oracle.max_trip] *)
   fz_jobs : int;  (** session jobs of the primary DCA run *)
   fz_metamorphic : bool;
+  fz_fault_mode : bool;
+      (** for each loop of each program, re-run the session with an
+          injected one-shot crash scoped to that loop's test and assert
+          containment (victim aborted, siblings byte-identical) *)
   fz_shrink : bool;
   fz_corpus : string option;  (** write shrunk reproducers here *)
   fz_eps : float;
@@ -58,7 +68,7 @@ type config = {
 
 val default_config : config
 (** seed 42, count 100, max-iters 4, jobs 1, metamorphic and shrinking
-    on, no corpus directory, eps 1e-6. *)
+    on, fault mode off, no corpus directory, eps 1e-6. *)
 
 type result = { r_report : string; r_violations : violation list }
 
@@ -73,6 +83,7 @@ type program_outcome = {
   po_violations : violation list;  (** unshrunk *)
 }
 
-val check_source : ?eps:float -> ?jobs:int -> ?metamorphic:bool -> index:int -> string -> program_outcome
+val check_source :
+  ?eps:float -> ?jobs:int -> ?metamorphic:bool -> ?fault_mode:bool -> index:int -> string -> program_outcome
 (** Cross-check a single MiniC source containing a marked loop — the
     corpus-replay entry point used by the test suite. *)

@@ -3,6 +3,8 @@ open Value
 
 exception Trap of string
 exception Out_of_fuel
+exception Deadline_exceeded
+exception Heap_exhausted
 
 (* ------------------------------------------------------------------ *)
 (* Pre-decoded code                                                    *)
@@ -99,6 +101,9 @@ and ctx = {
   mutable sink : Events.sink option;
   mutable nsteps : int;
   fuel : int;
+  deadline : int;  (** absolute [Telemetry.now_ns] bound; [max_int] = none *)
+  heap_limit : int;  (** absolute major-heap words ceiling; [max_int] = none *)
+  mutable next_guard : int;  (** step count of the next periodic guard check *)
   mutable interceptors : interceptor list;
 }
 
@@ -107,6 +112,14 @@ type step_control = { sc_filter : Ir.instr -> bool; sc_override : int -> int opt
 type stop_reason = Stopped_at of int | Returned of Value.t option
 
 let default_fuel = 200_000_000
+
+(* Resource guards ride the fuel path but only run every [guard_interval]
+   steps: the per-instruction cost is one integer compare, the clock and
+   GC reads are amortized away.  The interval is fixed (and [nsteps] is
+   deterministic), so the [eval.step] fault point fires at a
+   deterministic step count. *)
+let guard_interval = 4096
+let fp_step = Dca_support.Faultpoint.site "eval.step"
 
 let decode_op = function
   | Ir.Ovar v -> Dvar v
@@ -171,7 +184,7 @@ let decoded_funcs prog =
             (prog, funcs) :: List.filteri (fun k _ -> k < decode_cache_limit - 1) !decode_cache;
           funcs)
 
-let create ?(fuel = default_fuel) ?(input = []) prog =
+let create ?(fuel = default_fuel) ?deadline_ns ?heap_words ?(input = []) prog =
   {
     prog;
     st = Store.create prog ~input;
@@ -179,6 +192,15 @@ let create ?(fuel = default_fuel) ?(input = []) prog =
     sink = None;
     nsteps = 0;
     fuel;
+    deadline =
+      (match deadline_ns with
+      | None -> max_int
+      | Some d -> Dca_support.Telemetry.now_ns () + d);
+    heap_limit =
+      (match heap_words with
+      | None -> max_int
+      | Some w -> (Gc.quick_stat ()).Gc.heap_words + w);
+    next_guard = guard_interval;
     interceptors = [];
   }
 
@@ -190,6 +212,9 @@ let fork ctx =
     sink = None;
     nsteps = ctx.nsteps;
     fuel = ctx.fuel;
+    deadline = ctx.deadline;
+    heap_limit = ctx.heap_limit;
+    next_guard = ctx.nsteps + guard_interval;
     interceptors = [];
   }
 
@@ -298,9 +323,25 @@ let emit_read ctx loc instr =
 let emit_write ctx loc instr =
   match ctx.sink with Some s -> s.Events.on_write loc instr | None -> ()
 
+(* Rare path of the periodic guard: refresh the threshold, give the
+   [eval.step] fault point a deterministic hit, then check the wall-clock
+   deadline and the heap budget if set. *)
+let guard_check ctx =
+  ctx.next_guard <- ctx.nsteps + guard_interval;
+  (match Dca_support.Faultpoint.hit fp_step with
+  | Dca_support.Faultpoint.Pass -> ()
+  | Dca_support.Faultpoint.Fire_trap ->
+      trap "%s" (Dca_support.Faultpoint.injected_msg "eval.step")
+  | Dca_support.Faultpoint.Fire_fuel -> raise Out_of_fuel);
+  if ctx.deadline <> max_int && Dca_support.Telemetry.now_ns () > ctx.deadline then
+    raise Deadline_exceeded;
+  if ctx.heap_limit <> max_int && (Gc.quick_stat ()).Gc.heap_words > ctx.heap_limit then
+    raise Heap_exhausted
+
 let rec exec_instr ctx frame (d : dinstr) =
   ctx.nsteps <- ctx.nsteps + 1;
   if ctx.nsteps > ctx.fuel then raise Out_of_fuel;
+  if ctx.nsteps >= ctx.next_guard then guard_check ctx;
   let i = d.di in
   (match ctx.sink with Some s -> s.Events.on_exec i | None -> ());
   (* operand evaluation with register-read events attributed to [i] *)

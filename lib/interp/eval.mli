@@ -21,6 +21,18 @@
 exception Trap of string
 exception Out_of_fuel
 
+exception Deadline_exceeded
+(** The context's wall-clock deadline ([?deadline_ns] at {!create})
+    elapsed.  Checked every few thousand steps on the fuel path, so the
+    raise lands within one guard interval of the deadline. *)
+
+exception Heap_exhausted
+(** The major heap grew past the context's budget ([?heap_words] at
+    {!create}).  The measurement is [Gc.quick_stat].heap_words — the
+    process-wide major heap — so the budget bounds growth attributable
+    to the run plus whatever other domains allocate meanwhile; it is a
+    containment guard, not an accounting tool. *)
+
 type ctx
 
 type dblock
@@ -33,8 +45,20 @@ type frame = { ffunc : Dca_ir.Ir.func; fcode : dblock array; regs : Value.t arra
 (** [fcode] is the decoded body of [ffunc]; build frames with
     {!frame_for} or {!copy_frame} rather than by hand. *)
 
-val create : ?fuel:int -> ?input:int list -> Dca_ir.Ir.program -> ctx
-(** Default fuel: 200 million instructions. *)
+val guard_interval : int
+(** Step period of the resource-guard check: the deadline and heap
+    budgets are only consulted every [guard_interval] executed
+    instructions (one integer compare on the fast path), so a guard can
+    overshoot by at most one interval. *)
+
+val create :
+  ?fuel:int -> ?deadline_ns:int -> ?heap_words:int -> ?input:int list -> Dca_ir.Ir.program -> ctx
+(** Default fuel: 200 million instructions.  [deadline_ns] is a relative
+    wall-clock budget converted to an absolute monotonic deadline at
+    creation; [heap_words] bounds major-heap growth over the heap size
+    at creation.  Both are inherited by {!fork} (absolute, so every
+    replica of an invocation shares the same deadline) and default to
+    unlimited. *)
 
 val fork : ctx -> ctx
 (** A private replica of the context at its current state: the store is

@@ -278,7 +278,10 @@ let read_input t =
   end
   else 0
 
+let fp_snapshot = Dca_support.Faultpoint.site "store.snapshot"
+
 let snapshot t =
+  Dca_support.Faultpoint.hit_unit fp_snapshot;
   t.stats.st_snapshots <- t.stats.st_snapshots + 1;
   match t.mode with
   | Deep ->

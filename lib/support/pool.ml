@@ -8,6 +8,7 @@ type t = {
 }
 
 let jobs t = t.jobs
+let fp_task = Faultpoint.site "pool.task"
 
 (* Workers loop forever: run whatever is queued, sleep when idle, exit on
    shutdown.  Tasks never raise — [map] wraps user functions so failures
@@ -67,7 +68,16 @@ let map t f xs =
              per-tid lanes show worker utilization directly *)
           Telemetry.begin_span ~cat:"pool" "task";
           let r =
-            try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+            (* the fault point is inside the capture: an injected failure
+               is recorded into the result slot and surfaces through the
+               deterministic earliest-index propagation, exactly like a
+               real task failure.  The site is unscoped and hit from
+               whichever domain runs the task, so it is a diagnostic
+               site — jobs-invariance is not claimed for it. *)
+            try
+              Faultpoint.hit_unit fp_task;
+              Ok (f items.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
           in
           Telemetry.end_span "task";
           Mutex.lock t.lock;

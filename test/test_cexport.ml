@@ -112,7 +112,7 @@ let run_openmp compiler bm =
       let info = Dca_analysis.Proginfo.analyze prog in
       let profile = Dca_profiling.Depprof.profile_program ~input:bm.Benchmark.bm_input info in
       let spec =
-        { Dca_core.Commutativity.rs_input = bm.Benchmark.bm_input; rs_fuel = 200_000_000 }
+        Dca_core.Commutativity.make_run_spec ~fuel:200_000_000 bm.Benchmark.bm_input
       in
       let results = Dca_core.Driver.analyze_program ~spec info in
       let plan =

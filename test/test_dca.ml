@@ -18,6 +18,7 @@ let check_verdict name expected (r : Driver.loop_result) =
     | Driver.Untestable _ -> "untestable"
     | Driver.Rejected _ -> "rejected"
     | Driver.Subsumed _ -> "subsumed"
+    | Driver.Aborted _ -> "aborted"
   in
   Alcotest.(check string)
     (Printf.sprintf "%s (%s: %s)" name r.Driver.lr_label
@@ -559,7 +560,7 @@ let test_multi_input_refutes () =
   let fi = Proginfo.func_info info "main" in
   let loop = List.hd (Loops.loops fi.Proginfo.fi_forest) in
   let sep = Iterator_rec.separate fi loop in
-  let spec input = { Commutativity.rs_input = input; rs_fuel = 50_000_000 } in
+  let spec input = Commutativity.make_run_spec ~fuel:50_000_000 input in
   let benign = Commutativity.test_loop Commutativity.default_config info (spec [ 0 ]) fi sep in
   let hostile = Commutativity.test_loop Commutativity.default_config info (spec [ 1 ]) fi sep in
   Alcotest.(check bool) "benign input: commutative" true

@@ -330,6 +330,7 @@ let test_corpus_replay () =
             | Some (Driver.Untestable m) -> "untestable: " ^ m
             | Some (Driver.Rejected _) -> "rejected"
             | Some (Driver.Subsumed _) -> "subsumed"
+            | Some (Driver.Aborted _) -> "aborted"
             | None -> "missing"))
     files
 

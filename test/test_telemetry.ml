@@ -131,6 +131,49 @@ let test_work_counters_checkpoint_invariant () =
   let deep = work_snapshot ~checkpoint:"deep" bm 2 in
   check_snapshots "DC: work counters journal vs deep" journal deep
 
+(* The fault-isolation counters (dca.aborted, dca.retries,
+   dca.deadline-hits, dca.faults-injected) are work counters too: they
+   are ticked once per loop at the containment boundary, so an armed,
+   loop-scoped fault plan must produce bit-identical totals at any job
+   count. *)
+let test_fault_counters_jobs_invariant () =
+  let module FP = Dca_support.Faultpoint in
+  let bm = Dca_progs.Registry.find_exn "DC" in
+  (* discover a victim label from a fault-free sequential run *)
+  let victim =
+    Session.with_session ~jobs:1 ~config:light_config (Session.Benchmark bm) (fun s ->
+        match
+          List.filter_map
+            (fun (r : Dca_core.Driver.loop_result) ->
+              if r.Dca_core.Driver.lr_outcome <> None then Some r.Dca_core.Driver.lr_label
+              else None)
+            (Session.dca_results s)
+        with
+        | v :: _ -> v
+        | [] -> Alcotest.fail "DC has no tested loop")
+  in
+  Fun.protect ~finally:FP.disarm (fun () ->
+      FP.arm
+        [
+          {
+            FP.sp_site = "driver.loop";
+            sp_ctx = Some victim;
+            sp_nth = 1;
+            sp_repeat = false;
+            sp_action = FP.Raise;
+          };
+        ];
+      let snapshot jobs =
+        FP.reset_hits ();
+        work_snapshot bm jobs
+      in
+      let seq = snapshot 1 in
+      let par = snapshot 4 in
+      check_snapshots "DC under a victim fault: jobs=1 vs jobs=4" seq par;
+      let v name = try List.assoc name seq with Not_found -> 0 in
+      Alcotest.(check int) "exactly one loop aborted" 1 (v "dca.aborted");
+      Alcotest.(check int) "the abort is attributed to the injection" 1 (v "dca.faults-injected"))
+
 (* ------------------------------------------------------------------ *)
 (* Span balance and the trace sinks                                    *)
 (* ------------------------------------------------------------------ *)
@@ -261,6 +304,8 @@ let suites =
         Alcotest.test_case "work counters: jobs=1 = jobs=4" `Quick test_work_counters_jobs_invariant;
         Alcotest.test_case "work counters: journal = deep" `Quick
           test_work_counters_checkpoint_invariant;
+        Alcotest.test_case "fault counters: jobs=1 = jobs=4" `Quick
+          test_fault_counters_jobs_invariant;
         Alcotest.test_case "analysis trace is balanced per domain" `Quick
           test_analysis_trace_balanced;
         Alcotest.test_case "chrome trace sink" `Quick test_chrome_trace_file;
