@@ -92,7 +92,8 @@ let bechamel_tests () =
       Dca_interp.Eval.run_main ctx
   in
   let dca_detect () =
-    Dca_core.Session.with_session ~jobs:1
+    Dca_core.Session.with_session
+      ~options:Dca_core.Session.Options.(default |> with_jobs 1)
       (Dca_core.Session.Source { file = "<bench>"; source = quickstart_src; input = [] })
       (fun s -> ignore (Dca_core.Session.dca_results s))
   in
@@ -143,8 +144,9 @@ let run_jobs () =
      fans out.  Reports must be bit-identical across jobs. *)
   let bm = Dca_progs.Registry.find_exn "LU" in
   let analyze jobs =
-    Dca_core.Session.with_session ~jobs (Dca_core.Session.Benchmark bm)
-      Dca_core.Session.report
+    Dca_core.Session.with_session
+      ~options:Dca_core.Session.Options.(default |> with_jobs jobs)
+      (Dca_core.Session.Benchmark bm) Dca_core.Session.report
   in
   let time jobs =
     let t0 = Telemetry.now_ns () in
@@ -236,14 +238,15 @@ let run_interp () =
      this harness is an analysis change, not noise *)
   List.iter
     (fun bm ->
+      let seq_opts = Dca_core.Session.Options.(default |> with_jobs 1) in
       let ns =
         sample_ns ~reps:reps_dca (fun () ->
-            Dca_core.Session.with_session ~jobs:1 (Dca_core.Session.Benchmark bm) (fun s ->
-                ignore (Dca_core.Session.dca_results s)))
+            Dca_core.Session.with_session ~options:seq_opts (Dca_core.Session.Benchmark bm)
+              (fun s -> ignore (Dca_core.Session.dca_results s)))
       in
       push (Printf.sprintf "dca_dynamic_%s_ns" bm.Benchmark.bm_name) ns;
       let counters =
-        Dca_core.Session.with_session ~jobs:1 (Dca_core.Session.Benchmark bm) (fun s ->
+        Dca_core.Session.with_session ~options:seq_opts (Dca_core.Session.Benchmark bm) (fun s ->
             Dca_core.Report.counters (Dca_core.Session.dca_results s))
       in
       List.iter
@@ -265,6 +268,84 @@ let run_interp () =
   close_out oc;
   Printf.printf "  wrote BENCH_interp.json\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* Serve daemon: verdict-cache cold vs warm (BENCH_serve.json)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the serve engine in-process (no socket: the cache, not the
+   transport, is what is being measured).  Three paths on LU:
+     cold        — empty cache, every loop pays the dynamic stage
+     warm        — same engine again, every loop from the in-memory LRU
+     disk-warm   — a fresh engine over the same cache directory, every
+                   loop promoted from disk (a daemon restart)
+   The warm and disk-warm reports must be byte-identical to the cold
+   one — the deterministic-merge guarantee extended across the cache. *)
+let run_serve () =
+  section "Serve daemon: verdict-cache cold vs warm";
+  let open Dca_serve in
+  let dir = Filename.temp_file "dca-bench-cache" "" in
+  Sys.remove dir;
+  let rq =
+    {
+      Protocol.default_request with
+      Protocol.rq_op = Protocol.Analyze;
+      rq_program = Some (Protocol.Named "LU");
+      rq_jobs = Some 2;
+    }
+  in
+  let analyze engine =
+    let t0 = Telemetry.now_ns () in
+    match Engine.handle engine { rq with Protocol.rq_id = Telemetry.now_ns () land 0xffff } with
+    | { Protocol.rp_ok = true; rp_report = Some report; rp_hits; rp_misses; _ } ->
+        (float_of_int (Telemetry.now_ns () - t0), report, rp_hits, rp_misses)
+    | { Protocol.rp_error; _ } ->
+        failwith ("serve bench: " ^ Option.value rp_error ~default:"analyze failed")
+  in
+  let engine = Engine.create ~cache_dir:dir ~jobs:2 () in
+  let cold_ns, cold_report, _, cold_misses = analyze engine in
+  let reps = if smoke then 3 else 10 in
+  let warm = Array.init reps (fun _ -> analyze engine) in
+  let warm_ns = median (Array.map (fun (ns, _, _, _) -> ns) warm) in
+  let warm_identical =
+    Array.for_all (fun (_, r, _, _) -> String.equal r cold_report) warm
+  in
+  let warm_hits = match warm.(0) with _, _, h, _ -> h in
+  Engine.close engine;
+  (* daemon restart: a fresh engine, cache served from disk *)
+  let engine2 = Engine.create ~cache_dir:dir ~jobs:2 () in
+  let disk_ns, disk_report, disk_hits, _ = analyze engine2 in
+  Engine.close engine2;
+  let entries =
+    [
+      ("serve_cold_LU_ns", cold_ns);
+      ("serve_warm_LU_ns", warm_ns);
+      ("serve_disk_warm_LU_ns", disk_ns);
+      ("serve_warm_speedup", cold_ns /. warm_ns);
+      ("serve_disk_warm_speedup", cold_ns /. disk_ns);
+      ("serve_cold_misses", float_of_int cold_misses);
+      ("serve_warm_hits", float_of_int warm_hits);
+      ("serve_disk_warm_hits", float_of_int disk_hits);
+      ("serve_warm_report_identical", if warm_identical then 1.0 else 0.0);
+      ( "serve_disk_report_identical",
+        if String.equal disk_report cold_report then 1.0 else 0.0 );
+    ]
+  in
+  List.iter (fun (name, v) -> Printf.printf "  %-30s %14.0f\n%!" name v) entries;
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc "{\n";
+  let rec emit = function
+    | [] -> ()
+    | (name, v) :: rest ->
+        Printf.fprintf oc "  %S: %.0f%s\n" name v (if rest = [] then "" else ",");
+        emit rest
+  in
+  emit entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_serve.json (warm %.0fx, disk-warm %.0fx, identical: %b)\n%!"
+    (cold_ns /. warm_ns) (cold_ns /. disk_ns)
+    (warm_identical && String.equal disk_report cold_report)
+
 let targets =
   [
     ("table1", run_table1);
@@ -278,6 +359,7 @@ let targets =
     ("perf", run_perf);
     ("interp", run_interp);
     ("jobs", run_jobs);
+    ("serve", run_serve);
   ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) targets

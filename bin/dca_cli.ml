@@ -19,20 +19,29 @@ module Session = Dca_core.Session
 module Telemetry = Dca_support.Telemetry
 module Faultpoint = Dca_support.Faultpoint
 
-(* Open a session for PROG and run [f] on it, mapping the standard failure
-   modes to exit codes.  [trace]/[stats] layer the command-line telemetry
-   flags over whatever DCA_TRACE / DCA_STATS configured; the sinks are
-   flushed on every exit path so a trace survives a trap. *)
-let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) ?faults ?deadline_ms
-    ?heap_words prog f =
+(* The flags shared by every command: pool width, telemetry sinks, fault
+   plan, per-invocation resource budgets.  One record, one cmdliner term
+   ([common_term] below), consumed everywhere — a flag added here reaches
+   analyze, batch, fuzz, serve and client alike. *)
+type common = {
+  co_jobs : int option;
+  co_trace : string option;
+  co_stats : bool;
+  co_faults : string option;
+  co_deadline_ms : int option;
+  co_heap_words : int option;
+}
+
+(* Side effects of the common flags: arm telemetry and the fault plan.
+   [--faults] replaces whatever DCA_FAULTS would have armed; a malformed
+   plan raises Faultpoint.Bad_plan, mapped to a usage error at top
+   level.  [--trace]/[--stats] layer over DCA_TRACE / DCA_STATS. *)
+let apply_common co =
   Telemetry.init_from_env ();
-  (* --faults replaces whatever DCA_FAULTS would have armed; a malformed
-     plan raises Faultpoint.Bad_plan, mapped to a usage error at top
-     level *)
-  (match faults with Some plan -> Faultpoint.arm_string plan | None -> ());
-  (match (trace, stats) with
+  (match co.co_faults with Some plan -> Faultpoint.arm_string plan | None -> ());
+  match (co.co_trace, co.co_stats) with
   | None, false -> ()
-  | _ ->
+  | trace, stats ->
       let cur = Telemetry.config () in
       let is_jsonl f = Filename.check_suffix f ".jsonl" in
       Telemetry.configure
@@ -41,8 +50,23 @@ let with_session ?config ?spec ?hierarchical ?jobs ?trace ?(stats = false) ?faul
             (match trace with Some f when not (is_jsonl f) -> Some f | _ -> cur.Telemetry.cfg_trace);
           cfg_jsonl = (match trace with Some f when is_jsonl f -> Some f | _ -> cur.Telemetry.cfg_jsonl);
           cfg_stats = stats || cur.Telemetry.cfg_stats;
-        });
-  match Session.load ?config ?spec ?deadline_ms ?heap_words ?hierarchical ?jobs prog with
+        }
+
+(* Fold the session-relevant common flags into an Options value. *)
+let options_of_common ?(base = Session.Options.default) co =
+  let set v f o = match v with None -> o | Some v -> f v o in
+  base
+  |> set co.co_jobs Session.Options.with_jobs
+  |> set co.co_deadline_ms Session.Options.with_deadline_ms
+  |> set co.co_heap_words Session.Options.with_heap_words
+
+(* Open a session for PROG and run [f] on it, mapping the standard failure
+   modes to exit codes.  The telemetry sinks are flushed on every exit
+   path so a trace survives a trap. *)
+let with_session ?(options = Session.Options.default) common prog f =
+  apply_common common;
+  let options = options_of_common ~base:options common in
+  match Session.load ~options prog with
   | Error msg ->
       Printf.eprintf "dca: %s\n" msg;
       1
@@ -120,6 +144,12 @@ let heap_arg =
   in
   Arg.(value & opt (some int) None & info [ "heap-words" ] ~docv:"W" ~doc)
 
+let common_term =
+  let mk co_jobs co_trace co_stats co_faults co_deadline_ms co_heap_words =
+    { co_jobs; co_trace; co_stats; co_faults; co_deadline_ms; co_heap_words }
+  in
+  Term.(const mk $ jobs_arg $ trace_arg $ stats_arg $ faults_arg $ deadline_arg $ heap_arg)
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -139,22 +169,23 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run prog =
-    with_session prog (fun s ->
+  let run prog common =
+    with_session common prog (fun s ->
         let ctx = Dca_interp.Eval.create ~input:(Session.input s) (Session.ir s) in
         Dca_interp.Eval.run_main ctx;
         List.iter print_endline (Dca_interp.Eval.outputs ctx);
         Printf.printf "(%d instructions executed)\n" (Dca_interp.Eval.steps ctx))
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a MiniC program on the interpreter")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 let ir_cmd =
-  let run prog =
-    with_session prog (fun s -> print_string (Dca_ir.Ir_printer.program_to_string (Session.ir s)))
+  let run prog common =
+    with_session common prog (fun s ->
+        print_string (Dca_ir.Ir_printer.program_to_string (Session.ir s)))
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the lowered intermediate representation")
-    Term.(const run $ prog_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 let shuffles_arg =
   Arg.(value & opt int 3 & info [ "shuffles" ] ~docv:"N" ~doc:"Number of random shuffles to test.")
@@ -174,7 +205,7 @@ let hierarchical_arg =
            commutative.")
 
 let analyze_cmd =
-  let run prog shuffles no_escalate hierarchical jobs trace stats faults deadline_ms heap_words =
+  let run prog shuffles no_escalate hierarchical common =
     let config =
       {
         Dca_core.Commutativity.default_config with
@@ -182,19 +213,20 @@ let analyze_cmd =
         cc_escalate = not no_escalate;
       }
     in
-    with_session ~config ~hierarchical ?jobs ?trace ~stats ?faults ?deadline_ms ?heap_words prog
-      (fun s -> print_string (Session.report s))
+    let options =
+      Session.Options.(default |> with_config config |> with_hierarchical hierarchical)
+    in
+    with_session ~options common prog (fun s -> print_string (Session.report s))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run Dynamic Commutativity Analysis on every loop of the program")
     Term.(
-      const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ jobs_arg $ trace_arg
-      $ stats_arg $ faults_arg $ deadline_arg $ heap_arg)
+      const run $ prog_arg $ shuffles_arg $ no_escalate_arg $ hierarchical_arg $ common_term)
 
 let tools_cmd =
-  let run prog jobs trace stats =
-    with_session ?jobs ?trace ~stats prog (fun s ->
+  let run prog common =
+    with_session common prog (fun s ->
         let info = Session.proginfo s in
         let profile = Session.profile s in
         let dca = Session.dca_results s in
@@ -224,14 +256,14 @@ let tools_cmd =
   in
   Cmd.v
     (Cmd.info "tools" ~doc:"Compare the five baseline detectors and DCA, loop by loop")
-    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 let workers_arg =
   Arg.(value & opt int 72 & info [ "workers" ] ~docv:"P" ~doc:"Simulated worker count.")
 
 let speedup_cmd =
-  let run prog workers jobs trace stats =
-    with_session ?jobs ?trace ~stats prog (fun s ->
+  let run prog workers common =
+    with_session common prog (fun s ->
         let machine = Dca_parallel.Machine.with_workers Dca_parallel.Machine.default workers in
         let plan = Session.plan ~machine s in
         let result = Dca_parallel.Speedup.simulate ~machine (Session.proginfo s) (Session.profile s) plan in
@@ -249,11 +281,11 @@ let speedup_cmd =
   Cmd.v
     (Cmd.info "speedup"
        ~doc:"Parallelize the DCA-commutative loops and report the simulated speedup")
-    Term.(const run $ prog_arg $ workers_arg $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ prog_arg $ workers_arg $ common_term)
 
 let advise_cmd =
-  let run prog jobs trace stats =
-    with_session ?jobs ?trace ~stats prog (fun s ->
+  let run prog common =
+    with_session common prog (fun s ->
         print_string (Dca_core.Advisor.report (Session.advise s)))
   in
   Cmd.v
@@ -261,11 +293,11 @@ let advise_cmd =
        ~doc:
          "Full parallelism advisory: per loop, whether to parallelize (and with which OpenMP \
           clauses), leave serial, or keep sequential — with the evidence")
-    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 let annotate_cmd =
-  let run prog jobs trace stats =
-    with_session ?jobs ?trace ~stats prog (fun s ->
+  let run prog common =
+    with_session common prog (fun s ->
         print_string
           (Dca_parallel.Codegen.annotate_source (Session.proginfo s) ~source:(Session.source s)
              (Session.plan s)))
@@ -273,11 +305,11 @@ let annotate_cmd =
   Cmd.v
     (Cmd.info "annotate"
        ~doc:"Emit the source with OpenMP-style pragmas inserted above every loop DCA parallelizes")
-    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 let export_c_cmd =
-  let run prog jobs trace stats =
-    with_session ?jobs ?trace ~stats prog (fun s ->
+  let run prog common =
+    with_session common prog (fun s ->
         let info = Session.proginfo s in
         let plan = Session.plan s in
         let ast = Dca_frontend.Parser.parse_program ~file:(Session.file s) (Session.source s) in
@@ -318,7 +350,7 @@ let export_c_cmd =
        ~doc:
          "Export the program as compilable C99 with real OpenMP pragmas on every loop DCA \
           parallelizes (build with: cc -fopenmp prog.c -lm)")
-    Term.(const run $ prog_arg $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ prog_arg $ common_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -347,9 +379,9 @@ let batch_cmd =
             "Analyze every program even after failures; the exit code then reflects only whether \
              any program $(i,crashed).")
   in
-  let run dir registry keep_going jobs faults deadline_ms heap_words =
-    Telemetry.init_from_env ();
-    (match faults with Some plan -> Faultpoint.arm_string plan | None -> ());
+  let run dir registry keep_going common =
+    apply_common common;
+    let options = options_of_common common in
     let dir_programs =
       match dir with
       | None -> Ok []
@@ -362,7 +394,8 @@ let batch_cmd =
               |> List.map (Filename.concat d))
           else Error (Printf.sprintf "'%s' is not a directory" (Option.value dir ~default:""))
     in
-    match dir_programs with
+    let code =
+      match dir_programs with
     | Error msg ->
         Printf.eprintf "dca batch: %s\n" msg;
         2
@@ -383,7 +416,7 @@ let batch_cmd =
               (* re-zero the plan's hit counters so a one-shot fault
                  applies to every program independently *)
               Faultpoint.reset_hits ();
-              match Session.load ?jobs ?deadline_ms ?heap_words prog with
+              match Session.load ~options prog with
               | Error msg -> `Error msg
               | Ok s -> (
                   Fun.protect
@@ -450,15 +483,16 @@ let batch_cmd =
               (!ok + !errors + !crashed) !ok !errors !crashed
               (if !stopped then " (stopped at first failure; use --keep-going)" else "");
             if !crashed > 0 then 1 else if !stopped then 1 else 0)
+    in
+    Telemetry.flush ();
+    code
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Analyze every .mc program of a directory (and/or every built-in benchmark) with per-loop \
           crash containment; exit 0 only if no program crashed")
-    Term.(
-      const run $ dir_arg $ registry_arg $ keep_going_arg $ jobs_arg $ faults_arg $ deadline_arg
-      $ heap_arg)
+    Term.(const run $ dir_arg $ registry_arg $ keep_going_arg $ common_term)
 
 (* Exit-code contract: 0 = clean run, 1 = soundness violation found,
    2 = usage error.  cmdliner reports its own parse failures as 124, so
@@ -504,7 +538,7 @@ let fuzz_cmd =
              one-shot crash scoped to that loop's test and assert containment: the victim must \
              abort, every other loop's verdict must be byte-identical.")
   in
-  let run seed count max_iters jobs corpus no_metamorphic no_shrink fault_mode =
+  let run seed count max_iters corpus no_metamorphic no_shrink fault_mode common =
     if count < 0 then begin
       Printf.eprintf "dca fuzz: --count must be non-negative (got %d)\n" count;
       2
@@ -514,18 +548,19 @@ let fuzz_cmd =
         max_iters;
       2
     end
-    else if match jobs with Some j when j < 1 -> true | _ -> false then begin
+    else if match common.co_jobs with Some j when j < 1 -> true | _ -> false then begin
       Printf.eprintf "dca fuzz: --jobs must be positive\n";
       2
     end
     else begin
+      apply_common common;
       let cfg =
         {
           Dca_gen.Fuzz_driver.default_config with
           Dca_gen.Fuzz_driver.fz_seed = seed;
           fz_count = count;
           fz_max_iters = max_iters;
-          fz_jobs = Option.value jobs ~default:1;
+          fz_jobs = Option.value common.co_jobs ~default:1;
           fz_metamorphic = not no_metamorphic;
           fz_fault_mode = fault_mode;
           fz_shrink = not no_shrink;
@@ -534,6 +569,7 @@ let fuzz_cmd =
       in
       let result = Dca_gen.Fuzz_driver.run cfg in
       print_string result.Dca_gen.Fuzz_driver.r_report;
+      Telemetry.flush ();
       if result.Dca_gen.Fuzz_driver.r_violations = [] then 0 else 1
     end
   in
@@ -543,8 +579,179 @@ let fuzz_cmd =
          "Differential fuzzing: generate random loop programs, decide ground-truth commutativity \
           with an exhaustive permutation oracle, and cross-check the DCA verdicts both ways")
     Term.(
-      const run $ seed_arg $ count_arg $ max_iters_arg $ jobs_arg $ corpus_arg $ no_metamorphic_arg
-      $ no_shrink_arg $ fault_mode_arg)
+      const run $ seed_arg $ count_arg $ max_iters_arg $ corpus_arg $ no_metamorphic_arg
+      $ no_shrink_arg $ fault_mode_arg $ common_term)
+
+(* ------------------------------------------------------------------ *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "dca-serve.sock"
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH" ~doc)
+
+(* dca serve: the persistent analysis daemon.  The common flags apply
+   daemon-wide: --jobs is the default pool width for requests that do not
+   set their own, --trace/--stats instrument the whole serving run,
+   --faults arms a daemon-wide plan (a request's own plan replaces it for
+   that request and disarms it after). *)
+let serve_cmd =
+  let cache_dir_arg =
+    let doc =
+      "Directory for the persistent verdict-cache level (created if missing).  Without it the \
+       cache is in-memory only and dies with the daemon."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"In-memory verdict-cache entries (default 4096).")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Warm sessions kept alive across requests (LRU-evicted beyond $(docv)).")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Append one JSONL record per request: op, program, status, hits, elapsed time.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after serving $(docv) requests (tests and smoke runs).")
+  in
+  let run socket cache_dir cache_capacity sessions access_log max_requests common =
+    apply_common common;
+    let cfg =
+      {
+        Dca_serve.Server.sv_socket = socket;
+        sv_cache_dir = cache_dir;
+        sv_cache_capacity = cache_capacity;
+        sv_sessions = sessions;
+        sv_jobs = common.co_jobs;
+        sv_access_log = access_log;
+        sv_max_requests = max_requests;
+      }
+    in
+    match Dca_serve.Server.run cfg with
+    | served ->
+        Printf.eprintf "dca serve: served %d request(s)\n" served;
+        Telemetry.flush ();
+        0
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "dca serve: cannot listen on %s: %s\n" socket (Unix.error_message err);
+        1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: JSON-lines requests over a Unix-domain socket, \
+          answered from a content-addressed verdict cache when the program has not changed")
+    Term.(
+      const run $ socket_arg $ cache_dir_arg $ cache_capacity_arg $ sessions_arg $ access_log_arg
+      $ max_requests_arg $ common_term)
+
+(* dca client: one request against a running daemon.  The session-shaped
+   common flags travel in the request (--jobs, --deadline-ms,
+   --heap-words, --faults scope to this request on the server); --trace
+   and --stats instrument the client process itself. *)
+let client_cmd =
+  let op_arg =
+    let doc = "One of $(b,analyze), $(b,ping), $(b,stats), $(b,shutdown)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let prog_opt_arg =
+    let doc = "Program for $(b,analyze): a .mc file or a built-in benchmark name." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"PROG" ~doc)
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Bypass the verdict cache for this request (the fresh result is still stored).")
+  in
+  let run socket op prog shuffles no_escalate hierarchical no_cache common =
+    apply_common common;
+    match Dca_serve.Protocol.op_of_string op with
+    | None ->
+        Printf.eprintf "dca client: unknown op '%s' (expected analyze|ping|stats|shutdown)\n" op;
+        2
+    | Some rq_op -> (
+        let rq_program =
+          match (rq_op, prog) with
+          | Dca_serve.Protocol.Analyze, Some p ->
+              (* ship local .mc files inline so the daemon needs no
+                 filesystem agreement with the client *)
+              if Sys.file_exists p && not (Sys.is_directory p) then
+                let ic = open_in_bin p in
+                let source =
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                Some (Dca_serve.Protocol.Inline { file = p; source; input = [] })
+              else Some (Dca_serve.Protocol.Named p)
+          | _ -> None
+        in
+        if rq_op = Dca_serve.Protocol.Analyze && rq_program = None then begin
+          Printf.eprintf "dca client: analyze needs a PROG argument\n";
+          2
+        end
+        else
+          let rq =
+            {
+              Dca_serve.Protocol.rq_id = Unix.getpid ();
+              rq_op;
+              rq_program;
+              rq_jobs = common.co_jobs;
+              rq_shuffles = Some shuffles;
+              rq_hierarchical = hierarchical;
+              rq_no_escalate = no_escalate;
+              rq_deadline_ms = common.co_deadline_ms;
+              rq_heap_words = common.co_heap_words;
+              rq_faults = common.co_faults;
+              rq_no_cache = no_cache;
+            }
+          in
+          match Dca_serve.Client.with_client socket (fun c -> Dca_serve.Client.request c rq) with
+          | Error msg ->
+              Printf.eprintf "dca client: %s\n" msg;
+              1
+          | Ok rp ->
+              let open Dca_serve.Protocol in
+              if not rp.rp_ok then begin
+                Printf.eprintf "dca client: server error: %s\n"
+                  (Option.value rp.rp_error ~default:"unknown");
+                1
+              end
+              else begin
+                (match rp.rp_report with Some report -> print_string report | None -> ());
+                List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) rp.rp_counters;
+                if rp.rp_loops <> [] then
+                  Printf.eprintf "dca client: %d loop(s), %d from cache, %d computed, %.1f ms\n"
+                    (List.length rp.rp_loops) rp.rp_hits rp.rp_misses
+                    (float_of_int rp.rp_elapsed_ns /. 1e6);
+                Telemetry.flush ();
+                0
+              end)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,dca serve) daemon and print the reply (the report of \
+          $(b,analyze) is byte-identical to running $(b,dca analyze) locally)")
+    Term.(
+      const run $ socket_arg $ op_arg $ prog_opt_arg $ shuffles_arg $ no_escalate_arg
+      $ hierarchical_arg $ no_cache_arg $ common_term)
 
 (* Top-level exit-code contract: 0 = success, 1 = analysis/program
    failure, 2 = usage error (including a malformed fault plan), 3 =
@@ -571,6 +778,8 @@ let () =
              annotate_cmd;
              export_c_cmd;
              fuzz_cmd;
+             serve_cmd;
+             client_cmd;
            ])
     with
     | Faultpoint.Bad_plan msg ->

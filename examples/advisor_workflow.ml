@@ -73,7 +73,8 @@ let () =
   (* The whole advisory rides on one Session: detection, profiling and
      planning are memoized stages, so each is computed exactly once no
      matter how many products below consume it. *)
-  Dca_core.Session.with_session ~jobs:1 ~hierarchical:true
+  Dca_core.Session.with_session
+    ~options:Dca_core.Session.Options.(default |> with_jobs 1 |> with_hierarchical true)
     (Dca_core.Session.Source { file = "advisor.mc"; source; input = [] })
   @@ fun session ->
   (* 1. hierarchical detection *)

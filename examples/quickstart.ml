@@ -47,10 +47,12 @@ let () =
   print_endline "=== DCA quickstart: the paper's Fig. 1 ===\n";
 
   (* One Session is the whole pipeline: every stage (ir, proginfo, profile,
-     dca_results, plan) is computed on first access and memoized.  [jobs]
-     picks the worker-pool width for the dynamic stage; results are
-     bit-identical for every value, so examples default to 1. *)
-  Dca_core.Session.with_session ~jobs:1
+     dca_results, plan) is computed on first access and memoized.  All
+     knobs live in one Options record; [with_jobs] picks the worker-pool
+     width for the dynamic stage, and results are bit-identical for every
+     value, so examples default to 1. *)
+  Dca_core.Session.with_session
+    ~options:Dca_core.Session.Options.(default |> with_jobs 1)
     (Dca_core.Session.Source { file = "quickstart.mc"; source; input = [] })
   @@ fun session ->
   (* 1. Compile: parse, type-check, lower to the IR. *)

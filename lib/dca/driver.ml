@@ -80,7 +80,7 @@ let escalate_spec (spec : Commutativity.run_spec) =
   }
 
 let analyze_program ?(config = Commutativity.default_config)
-    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?pool info =
+    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?pool ?lookup info =
   (* loops arrive outermost-first within each function, so a commutative
      ancestor is always decided before its descendants *)
   let commutative_ancestors : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -162,6 +162,17 @@ let analyze_program ?(config = Commutativity.default_config)
         | _ -> ());
         { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = outcome })
   in
+  (* A cache front end resolves a loop before any work is queued for it.
+     The lookup must be pure and domain-safe (it runs inside pool tasks);
+     the serve engine passes a closed-over, read-only table.  A resolved
+     result short-circuits [examine_and_test] entirely, so none of the
+     per-loop work counters tick for it — cache hits are visible as
+     missing [dca.*] work, which the invalidation tests rely on. *)
+  let resolve ((fi, loop) as fl) =
+    match lookup with
+    | None -> examine_and_test fl
+    | Some find -> ( match find fi loop with Some r -> r | None -> examine_and_test fl)
+  in
   let note_commutative r =
     match r.lr_decision with
     | Commutative -> Hashtbl.replace commutative_ancestors r.lr_loop.Loops.l_id ()
@@ -173,7 +184,7 @@ let analyze_program ?(config = Commutativity.default_config)
       if not hierarchical then
         (* every loop's test is independent: one pool task per loop,
            results collected in program order *)
-        Pool.map p examine_and_test loops
+        Pool.map p resolve loops
       else begin
         (* Hierarchical mode tests in waves of equal nesting depth.  A
            loop's only inter-loop dependence is on its ancestors (all of
@@ -207,7 +218,7 @@ let analyze_program ?(config = Commutativity.default_config)
                   | None -> true)
                 wave
             in
-            let tested = Pool.map p (fun (_, fl) -> examine_and_test fl) to_test in
+            let tested = Pool.map p (fun (_, fl) -> resolve fl) to_test in
             List.iter2
               (fun (i, _) r ->
                 note_commutative r;
@@ -229,7 +240,7 @@ let analyze_program ?(config = Commutativity.default_config)
                 lr_outcome = None;
               }
           | None ->
-              let r = examine_and_test (fi, loop) in
+              let r = resolve (fi, loop) in
               note_commutative r;
               r)
         loops

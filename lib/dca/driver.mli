@@ -41,9 +41,19 @@ val analyze_program :
   ?spec:Commutativity.run_spec ->
   ?hierarchical:bool ->
   ?pool:Dca_support.Pool.t ->
+  ?lookup:(Dca_analysis.Proginfo.func_info -> Dca_analysis.Loops.loop -> loop_result option) ->
   Dca_analysis.Proginfo.t ->
   loop_result list
 (** Results in program order (function order, then outermost-first).
+
+    [?lookup] lets a cache front end (the serve daemon's verdict cache)
+    resolve a loop without testing it: consulted before any per-loop work
+    is queued, a [Some result] is used verbatim — it participates in
+    hierarchical subsumption like a freshly computed verdict but ticks no
+    work counters.  The function must be pure and safe to call from
+    worker domains.  Subsumption is decided {e before} the lookup, so a
+    cached verdict never resurrects a loop the sequential engine would
+    have skipped.
     With [~hierarchical:true] (default [false]), loops nested inside a
     loop already found commutative are not tested and come back
     [Subsumed] — the paper's top-down exploration, which saves dynamic

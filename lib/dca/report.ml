@@ -3,6 +3,10 @@
 
 open Dca_analysis
 
+type provenance = Dynamic | Static
+
+let provenance_to_string = function Dynamic -> "dynamic" | Static -> "static"
+
 let summary_line (r : Driver.loop_result) =
   let extra =
     match r.Driver.lr_outcome with

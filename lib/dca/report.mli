@@ -1,6 +1,19 @@
 (** Human-readable reports of DCA results (the "auxiliary reports" of
     paper §IV-A4). *)
 
+type provenance = Dynamic | Static
+(** How a verdict was established.  [Dynamic] — the record/replay stage
+    of this reproduction actually ran (today's only producer).  [Static]
+    is reserved for the planned static fast-path (affine
+    dependence-distance and DILD-step proofs, see ROADMAP): a verdict
+    proved without running.  The serve daemon's verdict cache stores a
+    provenance with every entry, so statically-proved verdicts will slot
+    in beside dynamic ones without a cache-format change.  Provenance is
+    metadata — it never appears in {!to_string} output, which must stay
+    byte-identical between a cached and a freshly computed result. *)
+
+val provenance_to_string : provenance -> string
+
 val summary_line : Driver.loop_result -> string
 (** One line per loop: label, depth, decision, and the tested-invocation
     annotation for loops that reached the dynamic stage. *)

@@ -4,15 +4,94 @@ type origin =
   | Source of { file : string; source : string; input : int list }
   | Benchmark of Dca_progs.Benchmark.t
 
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Options = struct
+  type t = {
+    jobs : int option;
+    config : Commutativity.config option;
+    spec : Commutativity.run_spec option;
+    deadline_ms : int option;
+    heap_words : int option;
+    hierarchical : bool;
+  }
+
+  let default =
+    {
+      jobs = None;
+      config = None;
+      spec = None;
+      deadline_ms = None;
+      heap_words = None;
+      hierarchical = false;
+    }
+
+  let with_jobs jobs t = { t with jobs = Some jobs }
+  let with_config config t = { t with config = Some config }
+  let with_spec spec t = { t with spec = Some spec }
+  let with_deadline_ms ms t = { t with deadline_ms = Some ms }
+  let with_heap_words w t = { t with heap_words = Some w }
+  let with_hierarchical h t = { t with hierarchical = h }
+
+  (* A short deterministic signature of everything that can change an
+     analysis result — what a server may key warm-session reuse on.
+     [jobs] is deliberately included (it selects the pool width of the
+     session) even though results are bit-identical across values. *)
+  let signature t =
+    let schedules c =
+      String.concat "," (List.map Schedule.to_string c.Commutativity.cc_schedules)
+    in
+    let opt f = function None -> "-" | Some v -> f v in
+    String.concat ";"
+      [
+        opt string_of_int t.jobs;
+        opt
+          (fun c ->
+            Printf.sprintf "%s|%g|%b|%d|%d" (schedules c) c.Commutativity.cc_eps
+              c.Commutativity.cc_escalate c.Commutativity.cc_max_invocations
+              c.Commutativity.cc_promote_rounds)
+          t.config;
+        opt
+          (fun s ->
+            Printf.sprintf "%s|%d|%s|%s"
+              (String.concat "," (List.map string_of_int s.Commutativity.rs_input))
+              s.Commutativity.rs_fuel
+              (opt string_of_int s.Commutativity.rs_deadline_ns)
+              (opt string_of_int s.Commutativity.rs_heap_words))
+          t.spec;
+        opt string_of_int t.deadline_ms;
+        opt string_of_int t.heap_words;
+        string_of_bool t.hierarchical;
+      ]
+end
+
+(* Fold the deprecated per-field optional arguments over an [Options.t]
+   base: an explicitly passed legacy argument wins over the corresponding
+   options field, so pre-Options embedder code behaves exactly as before. *)
+let fold_legacy ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical options =
+  let base = Option.value options ~default:Options.default in
+  let set v f base = match v with None -> base | Some v -> f v base in
+  base
+  |> set jobs Options.with_jobs
+  |> set config Options.with_config
+  |> set spec Options.with_spec
+  |> set deadline_ms Options.with_deadline_ms
+  |> set heap_words Options.with_heap_words
+  |> set hierarchical Options.with_hierarchical
+
 type t = {
   s_name : string;
   s_file : string;
   s_source : string;
   s_input : int list;
   s_jobs : int;
+  s_options : Options.t;
   s_config : Commutativity.config;
   s_spec : Commutativity.run_spec;
   s_hierarchical : bool;
+  s_tele_baseline : (string * int) list;
   mutable s_pool : Pool.t option;
   mutable s_closed : bool;
   mutable s_ir : Dca_ir.Ir.program option;
@@ -22,7 +101,8 @@ type t = {
   mutable s_plan : Dca_parallel.Plan.t option;
 }
 
-let create ?jobs ?config ?spec ?deadline_ms ?heap_words ?(hierarchical = false) origin =
+let create ?options ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin =
+  let options = fold_legacy ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical options in
   let name, file, source, input =
     match origin with
     | Source { file; source; input } -> (Filename.basename file, file, source, input)
@@ -37,15 +117,15 @@ let create ?jobs ?config ?spec ?deadline_ms ?heap_words ?(hierarchical = false) 
   Telemetry.init_from_env ();
   (* honor DCA_FAULTS the same way (a front end's --faults wins) *)
   Faultpoint.init_from_env ();
-  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
-  let config = Option.value config ~default:Commutativity.default_config in
+  let jobs = max 1 (match options.Options.jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  let config = Option.value options.Options.config ~default:Commutativity.default_config in
   let spec =
-    match spec with
+    match options.Options.spec with
     | Some s -> s
     | None ->
         Commutativity.make_run_spec
-          ?deadline_ns:(Option.map (fun ms -> ms * 1_000_000) deadline_ms)
-          ?heap_words input
+          ?deadline_ns:(Option.map (fun ms -> ms * 1_000_000) options.Options.deadline_ms)
+          ?heap_words:options.Options.heap_words input
   in
   {
     s_name = name;
@@ -53,9 +133,14 @@ let create ?jobs ?config ?spec ?deadline_ms ?heap_words ?(hierarchical = false) 
     s_source = source;
     s_input = input;
     s_jobs = jobs;
+    s_options = options;
     s_config = config;
     s_spec = spec;
-    s_hierarchical = hierarchical;
+    s_hierarchical = options.Options.hierarchical;
+    (* the per-session telemetry origin: counter values at creation.
+       Empty while counting is disabled — [telemetry] then subtracts
+       nothing, which is also correct (disabled counters stay 0). *)
+    s_tele_baseline = Telemetry.counters ();
     s_pool = None;
     s_closed = false;
     s_ir = None;
@@ -71,14 +156,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical prog =
+let load ?options ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical prog =
+  let options = fold_legacy ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical options in
   match Dca_progs.Registry.find prog with
-  | Some bm -> Ok (create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical (Benchmark bm))
+  | Some bm -> Ok (create ~options (Benchmark bm))
   | None ->
       if Sys.file_exists prog then
-        Ok
-          (create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical
-             (Source { file = prog; source = read_file prog; input = [] }))
+        Ok (create ~options (Source { file = prog; source = read_file prog; input = [] }))
       else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" prog)
 
 let name t = t.s_name
@@ -86,6 +170,10 @@ let file t = t.s_file
 let source t = t.s_source
 let input t = t.s_input
 let jobs t = t.s_jobs
+let options t = t.s_options
+let config t = t.s_config
+let spec t = t.s_spec
+let hierarchical t = t.s_hierarchical
 
 let memo cell compute store =
   match cell with
@@ -130,6 +218,8 @@ let pool_of t =
         t.s_pool <- Some p;
         Some p
 
+let pool = pool_of
+
 let dca_results t =
   memo t.s_results
     (fun () ->
@@ -160,7 +250,18 @@ let plan ?machine ?strategy t =
 
 let advise t = Advisor.advise (proginfo t) (profile t) (dca_results t)
 let report t = Report.to_string (dca_results t)
-let telemetry _t = Telemetry.counters ()
+
+let telemetry_global _t = Telemetry.counters ()
+
+(* Counters attributable to this session: current value minus the value at
+   creation.  Counters registered after the baseline was taken (first use
+   anywhere in the process) subtract an implicit 0.  Zero deltas are
+   elided so a quiet session reports an empty list, like a disabled one. *)
+let telemetry t =
+  Telemetry.counters ()
+  |> List.filter_map (fun (k, v) ->
+         let d = v - (match List.assoc_opt k t.s_tele_baseline with Some b -> b | None -> 0) in
+         if d = 0 then None else Some (k, d))
 
 let close t =
   t.s_closed <- true;
@@ -170,6 +271,7 @@ let close t =
       Pool.shutdown p
   | None -> ()
 
-let with_session ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin f =
-  let t = create ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin in
+let with_session ?options ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical origin f =
+  let options = fold_legacy ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical options in
+  let t = create ~options origin in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -17,12 +17,30 @@
     compile → proginfo → profile → spec boilerplate previously duplicated
     across every front end.
 
-    With [~jobs] > 1 the dynamic stage runs on a {!Dca_support.Pool}
+    With [jobs] > 1 the dynamic stage runs on a {!Dca_support.Pool}
     shared by the session: per-loop commutativity tests and per-schedule
     permuted replays fan out across OCaml domains with a deterministic
-    merge — verdicts and reports are bit-identical to [~jobs:1].  The
+    merge — verdicts and reports are bit-identical to [jobs = 1].  The
     pool is created lazily on the first stage that needs it and released
-    by {!close} (or automatically by {!with_session}). *)
+    by {!close} (or automatically by {!with_session}).
+
+    {2 Configuring a session}
+
+    All knobs live in one {!Options.t} record built from
+    {!Options.default} with [with_*] setters:
+
+    {[
+      Session.with_session
+        ~options:Session.Options.(default |> with_jobs 4 |> with_hierarchical true)
+        origin f
+    ]}
+
+    The per-field optional arguments ([?jobs], [?config], [?spec],
+    [?deadline_ms], [?heap_words], [?hierarchical]) still accepted by
+    {!create}, {!load} and {!with_session} are {b deprecated} compatibility
+    shims kept for one release: they are folded over [?options] (an
+    explicit legacy argument wins over the corresponding options field)
+    and will be removed — pass [~options] instead. *)
 
 type origin =
   | Source of { file : string; source : string; input : int list }
@@ -30,9 +48,51 @@ type origin =
           feeds the program's [reads()] stream *)
   | Benchmark of Dca_progs.Benchmark.t  (** a built-in benchmark program *)
 
+(** Session construction options.  Build with {!Options.default} and the
+    [with_*] setters; every field has the same meaning as the historical
+    optional argument of the same name. *)
+module Options : sig
+  type t = {
+    jobs : int option;
+        (** worker-pool width; [None] defaults to
+            {!Dca_support.Pool.default_jobs} (the [DCA_JOBS] environment
+            variable, else the recommended domain count) *)
+    config : Commutativity.config option;
+        (** dynamic-stage configuration; [None] = {!Commutativity.default_config} *)
+    spec : Commutativity.run_spec option;
+        (** explicit run spec; when set, [deadline_ms]/[heap_words] are
+            ignored (the spec already carries its resource bounds) *)
+    deadline_ms : int option;
+        (** per-invocation wall-clock budget folded into the derived run
+            spec *)
+    heap_words : int option;
+        (** per-invocation major-heap growth budget folded into the
+            derived run spec *)
+    hierarchical : bool;
+        (** explore loops top-down, skipping loops subsumed by a
+            commutative ancestor (default [false]) *)
+  }
+
+  val default : t
+  val with_jobs : int -> t -> t
+  val with_config : Commutativity.config -> t -> t
+  val with_spec : Commutativity.run_spec -> t -> t
+  val with_deadline_ms : int -> t -> t
+  val with_heap_words : int -> t -> t
+  val with_hierarchical : bool -> t -> t
+
+  val signature : t -> string
+  (** Deterministic textual signature of every field that can change an
+      analysis result (schedules, tolerances, budgets, inputs, job
+      width).  Two options values with equal signatures configure
+      interchangeable sessions — the serve daemon keys warm-session
+      reuse on this. *)
+end
+
 type t
 
 val create :
+  ?options:Options.t ->
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
@@ -41,25 +101,20 @@ val create :
   ?hierarchical:bool ->
   origin ->
   t
-(** [jobs] defaults to {!Dca_support.Pool.default_jobs} (the [DCA_JOBS]
-    environment variable, else the recommended domain count).  [spec]
-    defaults to the origin's input stream with a 200-million-instruction
-    fuel bound.  [hierarchical] (default [false]) makes {!dca_results}
-    skip loops subsumed by a commutative ancestor.
+(** Build a session from [?options] (see {!Options}).  The remaining
+    optional arguments are the deprecated pre-Options interface; when
+    given they override the corresponding [options] field.
 
     Creation also arms telemetry from the environment
     ({!Dca_support.Telemetry.init_from_env}: [DCA_TRACE] names a trace
     file and enables spans, [DCA_STATS=1] enables counters and the exit
     summary) and fault injection ([DCA_FAULTS], see
     {!Dca_support.Faultpoint}) unless the embedder configured either
-    explicitly first.
-
-    [deadline_ms] / [heap_words] apply per-invocation resource guards to
-    the dynamic stage (wall-clock budget, major-heap growth budget);
-    they are folded into the derived run spec and ignored when an
-    explicit [spec] is given. *)
+    explicitly first, and records the telemetry baseline {!telemetry}
+    deltas are computed against. *)
 
 val load :
+  ?options:Options.t ->
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
@@ -69,7 +124,8 @@ val load :
   string ->
   (t, string) result
 (** Resolve a program argument the way the CLI does: a built-in benchmark
-    name from {!Dca_progs.Registry}, else a path to a [.mc] file. *)
+    name from {!Dca_progs.Registry}, else a path to a [.mc] file.
+    Options as in {!create}. *)
 
 (** {1 Identity} *)
 
@@ -78,6 +134,22 @@ val file : t -> string
 val source : t -> string
 val input : t -> int list
 val jobs : t -> int
+
+(** {1 Resolved configuration} *)
+
+val options : t -> Options.t
+(** The options the session was created with (legacy arguments already
+    folded in). *)
+
+val config : t -> Commutativity.config
+val spec : t -> Commutativity.run_spec
+val hierarchical : t -> bool
+
+val pool : t -> Dca_support.Pool.t option
+(** The session's worker pool, started on first demand: [None] when
+    [jobs t <= 1] or after {!close}.  Exposed so embedders that drive
+    {!Driver.analyze_program} themselves (the serve daemon's cached
+    engine) share the session's domains instead of spawning their own. *)
 
 (** {1 Memoized pipeline stages} *)
 
@@ -110,13 +182,24 @@ val report : t -> string
 (** {!Report.to_string} of {!dca_results}. *)
 
 val telemetry : t -> (string * int) list
-(** Snapshot of the process-wide {!Dca_support.Telemetry} counters
-    (name/value, sorted by name; empty while counting is disabled).
-    Counters are process-global, not per-session: embedders running
-    several sessions see their aggregate.  The work-kind counters
-    ([dca.*]) are deterministic — bit-identical across [jobs] settings
-    and checkpoint modes; the diagnostic ones ([store.*],
-    [interp.instructions]) are not. *)
+(** Counters attributable to {e this} session: the process-wide
+    {!Dca_support.Telemetry} counters minus their values when the session
+    was created (name/delta pairs sorted by name, zero deltas elided;
+    empty while counting is disabled).  In a process running many
+    sessions — the serve daemon — each session sees only its own work.
+    The work-kind deltas ([dca.*]) are deterministic — bit-identical
+    across [jobs] settings and checkpoint modes; the diagnostic ones
+    ([store.*], [interp.instructions]) are not.
+
+    Concurrent sessions are not separable this way: a delta over a
+    process-global counter attributes interleaved work from other live
+    sessions to this one.  The daemon serves requests sequentially for
+    exactly this reason. *)
+
+val telemetry_global : t -> (string * int) list
+(** The historical behavior of [telemetry]: a raw snapshot of the
+    process-wide counters — embedders running several sessions see their
+    aggregate. *)
 
 (** {1 Lifecycle} *)
 
@@ -126,6 +209,7 @@ val close : t -> unit
     computations run sequentially. *)
 
 val with_session :
+  ?options:Options.t ->
   ?jobs:int ->
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
@@ -135,4 +219,5 @@ val with_session :
   origin ->
   (t -> 'a) ->
   'a
-(** [create], run, then {!close} (also on exception). *)
+(** [create], run, then {!close} (also on exception).  Options as in
+    {!create}. *)

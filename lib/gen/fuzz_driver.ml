@@ -81,7 +81,10 @@ let with_checkpoint mode f =
 (* One full DCA session over [source]; returns the report and the
    decision of the loop whose header sits on [line] of main. *)
 let dca_run ~jobs ~line source =
-  Session.with_session ~jobs (Session.Source { file = "<fuzz>"; source; input = [] }) (fun s ->
+  Session.with_session
+    ~options:Session.Options.(default |> with_jobs jobs)
+    (Session.Source { file = "<fuzz>"; source; input = [] })
+    (fun s ->
       let results = Session.dca_results s in
       let report = Session.report s in
       let dec =
@@ -96,7 +99,10 @@ let dca_run ~jobs ~line source =
 (* Every loop of one full DCA session over [source], as
    (label, decision string) rows in report order. *)
 let dca_run_all ~jobs source =
-  Session.with_session ~jobs (Session.Source { file = "<fuzz>"; source; input = [] }) (fun s ->
+  Session.with_session
+    ~options:Session.Options.(default |> with_jobs jobs)
+    (Session.Source { file = "<fuzz>"; source; input = [] })
+    (fun s ->
       List.map
         (fun (r : Driver.loop_result) ->
           (r.Driver.lr_label, Driver.decision_to_string r.Driver.lr_decision))

@@ -1,0 +1,29 @@
+(* Blocking JSON-lines client for the dca serve socket. *)
+
+type t = { sock : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  | () -> Ok { sock; ic = Unix.in_channel_of_descr sock; oc = Unix.out_channel_of_descr sock }
+  | exception Unix.Unix_error (err, _, _) ->
+      Unix.close sock;
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+
+let request t rq =
+  match
+    output_string t.oc (Protocol.request_line rq);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | line -> Protocol.parse_response line
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error msg -> Error ("connection error: " ^ msg)
+
+let close t = try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+let with_client path f =
+  match connect path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,14 @@
+(** Blocking JSON-lines client for the [dca serve] Unix-domain socket. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's socket path. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request line, block for the matching response line. *)
+
+val close : t -> unit
+
+val with_client : string -> (t -> ('a, string) result) -> ('a, string) result
+(** [connect], run, then {!close} (also on exception). *)

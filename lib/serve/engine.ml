@@ -1,0 +1,328 @@
+(* The serve daemon's analysis core: warm sessions in front of the
+   two-level verdict cache.
+
+   A request is handled in five steps:
+
+     1. resolve the program (registry name, server-side file, or inline
+        source) to a source string + input stream;
+     2. find or create a *warm session* — sessions are keyed by
+        (source digest, options signature) and kept in a small LRU, so a
+        repeated or incremental client skips parsing, lowering, the
+        static analyses, and pool startup;
+     3. compute per-loop cache keys (Progdigest) and probe the verdict
+        cache, building a read-only table of resolved loops;
+     4. run Driver.analyze_program with the table as its [?lookup] — only
+        unresolved loops pay the dynamic stage, on the session's pool,
+        merged deterministically with the cached verdicts;
+     5. store the freshly computed verdicts and assemble the reply.
+
+   Because cached entries are the exact (decision, outcome) pairs the
+   driver would have produced, Report.to_string over the merged result
+   list is byte-identical to a cold run — the acceptance criterion the
+   serve bench asserts.
+
+   The engine is sequential by design: one request at a time owns the
+   process-global telemetry/faultpoint state and the cache.  Parallelism
+   lives *inside* a request (the session pool), where the deterministic
+   merge keeps output stable. *)
+
+module Session = Dca_core.Session
+module Driver = Dca_core.Driver
+module Commutativity = Dca_core.Commutativity
+module Report = Dca_core.Report
+module Schedule = Dca_core.Schedule
+module Faultpoint = Dca_support.Faultpoint
+module Telemetry = Dca_support.Telemetry
+
+type warm = {
+  w_session : Session.t;
+  w_digest : Progdigest.t Lazy.t;
+  mutable w_last : int;
+}
+
+type t = {
+  cache : Vcache.t;
+  sessions : (string, warm) Hashtbl.t;
+  session_cap : int;
+  default_jobs : int option;
+  mutable clock : int;
+  mutable requests : int;
+  mutable session_reuses : int;
+  mutable aborted_requests : int;
+}
+
+let create ?cache_dir ?cache_capacity ?(sessions = 8) ?jobs () =
+  {
+    cache = Vcache.create ?dir:cache_dir ?capacity:cache_capacity ();
+    sessions = Hashtbl.create 16;
+    session_cap = max 1 sessions;
+    default_jobs = jobs;
+    clock = 0;
+    requests = 0;
+    session_reuses = 0;
+    aborted_requests = 0;
+  }
+
+let cache t = t.cache
+
+let close t =
+  Hashtbl.iter (fun _ w -> Session.close w.w_session) t.sessions;
+  Hashtbl.reset t.sessions
+
+(* ------------------------------------------------------------------ *)
+(* Program resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let resolve_program = function
+  | Protocol.Named name -> (
+      match Dca_progs.Registry.find name with
+      | Some bm ->
+          Ok
+            ( bm.Dca_progs.Benchmark.bm_name ^ ".mc",
+              bm.Dca_progs.Benchmark.bm_source,
+              bm.Dca_progs.Benchmark.bm_input )
+      | None ->
+          if Sys.file_exists name then Ok (name, read_file name, [])
+          else Error (Printf.sprintf "'%s' is neither a built-in benchmark nor a file" name))
+  | Protocol.Inline { file; source; input } -> Ok (file, source, input)
+
+(* The request's analysis options, built exactly the way `dca analyze`
+   builds them so the daemon and the one-shot CLI share one key space. *)
+let options_of_request t (rq : Protocol.request) =
+  let config =
+    {
+      Commutativity.default_config with
+      Commutativity.cc_schedules =
+        Schedule.presets ~shuffles:(Option.value rq.Protocol.rq_shuffles ~default:3) ();
+      cc_escalate = not rq.Protocol.rq_no_escalate;
+    }
+  in
+  let base =
+    Session.Options.(
+      default |> with_config config |> with_hierarchical rq.Protocol.rq_hierarchical)
+  in
+  let set v f o = match v with None -> o | Some v -> f v o in
+  base
+  |> set
+       (match rq.Protocol.rq_jobs with None -> t.default_jobs | j -> j)
+       Session.Options.with_jobs
+  |> set rq.Protocol.rq_deadline_ms Session.Options.with_deadline_ms
+  |> set rq.Protocol.rq_heap_words Session.Options.with_heap_words
+
+(* ------------------------------------------------------------------ *)
+(* Warm-session pool                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_sessions t =
+  while Hashtbl.length t.sessions > t.session_cap do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k w ->
+        match !victim with
+        | Some (_, best) when best <= w.w_last -> ()
+        | _ -> victim := Some (k, w.w_last))
+      t.sessions;
+    match !victim with
+    | Some (k, _) ->
+        (match Hashtbl.find_opt t.sessions k with
+        | Some w -> Session.close w.w_session
+        | None -> ());
+        Hashtbl.remove t.sessions k
+    | None -> ()
+  done
+
+let warm_session t ~file ~source ~input options =
+  let key = Digest.to_hex (Digest.string source) ^ "|" ^ Session.Options.signature options in
+  match Hashtbl.find_opt t.sessions key with
+  | Some w ->
+      w.w_last <- tick t;
+      t.session_reuses <- t.session_reuses + 1;
+      w
+  | None ->
+      let s = Session.create ~options (Session.Source { file; source; input }) in
+      let w =
+        { w_session = s; w_digest = lazy (Progdigest.of_program (Session.ir s)); w_last = tick t }
+      in
+      Hashtbl.replace t.sessions key w;
+      evict_sessions t;
+      w
+
+(* ------------------------------------------------------------------ *)
+(* Cached analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  eo_report : string;
+  eo_loops : Protocol.loop_info list;
+  eo_hits : int;
+  eo_misses : int;
+}
+
+let subsumed (r : Driver.loop_result) =
+  match r.Driver.lr_decision with Driver.Subsumed _ -> true | _ -> false
+
+let analyze_with_cache t w (rq : Protocol.request) =
+  let s = w.w_session in
+  let info = Session.proginfo s in
+  let pd = Lazy.force w.w_digest in
+  let prog_digest = Progdigest.program_digest pd in
+  let config_digest =
+    Progdigest.config_digest ~hierarchical:(Session.hierarchical s) (Session.config s)
+  in
+  let spec_digest = Progdigest.spec_digest (Session.spec s) in
+  let key_of (loop : Dca_analysis.Loops.loop) =
+    Progdigest.loop_key pd ~config_digest ~spec_digest ~func:loop.Dca_analysis.Loops.l_func
+      ~loop_id:loop.Dca_analysis.Loops.l_id
+  in
+  (* A fault-carrying request runs outside the cache entirely: hits would
+     mask the injected failures it exists to exercise, and storing its
+     (possibly Aborted) verdicts would poison later requests. *)
+  let cache_on = rq.Protocol.rq_faults = None in
+  (* probe phase: sequential, before any parallel work — the resolved
+     table is read-only by the time worker domains consult it *)
+  let resolved : (string, Driver.loop_result) Hashtbl.t = Hashtbl.create 16 in
+  let provenances : (string, Report.provenance) Hashtbl.t = Hashtbl.create 16 in
+  if cache_on && not rq.Protocol.rq_no_cache then
+    List.iter
+      (fun ((_, loop) : Dca_analysis.Proginfo.func_info * Dca_analysis.Loops.loop) ->
+        match Vcache.find t.cache ~prog_digest (key_of loop) with
+        | Some e ->
+            Hashtbl.replace provenances loop.Dca_analysis.Loops.l_id e.Vcache.e_provenance;
+            Hashtbl.replace resolved loop.Dca_analysis.Loops.l_id
+              {
+                Driver.lr_loop = loop;
+                lr_label = Dca_analysis.Proginfo.loop_label info loop;
+                lr_decision = e.Vcache.e_decision;
+                lr_outcome = e.Vcache.e_outcome;
+              }
+        | None -> ())
+      (Dca_analysis.Proginfo.all_loops info);
+  let lookup _fi (loop : Dca_analysis.Loops.loop) =
+    Hashtbl.find_opt resolved loop.Dca_analysis.Loops.l_id
+  in
+  let results =
+    Driver.analyze_program ~config:(Session.config s) ~spec:(Session.spec s)
+      ~hierarchical:(Session.hierarchical s) ?pool:(Session.pool s) ~lookup info
+  in
+  (* store phase: every freshly computed, non-subsumed verdict.  Subsumed
+     results are skipped — they are free to recompute and derive from
+     sibling verdicts rather than from the loop's own code. *)
+  let hits = ref 0 and misses = ref 0 in
+  let loops =
+    List.map
+      (fun (r : Driver.loop_result) ->
+        let id = r.Driver.lr_loop.Dca_analysis.Loops.l_id in
+        let cached = Hashtbl.mem resolved id in
+        let provenance =
+          Option.value (Hashtbl.find_opt provenances id) ~default:Report.Dynamic
+        in
+        if cached then incr hits
+        else if not (subsumed r) then begin
+          incr misses;
+          if cache_on then
+            Vcache.store t.cache (key_of r.Driver.lr_loop)
+            {
+              Vcache.e_decision = r.Driver.lr_decision;
+              e_outcome = r.Driver.lr_outcome;
+              e_provenance = Report.Dynamic;
+              e_prog_digest = prog_digest;
+            }
+        end;
+        {
+          Protocol.li_label = r.Driver.lr_label;
+          li_decision = Driver.decision_to_string r.Driver.lr_decision;
+          li_cached = cached;
+          li_provenance = provenance;
+        })
+      results
+  in
+  {
+    eo_report = Report.to_string results;
+    eo_loops = loops;
+    eo_hits = !hits;
+    eo_misses = !misses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  let c = Vcache.stats t.cache in
+  [
+    ("serve.requests", t.requests);
+    ("serve.aborted_requests", t.aborted_requests);
+    ("serve.warm_sessions", Hashtbl.length t.sessions);
+    ("serve.session_reuses", t.session_reuses);
+    ("cache.mem_entries", Vcache.size t.cache);
+    ("cache.mem_hits", c.Vcache.st_mem_hits);
+    ("cache.disk_hits", c.Vcache.st_disk_hits);
+    ("cache.misses", c.Vcache.st_misses);
+    ("cache.stores", c.Vcache.st_stores);
+    ("cache.corrupt", c.Vcache.st_corrupt);
+    ("cache.evictions", c.Vcache.st_evictions);
+  ]
+
+(* Per-request fault containment: a request's fault plan is armed for
+   exactly that request; whatever escapes every inner containment layer
+   (loop-level Aborted verdicts absorb most injected faults) is caught
+   here and turned into an error *reply* — the daemon survives and the
+   next request starts from a clean faultpoint state. *)
+let handle t (rq : Protocol.request) =
+  t.requests <- t.requests + 1;
+  let id = rq.Protocol.rq_id in
+  let t0 = Telemetry.now_ns () in
+  let finish rp = { rp with Protocol.rp_elapsed_ns = Telemetry.now_ns () - t0 } in
+  match rq.Protocol.rq_op with
+  | Protocol.Ping -> finish (Protocol.ok_response ~id)
+  | Protocol.Stats -> finish { (Protocol.ok_response ~id) with Protocol.rp_counters = stats t }
+  | Protocol.Shutdown -> finish (Protocol.ok_response ~id)
+  | Protocol.Analyze -> (
+      let faults_armed = rq.Protocol.rq_faults <> None in
+      let result =
+        try
+          (match rq.Protocol.rq_faults with
+          | Some plan ->
+              Faultpoint.arm_string plan;
+              Faultpoint.reset_hits ()
+          | None -> ());
+          match resolve_program (Option.get rq.Protocol.rq_program) with
+          | Error msg -> Error msg
+          | Ok (file, source, input) ->
+              let options = options_of_request t rq in
+              let w = warm_session t ~file ~source ~input options in
+              Ok (analyze_with_cache t w rq)
+        with
+        | Faultpoint.Bad_plan msg -> Error ("invalid fault plan: " ^ msg)
+        | Dca_frontend.Loc.Error (loc, msg) ->
+            Error (Dca_frontend.Loc.to_string loc ^ ": " ^ msg)
+        | Dca_interp.Eval.Trap msg -> Error ("runtime trap: " ^ msg)
+        | Dca_interp.Eval.Out_of_fuel -> Error "execution exceeded the fuel bound"
+        | Dca_interp.Eval.Deadline_exceeded -> Error "execution exceeded the wall-clock deadline"
+        | Dca_interp.Eval.Heap_exhausted -> Error "execution exceeded the heap budget"
+        | e -> Error ("internal error: " ^ Printexc.to_string e)
+      in
+      if faults_armed then Faultpoint.disarm ();
+      match result with
+      | Ok eo ->
+          finish
+            {
+              (Protocol.ok_response ~id) with
+              Protocol.rp_report = Some eo.eo_report;
+              rp_loops = eo.eo_loops;
+              rp_hits = eo.eo_hits;
+              rp_misses = eo.eo_misses;
+            }
+      | Error msg ->
+          t.aborted_requests <- t.aborted_requests + 1;
+          finish (Protocol.error_response ~id msg))

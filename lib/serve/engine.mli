@@ -1,0 +1,33 @@
+(** The serve daemon's analysis core: a warm-session LRU in front of the
+    two-level verdict cache ({!Vcache}), independent of any transport so
+    tests can drive it directly.
+
+    Requests are handled {e sequentially} — one request at a time owns
+    the process-global telemetry and faultpoint state and the cache.
+    Parallelism lives inside a request: unresolved loops run on the warm
+    session's worker pool and are merged deterministically with the
+    cached verdicts, so a reply assembled from any mix of cache hits and
+    fresh work is byte-identical to a cold [dca analyze] run. *)
+
+type t
+
+val create :
+  ?cache_dir:string -> ?cache_capacity:int -> ?sessions:int -> ?jobs:int -> unit -> t
+(** [cache_dir] enables the persistent cache level (see {!Vcache.create});
+    [sessions] bounds the warm-session LRU (default 8); [jobs] is the
+    default pool width for requests that do not set one. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Serve one request.  [Analyze] failures of any kind — unknown program,
+    parse error, resource-budget exhaustion, an injected fault escaping
+    the per-loop containment — become error {e responses}; the engine
+    survives and the next request starts from a clean faultpoint state.
+    [Shutdown] is answered like [Ping]; stopping the accept loop is the
+    transport's job ({!Server}). *)
+
+val stats : t -> (string * int) list
+(** Server and cache counters, as reported in [Stats] replies. *)
+
+val cache : t -> Vcache.t
+val close : t -> unit
+(** Close every warm session (releasing their pools). *)

@@ -1,0 +1,149 @@
+(* Unix-domain-socket transport for the serve engine.
+
+   One accept loop, one connection at a time, one request line at a time:
+   the engine owns process-global state (telemetry counters, faultpoint
+   plans, the verdict cache), so serialization is what makes per-request
+   telemetry deltas and fault scoping meaningful.  Clients queue in the
+   listen backlog; analysis latency dwarfs connection turnaround.
+
+   Every request is wrapped in a Telemetry span and appended to the
+   JSONL access log (one object per request: timestamp, id, op, program,
+   status, loop/hit/miss counts, elapsed time), so a daemon's history
+   can be replayed or mined with the same tooling as a trace file. *)
+
+type config = {
+  sv_socket : string;
+  sv_cache_dir : string option;
+  sv_cache_capacity : int option;
+  sv_sessions : int;
+  sv_jobs : int option;
+  sv_access_log : string option;
+  sv_max_requests : int option;  (* stop after N requests: tests, smoke runs *)
+}
+
+let default_config socket =
+  {
+    sv_socket = socket;
+    sv_cache_dir = None;
+    sv_cache_capacity = None;
+    sv_sessions = 8;
+    sv_jobs = None;
+    sv_access_log = None;
+    sv_max_requests = None;
+  }
+
+(* A leftover socket file from a crashed daemon would make bind fail.
+   Only reclaim the path if nothing answers on it — a live daemon's
+   socket is left alone and surfaces as an address-in-use error. *)
+let reclaim_stale_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if not live then try Sys.remove path with Sys_error _ -> ()
+  end
+
+let program_name = function
+  | Some (Protocol.Named n) -> n
+  | Some (Protocol.Inline { file; _ }) -> file ^ " (inline)"
+  | None -> ""
+
+let log_request oc (rq : Protocol.request) (rp : Protocol.response) =
+  match oc with
+  | None -> ()
+  | Some oc ->
+      let entry =
+        Json.Obj
+          [
+            ("ts_ns", Json.Int (Dca_support.Telemetry.now_ns ()));
+            ("id", Json.Int rq.Protocol.rq_id);
+            ("op", Json.Str (Protocol.op_to_string rq.Protocol.rq_op));
+            ("program", Json.Str (program_name rq.Protocol.rq_program));
+            ("status", Json.Str (if rp.Protocol.rp_ok then "ok" else "error"));
+            ("loops", Json.Int (List.length rp.Protocol.rp_loops));
+            ("hits", Json.Int rp.Protocol.rp_hits);
+            ("misses", Json.Int rp.Protocol.rp_misses);
+            ("elapsed_ns", Json.Int rp.Protocol.rp_elapsed_ns);
+          ]
+      in
+      output_string oc (Json.to_string entry);
+      output_char oc '\n';
+      flush oc
+
+type state = { engine : Engine.t; mutable served : int; mutable stop : bool }
+
+let handle_line st access rq_line =
+  let rq, rp =
+    match Protocol.parse_request rq_line with
+    | Error msg ->
+        (Protocol.default_request, Protocol.error_response ~id:0 ("bad request: " ^ msg))
+    | Ok rq ->
+        let rp =
+          Dca_support.Telemetry.span ~cat:"serve"
+            ("serve." ^ Protocol.op_to_string rq.Protocol.rq_op)
+            (fun () -> Engine.handle st.engine rq)
+        in
+        if rq.Protocol.rq_op = Protocol.Shutdown then st.stop <- true;
+        (rq, rp)
+  in
+  st.served <- st.served + 1;
+  log_request access rq rp;
+  rp
+
+let serve_connection st access ~budget_left fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  try
+    while (not st.stop) && budget_left () do
+      let line = input_line ic in
+      if String.trim line <> "" then begin
+        let rp = handle_line st access line in
+        output_string oc (Protocol.response_line rp);
+        output_char oc '\n';
+        flush oc
+      end
+    done
+  with
+  | End_of_file -> ()
+  | Sys_error _ -> ()
+
+let run cfg =
+  reclaim_stale_socket cfg.sv_socket;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind sock (Unix.ADDR_UNIX cfg.sv_socket) with
+  | () -> ()
+  | exception e ->
+      Unix.close sock;
+      raise e);
+  Unix.listen sock 16;
+  let engine =
+    Engine.create ?cache_dir:cfg.sv_cache_dir ?cache_capacity:cfg.sv_cache_capacity
+      ~sessions:cfg.sv_sessions ?jobs:cfg.sv_jobs ()
+  in
+  let access =
+    Option.map (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path) cfg.sv_access_log
+  in
+  let st = { engine; served = 0; stop = false } in
+  let budget_left () =
+    match cfg.sv_max_requests with None -> true | Some n -> st.served < n
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.close engine;
+      Option.iter close_out_noerr access;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove cfg.sv_socket with Sys_error _ -> ())
+    (fun () ->
+      while (not st.stop) && budget_left () do
+        match Unix.accept sock with
+        | fd, _ ->
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> serve_connection st access ~budget_left fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      st.served)

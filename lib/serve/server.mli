@@ -1,0 +1,30 @@
+(** Unix-domain-socket transport for the serve {!Engine}.
+
+    One accept loop, one connection at a time, one request line at a
+    time: the engine owns process-global state (telemetry, faultpoint
+    plans, the verdict cache), and serializing requests is what makes
+    per-request telemetry deltas and fault scoping meaningful.  Clients
+    queue in the listen backlog. *)
+
+type config = {
+  sv_socket : string;  (** Unix-domain socket path *)
+  sv_cache_dir : string option;  (** persistent cache directory ({!Vcache}) *)
+  sv_cache_capacity : int option;
+  sv_sessions : int;  (** warm-session LRU bound *)
+  sv_jobs : int option;  (** default pool width for requests without one *)
+  sv_access_log : string option;
+      (** JSONL access log, one object per request (appended) *)
+  sv_max_requests : int option;
+      (** stop after serving this many requests — tests and smoke runs *)
+}
+
+val default_config : string -> config
+(** Defaults for the given socket path: memory-only cache, 8 warm
+    sessions, no access log, serve until [shutdown]. *)
+
+val run : config -> int
+(** Bind (reclaiming a stale socket file from a crashed daemon first,
+    but never a live one), then serve until a [shutdown] request or the
+    request budget is exhausted.  Returns the number of requests served.
+    The socket file is removed and all warm sessions closed on the way
+    out, also on exception. *)

@@ -1,0 +1,206 @@
+(* Two-level content-addressed verdict cache.
+
+   Level 1 is an in-memory LRU over marshal-free entries; level 2 is an
+   on-disk store (one file per key) that survives daemon restarts.  Keys
+   come from Progdigest.loop_key; values are the per-loop (decision,
+   outcome) pair — everything Report needs to render a summary line and
+   the counters footer byte-identically to a cold run.  The containing
+   Loops.loop and the label are *not* stored: they are rebuilt from the
+   fresh static analysis on every request (the cheap part), which also
+   guarantees a hit can never resurrect stale structural data.
+
+   Disk format (all bytes after the header are Marshal output):
+
+     DCAV1\n<hex md5 of payload>\n<payload>
+
+   The digest line makes torn writes and bit rot detectable: any
+   mismatch, short file, bad magic, or Marshal failure counts as
+   [st_corrupt] and degrades to a recompute — never a crash.  Writes go
+   through a temp file + rename, so a concurrently reading process sees
+   either the old entry or the new one, never a torn one.
+
+   The store itself is not locked: the daemon serves requests
+   sequentially, and two daemons sharing a directory at worst recompute
+   (atomic rename keeps the files well-formed). *)
+
+module Driver = Dca_core.Driver
+module Commutativity = Dca_core.Commutativity
+module Report = Dca_core.Report
+
+type entry = {
+  e_decision : Driver.decision;
+  e_outcome : Commutativity.outcome option;
+  e_provenance : Report.provenance;
+  e_prog_digest : string;
+      (* whole-program digest at creation: entries whose outcome used
+         whole-program verification are only valid while it matches *)
+}
+
+type stats = {
+  st_mem_hits : int;
+  st_disk_hits : int;
+  st_misses : int;
+  st_stores : int;
+  st_corrupt : int;
+  st_evictions : int;
+}
+
+type t = {
+  dir : string option;
+  capacity : int;
+  mem : (string, entry * int ref) Hashtbl.t;  (* key → entry, last-use tick *)
+  mutable clock : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable corrupt : int;
+  mutable evictions : int;
+}
+
+let magic = "DCAV1"
+
+let create ?dir ?(capacity = 4096) () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | _ -> ());
+  {
+    dir;
+    capacity = max 1 capacity;
+    mem = Hashtbl.create 256;
+    clock = 0;
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    stores = 0;
+    corrupt = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let path t key = match t.dir with None -> None | Some d -> Some (Filename.concat d (key ^ ".v"))
+
+(* Evict the least-recently-used entries down to capacity.  A linear scan
+   per eviction is O(capacity) — with the default capacity and one
+   eviction per insert-at-full, amortized cost is negligible next to one
+   dynamic-stage replay. *)
+let enforce_capacity t =
+  while Hashtbl.length t.mem > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k (_, last) ->
+        match !victim with
+        | Some (_, lbest) when !last >= lbest -> ()
+        | _ -> victim := Some (k, !last))
+      t.mem;
+    match !victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.mem k;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+  done
+
+let mem_insert t key entry =
+  Hashtbl.replace t.mem key (entry, ref (tick t));
+  enforce_capacity t
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let disk_read t key =
+  match path t key with
+  | None -> None
+  | Some file ->
+      if not (Sys.file_exists file) then None
+      else begin
+        match
+          let raw = read_file file in
+          (* header: magic line, digest line, payload *)
+          let nl1 = String.index raw '\n' in
+          let nl2 = String.index_from raw (nl1 + 1) '\n' in
+          let head = String.sub raw 0 nl1 in
+          let want = String.sub raw (nl1 + 1) (nl2 - nl1 - 1) in
+          let payload = String.sub raw (nl2 + 1) (String.length raw - nl2 - 1) in
+          if head <> magic then failwith "bad magic";
+          if Digest.to_hex (Digest.string payload) <> want then failwith "digest mismatch";
+          (Marshal.from_string payload 0 : entry)
+        with
+        | entry -> Some entry
+        | exception _ ->
+            t.corrupt <- t.corrupt + 1;
+            None
+      end
+
+let disk_write t key entry =
+  match path t key with
+  | None -> ()
+  | Some file -> (
+      try
+        let payload = Marshal.to_string entry [] in
+        let tmp = file ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc magic;
+            output_char oc '\n';
+            output_string oc (Digest.to_hex (Digest.string payload));
+            output_char oc '\n';
+            output_string oc payload);
+        Sys.rename tmp file
+      with _ ->
+        (* a full or read-only disk degrades the cache, never the reply *)
+        ())
+
+(* An entry that escalated to whole-program verification had its verdict
+   decided by the *whole* program's outputs, so the per-function closure
+   key under-approximates its dependencies: demand the whole-program
+   digest too. *)
+let valid ~prog_digest entry =
+  match entry.e_outcome with
+  | Some oc when oc.Commutativity.oc_escalated -> entry.e_prog_digest = prog_digest
+  | _ -> true
+
+let find t ~prog_digest key =
+  match Hashtbl.find_opt t.mem key with
+  | Some (entry, last) when valid ~prog_digest entry ->
+      last := tick t;
+      t.mem_hits <- t.mem_hits + 1;
+      Some entry
+  | Some _ ->
+      Hashtbl.remove t.mem key;
+      t.misses <- t.misses + 1;
+      None
+  | None -> (
+      match disk_read t key with
+      | Some entry when valid ~prog_digest entry ->
+          t.disk_hits <- t.disk_hits + 1;
+          mem_insert t key entry;
+          Some entry
+      | _ ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t key entry =
+  t.stores <- t.stores + 1;
+  mem_insert t key entry;
+  disk_write t key entry
+
+let stats t =
+  {
+    st_mem_hits = t.mem_hits;
+    st_disk_hits = t.disk_hits;
+    st_misses = t.misses;
+    st_stores = t.stores;
+    st_corrupt = t.corrupt;
+    st_evictions = t.evictions;
+  }
+
+let size t = Hashtbl.length t.mem

@@ -1,0 +1,55 @@
+(** Two-level content-addressed verdict cache: an in-memory LRU in front
+    of an on-disk store that survives daemon restarts (DESIGN.md §12).
+
+    Values are the per-loop [(decision, outcome)] pair plus provenance —
+    exactly what {!Dca_core.Report} folds into a summary line and the
+    counters footer, so a reply assembled from cache is byte-identical
+    to a cold one.  Loop structure (the {!Dca_analysis.Loops.loop}, the
+    label) is {e not} cached; it is rebuilt from the fresh static
+    analysis of every request.
+
+    On-disk entries carry a payload digest: any corruption (torn write,
+    truncation, bit rot, format drift) is detected on read, counted in
+    [st_corrupt], and degrades to a recompute — never a crash.  Writes
+    are atomic (temp file + rename).  The cache performs no locking; it
+    is meant to be driven by one sequential request loop. *)
+
+type entry = {
+  e_decision : Dca_core.Driver.decision;
+  e_outcome : Dca_core.Commutativity.outcome option;
+  e_provenance : Dca_core.Report.provenance;
+  e_prog_digest : string;
+      (** whole-program digest when the entry was created.  Entries whose
+          outcome escalated to whole-program verification depend on the
+          whole program and are only served while this still matches
+          (per-function keys under-approximate their dependencies). *)
+}
+
+type stats = {
+  st_mem_hits : int;
+  st_disk_hits : int;
+  st_misses : int;
+  st_stores : int;
+  st_corrupt : int;  (** on-disk entries rejected by the integrity check *)
+  st_evictions : int;  (** in-memory LRU evictions (the disk copy remains) *)
+}
+
+type t
+
+val create : ?dir:string -> ?capacity:int -> unit -> t
+(** [dir] enables the on-disk level (created if missing); without it the
+    cache is memory-only.  [capacity] bounds the in-memory level
+    (default 4096 entries); disk is unbounded. *)
+
+val find : t -> prog_digest:string -> string -> entry option
+(** Probe both levels for a key ({!Progdigest.loop_key}).  A disk hit is
+    promoted into memory.  [prog_digest] is the current whole-program
+    digest, used to invalidate escalated entries. *)
+
+val store : t -> string -> entry -> unit
+(** Insert into both levels.  Disk-write failures (full disk, read-only
+    directory) are swallowed: the cache degrades, the reply does not. *)
+
+val stats : t -> stats
+val size : t -> int
+(** Entries currently resident in memory. *)

@@ -1,0 +1,607 @@
+(* The serve subsystem: JSON codec, wire protocol, content digests, the
+   two-level verdict cache, the cached engine, and the socket server.
+
+   The engine tests are the interesting ones: they pin down the cache's
+   observable contract — an edit to one function recomputes only that
+   function's loops (watched through the deterministic dca.golden_runs
+   counter: cache hits tick no work counters), cached replies are
+   byte-identical to cold ones at any job width, and a corrupted on-disk
+   entry degrades to a recompute, never a wrong answer. *)
+
+module Json = Dca_serve.Json
+module Protocol = Dca_serve.Protocol
+module Vcache = Dca_serve.Vcache
+module Progdigest = Dca_serve.Progdigest
+module Engine = Dca_serve.Engine
+module Server = Dca_serve.Server
+module Client = Dca_serve.Client
+module Session = Dca_core.Session
+module Driver = Dca_core.Driver
+module Report = Dca_core.Report
+module Commutativity = Dca_core.Commutativity
+module Telemetry = Dca_support.Telemetry
+
+let fresh_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.Str "line\nquote\"tab\tslash\\end");
+        ("list", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  (match Json.of_string_result (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "control chars escaped" true
+    (not (String.contains (Json.to_string (Json.Str "a\nb")) '\n'))
+
+let test_json_rejects () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string_result s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_request_roundtrip () =
+  let rq =
+    {
+      Protocol.rq_id = 7;
+      rq_op = Protocol.Analyze;
+      rq_program = Some (Protocol.Inline { file = "t.mc"; source = "void main() { }"; input = [ 1; 2 ] });
+      rq_jobs = Some 4;
+      rq_shuffles = Some 2;
+      rq_hierarchical = true;
+      rq_no_escalate = true;
+      rq_deadline_ms = Some 100;
+      rq_heap_words = Some 4096;
+      rq_faults = Some "driver.loop@1=raise";
+      rq_no_cache = true;
+    }
+  in
+  (match Protocol.parse_request (Protocol.request_line rq) with
+  | Ok rq' -> Alcotest.(check bool) "request round-trips" true (rq = rq')
+  | Error e -> Alcotest.fail e);
+  (* named programs and defaults *)
+  match Protocol.parse_request "{\"op\":\"analyze\",\"program\":\"LU\",\"future_field\":1}" with
+  | Ok rq' ->
+      Alcotest.(check bool) "named program" true (rq'.Protocol.rq_program = Some (Protocol.Named "LU"));
+      Alcotest.(check bool) "defaults" true
+        (rq'.Protocol.rq_jobs = None && not rq'.Protocol.rq_hierarchical)
+  | Error e -> Alcotest.fail e
+
+let test_protocol_request_rejects () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "{\"id\":1}" (* no op *);
+      "{\"op\":\"frobnicate\"}" (* unknown op *);
+      "{\"op\":\"analyze\"}" (* analyze without program *);
+      "not json at all";
+    ]
+
+let test_protocol_response_roundtrip () =
+  let rp =
+    {
+      Protocol.rp_id = 9;
+      rp_ok = true;
+      rp_error = None;
+      rp_report = Some "DCA: 1/1 loop(s) commutative\n";
+      rp_loops =
+        [
+          { Protocol.li_label = "main:3(d1)"; li_decision = "commutative"; li_cached = true; li_provenance = Report.Static };
+          { Protocol.li_label = "main:5(d1)"; li_decision = "aborted"; li_cached = false; li_provenance = Report.Dynamic };
+        ];
+      rp_hits = 1;
+      rp_misses = 1;
+      rp_counters = [ ("serve.requests", 3) ];
+      rp_elapsed_ns = 12345;
+    }
+  in
+  match Protocol.parse_response (Protocol.response_line rp) with
+  | Ok rp' -> Alcotest.(check bool) "response round-trips" true (rp = rp')
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Content digests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compile source = Dca_ir.Lower.compile ~file:"t.mc" source
+
+let two_funcs fb_add =
+  Printf.sprintf
+    {|
+int a[16];
+int b[16];
+void fa() { int i; for (i = 0; i < 16; i = i + 1) { a[i] = a[i] + 1; } }
+void fb() { int i; for (i = 0; i < 16; i = i + 1) { b[i] = b[i] + %d; } }
+void main() { fa(); fb(); }
+|}
+    fb_add
+
+(* Formatting round-trips: whitespace and comments lower to identical IR,
+   so every digest — whole-program and per-function — is unchanged. *)
+let test_digest_formatting_stable () =
+  let reformatted =
+    {|
+int a[16];   int b[16];
+/* reformatted, semantically identical */
+void fa() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { a[i] = a[i] + 1; }  // bump
+}
+void fb() { int i; for (i = 0; i < 16; i = i + 1) { b[i] = b[i] + 2; } }
+void main() { fa(); fb(); }
+|}
+  in
+  let d1 = Progdigest.of_program (compile (two_funcs 2)) in
+  let d2 = Progdigest.of_program (compile reformatted) in
+  Alcotest.(check string) "program digest" (Progdigest.program_digest d1)
+    (Progdigest.program_digest d2);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f ^ " closure digest")
+        true
+        (Progdigest.func_digest d1 f = Progdigest.func_digest d2 f))
+    [ "fa"; "fb"; "main" ]
+
+(* Editing one function moves its own digest and its (transitive)
+   callers' — and nobody else's. *)
+let test_digest_edit_granularity () =
+  let d1 = Progdigest.of_program (compile (two_funcs 2)) in
+  let d2 = Progdigest.of_program (compile (two_funcs 3)) in
+  Alcotest.(check bool) "fa unchanged" true
+    (Progdigest.func_digest d1 "fa" = Progdigest.func_digest d2 "fa");
+  Alcotest.(check bool) "fb changed" false
+    (Progdigest.func_digest d1 "fb" = Progdigest.func_digest d2 "fb");
+  Alcotest.(check bool) "caller main changed" false
+    (Progdigest.func_digest d1 "main" = Progdigest.func_digest d2 "main");
+  Alcotest.(check bool) "program digest changed" false
+    (Progdigest.program_digest d1 = Progdigest.program_digest d2)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?(prog = "P") decision =
+  { Vcache.e_decision = decision; e_outcome = None; e_provenance = Report.Dynamic; e_prog_digest = prog }
+
+let test_vcache_memory () =
+  let c = Vcache.create ~capacity:2 () in
+  Vcache.store c "k1" (entry Driver.Commutative);
+  Vcache.store c "k2" (entry (Driver.Non_commutative "digest mismatch"));
+  (match Vcache.find c ~prog_digest:"P" "k1" with
+  | Some e -> Alcotest.(check bool) "k1 decision" true (e.Vcache.e_decision = Driver.Commutative)
+  | None -> Alcotest.fail "k1 missing");
+  (* k2 is now least-recently-used; inserting k3 evicts it *)
+  ignore (Vcache.find c ~prog_digest:"P" "k1");
+  Vcache.store c "k3" (entry Driver.Commutative);
+  Alcotest.(check int) "capacity held" 2 (Vcache.size c);
+  Alcotest.(check bool) "LRU evicted k2" true (Vcache.find c ~prog_digest:"P" "k2" = None);
+  Alcotest.(check bool) "k1 survived" true (Vcache.find c ~prog_digest:"P" "k1" <> None);
+  let st = Vcache.stats c in
+  Alcotest.(check int) "one eviction" 1 st.Vcache.st_evictions
+
+let test_vcache_disk_persistence () =
+  let dir = fresh_dir "vcache" in
+  let c1 = Vcache.create ~dir () in
+  Vcache.store c1 "k1" (entry Driver.Commutative);
+  (* a second instance over the same directory: a daemon restart *)
+  let c2 = Vcache.create ~dir () in
+  (match Vcache.find c2 ~prog_digest:"P" "k1" with
+  | Some e -> Alcotest.(check bool) "decision survives restart" true (e.Vcache.e_decision = Driver.Commutative)
+  | None -> Alcotest.fail "disk entry missing");
+  let st = Vcache.stats c2 in
+  Alcotest.(check int) "served from disk" 1 st.Vcache.st_disk_hits;
+  (* promoted into memory: the second find is a memory hit *)
+  ignore (Vcache.find c2 ~prog_digest:"P" "k1");
+  Alcotest.(check int) "promoted to memory" 1 (Vcache.stats c2).Vcache.st_mem_hits
+
+let test_vcache_corruption_degrades () =
+  let dir = fresh_dir "vcache" in
+  let c1 = Vcache.create ~dir () in
+  Vcache.store c1 "k1" (entry Driver.Commutative);
+  Vcache.store c1 "k2" (entry Driver.Commutative);
+  (* flip payload bytes in one entry, truncate the other *)
+  let f1 = Filename.concat dir "k1.v" and f2 = Filename.concat dir "k2.v" in
+  let oc = open_out_gen [ Open_wronly ] 0o644 f1 in
+  seek_out oc (in_channel_length (open_in_bin f1) - 3);
+  output_string oc "XXX";
+  close_out oc;
+  let oc = open_out_bin f2 in
+  output_string oc "DCAV1\ntru";
+  close_out oc;
+  let c2 = Vcache.create ~dir () in
+  Alcotest.(check bool) "flipped entry rejected" true (Vcache.find c2 ~prog_digest:"P" "k1" = None);
+  Alcotest.(check bool) "truncated entry rejected" true (Vcache.find c2 ~prog_digest:"P" "k2" = None);
+  Alcotest.(check int) "both counted corrupt" 2 (Vcache.stats c2).Vcache.st_corrupt
+
+(* Escalated entries were verified against whole-program output, so they
+   are only served while the whole-program digest still matches. *)
+let test_vcache_escalated_pinned () =
+  (* borrow a real outcome from a tiny analysis, then mark it escalated *)
+  let outcome =
+    Session.with_session
+      ~options:Session.Options.(default |> with_jobs 1)
+      (Session.Source { file = "t.mc"; source = two_funcs 2; input = [] })
+      (fun s ->
+        match
+          List.find_map (fun (r : Driver.loop_result) -> r.Driver.lr_outcome) (Session.dca_results s)
+        with
+        | Some o -> o
+        | None -> Alcotest.fail "no dynamic outcome")
+  in
+  let c = Vcache.create () in
+  Vcache.store c "esc"
+    {
+      Vcache.e_decision = Driver.Commutative;
+      e_outcome = Some { outcome with Commutativity.oc_escalated = true };
+      e_provenance = Report.Dynamic;
+      e_prog_digest = "P1";
+    };
+  Vcache.store c "plain"
+    {
+      Vcache.e_decision = Driver.Commutative;
+      e_outcome = Some { outcome with Commutativity.oc_escalated = false };
+      e_provenance = Report.Dynamic;
+      e_prog_digest = "P1";
+    };
+  Alcotest.(check bool) "escalated served while program matches" true
+    (Vcache.find c ~prog_digest:"P1" "esc" <> None);
+  Alcotest.(check bool) "escalated dropped when program changed" true
+    (Vcache.find c ~prog_digest:"P2" "esc" = None);
+  Alcotest.(check bool) "plain entry survives program change" true
+    (Vcache.find c ~prog_digest:"P2" "plain" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_rq ?jobs ?faults ?(no_cache = false) source =
+  {
+    Protocol.default_request with
+    Protocol.rq_op = Protocol.Analyze;
+    rq_program = Some (Protocol.Inline { file = "t.mc"; source; input = [] });
+    rq_jobs = jobs;
+    rq_faults = faults;
+    rq_no_cache = no_cache;
+  }
+
+let handle_ok engine rq =
+  let rp = Engine.handle engine rq in
+  if not rp.Protocol.rp_ok then
+    Alcotest.failf "request failed: %s" (Option.value rp.Protocol.rp_error ~default:"?");
+  rp
+
+let report_of rp =
+  match rp.Protocol.rp_report with Some r -> r | None -> Alcotest.fail "no report"
+
+(* Run [f] with counting enabled, returning (result, golden-run delta):
+   the number of loop-local golden recordings the dynamic stage actually
+   performed — zero when every verdict came from cache. *)
+let with_golden_delta f =
+  let was = Telemetry.counting () in
+  Telemetry.set_counting true;
+  let golden = Telemetry.counter "dca.golden_runs" in
+  let before = Telemetry.value golden in
+  let result = f () in
+  let delta = Telemetry.value golden - before in
+  Telemetry.set_counting was;
+  (result, delta)
+
+let test_engine_cold_then_warm () =
+  let engine = Engine.create () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let cold, cold_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      Alcotest.(check int) "cold: no hits" 0 cold.Protocol.rp_hits;
+      Alcotest.(check int) "cold: every loop computed" 2 cold.Protocol.rp_misses;
+      Alcotest.(check bool) "cold ran the dynamic stage" true (cold_golden > 0);
+      let warm, warm_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      Alcotest.(check int) "warm: every loop from cache" 2 warm.Protocol.rp_hits;
+      Alcotest.(check int) "warm: nothing computed" 0 warm.Protocol.rp_misses;
+      Alcotest.(check int) "warm ticked no work counters" 0 warm_golden;
+      Alcotest.(check string) "byte-identical reply" (report_of cold) (report_of warm);
+      Alcotest.(check bool) "loops flagged cached" true
+        (List.for_all (fun li -> li.Protocol.li_cached) warm.Protocol.rp_loops))
+
+(* The invalidation contract: editing fb recomputes fb's loop only — fa's
+   verdict is served from cache, asserted both through hit counts and
+   through the golden-runs work counter. *)
+let test_engine_invalidation_granularity () =
+  let engine = Engine.create () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let _, cold_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      let edited, edit_golden =
+        with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 3)))
+      in
+      Alcotest.(check int) "fa's loop still cached" 1 edited.Protocol.rp_hits;
+      Alcotest.(check int) "only fb's loop recomputed" 1 edited.Protocol.rp_misses;
+      Alcotest.(check bool) "partial recompute did partial work" true
+        (edit_golden > 0 && edit_golden < cold_golden);
+      List.iter
+        (fun li ->
+          let expect_cached = String.length li.Protocol.li_label >= 2 && String.sub li.Protocol.li_label 0 2 = "fa" in
+          Alcotest.(check bool) (li.Protocol.li_label ^ " cached flag") expect_cached li.Protocol.li_cached)
+        edited.Protocol.rp_loops)
+
+(* Cache-hit replies are byte-identical to cold ones at any job width,
+   in every direction: cold@1 = warm@4 = cold@4. *)
+let test_engine_jobs_invariant_replies () =
+  let dir = fresh_dir "engine" in
+  let cold1, warm4 =
+    let engine = Engine.create ~cache_dir:dir () in
+    Fun.protect
+      ~finally:(fun () -> Engine.close engine)
+      (fun () ->
+        let c = handle_ok engine (analyze_rq ~jobs:1 (two_funcs 2)) in
+        let w = handle_ok engine (analyze_rq ~jobs:4 (two_funcs 2)) in
+        (report_of c, report_of w))
+  in
+  Alcotest.(check string) "warm jobs=4 = cold jobs=1" cold1 warm4;
+  let engine = Engine.create () in
+  let cold4 =
+    Fun.protect
+      ~finally:(fun () -> Engine.close engine)
+      (fun () -> report_of (handle_ok engine (analyze_rq ~jobs:4 (two_funcs 2))))
+  in
+  Alcotest.(check string) "cold jobs=4 = cold jobs=1" cold1 cold4
+
+(* A corrupted on-disk entry is recomputed — same reply, one corrupt tick. *)
+let test_engine_corrupt_entry_recomputes () =
+  let dir = fresh_dir "engine" in
+  let cold =
+    let engine = Engine.create ~cache_dir:dir () in
+    Fun.protect
+      ~finally:(fun () -> Engine.close engine)
+      (fun () -> report_of (handle_ok engine (analyze_rq (two_funcs 2))))
+  in
+  (* poison every stored entry on disk *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".v" then begin
+        let oc = open_out_bin (Filename.concat dir f) in
+        output_string oc "DCAV1\ndeadbeef\ngarbage";
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let engine = Engine.create ~cache_dir:dir () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let rp = handle_ok engine (analyze_rq (two_funcs 2)) in
+      Alcotest.(check int) "nothing served from poison" 0 rp.Protocol.rp_hits;
+      Alcotest.(check string) "recomputed reply identical" cold (report_of rp);
+      let corrupt = List.assoc "cache.corrupt" (Engine.stats engine) in
+      Alcotest.(check bool) "corruption detected" true (corrupt > 0))
+
+(* A fault-carrying request aborts its own loops, bypasses the cache both
+   ways, and leaves the daemon and the cache clean for the next request. *)
+let test_engine_fault_request_contained () =
+  let engine = Engine.create () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let cold = handle_ok engine (analyze_rq (two_funcs 2)) in
+      let faulty =
+        handle_ok engine (analyze_rq ~faults:"commutativity.replay@1=raise" (two_funcs 2))
+      in
+      Alcotest.(check int) "fault request skips the cache" 0 faulty.Protocol.rp_hits;
+      let is_aborted li =
+        String.length li.Protocol.li_decision >= 7 && String.sub li.Protocol.li_decision 0 7 = "aborted"
+      in
+      Alcotest.(check bool) "a loop aborted" true (List.exists is_aborted faulty.Protocol.rp_loops);
+      let after = handle_ok engine (analyze_rq (two_funcs 2)) in
+      Alcotest.(check int) "cache not poisoned" 2 after.Protocol.rp_hits;
+      Alcotest.(check string) "post-fault reply identical to cold" (report_of cold) (report_of after))
+
+let test_engine_errors () =
+  let engine = Engine.create () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let unknown =
+        Engine.handle engine
+          { Protocol.default_request with Protocol.rq_op = Protocol.Analyze; rq_program = Some (Protocol.Named "no-such-program") }
+      in
+      Alcotest.(check bool) "unknown program is an error reply" false unknown.Protocol.rp_ok;
+      let parse_error = Engine.handle engine (analyze_rq "void main( {") in
+      Alcotest.(check bool) "parse error is an error reply" false parse_error.Protocol.rp_ok;
+      (* the engine survives both *)
+      let ping = Engine.handle engine Protocol.default_request in
+      Alcotest.(check bool) "engine alive" true ping.Protocol.rp_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Socket server                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One daemon on a real Unix-domain socket, driven by the Client module
+   from the test process while the server runs in a spawned domain. *)
+let test_server_socket () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let access = Filename.concat dir "access.jsonl" in
+  (* a stale socket file from a "crashed daemon" must be reclaimed *)
+  Unix.close (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0);
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX socket);
+  Unix.close stale;
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_access_log = Some access;
+      sv_jobs = Some 1;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  (* readiness = the daemon answers a ping, not just a socket file being
+     present (the stale file is there from the start) *)
+  let rec wait_ready n =
+    if n = 0 then Alcotest.fail "server never became reachable";
+    match
+      Client.with_client socket (fun c ->
+          Client.request c { Protocol.default_request with Protocol.rq_id = 1 })
+    with
+    | Ok rp -> rp
+    | Error _ ->
+        Unix.sleepf 0.05;
+        wait_ready (n - 1)
+  in
+  let ping = wait_ready 200 in
+  let request rq =
+    match Client.with_client socket (fun c -> Client.request c rq) with
+    | Ok rp -> rp
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "ping ok" true ping.Protocol.rp_ok;
+  Alcotest.(check int) "id echoed" 1 ping.Protocol.rp_id;
+  let analyze = { (analyze_rq (two_funcs 2)) with Protocol.rq_id = 2 } in
+  let cold = request analyze in
+  Alcotest.(check int) "cold misses over the wire" 2 cold.Protocol.rp_misses;
+  let warm = request { analyze with Protocol.rq_id = 3 } in
+  Alcotest.(check int) "warm hits over the wire" 2 warm.Protocol.rp_hits;
+  Alcotest.(check string) "reports identical over the wire" (report_of cold) (report_of warm);
+  let stats = request { Protocol.default_request with Protocol.rq_id = 4; rq_op = Protocol.Stats } in
+  Alcotest.(check bool) "stats counters present" true
+    (List.mem_assoc "serve.requests" stats.Protocol.rp_counters);
+  let bye = request { Protocol.default_request with Protocol.rq_id = 5; rq_op = Protocol.Shutdown } in
+  Alcotest.(check bool) "shutdown acknowledged" true bye.Protocol.rp_ok;
+  let served = Domain.join server in
+  Alcotest.(check int) "served all five requests" 5 served;
+  Alcotest.(check bool) "socket removed on exit" true (not (Sys.file_exists socket));
+  (* access log: one JSON object per request, parseable *)
+  let ic = open_in access in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "one access-log line per request" 5 (List.length !lines);
+  List.iter
+    (fun line ->
+      match Json.of_string_result line with
+      | Ok j -> Alcotest.(check bool) "log line has op" true (Json.member "op" j <> None)
+      | Error e -> Alcotest.failf "unparseable access-log line: %s" e)
+    !lines
+
+(* ------------------------------------------------------------------ *)
+(* Session.Options                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_options_setters_and_signature () =
+  let open Session.Options in
+  let o = default |> with_jobs 4 |> with_hierarchical true |> with_deadline_ms 250 in
+  Alcotest.(check bool) "jobs set" true (o.jobs = Some 4);
+  Alcotest.(check bool) "hierarchical set" true o.hierarchical;
+  Alcotest.(check string) "signature is deterministic" (signature o) (signature o);
+  Alcotest.(check bool) "signature separates options" true
+    (signature o <> signature default);
+  Alcotest.(check bool) "equal options, equal signatures" true
+    (signature (default |> with_jobs 4) = signature (default |> with_jobs 4))
+
+(* The deprecated per-field arguments still work and win over the
+   corresponding options field — embedders migrate at their own pace. *)
+let test_options_legacy_override () =
+  let bm = Dca_progs.Registry.find_exn "DC" in
+  let s = Session.create ~options:Session.Options.(default |> with_jobs 2) ~jobs:1 (Session.Benchmark bm) in
+  Alcotest.(check int) "legacy ~jobs wins" 1 (Session.jobs s);
+  Alcotest.(check bool) "resolved options reflect the override" true
+    ((Session.options s).Session.Options.jobs = Some 1);
+  Session.close s;
+  let s2 = Session.create ~options:Session.Options.(default |> with_jobs 2) (Session.Benchmark bm) in
+  Alcotest.(check int) "options field used when no legacy arg" 2 (Session.jobs s2);
+  Session.close s2
+
+(* Per-session telemetry: a session's delta covers its own work only;
+   the global snapshot keeps accumulating across sessions. *)
+let test_options_telemetry_delta () =
+  let was = Telemetry.counting () in
+  Telemetry.set_counting true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_counting was)
+    (fun () ->
+      let bm = Dca_progs.Registry.find_exn "DC" in
+      let options = Session.Options.(default |> with_jobs 1) in
+      let first =
+        Session.with_session ~options (Session.Benchmark bm) (fun s ->
+            ignore (Session.dca_results s);
+            Session.telemetry s)
+      in
+      let golden1 = List.assoc "dca.golden_runs" first in
+      Alcotest.(check bool) "first session saw its work" true (golden1 > 0);
+      Session.with_session ~options (Session.Benchmark bm) (fun s ->
+          ignore (Session.dca_results s);
+          let second = Session.telemetry s in
+          Alcotest.(check int) "second session sees only its own work" golden1
+            (List.assoc "dca.golden_runs" second);
+          let global = List.assoc "dca.golden_runs" (Session.telemetry_global s) in
+          Alcotest.(check bool) "global snapshot accumulates" true (global >= 2 * golden1)))
+
+let suites =
+  [
+    ( "serve.json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+      ] );
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "request round-trip" `Quick test_protocol_request_roundtrip;
+        Alcotest.test_case "request validation" `Quick test_protocol_request_rejects;
+        Alcotest.test_case "response round-trip" `Quick test_protocol_response_roundtrip;
+      ] );
+    ( "serve.digest",
+      [
+        Alcotest.test_case "stable across formatting" `Quick test_digest_formatting_stable;
+        Alcotest.test_case "per-function edit granularity" `Quick test_digest_edit_granularity;
+      ] );
+    ( "serve.vcache",
+      [
+        Alcotest.test_case "memory LRU" `Quick test_vcache_memory;
+        Alcotest.test_case "disk persistence" `Quick test_vcache_disk_persistence;
+        Alcotest.test_case "corruption degrades to recompute" `Quick test_vcache_corruption_degrades;
+        Alcotest.test_case "escalated entries pinned to program" `Quick test_vcache_escalated_pinned;
+      ] );
+    ( "serve.engine",
+      [
+        Alcotest.test_case "cold then warm" `Quick test_engine_cold_then_warm;
+        Alcotest.test_case "invalidation granularity" `Quick test_engine_invalidation_granularity;
+        Alcotest.test_case "jobs-invariant replies" `Quick test_engine_jobs_invariant_replies;
+        Alcotest.test_case "corrupt entry recomputes" `Quick test_engine_corrupt_entry_recomputes;
+        Alcotest.test_case "fault request contained" `Quick test_engine_fault_request_contained;
+        Alcotest.test_case "errors are replies" `Quick test_engine_errors;
+      ] );
+    ("serve.server", [ Alcotest.test_case "socket round-trip" `Quick test_server_socket ]);
+    ( "serve.options",
+      [
+        Alcotest.test_case "setters and signature" `Quick test_options_setters_and_signature;
+        Alcotest.test_case "legacy arguments override" `Quick test_options_legacy_override;
+        Alcotest.test_case "per-session telemetry delta" `Quick test_options_telemetry_delta;
+      ] );
+  ]

@@ -41,7 +41,13 @@ let outcome_key (r : Driver.loop_result) =
           List.map Commutativity.verdict_to_string o.Commutativity.oc_per_invocation )
 
 let analyze_at ?config ?hierarchical bm jobs =
-  Session.with_session ~jobs ?config ?hierarchical (Session.Benchmark bm) (fun s ->
+  let options =
+    let open Session.Options in
+    let o = default |> with_jobs jobs in
+    let o = match config with Some c -> with_config c o | None -> o in
+    match hierarchical with Some h -> with_hierarchical h o | None -> o
+  in
+  Session.with_session ~options (Session.Benchmark bm) (fun s ->
       (Session.dca_results s, Session.report s))
 
 (* Every registry benchmark: decisions, outcome traces and the rendered
