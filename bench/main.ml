@@ -315,6 +315,108 @@ let run_serve () =
   let engine2 = Engine.create ~cache_dir:dir ~jobs:2 () in
   let disk_ns, disk_report, disk_hits, _ = analyze engine2 in
   Engine.close engine2;
+  (* Requests/sec over real sockets under mixed warm/cold traffic: four
+     persistent-connection clients, each alternating a pre-warmed
+     benchmark (cache hit) with a unique inline program (cache miss) and
+     thinking ~25ms between requests.  A serial daemon (--workers 1)
+     serves whole connections one at a time, so it idles through one
+     client's think time while the others wait — the concurrent daemon's
+     win is the elimination of that head-of-line blocking, not raw CPU
+     parallelism.  Replies must be identical across the two modes. *)
+  let clients = 4 in
+  let per_client = if smoke then 4 else 8 in
+  let think = 0.025 in
+  let cold_src tag =
+    Printf.sprintf
+      "int a%d[16];\nvoid main() { int i; for (i = 0; i < 16; i = i + 1) { a%d[i] = a%d[i] + %d; } }\n"
+      tag tag tag (tag + 1)
+  in
+  let warm_rq =
+    {
+      Protocol.default_request with
+      Protocol.rq_op = Protocol.Analyze;
+      rq_program = Some (Protocol.Named "DC");
+      rq_jobs = Some 1;
+    }
+  in
+  let run_mode workers =
+    let dir = Filename.temp_file "dca-bench-serve" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let socket = Filename.concat dir "dca.sock" in
+    let cfg =
+      {
+        (Server.default_config socket) with
+        Server.sv_jobs = Some 1;
+        sv_workers = workers;
+        sv_cache_dir = Some (Filename.concat dir "cache");
+      }
+    in
+    let server = Domain.spawn (fun () -> Server.run cfg) in
+    let one rq =
+      match Client.with_client socket (fun c -> Client.request c rq) with
+      | Ok rp -> Some rp
+      | Error _ -> None
+    in
+    let rec wait_ready n =
+      if n = 0 then failwith "serve bench: daemon never became reachable";
+      match one { Protocol.default_request with Protocol.rq_id = 1 } with
+      | Some _ -> ()
+      | None ->
+          Unix.sleepf 0.05;
+          wait_ready (n - 1)
+    in
+    wait_ready 200;
+    (* pre-warm: DC's verdicts enter the cache before the clock starts *)
+    (match one { warm_rq with Protocol.rq_id = 2 } with
+    | Some { Protocol.rp_ok = true; _ } -> ()
+    | _ -> failwith "serve bench: pre-warm failed");
+    let t0 = Telemetry.now_ns () in
+    let client_domain c =
+      Domain.spawn (fun () ->
+          match
+            Client.with_client socket (fun conn ->
+                Ok
+                  (List.init per_client (fun i ->
+                       let id = (c * 100) + i in
+                       let rq =
+                         if i mod 2 = 0 then { warm_rq with Protocol.rq_id = id }
+                         else
+                           {
+                             warm_rq with
+                             Protocol.rq_id = id;
+                             rq_program =
+                               Some
+                                 (Protocol.Inline
+                                    { file = "cold.mc"; source = cold_src id; input = [] });
+                           }
+                       in
+                       let rp =
+                         match Client.request conn rq with
+                         | Ok rp when rp.Protocol.rp_ok -> rp
+                         | Ok rp ->
+                             failwith
+                               ("serve bench: "
+                               ^ Option.value rp.Protocol.rp_error ~default:"request failed")
+                         | Error e -> failwith ("serve bench: " ^ e)
+                       in
+                       Unix.sleepf think;
+                       match rp.Protocol.rp_report with
+                       | Some r -> r
+                       | None -> failwith "serve bench: reply without report")))
+          with
+          | Ok reports -> reports
+          | Error e -> failwith ("serve bench: " ^ e))
+    in
+    let reports = List.concat_map Domain.join (List.init clients client_domain) in
+    let elapsed = seconds_since t0 in
+    ignore (one { Protocol.default_request with Protocol.rq_id = 3; rq_op = Protocol.Shutdown });
+    ignore (Domain.join server);
+    (float_of_int (clients * per_client) /. elapsed, List.sort compare reports)
+  in
+  let rps_serial, reports_serial = timed "serve-serial" (fun () -> run_mode 1) in
+  let rps_concurrent, reports_concurrent = timed "serve-concurrent" (fun () -> run_mode 4) in
+  let concurrent_identical = reports_serial = reports_concurrent in
   let entries =
     [
       ("serve_cold_LU_ns", cold_ns);
@@ -328,6 +430,10 @@ let run_serve () =
       ("serve_warm_report_identical", if warm_identical then 1.0 else 0.0);
       ( "serve_disk_report_identical",
         if String.equal disk_report cold_report then 1.0 else 0.0 );
+      ("serve_requests_per_sec_serial", rps_serial);
+      ("serve_requests_per_sec_concurrent", rps_concurrent);
+      ("serve_concurrent_speedup_pct", 100.0 *. rps_concurrent /. rps_serial);
+      ("serve_concurrent_reports_identical", if concurrent_identical then 1.0 else 0.0);
     ]
   in
   List.iter (fun (name, v) -> Printf.printf "  %-30s %14.0f\n%!" name v) entries;
@@ -342,9 +448,13 @@ let run_serve () =
   emit entries;
   output_string oc "}\n";
   close_out oc;
-  Printf.printf "  wrote BENCH_serve.json (warm %.0fx, disk-warm %.0fx, identical: %b)\n%!"
+  Printf.printf
+    "  wrote BENCH_serve.json (warm %.0fx, disk-warm %.0fx, identical: %b; %.1f -> %.1f req/s \
+     concurrent, identical: %b)\n\
+     %!"
     (cold_ns /. warm_ns) (cold_ns /. disk_ns)
     (warm_identical && String.equal disk_report cold_report)
+    rps_serial rps_concurrent concurrent_identical
 
 let targets =
   [

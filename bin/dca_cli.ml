@@ -629,7 +629,26 @@ let serve_cmd =
       & info [ "max-requests" ] ~docv:"N"
           ~doc:"Exit after serving $(docv) requests (tests and smoke runs).")
   in
-  let run socket cache_dir cache_capacity sessions access_log max_requests common =
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Connections served concurrently ($(docv) worker domains behind one accept loop).  \
+             $(b,--workers 1) recovers the serial one-connection-at-a-time daemon; replies are \
+             byte-identical either way.")
+  in
+  let metrics_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite a Prometheus-style text exposition of the daemon's metrics to $(docv) \
+             (atomically, temp + rename) after every request — point a file-based scraper at it.")
+  in
+  let run socket cache_dir cache_capacity sessions workers access_log metrics_file max_requests
+      common =
     apply_common common;
     let cfg =
       {
@@ -638,7 +657,9 @@ let serve_cmd =
         sv_cache_capacity = cache_capacity;
         sv_sessions = sessions;
         sv_jobs = common.co_jobs;
+        sv_workers = workers;
         sv_access_log = access_log;
+        sv_metrics_file = metrics_file;
         sv_max_requests = max_requests;
       }
     in
@@ -657,8 +678,8 @@ let serve_cmd =
          "Run the persistent analysis daemon: JSON-lines requests over a Unix-domain socket, \
           answered from a content-addressed verdict cache when the program has not changed")
     Term.(
-      const run $ socket_arg $ cache_dir_arg $ cache_capacity_arg $ sessions_arg $ access_log_arg
-      $ max_requests_arg $ common_term)
+      const run $ socket_arg $ cache_dir_arg $ cache_capacity_arg $ sessions_arg $ workers_arg
+      $ access_log_arg $ metrics_file_arg $ max_requests_arg $ common_term)
 
 (* dca client: one request against a running daemon.  The session-shaped
    common flags travel in the request (--jobs, --deadline-ms,
@@ -679,7 +700,16 @@ let client_cmd =
       & info [ "no-cache" ]
           ~doc:"Bypass the verdict cache for this request (the fresh result is still stored).")
   in
-  let run socket op prog shuffles no_escalate hierarchical no_cache common =
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "With $(b,stats): print the daemon's metrics as a Prometheus-style text exposition \
+             (latency histogram, cache hit/miss counters, in-flight gauge) instead of the plain \
+             counter table.")
+  in
+  let run socket op prog shuffles no_escalate hierarchical no_cache metrics common =
     apply_common common;
     match Dca_serve.Protocol.op_of_string op with
     | None ->
@@ -735,7 +765,15 @@ let client_cmd =
               end
               else begin
                 (match rp.rp_report with Some report -> print_string report | None -> ());
-                List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) rp.rp_counters;
+                (if metrics then
+                   match rp.rp_metrics with
+                   | Some j -> (
+                       match Dca_serve.Metrics.snapshot_of_json j with
+                       | Ok snap -> print_string (Dca_serve.Metrics.exposition snap)
+                       | Error msg -> Printf.eprintf "dca client: bad metrics payload: %s\n" msg)
+                   | None ->
+                       Printf.eprintf "dca client: --metrics needs a stats reply (op was %s)\n" op
+                 else List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) rp.rp_counters);
                 if rp.rp_loops <> [] then
                   Printf.eprintf "dca client: %d loop(s), %d from cache, %d computed, %.1f ms\n"
                     (List.length rp.rp_loops) rp.rp_hits rp.rp_misses
@@ -751,7 +789,7 @@ let client_cmd =
           $(b,analyze) is byte-identical to running $(b,dca analyze) locally)")
     Term.(
       const run $ socket_arg $ op_arg $ prog_opt_arg $ shuffles_arg $ no_escalate_arg
-      $ hierarchical_arg $ no_cache_arg $ common_term)
+      $ hierarchical_arg $ no_cache_arg $ metrics_arg $ common_term)
 
 (* Top-level exit-code contract: 0 = success, 1 = analysis/program
    failure, 2 = usage error (including a malformed fault plan), 3 =

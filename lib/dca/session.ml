@@ -16,6 +16,7 @@ module Options = struct
     deadline_ms : int option;
     heap_words : int option;
     hierarchical : bool;
+    telemetry : Telemetry.Ctx.t option;
   }
 
   let default =
@@ -26,6 +27,7 @@ module Options = struct
       deadline_ms = None;
       heap_words = None;
       hierarchical = false;
+      telemetry = None;
     }
 
   let with_jobs jobs t = { t with jobs = Some jobs }
@@ -34,11 +36,15 @@ module Options = struct
   let with_deadline_ms ms t = { t with deadline_ms = Some ms }
   let with_heap_words w t = { t with heap_words = Some w }
   let with_hierarchical h t = { t with hierarchical = h }
+  let with_telemetry ctx t = { t with telemetry = Some ctx }
 
   (* A short deterministic signature of everything that can change an
      analysis result — what a server may key warm-session reuse on.
      [jobs] is deliberately included (it selects the pool width of the
-     session) even though results are bit-identical across values. *)
+     session) even though results are bit-identical across values.
+     [telemetry] is deliberately *excluded*: where the counters land
+     cannot change a verdict, so two sessions differing only in their
+     pinned context are interchangeable. *)
   let signature t =
     let schedules c =
       String.concat "," (List.map Schedule.to_string c.Commutativity.cc_schedules)
@@ -91,6 +97,8 @@ type t = {
   s_config : Commutativity.config;
   s_spec : Commutativity.run_spec;
   s_hierarchical : bool;
+  s_tele_ctx : Telemetry.Ctx.t;
+  s_tele_pinned : bool;
   s_tele_baseline : (string * int) list;
   mutable s_pool : Pool.t option;
   mutable s_closed : bool;
@@ -127,6 +135,17 @@ let create ?options ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical o
           ?deadline_ns:(Option.map (fun ms -> ms * 1_000_000) options.Options.deadline_ms)
           ?heap_words:options.Options.heap_words input
   in
+  (* The session's telemetry context: the one pinned through the options,
+     else the creator's ambient (the global context unless the embedder
+     scoped one).  Pinning makes the stages run under the context no
+     matter who calls them later — the warm-session case, where stage
+     demand arrives from a different request than the one that created
+     the session, keeps attribution with the pinned owner. *)
+  let tele_ctx, tele_pinned =
+    match options.Options.telemetry with
+    | Some c -> (c, true)
+    | None -> (Telemetry.current (), false)
+  in
   {
     s_name = name;
     s_file = file;
@@ -137,10 +156,13 @@ let create ?options ?jobs ?config ?spec ?deadline_ms ?heap_words ?hierarchical o
     s_config = config;
     s_spec = spec;
     s_hierarchical = options.Options.hierarchical;
-    (* the per-session telemetry origin: counter values at creation.
-       Empty while counting is disabled — [telemetry] then subtracts
-       nothing, which is also correct (disabled counters stay 0). *)
-    s_tele_baseline = Telemetry.counters ();
+    s_tele_ctx = tele_ctx;
+    s_tele_pinned = tele_pinned;
+    (* the per-session telemetry origin: the context's counter values at
+       creation.  Empty while counting is disabled — [telemetry] then
+       subtracts nothing, which is also correct (disabled counters
+       stay 0). *)
+    s_tele_baseline = Telemetry.Ctx.counters tele_ctx;
     s_pool = None;
     s_closed = false;
     s_ir = None;
@@ -183,26 +205,36 @@ let memo cell compute store =
       store v;
       v
 
+(* Stage computations of a pinned session run under the pinned context;
+   an unpinned session computes under whatever ambient the caller has
+   (historically the global context) so nothing changes for existing
+   embedders. *)
+let in_ctx t f = if t.s_tele_pinned then Telemetry.with_ctx t.s_tele_ctx f else f ()
+
 let ir t =
   memo t.s_ir
     (fun () ->
-      Telemetry.span ~cat:"frontend" "session.ir" (fun () ->
-          Dca_ir.Lower.compile ~file:t.s_file t.s_source))
+      in_ctx t (fun () ->
+          Telemetry.span ~cat:"frontend" "session.ir" (fun () ->
+              Dca_ir.Lower.compile ~file:t.s_file t.s_source)))
     (fun v -> t.s_ir <- Some v)
 
 let proginfo t =
   memo t.s_info
     (fun () ->
       let prog = ir t in
-      Telemetry.span ~cat:"static" "session.proginfo" (fun () -> Dca_analysis.Proginfo.analyze prog))
+      in_ctx t (fun () ->
+          Telemetry.span ~cat:"static" "session.proginfo" (fun () ->
+              Dca_analysis.Proginfo.analyze prog)))
     (fun v -> t.s_info <- Some v)
 
 let profile t =
   memo t.s_profile
     (fun () ->
       let info = proginfo t in
-      Telemetry.span ~cat:"profile" "session.profile" (fun () ->
-          Dca_profiling.Depprof.profile_program ~input:t.s_input info))
+      in_ctx t (fun () ->
+          Telemetry.span ~cat:"profile" "session.profile" (fun () ->
+              Dca_profiling.Depprof.profile_program ~input:t.s_input info)))
     (fun v -> t.s_profile <- Some v)
 
 (* The pool exists only while the session wants parallel stages: started on
@@ -224,17 +256,19 @@ let dca_results t =
   memo t.s_results
     (fun () ->
       let info = proginfo t in
-      Telemetry.span ~cat:"dynamic" "session.dca" (fun () ->
-          Driver.analyze_program ~config:t.s_config ~spec:t.s_spec ~hierarchical:t.s_hierarchical
-            ?pool:(pool_of t) info))
+      in_ctx t (fun () ->
+          Telemetry.span ~cat:"dynamic" "session.dca" (fun () ->
+              Driver.analyze_program ~config:t.s_config ~spec:t.s_spec
+                ~hierarchical:t.s_hierarchical ?pool:(pool_of t) info)))
     (fun v -> t.s_results <- Some v)
 
 let compute_plan t ~machine ~strategy =
   let info = proginfo t in
   let prof = profile t in
   let detected = Driver.commutative_ids (dca_results t) in
-  Telemetry.span ~cat:"plan" "session.plan" (fun () ->
-      Dca_parallel.Planner.select ~machine info prof ~detected ~strategy)
+  in_ctx t (fun () ->
+      Telemetry.span ~cat:"plan" "session.plan" (fun () ->
+          Dca_parallel.Planner.select ~machine info prof ~detected ~strategy))
 
 let plan ?machine ?strategy t =
   match (machine, strategy) with
@@ -251,14 +285,17 @@ let plan ?machine ?strategy t =
 let advise t = Advisor.advise (proginfo t) (profile t) (dca_results t)
 let report t = Report.to_string (dca_results t)
 
-let telemetry_global _t = Telemetry.counters ()
+let telemetry_global _t = Telemetry.Ctx.counters Telemetry.Ctx.global
 
-(* Counters attributable to this session: current value minus the value at
-   creation.  Counters registered after the baseline was taken (first use
-   anywhere in the process) subtract an implicit 0.  Zero deltas are
-   elided so a quiet session reports an empty list, like a disabled one. *)
+(* Counters attributable to this session: the session context's current
+   value minus the value at creation.  Counters registered after the
+   baseline was taken (first use anywhere in the process) subtract an
+   implicit 0.  Zero deltas are elided so a quiet session reports an
+   empty list, like a disabled one.  With a pinned context the deltas
+   are exact even while other sessions run concurrently in their own
+   contexts — nothing else writes into this one. *)
 let telemetry t =
-  Telemetry.counters ()
+  Telemetry.Ctx.counters t.s_tele_ctx
   |> List.filter_map (fun (k, v) ->
          let d = v - (match List.assoc_opt k t.s_tele_baseline with Some b -> b | None -> 0) in
          if d = 0 then None else Some (k, d))

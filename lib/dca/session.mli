@@ -71,6 +71,13 @@ module Options : sig
     hierarchical : bool;
         (** explore loops top-down, skipping loops subsumed by a
             commutative ancestor (default [false]) *)
+    telemetry : Dca_support.Telemetry.Ctx.t option;
+        (** pin the session to a telemetry context: every stage
+            computation runs under it (via
+            {!Dca_support.Telemetry.with_ctx}) regardless of the
+            caller's ambient, and {!telemetry} reports deltas on it.
+            [None] (the default) leaves stages under the caller's
+            ambient context — the historical process-global behavior. *)
   }
 
   val default : t
@@ -80,13 +87,15 @@ module Options : sig
   val with_deadline_ms : int -> t -> t
   val with_heap_words : int -> t -> t
   val with_hierarchical : bool -> t -> t
+  val with_telemetry : Dca_support.Telemetry.Ctx.t -> t -> t
 
   val signature : t -> string
   (** Deterministic textual signature of every field that can change an
       analysis result (schedules, tolerances, budgets, inputs, job
       width).  Two options values with equal signatures configure
       interchangeable sessions — the serve daemon keys warm-session
-      reuse on this. *)
+      reuse on this.  [telemetry] is excluded: where counters land
+      cannot change a verdict. *)
 end
 
 type t
@@ -182,24 +191,28 @@ val report : t -> string
 (** {!Report.to_string} of {!dca_results}. *)
 
 val telemetry : t -> (string * int) list
-(** Counters attributable to {e this} session: the process-wide
-    {!Dca_support.Telemetry} counters minus their values when the session
-    was created (name/delta pairs sorted by name, zero deltas elided;
-    empty while counting is disabled).  In a process running many
-    sessions — the serve daemon — each session sees only its own work.
-    The work-kind deltas ([dca.*]) are deterministic — bit-identical
-    across [jobs] settings and checkpoint modes; the diagnostic ones
-    ([store.*], [interp.instructions]) are not.
+(** Counters attributable to {e this} session: the session context's
+    {!Dca_support.Telemetry} counters minus their values when the
+    session was created (name/delta pairs sorted by name, zero deltas
+    elided; empty while counting is disabled).  The session context is
+    the one pinned through {!Options.with_telemetry}, else the
+    creator's ambient context (the global one by default).  In a
+    process running many sessions — the serve daemon — each session
+    sees only its own work.  The work-kind deltas ([dca.*]) are
+    deterministic — bit-identical across [jobs] settings and checkpoint
+    modes; the diagnostic ones ([store.*], [interp.instructions]) are
+    not.
 
-    Concurrent sessions are not separable this way: a delta over a
-    process-global counter attributes interleaved work from other live
-    sessions to this one.  The daemon serves requests sequentially for
-    exactly this reason. *)
+    Sequential sessions over one shared context are separable by the
+    baseline subtraction alone; {e concurrent} sessions additionally
+    need disjoint pinned contexts — with one each, the deltas stay
+    exact because nothing else writes into them (the concurrent serve
+    daemon relies on this). *)
 
 val telemetry_global : t -> (string * int) list
 (** The historical behavior of [telemetry]: a raw snapshot of the
-    process-wide counters — embedders running several sessions see their
-    aggregate. *)
+    global context's counters — embedders running several sessions see
+    their aggregate. *)
 
 (** {1 Lifecycle} *)
 

@@ -414,10 +414,11 @@ let stats t = t.stats
 let d_snapshots = Telemetry.counter ~kind:Telemetry.Diag "store.snapshots"
 let d_restores = Telemetry.counter ~kind:Telemetry.Diag "store.restores"
 let d_journal_entries = Telemetry.counter ~kind:Telemetry.Diag "store.journal_entries"
-let d_journal_peak = Telemetry.counter ~kind:Telemetry.Diag "store.journal_peak"
+let d_journal_peak = Telemetry.counter ~kind:Telemetry.Diag ~merge:Telemetry.Max "store.journal_peak"
 let d_blocks_privatized = Telemetry.counter ~kind:Telemetry.Diag "store.blocks_privatized"
 let d_cells_dirtied = Telemetry.counter ~kind:Telemetry.Diag "store.cells_dirtied"
-let d_snapshot_depth_peak = Telemetry.counter ~kind:Telemetry.Diag "store.snapshot_depth_peak"
+let d_snapshot_depth_peak =
+  Telemetry.counter ~kind:Telemetry.Diag ~merge:Telemetry.Max "store.snapshot_depth_peak"
 let d_watermark_hits = Telemetry.counter ~kind:Telemetry.Diag "store.fork_watermark_hits"
 let d_forks = Telemetry.counter ~kind:Telemetry.Diag "store.forks"
 

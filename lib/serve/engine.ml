@@ -21,10 +21,33 @@
    list is byte-identical to a cold run — the acceptance criterion the
    serve bench asserts.
 
-   The engine is sequential by design: one request at a time owns the
-   process-global telemetry/faultpoint state and the cache.  Parallelism
-   lives *inside* a request (the session pool), where the deterministic
-   merge keeps output stable. *)
+   The engine is concurrency-safe: [handle] may be called from many
+   worker domains at once.  Three mechanisms make that sound:
+
+     - *Telemetry contexts.*  Each analyze request runs under its own
+       Telemetry.Ctx (installed with [with_ctx], propagated into the
+       session pool), so its counters are exactly its own work; on
+       completion the context is folded into the daemon's context, so
+       aggregate stats equal what a serial daemon would report.  The
+       reply itself never depends on telemetry — the counters footer is
+       a pure fold over the result records — which is why replies are
+       byte-identical under any interleaving.  When the daemon is
+       *tracing*, requests share the daemon context instead: a trace is
+       a whole-daemon artifact, and per-domain event streams must stay
+       chronological.
+
+     - *A busy-aware warm-session LRU.*  A session serves one request
+       at a time ([w_busy]); a second request for the same key runs on
+       a transient session that is closed afterwards if the slot was
+       retaken.  Eviction never touches a busy session.
+
+     - *A writer-priority gate for fault injection.*  Faultpoint plans
+       are process-global, so a fault-carrying request takes the gate
+       exclusively while normal requests share it — injected failures
+       can never leak into an innocent request.
+
+   The Vcache serializes internally; the engine's own counters live
+   under one mutex. *)
 
 module Session = Dca_core.Session
 module Driver = Dca_core.Driver
@@ -38,10 +61,15 @@ type warm = {
   w_session : Session.t;
   w_digest : Progdigest.t Lazy.t;
   mutable w_last : int;
+  mutable w_busy : bool;  (* serving a request right now; ineligible for reuse/eviction *)
 }
 
 type t = {
   cache : Vcache.t;
+  metrics : Metrics.t;
+  tele : Telemetry.Ctx.t;  (* the daemon's aggregate context (ambient at create) *)
+  lock : Mutex.t;  (* sessions table, counters, request ids, the fault gate *)
+  gate_cond : Condition.t;
   sessions : (string, warm) Hashtbl.t;
   session_cap : int;
   default_jobs : int option;
@@ -49,11 +77,33 @@ type t = {
   mutable requests : int;
   mutable session_reuses : int;
   mutable aborted_requests : int;
+  mutable next_req : int;
+  (* fault gate: shared by normal analyzes, exclusive for fault-carrying
+     ones, writer-priority so a fault request is not starved *)
+  mutable active_shared : int;
+  mutable pending_exclusive : int;
+  mutable exclusive : bool;
 }
 
+let metric_names =
+  ( [
+      "dca_requests_total";
+      "dca_requests_errors_total";
+      "dca_analyze_requests_total";
+      "dca_cache_hits_total";
+      "dca_cache_misses_total";
+    ],
+    [ "dca_inflight_requests"; "dca_queue_depth"; "dca_warm_sessions" ],
+    [ "dca_request_duration_seconds" ] )
+
 let create ?cache_dir ?cache_capacity ?(sessions = 8) ?jobs () =
+  let counters, gauges, histograms = metric_names in
   {
     cache = Vcache.create ?dir:cache_dir ?capacity:cache_capacity ();
+    metrics = Metrics.create ~counters ~gauges ~histograms ();
+    tele = Telemetry.current ();
+    lock = Mutex.create ();
+    gate_cond = Condition.create ();
     sessions = Hashtbl.create 16;
     session_cap = max 1 sessions;
     default_jobs = jobs;
@@ -61,13 +111,53 @@ let create ?cache_dir ?cache_capacity ?(sessions = 8) ?jobs () =
     requests = 0;
     session_reuses = 0;
     aborted_requests = 0;
+    next_req = 0;
+    active_shared = 0;
+    pending_exclusive = 0;
+    exclusive = false;
   }
 
 let cache t = t.cache
+let metrics t = t.metrics
 
 let close t =
-  Hashtbl.iter (fun _ w -> Session.close w.w_session) t.sessions;
-  Hashtbl.reset t.sessions
+  let victims =
+    Mutex.protect t.lock (fun () ->
+        let ws = Hashtbl.fold (fun _ w acc -> w :: acc) t.sessions [] in
+        Hashtbl.reset t.sessions;
+        ws)
+  in
+  List.iter (fun w -> Session.close w.w_session) victims
+
+(* ------------------------------------------------------------------ *)
+(* Fault gate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let enter_shared t =
+  Mutex.protect t.lock (fun () ->
+      while t.exclusive || t.pending_exclusive > 0 do
+        Condition.wait t.gate_cond t.lock
+      done;
+      t.active_shared <- t.active_shared + 1)
+
+let exit_shared t =
+  Mutex.protect t.lock (fun () ->
+      t.active_shared <- t.active_shared - 1;
+      if t.active_shared = 0 then Condition.broadcast t.gate_cond)
+
+let enter_exclusive t =
+  Mutex.protect t.lock (fun () ->
+      t.pending_exclusive <- t.pending_exclusive + 1;
+      while t.exclusive || t.active_shared > 0 do
+        Condition.wait t.gate_cond t.lock
+      done;
+      t.pending_exclusive <- t.pending_exclusive - 1;
+      t.exclusive <- true)
+
+let exit_exclusive t =
+  Mutex.protect t.lock (fun () ->
+      t.exclusive <- false;
+      Condition.broadcast t.gate_cond)
 
 (* ------------------------------------------------------------------ *)
 (* Program resolution                                                  *)
@@ -123,39 +213,76 @@ let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* Evict idle sessions down to capacity, oldest first.  Busy sessions
+   are untouchable — the table may transiently exceed its cap while
+   every resident is mid-request.  Closing (a pool join) happens
+   outside the lock. *)
 let evict_sessions t =
-  while Hashtbl.length t.sessions > t.session_cap do
-    let victim = ref None in
-    Hashtbl.iter
-      (fun k w ->
+  let victims = ref [] in
+  Mutex.protect t.lock (fun () ->
+      let continue = ref true in
+      while !continue && Hashtbl.length t.sessions > t.session_cap do
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k w ->
+            if not w.w_busy then
+              match !victim with
+              | Some (_, best) when best.w_last <= w.w_last -> ()
+              | _ -> victim := Some (k, w))
+          t.sessions;
         match !victim with
-        | Some (_, best) when best <= w.w_last -> ()
-        | _ -> victim := Some (k, w.w_last))
-      t.sessions;
-    match !victim with
-    | Some (k, _) ->
-        (match Hashtbl.find_opt t.sessions k with
-        | Some w -> Session.close w.w_session
-        | None -> ());
-        Hashtbl.remove t.sessions k
-    | None -> ()
-  done
+        | Some (k, w) ->
+            Hashtbl.remove t.sessions k;
+            victims := w :: !victims
+        | None -> continue := false
+      done);
+  List.iter (fun w -> Session.close w.w_session) !victims
 
-let warm_session t ~file ~source ~input options =
+type slot = Pooled | Fresh of string
+
+(* Claim a warm session for exclusive use, or build a transient one.
+   The transient session joins the table on release if the slot is
+   still free; if a twin claimed it meanwhile, the transient is simply
+   closed — both produced identical replies, one keeps the warmth. *)
+let acquire_session t ~file ~source ~input options =
   let key = Digest.to_hex (Digest.string source) ^ "|" ^ Session.Options.signature options in
-  match Hashtbl.find_opt t.sessions key with
-  | Some w ->
-      w.w_last <- tick t;
-      t.session_reuses <- t.session_reuses + 1;
-      w
+  let reused =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.sessions key with
+        | Some w when not w.w_busy ->
+            w.w_busy <- true;
+            w.w_last <- tick t;
+            t.session_reuses <- t.session_reuses + 1;
+            Some w
+        | _ -> None)
+  in
+  match reused with
+  | Some w -> (w, Pooled)
   | None ->
       let s = Session.create ~options (Session.Source { file; source; input }) in
       let w =
-        { w_session = s; w_digest = lazy (Progdigest.of_program (Session.ir s)); w_last = tick t }
+        { w_session = s; w_digest = lazy (Progdigest.of_program (Session.ir s)); w_last = 0; w_busy = true }
       in
-      Hashtbl.replace t.sessions key w;
-      evict_sessions t;
-      w
+      (w, Fresh key)
+
+let release_session t w = function
+  | Pooled ->
+      Mutex.protect t.lock (fun () ->
+          w.w_busy <- false;
+          w.w_last <- tick t)
+  | Fresh key ->
+      let close_me =
+        Mutex.protect t.lock (fun () ->
+            if Hashtbl.mem t.sessions key then true
+            else begin
+              w.w_busy <- false;
+              w.w_last <- tick t;
+              Hashtbl.replace t.sessions key w;
+              false
+            end)
+      in
+      if close_me then Session.close w.w_session;
+      evict_sessions t
 
 (* ------------------------------------------------------------------ *)
 (* Cached analysis                                                     *)
@@ -259,11 +386,15 @@ let analyze_with_cache t w (rq : Protocol.request) =
 
 let stats t =
   let c = Vcache.stats t.cache in
+  let requests, aborted, warm, reuses =
+    Mutex.protect t.lock (fun () ->
+        (t.requests, t.aborted_requests, Hashtbl.length t.sessions, t.session_reuses))
+  in
   [
-    ("serve.requests", t.requests);
-    ("serve.aborted_requests", t.aborted_requests);
-    ("serve.warm_sessions", Hashtbl.length t.sessions);
-    ("serve.session_reuses", t.session_reuses);
+    ("serve.requests", requests);
+    ("serve.aborted_requests", aborted);
+    ("serve.warm_sessions", warm);
+    ("serve.session_reuses", reuses);
     ("cache.mem_entries", Vcache.size t.cache);
     ("cache.mem_hits", c.Vcache.st_mem_hits);
     ("cache.disk_hits", c.Vcache.st_disk_hits);
@@ -274,47 +405,98 @@ let stats t =
   ]
 
 (* Per-request fault containment: a request's fault plan is armed for
-   exactly that request; whatever escapes every inner containment layer
-   (loop-level Aborted verdicts absorb most injected faults) is caught
-   here and turned into an error *reply* — the daemon survives and the
-   next request starts from a clean faultpoint state. *)
+   exactly that request, under the exclusive side of the gate; whatever
+   escapes every inner containment layer (loop-level Aborted verdicts
+   absorb most injected faults) is caught here and turned into an error
+   *reply* — the daemon survives and the next request starts from a
+   clean faultpoint state. *)
+let run_analyze t (rq : Protocol.request) =
+  try
+    (match rq.Protocol.rq_faults with
+    | Some plan ->
+        Faultpoint.arm_string plan;
+        Faultpoint.reset_hits ()
+    | None -> ());
+    match resolve_program (Option.get rq.Protocol.rq_program) with
+    | Error msg -> Error msg
+    | Ok (file, source, input) ->
+        let options = options_of_request t rq in
+        let w, slot = acquire_session t ~file ~source ~input options in
+        Fun.protect
+          ~finally:(fun () -> release_session t w slot)
+          (fun () -> Ok (analyze_with_cache t w rq))
+  with
+  | Faultpoint.Bad_plan msg -> Error ("invalid fault plan: " ^ msg)
+  | Dca_frontend.Loc.Error (loc, msg) -> Error (Dca_frontend.Loc.to_string loc ^ ": " ^ msg)
+  | Dca_interp.Eval.Trap msg -> Error ("runtime trap: " ^ msg)
+  | Dca_interp.Eval.Out_of_fuel -> Error "execution exceeded the fuel bound"
+  | Dca_interp.Eval.Deadline_exceeded -> Error "execution exceeded the wall-clock deadline"
+  | Dca_interp.Eval.Heap_exhausted -> Error "execution exceeded the heap budget"
+  | e -> Error ("internal error: " ^ Printexc.to_string e)
+
 let handle t (rq : Protocol.request) =
-  t.requests <- t.requests + 1;
+  let req =
+    Mutex.protect t.lock (fun () ->
+        t.requests <- t.requests + 1;
+        t.next_req <- t.next_req + 1;
+        t.next_req)
+  in
+  Metrics.incr t.metrics "dca_requests_total";
+  Metrics.gauge_add t.metrics "dca_inflight_requests" 1;
   let id = rq.Protocol.rq_id in
   let t0 = Telemetry.now_ns () in
-  let finish rp = { rp with Protocol.rp_elapsed_ns = Telemetry.now_ns () - t0 } in
+  let finish rp =
+    let elapsed = Telemetry.now_ns () - t0 in
+    Metrics.observe_ns t.metrics "dca_request_duration_seconds" elapsed;
+    if not rp.Protocol.rp_ok then Metrics.incr t.metrics "dca_requests_errors_total";
+    Metrics.gauge_add t.metrics "dca_inflight_requests" (-1);
+    { rp with Protocol.rp_req = req; rp_elapsed_ns = elapsed }
+  in
   match rq.Protocol.rq_op with
   | Protocol.Ping -> finish (Protocol.ok_response ~id)
-  | Protocol.Stats -> finish { (Protocol.ok_response ~id) with Protocol.rp_counters = stats t }
+  | Protocol.Stats ->
+      finish
+        {
+          (Protocol.ok_response ~id) with
+          Protocol.rp_counters = stats t;
+          rp_metrics = Some (Metrics.snapshot_to_json (Metrics.snapshot t.metrics));
+        }
   | Protocol.Shutdown -> finish (Protocol.ok_response ~id)
   | Protocol.Analyze -> (
-      let faults_armed = rq.Protocol.rq_faults <> None in
+      Metrics.incr t.metrics "dca_analyze_requests_total";
+      let faulty = rq.Protocol.rq_faults <> None in
+      if faulty then enter_exclusive t else enter_shared t;
       let result =
-        try
-          (match rq.Protocol.rq_faults with
-          | Some plan ->
-              Faultpoint.arm_string plan;
-              Faultpoint.reset_hits ()
-          | None -> ());
-          match resolve_program (Option.get rq.Protocol.rq_program) with
-          | Error msg -> Error msg
-          | Ok (file, source, input) ->
-              let options = options_of_request t rq in
-              let w = warm_session t ~file ~source ~input options in
-              Ok (analyze_with_cache t w rq)
-        with
-        | Faultpoint.Bad_plan msg -> Error ("invalid fault plan: " ^ msg)
-        | Dca_frontend.Loc.Error (loc, msg) ->
-            Error (Dca_frontend.Loc.to_string loc ^ ": " ^ msg)
-        | Dca_interp.Eval.Trap msg -> Error ("runtime trap: " ^ msg)
-        | Dca_interp.Eval.Out_of_fuel -> Error "execution exceeded the fuel bound"
-        | Dca_interp.Eval.Deadline_exceeded -> Error "execution exceeded the wall-clock deadline"
-        | Dca_interp.Eval.Heap_exhausted -> Error "execution exceeded the heap budget"
-        | e -> Error ("internal error: " ^ Printexc.to_string e)
+        Fun.protect
+          ~finally:(fun () ->
+            if faulty then begin
+              Faultpoint.disarm ();
+              exit_exclusive t
+            end
+            else exit_shared t)
+          (fun () ->
+            (* Per-request attribution: the analysis runs under its own
+               context (mirroring the daemon's counting flag) and is
+               folded into the daemon context afterwards, so concurrent
+               requests never contaminate each other and the aggregate
+               equals a serial daemon's.  Under tracing the daemon
+               context is used directly — event streams must stay
+               chronological per domain, and a trace is a whole-daemon
+               artifact. *)
+            let rctx =
+              if Telemetry.Ctx.tracing t.tele then t.tele
+              else Telemetry.Ctx.create ~counting:(Telemetry.Ctx.counting t.tele) ()
+            in
+            let r = Telemetry.with_ctx rctx (fun () -> run_analyze t rq) in
+            if rctx != t.tele then Telemetry.Ctx.merge_into ~into:t.tele rctx;
+            r)
       in
-      if faults_armed then Faultpoint.disarm ();
       match result with
       | Ok eo ->
+          Metrics.add t.metrics "dca_cache_hits_total" eo.eo_hits;
+          Metrics.add t.metrics "dca_cache_misses_total" eo.eo_misses;
+          Metrics.gauge_set t.metrics "dca_warm_sessions"
+            (Mutex.protect t.lock (fun () -> Hashtbl.length t.sessions));
           finish
             {
               (Protocol.ok_response ~id) with
@@ -324,5 +506,5 @@ let handle t (rq : Protocol.request) =
               rp_misses = eo.eo_misses;
             }
       | Error msg ->
-          t.aborted_requests <- t.aborted_requests + 1;
+          Mutex.protect t.lock (fun () -> t.aborted_requests <- t.aborted_requests + 1);
           finish (Protocol.error_response ~id msg))

@@ -1,0 +1,226 @@
+(* The daemon's metrics plane: counters, gauges, and fixed-bucket
+   latency histograms (DESIGN.md §13).
+
+   Families are declared once at [create]; after that every operation is
+   an atomic read-modify-write on a preallocated cell — no locks, no
+   allocation on the hot path, safe from any worker domain.  A
+   [snapshot] is a plain value that round-trips through JSON (the
+   [stats] protocol verb ships it to clients) and renders to a
+   Prometheus-style text exposition, so the same data feeds `dca client
+   --metrics`, the `--metrics-file` scrape target, and tests.
+
+   Histograms use a fixed bucket ladder in nanoseconds (1ms … 10s);
+   observations land in the first bucket whose upper bound is >= the
+   value, with a +Inf overflow bucket.  Bucket counts are stored
+   non-cumulative and summed into the Prometheus cumulative form at
+   exposition time — a snapshot taken while observations are in flight
+   is still internally consistent per cell (each count is exact; only
+   the cross-cell view can lag by an in-flight observation). *)
+
+type hist = {
+  h_counts : int Atomic.t array;  (* one per bucket + the +Inf overflow *)
+  h_sum_ns : int Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type t = {
+  m_counters : (string * int Atomic.t) list;
+  m_gauges : (string * int Atomic.t) list;
+  m_hists : (string * hist) list;
+}
+
+(* 1ms, 2.5ms, 5ms … 10s: wide enough for a warm ping and a cold
+   whole-program analysis on the same ladder. *)
+let bucket_bounds_ns =
+  [|
+    1_000_000;
+    2_500_000;
+    5_000_000;
+    10_000_000;
+    25_000_000;
+    50_000_000;
+    100_000_000;
+    250_000_000;
+    500_000_000;
+    1_000_000_000;
+    2_500_000_000;
+    5_000_000_000;
+    10_000_000_000;
+  |]
+
+let create ~counters ~gauges ~histograms () =
+  let cell n = (n, Atomic.make 0) in
+  {
+    m_counters = List.map cell counters;
+    m_gauges = List.map cell gauges;
+    m_hists =
+      List.map
+        (fun n ->
+          ( n,
+            {
+              h_counts = Array.init (Array.length bucket_bounds_ns + 1) (fun _ -> Atomic.make 0);
+              h_sum_ns = Atomic.make 0;
+              h_count = Atomic.make 0;
+            } ))
+        histograms;
+  }
+
+let family kind assoc name =
+  match List.assoc_opt name assoc with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Metrics: unknown %s %S" kind name)
+
+let add t name n = ignore (Atomic.fetch_and_add (family "counter" t.m_counters name) n)
+let incr t name = add t name 1
+let gauge_add t name n = ignore (Atomic.fetch_and_add (family "gauge" t.m_gauges name) n)
+
+let gauge_set t name v = Atomic.set (family "gauge" t.m_gauges name) v
+
+let observe_ns t name v =
+  let h = family "histogram" t.m_hists name in
+  let rec bucket i =
+    if i >= Array.length bucket_bounds_ns || v <= bucket_bounds_ns.(i) then i else bucket (i + 1)
+  in
+  ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
+  ignore (Atomic.fetch_and_add h.h_sum_ns (max 0 v));
+  ignore (Atomic.fetch_and_add h.h_count 1)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  hs_bounds_ns : int array;  (* upper bounds; the implicit last bucket is +Inf *)
+  hs_counts : int array;  (* length = bounds + 1, non-cumulative *)
+  hs_sum_ns : int;
+  hs_count : int;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * int) list;
+  sn_hists : (string * hist_snapshot) list;
+}
+
+let snapshot t =
+  {
+    sn_counters = List.map (fun (n, c) -> (n, Atomic.get c)) t.m_counters;
+    sn_gauges = List.map (fun (n, c) -> (n, Atomic.get c)) t.m_gauges;
+    sn_hists =
+      List.map
+        (fun (n, h) ->
+          ( n,
+            {
+              hs_bounds_ns = Array.copy bucket_bounds_ns;
+              hs_counts = Array.map Atomic.get h.h_counts;
+              hs_sum_ns = Atomic.get h.h_sum_ns;
+              hs_count = Atomic.get h.h_count;
+            } ))
+        t.m_hists;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_to_json s =
+  let ints kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+  let hist (n, h) =
+    ( n,
+      Json.Obj
+        [
+          ("bounds_ns", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) h.hs_bounds_ns)));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.hs_counts)));
+          ("sum_ns", Json.Int h.hs_sum_ns);
+          ("count", Json.Int h.hs_count);
+        ] )
+  in
+  Json.Obj
+    [
+      ("counters", ints s.sn_counters);
+      ("gauges", ints s.sn_gauges);
+      ("histograms", Json.Obj (List.map hist s.sn_hists));
+    ]
+
+let snapshot_of_json j =
+  let ints name =
+    match Json.member name j with
+    | Some (Json.Obj kvs) ->
+        Ok
+          (List.filter_map
+             (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
+             kvs)
+    | _ -> Error (Printf.sprintf "metrics snapshot: missing %S object" name)
+  in
+  let hist (n, hj) =
+    let int_array field =
+      match Json.member field hj with
+      | Some (Json.List xs) -> Some (Array.of_list (List.filter_map Json.to_int_opt xs))
+      | _ -> None
+    in
+    match (int_array "bounds_ns", int_array "counts") with
+    | Some bounds, Some counts
+      when Array.length counts = Array.length bounds + 1 ->
+        let int field =
+          Option.value ~default:0 (Option.bind (Json.member field hj) Json.to_int_opt)
+        in
+        Some
+          ( n,
+            {
+              hs_bounds_ns = bounds;
+              hs_counts = counts;
+              hs_sum_ns = int "sum_ns";
+              hs_count = int "count";
+            } )
+    | _ -> None
+  in
+  match (ints "counters", ints "gauges") with
+  | Ok counters, Ok gauges ->
+      let hists =
+        match Json.member "histograms" j with
+        | Some (Json.Obj kvs) -> List.filter_map hist kvs
+        | _ -> []
+      in
+      Ok { sn_counters = counters; sn_gauges = gauges; sn_hists = hists }
+  | Error e, _ | _, Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Grammar (a subset of the Prometheus text format, DESIGN.md §13):
+   one `# TYPE name kind` comment per family, then one sample per line,
+   histogram buckets cumulative with `le` in seconds and a closing
+   `+Inf`, plus `_sum` (seconds) and `_count`. *)
+let exposition s =
+  let buf = Buffer.create 1024 in
+  let sample name v = Buffer.add_string buf (Printf.sprintf "%s %d\n" name v) in
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      sample n v)
+    s.sn_counters;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      sample n v)
+    s.sn_gauges;
+  List.iter
+    (fun (n, h) ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + h.hs_counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%g\"} %d\n" n
+               (float_of_int bound /. 1e9)
+               !cum))
+        h.hs_bounds_ns;
+      cum := !cum + h.hs_counts.(Array.length h.hs_bounds_ns);
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %.9f\n" n (float_of_int h.hs_sum_ns /. 1e9));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.hs_count))
+    s.sn_hists;
+  Buffer.contents buf

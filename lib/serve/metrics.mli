@@ -1,0 +1,60 @@
+(** The daemon's metrics plane: counters, gauges, and fixed-bucket
+    latency histograms over a declared family set (DESIGN.md §13).
+
+    Distinct from {!Dca_support.Telemetry} on purpose: telemetry
+    counters measure the {e analysis} (loops examined, replays decided —
+    deterministic, context-scoped), while metrics measure the
+    {e service} (request rates, latency distribution, queue pressure —
+    wall-clock facts of one daemon process).  Families are fixed at
+    {!create}; updates are single atomic operations, safe from any
+    worker domain, with no allocation on the hot path.
+
+    A {!snapshot} round-trips through JSON (the [stats] protocol verb
+    carries it to clients) and renders to a Prometheus-style text
+    {!exposition} — the formats of `dca client --metrics` and the
+    daemon's [--metrics-file]. *)
+
+type t
+
+val create : counters:string list -> gauges:string list -> histograms:string list -> unit -> t
+(** Declare the families.  Operations on names outside the declared set
+    raise [Invalid_argument] — a misspelled metric is a bug, not data. *)
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+
+val gauge_add : t -> string -> int -> unit
+val gauge_set : t -> string -> int -> unit
+
+val observe_ns : t -> string -> int -> unit
+(** Record one histogram observation, in nanoseconds.  The bucket
+    ladder is fixed (1ms … 10s, then +Inf); negative values clamp into
+    the first bucket. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  hs_bounds_ns : int array;  (** bucket upper bounds; the last bucket is +Inf *)
+  hs_counts : int array;  (** per-bucket counts, {e non}-cumulative; length = bounds + 1 *)
+  hs_sum_ns : int;
+  hs_count : int;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * int) list;
+  sn_hists : (string * hist_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+(** Atomic per cell; a concurrent observation may straddle two cells of
+    one histogram (count visible, sum not yet), which the next snapshot
+    repairs — totals never drift. *)
+
+val snapshot_to_json : snapshot -> Json.t
+val snapshot_of_json : Json.t -> (snapshot, string) result
+
+val exposition : snapshot -> string
+(** Prometheus-style text: a [# TYPE] line per family, histogram
+    buckets cumulative with [le] in seconds closing at [+Inf], then
+    [_sum] (seconds) and [_count]. *)

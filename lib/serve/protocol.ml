@@ -49,6 +49,7 @@ type loop_info = {
 
 type response = {
   rp_id : int;
+  rp_req : int;  (** server-assigned request id (0 = unassigned) *)
   rp_ok : bool;
   rp_error : string option;
   rp_report : string option;
@@ -56,12 +57,14 @@ type response = {
   rp_hits : int;
   rp_misses : int;
   rp_counters : (string * int) list;  (** [Stats] replies: server counters *)
+  rp_metrics : Json.t option;  (** [Stats] replies: {!Metrics.snapshot} as JSON *)
   rp_elapsed_ns : int;
 }
 
 let ok_response ~id =
   {
     rp_id = id;
+    rp_req = 0;
     rp_ok = true;
     rp_error = None;
     rp_report = None;
@@ -69,6 +72,7 @@ let ok_response ~id =
     rp_hits = 0;
     rp_misses = 0;
     rp_counters = [];
+    rp_metrics = None;
     rp_elapsed_ns = 0;
   }
 
@@ -200,7 +204,9 @@ let loop_info_of_json j =
 
 let response_to_json r =
   Json.Obj
-    ([ ("id", Json.Int r.rp_id); ("status", Json.Str (if r.rp_ok then "ok" else "error")) ]
+    ([ ("id", Json.Int r.rp_id) ]
+    @ (if r.rp_req = 0 then [] else [ ("req", Json.Int r.rp_req) ])
+    @ [ ("status", Json.Str (if r.rp_ok then "ok" else "error")) ]
     @ (match r.rp_error with Some e -> [ ("error", Json.Str e) ] | None -> [])
     @ (match r.rp_report with Some s -> [ ("report", Json.Str s) ] | None -> [])
     @ (match r.rp_loops with
@@ -210,6 +216,7 @@ let response_to_json r =
     @ (match r.rp_counters with
       | [] -> []
       | kvs -> [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)) ])
+    @ (match r.rp_metrics with Some m -> [ ("metrics", m) ] | None -> [])
     @ [ ("elapsed_ns", Json.Int r.rp_elapsed_ns) ])
 
 let response_of_json j =
@@ -220,6 +227,7 @@ let response_of_json j =
       Ok
         {
           rp_id = int_field "id";
+          rp_req = int_field "req";
           rp_ok = status = "ok";
           rp_error = Option.bind (Json.member "error" j) Json.to_str_opt;
           rp_report = Option.bind (Json.member "report" j) Json.to_str_opt;
@@ -236,6 +244,7 @@ let response_of_json j =
                   (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
                   kvs
             | _ -> []);
+          rp_metrics = Json.member "metrics" j;
           rp_elapsed_ns = int_field "elapsed_ns";
         }
 

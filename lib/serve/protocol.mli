@@ -42,6 +42,12 @@ type loop_info = {
 
 type response = {
   rp_id : int;
+  rp_req : int;
+      (** server-assigned request id (monotonic per daemon, 0 when the
+          response never went through an engine) — the same id appears
+          in the access log's [req] field and as the [req] argument of
+          the request's trace span, so one request can be followed
+          across all three sinks *)
   rp_ok : bool;
   rp_error : string option;
   rp_report : string option;  (** byte-identical to [dca analyze] output *)
@@ -49,6 +55,7 @@ type response = {
   rp_hits : int;  (** per-request verdict-cache hits *)
   rp_misses : int;
   rp_counters : (string * int) list;  (** [Stats] replies *)
+  rp_metrics : Json.t option;  (** [Stats] replies: {!Metrics.snapshot} as JSON *)
   rp_elapsed_ns : int;
 }
 

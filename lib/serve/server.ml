@@ -1,15 +1,32 @@
 (* Unix-domain-socket transport for the serve engine.
 
-   One accept loop, one connection at a time, one request line at a time:
-   the engine owns process-global state (telemetry counters, faultpoint
-   plans, the verdict cache), so serialization is what makes per-request
-   telemetry deltas and fault scoping meaningful.  Clients queue in the
-   listen backlog; analysis latency dwarfs connection turnaround.
+   One accept loop feeding a pool of worker domains: accepted
+   connections are queued; each worker owns one connection at a time
+   and serves its request lines in order, so per-connection replies are
+   sequential while the daemon as a whole serves [sv_workers]
+   connections concurrently.  The engine underneath is concurrency-safe
+   (per-request telemetry contexts, a locked verdict cache, a
+   writer-priority gate for fault-carrying requests), so replies are
+   byte-identical to a serial daemon's.
 
-   Every request is wrapped in a Telemetry span and appended to the
-   JSONL access log (one object per request: timestamp, id, op, program,
-   status, loop/hit/miss counts, elapsed time), so a daemon's history
-   can be replayed or mined with the same tooling as a trace file. *)
+   Request admission is a reservation: a worker reserves a budget slot
+   under the state lock *before* handing the line to the engine and
+   counts the completion exactly once afterwards — with [--max-requests n]
+   the daemon serves exactly [n] requests no matter how many
+   connections race for the tail of the budget.  Once stopped (budget
+   exhausted or a [shutdown] request), the accept loop is woken by a
+   dummy connect and every active connection is read-shutdown so a
+   worker blocked on an idle persistent connection cannot stall the
+   exit.
+
+   Every request is wrapped in a Telemetry span carrying the
+   server-assigned request id and appended to the JSONL access log (one
+   object per request: timestamp, ids, op, program, status,
+   loop/hit/miss counts, elapsed time), and the metrics exposition is
+   rewritten to [sv_metrics_file] (atomically, temp + rename) after
+   every request — the same id threads the access log, the trace, and
+   the reply ([rp_req]), so one request can be followed across all
+   three sinks. *)
 
 type config = {
   sv_socket : string;
@@ -17,7 +34,9 @@ type config = {
   sv_cache_capacity : int option;
   sv_sessions : int;
   sv_jobs : int option;
+  sv_workers : int;  (* concurrent connections served; 1 = the old serial daemon *)
   sv_access_log : string option;
+  sv_metrics_file : string option;  (* Prometheus-style exposition, rewritten per request *)
   sv_max_requests : int option;  (* stop after N requests: tests, smoke runs *)
 }
 
@@ -28,7 +47,9 @@ let default_config socket =
     sv_cache_capacity = None;
     sv_sessions = 8;
     sv_jobs = None;
+    sv_workers = 4;
     sv_access_log = None;
+    sv_metrics_file = None;
     sv_max_requests = None;
   }
 
@@ -52,8 +73,24 @@ let program_name = function
   | Some (Protocol.Inline { file; _ }) -> file ^ " (inline)"
   | None -> ""
 
-let log_request oc (rq : Protocol.request) (rp : Protocol.response) =
-  match oc with
+type state = {
+  engine : Engine.t;
+  cfg : config;
+  lock : Mutex.t;
+  cond : Condition.t;  (* queue arrivals and shutdown, for the workers *)
+  queue : Unix.file_descr Queue.t;
+  active : (Unix.file_descr, unit) Hashtbl.t;  (* connections being served *)
+  mutable reserved : int;  (* budget slots handed out *)
+  mutable served : int;  (* requests completed (replied or reply attempted) *)
+  mutable stop : bool;  (* no further admissions *)
+  mutable closed : bool;  (* workers may exit once the queue drains *)
+  access : out_channel option;
+  log_lock : Mutex.t;
+  metrics_lock : Mutex.t;
+}
+
+let log_request st (rq : Protocol.request) (rp : Protocol.response) =
+  match st.access with
   | None -> ()
   | Some oc ->
       let entry =
@@ -61,6 +98,7 @@ let log_request oc (rq : Protocol.request) (rp : Protocol.response) =
           [
             ("ts_ns", Json.Int (Dca_support.Telemetry.now_ns ()));
             ("id", Json.Int rq.Protocol.rq_id);
+            ("req", Json.Int rp.Protocol.rp_req);
             ("op", Json.Str (Protocol.op_to_string rq.Protocol.rq_op));
             ("program", Json.Str (program_name rq.Protocol.rq_program));
             ("status", Json.Str (if rp.Protocol.rp_ok then "ok" else "error"));
@@ -70,46 +108,150 @@ let log_request oc (rq : Protocol.request) (rp : Protocol.response) =
             ("elapsed_ns", Json.Int rp.Protocol.rp_elapsed_ns);
           ]
       in
-      output_string oc (Json.to_string entry);
-      output_char oc '\n';
-      flush oc
+      Mutex.protect st.log_lock (fun () ->
+          output_string oc (Json.to_string entry);
+          output_char oc '\n';
+          flush oc)
 
-type state = { engine : Engine.t; mutable served : int; mutable stop : bool }
+let write_metrics_file st =
+  match st.cfg.sv_metrics_file with
+  | None -> ()
+  | Some file ->
+      Mutex.protect st.metrics_lock (fun () ->
+          try
+            let data = Metrics.exposition (Metrics.snapshot (Engine.metrics st.engine)) in
+            let tmp = file ^ ".tmp" in
+            let oc = open_out tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc data);
+            Sys.rename tmp file
+          with Sys_error _ -> ())
 
-let handle_line st access rq_line =
-  let rq, rp =
-    match Protocol.parse_request rq_line with
-    | Error msg ->
-        (Protocol.default_request, Protocol.error_response ~id:0 ("bad request: " ^ msg))
-    | Ok rq ->
-        let rp =
-          Dca_support.Telemetry.span ~cat:"serve"
-            ("serve." ^ Protocol.op_to_string rq.Protocol.rq_op)
-            (fun () -> Engine.handle st.engine rq)
-        in
-        if rq.Protocol.rq_op = Protocol.Shutdown then st.stop <- true;
-        (rq, rp)
+(* Wake the accept loop out of a blocking [accept]: connect and hang up.
+   The accepted descriptor is discarded by the stopped loop. *)
+let wake_accept st =
+  let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect s (Unix.ADDR_UNIX st.cfg.sv_socket) with Unix.Unix_error _ -> ());
+  try Unix.close s with Unix.Unix_error _ -> ()
+
+(* Force workers blocked in [input_line] on idle persistent connections
+   to see end-of-file.  Reads only — a reply in flight still goes out. *)
+let shutdown_active st =
+  let fds = Mutex.protect st.lock (fun () -> Hashtbl.fold (fun fd () acc -> fd :: acc) st.active []) in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    fds
+
+let enter_stop st =
+  wake_accept st;
+  shutdown_active st
+
+(* Reserve one budget slot.  Refusals close the connection; exhausting
+   the budget flips [stop] so the accept loop and the other workers
+   wind down. *)
+let admit st =
+  let admitted, stopped =
+    Mutex.protect st.lock (fun () ->
+        if st.stop then (false, false)
+        else begin
+          st.reserved <- st.reserved + 1;
+          match st.cfg.sv_max_requests with
+          | Some n when st.reserved >= n ->
+              st.stop <- true;
+              (true, true)
+          | _ -> (true, false)
+        end)
   in
-  st.served <- st.served + 1;
-  log_request access rq rp;
-  rp
+  if stopped then enter_stop st;
+  admitted
 
-let serve_connection st access ~budget_left fd =
+let note_served st (rq : Protocol.request) =
+  let stopped =
+    Mutex.protect st.lock (fun () ->
+        st.served <- st.served + 1;
+        if rq.Protocol.rq_op = Protocol.Shutdown && not st.stop then begin
+          st.stop <- true;
+          true
+        end
+        else false)
+  in
+  if stopped then enter_stop st
+
+let handle_line st rq_line =
+  match Protocol.parse_request rq_line with
+  | Error msg ->
+      (Protocol.default_request, Protocol.error_response ~id:0 ("bad request: " ^ msg))
+  | Ok rq ->
+      let module T = Dca_support.Telemetry in
+      let name = "serve." ^ Protocol.op_to_string rq.Protocol.rq_op in
+      let traced = T.tracing () in
+      if traced then T.begin_span ~cat:"serve" name;
+      let rp =
+        match Engine.handle st.engine rq with
+        | rp ->
+            if traced then
+              T.end_span
+                ~args:
+                  [
+                    ("req", string_of_int rp.Protocol.rp_req);
+                    ("id", string_of_int rq.Protocol.rq_id);
+                    ("status", if rp.Protocol.rp_ok then "ok" else "error");
+                  ]
+                name;
+            rp
+        | exception e ->
+            if traced then T.end_span name;
+            raise e
+      in
+      (rq, rp)
+
+let serve_connection st fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  try
-    while (not st.stop) && budget_left () do
-      let line = input_line ic in
-      if String.trim line <> "" then begin
-        let rp = handle_line st access line in
-        output_string oc (Protocol.response_line rp);
-        output_char oc '\n';
-        flush oc
-      end
-    done
-  with
-  | End_of_file -> ()
-  | Sys_error _ -> ()
+  let continue = ref true in
+  while !continue do
+    match input_line ic with
+    | line ->
+        if String.trim line <> "" then
+          if admit st then begin
+            let rq, rp = handle_line st line in
+            (try
+               output_string oc (Protocol.response_line rp);
+               output_char oc '\n';
+               flush oc
+             with Sys_error _ -> ());
+            log_request st rq rp;
+            write_metrics_file st;
+            note_served st rq
+          end
+          else continue := false
+    | exception End_of_file -> continue := false
+    | exception Sys_error _ -> continue := false
+  done
+
+let worker_loop st =
+  let running = ref true in
+  while !running do
+    Mutex.lock st.lock;
+    let rec take () =
+      match Queue.take_opt st.queue with
+      | Some fd -> Some fd
+      | None -> if st.closed then None else (Condition.wait st.cond st.lock; take ())
+    in
+    let item = take () in
+    (match item with Some fd -> Hashtbl.replace st.active fd () | None -> ());
+    Mutex.unlock st.lock;
+    match item with
+    | Some fd ->
+        Metrics.gauge_add (Engine.metrics st.engine) "dca_queue_depth" (-1);
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect st.lock (fun () -> Hashtbl.remove st.active fd);
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> serve_connection st fd)
+    | None -> running := false
+  done
 
 let run cfg =
   reclaim_stale_socket cfg.sv_socket;
@@ -119,7 +261,7 @@ let run cfg =
   | exception e ->
       Unix.close sock;
       raise e);
-  Unix.listen sock 16;
+  Unix.listen sock 64;
   let engine =
     Engine.create ?cache_dir:cfg.sv_cache_dir ?cache_capacity:cfg.sv_cache_capacity
       ~sessions:cfg.sv_sessions ?jobs:cfg.sv_jobs ()
@@ -127,23 +269,61 @@ let run cfg =
   let access =
     Option.map (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path) cfg.sv_access_log
   in
-  let st = { engine; served = 0; stop = false } in
-  let budget_left () =
-    match cfg.sv_max_requests with None -> true | Some n -> st.served < n
+  let st =
+    {
+      engine;
+      cfg;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      active = Hashtbl.create 16;
+      reserved = 0;
+      served = 0;
+      stop = false;
+      closed = false;
+      access;
+      log_lock = Mutex.create ();
+      metrics_lock = Mutex.create ();
+    }
   in
   Fun.protect
     ~finally:(fun () ->
       Engine.close engine;
+      write_metrics_file st;
       Option.iter close_out_noerr access;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Sys.remove cfg.sv_socket with Sys_error _ -> ())
     (fun () ->
-      while (not st.stop) && budget_left () do
+      (* Workers inherit the acceptor's telemetry context, exactly like
+         pool tasks: daemon-level spans land in the daemon's context. *)
+      let tele = Dca_support.Telemetry.current () in
+      let workers =
+        List.init
+          (max 1 cfg.sv_workers)
+          (fun _ -> Domain.spawn (fun () -> Dca_support.Telemetry.with_ctx tele (fun () -> worker_loop st)))
+      in
+      (* The accept loop: enqueue until stopped.  A stop flipped by a
+         worker wakes a blocking [accept] through [wake_accept]. *)
+      while Mutex.protect st.lock (fun () -> not st.stop) do
         match Unix.accept sock with
         | fd, _ ->
-            Fun.protect
-              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-              (fun () -> serve_connection st access ~budget_left fd)
+            let enq =
+              Mutex.protect st.lock (fun () ->
+                  if st.stop then false
+                  else begin
+                    Queue.add fd st.queue;
+                    Condition.broadcast st.cond;
+                    true
+                  end)
+            in
+            if enq then Metrics.gauge_add (Engine.metrics st.engine) "dca_queue_depth" 1
+            else ( try Unix.close fd with Unix.Unix_error _ -> ())
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
+      (* Drain: workers finish in-flight connections (admission is shut),
+         discard the queued rest, and exit. *)
+      Mutex.protect st.lock (fun () ->
+          st.closed <- true;
+          Condition.broadcast st.cond);
+      List.iter Domain.join workers;
       st.served)

@@ -1,10 +1,13 @@
 (** Unix-domain-socket transport for the serve {!Engine}.
 
-    One accept loop, one connection at a time, one request line at a
-    time: the engine owns process-global state (telemetry, faultpoint
-    plans, the verdict cache), and serializing requests is what makes
-    per-request telemetry deltas and fault scoping meaningful.  Clients
-    queue in the listen backlog. *)
+    One accept loop feeding [sv_workers] worker domains: each worker
+    owns one connection at a time and answers its request lines in
+    order, so per-connection replies stay sequential while the daemon
+    serves many connections concurrently.  The engine underneath is
+    concurrency-safe (per-request telemetry contexts, a locked verdict
+    cache, an exclusive gate for fault-carrying requests), so every
+    reply is byte-identical to a serial daemon's.  [sv_workers = 1]
+    recovers the old one-connection-at-a-time behavior. *)
 
 type config = {
   sv_socket : string;  (** Unix-domain socket path *)
@@ -12,15 +15,25 @@ type config = {
   sv_cache_capacity : int option;
   sv_sessions : int;  (** warm-session LRU bound *)
   sv_jobs : int option;  (** default pool width for requests without one *)
+  sv_workers : int;  (** connections served concurrently (default 4) *)
   sv_access_log : string option;
-      (** JSONL access log, one object per request (appended) *)
+      (** JSONL access log, one object per request (appended); each
+          entry carries the server-assigned [req] id also found in the
+          reply's [rp_req] and the request's trace span *)
+  sv_metrics_file : string option;
+      (** Prometheus-style {!Metrics.exposition}, atomically rewritten
+          (temp + rename) after every request and on shutdown — a
+          scrape target *)
   sv_max_requests : int option;
-      (** stop after serving this many requests — tests and smoke runs *)
+      (** stop after serving this many requests — tests and smoke runs.
+          Exact under concurrency: admission reserves a budget slot
+          before the engine runs, completions are counted once. *)
 }
 
 val default_config : string -> config
 (** Defaults for the given socket path: memory-only cache, 8 warm
-    sessions, no access log, serve until [shutdown]. *)
+    sessions, 4 workers, no access log, no metrics file, serve until
+    [shutdown]. *)
 
 val run : config -> int
 (** Bind (reclaiming a stale socket file from a crashed daemon first,

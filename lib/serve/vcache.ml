@@ -19,9 +19,15 @@
    through a temp file + rename, so a concurrently reading process sees
    either the old entry or the new one, never a torn one.
 
-   The store itself is not locked: the daemon serves requests
-   sequentially, and two daemons sharing a directory at worst recompute
-   (atomic rename keeps the files well-formed). *)
+   One mutex serializes the whole cache — table, LRU clock, and the
+   stats fields (plain mutable ints, exact because every touch happens
+   under the lock).  The concurrent daemon probes and stores from many
+   worker domains; holding the lock across the disk read/write keeps
+   the hit/miss/store accounting a single consistent story per call,
+   and the I/O it covers is small (one verdict record) next to the
+   dynamic-stage work a miss implies.  Two *processes* sharing a
+   directory still at worst recompute (atomic rename keeps the files
+   well-formed). *)
 
 module Driver = Dca_core.Driver
 module Commutativity = Dca_core.Commutativity
@@ -48,6 +54,7 @@ type stats = {
 type t = {
   dir : string option;
   capacity : int;
+  lock : Mutex.t;
   mem : (string, entry * int ref) Hashtbl.t;  (* key → entry, last-use tick *)
   mutable clock : int;
   mutable mem_hits : int;
@@ -68,6 +75,7 @@ let create ?dir ?(capacity = 4096) () =
   {
     dir;
     capacity = max 1 capacity;
+    lock = Mutex.create ();
     mem = Hashtbl.create 256;
     clock = 0;
     mem_hits = 0;
@@ -169,38 +177,41 @@ let valid ~prog_digest entry =
   | _ -> true
 
 let find t ~prog_digest key =
-  match Hashtbl.find_opt t.mem key with
-  | Some (entry, last) when valid ~prog_digest entry ->
-      last := tick t;
-      t.mem_hits <- t.mem_hits + 1;
-      Some entry
-  | Some _ ->
-      Hashtbl.remove t.mem key;
-      t.misses <- t.misses + 1;
-      None
-  | None -> (
-      match disk_read t key with
-      | Some entry when valid ~prog_digest entry ->
-          t.disk_hits <- t.disk_hits + 1;
-          mem_insert t key entry;
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.mem key with
+      | Some (entry, last) when valid ~prog_digest entry ->
+          last := tick t;
+          t.mem_hits <- t.mem_hits + 1;
           Some entry
-      | _ ->
+      | Some _ ->
+          Hashtbl.remove t.mem key;
           t.misses <- t.misses + 1;
-          None)
+          None
+      | None -> (
+          match disk_read t key with
+          | Some entry when valid ~prog_digest entry ->
+              t.disk_hits <- t.disk_hits + 1;
+              mem_insert t key entry;
+              Some entry
+          | _ ->
+              t.misses <- t.misses + 1;
+              None))
 
 let store t key entry =
-  t.stores <- t.stores + 1;
-  mem_insert t key entry;
-  disk_write t key entry
+  Mutex.protect t.lock (fun () ->
+      t.stores <- t.stores + 1;
+      mem_insert t key entry;
+      disk_write t key entry)
 
 let stats t =
-  {
-    st_mem_hits = t.mem_hits;
-    st_disk_hits = t.disk_hits;
-    st_misses = t.misses;
-    st_stores = t.stores;
-    st_corrupt = t.corrupt;
-    st_evictions = t.evictions;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        st_mem_hits = t.mem_hits;
+        st_disk_hits = t.disk_hits;
+        st_misses = t.misses;
+        st_stores = t.stores;
+        st_corrupt = t.corrupt;
+        st_evictions = t.evictions;
+      })
 
-let size t = Hashtbl.length t.mem
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.mem)

@@ -11,8 +11,11 @@
     On-disk entries carry a payload digest: any corruption (torn write,
     truncation, bit rot, format drift) is detected on read, counted in
     [st_corrupt], and degrades to a recompute — never a crash.  Writes
-    are atomic (temp file + rename).  The cache performs no locking; it
-    is meant to be driven by one sequential request loop. *)
+    are atomic (temp file + rename).  The cache is concurrency-safe:
+    one internal mutex serializes {!find}/{!store}/{!stats}/{!size}, so
+    the concurrent daemon's worker domains share it directly and the
+    {!stats} fields stay exact (every hit, miss, store, and eviction is
+    counted exactly once). *)
 
 type entry = {
   e_decision : Dca_core.Driver.decision;

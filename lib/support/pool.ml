@@ -63,23 +63,34 @@ let map t f xs =
         let n = Array.length items in
         let results = Array.make n None in
         let remaining = ref n in
+        (* Tasks run under the submitter's telemetry context, whichever
+           domain picks them up: counters and spans land in the scope
+           that requested the work, not in the worker's own ambient.
+           Captured once per map — a drain loop stealing a task from a
+           sibling map still installs *that* map's context. *)
+        let tele = Telemetry.current () in
         let run i () =
-          (* span per task, on whichever domain executes it: the trace's
-             per-tid lanes show worker utilization directly *)
-          Telemetry.begin_span ~cat:"pool" "task";
           let r =
-            (* the fault point is inside the capture: an injected failure
-               is recorded into the result slot and surfaces through the
-               deterministic earliest-index propagation, exactly like a
-               real task failure.  The site is unscoped and hit from
-               whichever domain runs the task, so it is a diagnostic
-               site — jobs-invariance is not claimed for it. *)
-            try
-              Faultpoint.hit_unit fp_task;
-              Ok (f items.(i))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
+            Telemetry.with_ctx tele (fun () ->
+                (* span per task, on whichever domain executes it: the
+                   trace's per-tid lanes show worker utilization directly *)
+                Telemetry.begin_span ~cat:"pool" "task";
+                let r =
+                  (* the fault point is inside the capture: an injected
+                     failure is recorded into the result slot and surfaces
+                     through the deterministic earliest-index propagation,
+                     exactly like a real task failure.  The site is
+                     unscoped and hit from whichever domain runs the task,
+                     so it is a diagnostic site — jobs-invariance is not
+                     claimed for it. *)
+                  try
+                    Faultpoint.hit_unit fp_task;
+                    Ok (f items.(i))
+                  with e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                Telemetry.end_span "task";
+                r)
           in
-          Telemetry.end_span "task";
           Mutex.lock t.lock;
           results.(i) <- Some r;
           decr remaining;

@@ -1,19 +1,152 @@
 external now_ns : unit -> int = "dca_monotonic_now_ns" [@@noalloc]
 
 (* ------------------------------------------------------------------ *)
-(* Collection flags                                                    *)
+(* Counter descriptors                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Atomics, not plain refs: the flags are read from pool worker domains.
-   The reads compile to plain loads — the disabled fast path is one load
-   and one branch, with no allocation. *)
-let tracing_flag = Atomic.make false
-let counting_flag = Atomic.make false
+(* A counter is a process-wide *descriptor* — name, kind, merge rule and
+   a dense index — while its cells live in contexts.  Descriptors are
+   registered once (module-initialization [let]s) and shared by every
+   context, so two contexts always agree on what a counter means and a
+   fold of one context into another is index-aligned. *)
 
-let tracing () = Atomic.get tracing_flag
-let counting () = Atomic.get counting_flag
-let set_tracing b = Atomic.set tracing_flag b
-let set_counting b = Atomic.set counting_flag b
+type kind = Work | Diag
+type merge = Sum | Max
+
+type counter = { c_name : string; c_kind : kind; c_merge : merge; c_index : int }
+
+let registry : counter list ref = ref []  (* newest first *)
+let registry_n = ref 0
+let registry_mutex = Mutex.create ()
+
+let counter ?(kind = Work) ?(merge = Sum) name =
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun c -> c.c_name = name) !registry with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_kind = kind; c_merge = merge; c_index = !registry_n } in
+          registry := c :: !registry;
+          incr registry_n;
+          c)
+
+let registered () = Mutex.protect registry_mutex (fun () -> !registry)
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  e_ph : char;
+  e_name : string;
+  e_cat : string;
+  e_ts : int;
+  e_tid : int;
+  e_args : (string * string) list;
+}
+
+(* A context owns what used to be process-global: the collection flags,
+   one cell per registered counter, and per-domain event buffers.  The
+   flags are atomics because they are read from pool worker domains; the
+   disabled fast path is still one load and one branch per flag, with no
+   allocation.  Buffers are keyed by domain id and only ever appended to
+   by that domain; sinks read them after the workers have gone quiet. *)
+type ctx = {
+  ctx_tracing : bool Atomic.t;
+  ctx_counting : bool Atomic.t;
+  ctx_mutex : Mutex.t;  (* guards cell-array growth and buffer registration *)
+  mutable ctx_cells : int Atomic.t array;
+  mutable ctx_buffers : (int * event list ref) list;  (* newest first *)
+}
+
+let make_ctx ~tracing ~counting =
+  {
+    ctx_tracing = Atomic.make tracing;
+    ctx_counting = Atomic.make counting;
+    ctx_mutex = Mutex.create ();
+    ctx_cells = [||];
+    ctx_buffers = [];
+  }
+
+let global_ctx = make_ctx ~tracing:false ~counting:false
+
+(* The ambient context of the calling domain.  Defaults to the global
+   context everywhere, so code that never mentions contexts behaves
+   exactly as before the refactor. *)
+let current_key = Domain.DLS.new_key (fun () -> global_ctx)
+let current () = Domain.DLS.get current_key
+
+let with_ctx c f =
+  let prev = Domain.DLS.get current_key in
+  Domain.DLS.set current_key c;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
+
+(* Find a context's cell for a descriptor, growing the cell array on the
+   slow path.  Growth copies the *same* [Atomic.t] values into the larger
+   array, so increments racing with growth land in cells the new array
+   still reaches — no update is lost. *)
+let cell ctx c =
+  let a = ctx.ctx_cells in
+  if c.c_index < Array.length a then Array.unsafe_get a c.c_index
+  else
+    Mutex.protect ctx.ctx_mutex (fun () ->
+        let a = ctx.ctx_cells in
+        if c.c_index < Array.length a then a.(c.c_index)
+        else begin
+          let n = max (c.c_index + 1) !registry_n in
+          let a' =
+            Array.init n (fun i -> if i < Array.length a then a.(i) else Atomic.make 0)
+          in
+          ctx.ctx_cells <- a';
+          a'.(c.c_index)
+        end)
+
+(* Read-only probe: never grows the array (reads allocate nothing). *)
+let peek ctx c =
+  let a = ctx.ctx_cells in
+  if c.c_index < Array.length a then Atomic.get (Array.unsafe_get a c.c_index) else 0
+
+let max_bump cell n =
+  let rec bump () =
+    let cur = Atomic.get cell in
+    if n > cur && not (Atomic.compare_and_set cell cur n) then bump ()
+  in
+  bump ()
+
+let ctx_counters ?kind ctx =
+  registered ()
+  |> List.filter (fun c -> match kind with None -> true | Some k -> c.c_kind = k)
+  |> List.map (fun c -> (c.c_name, peek ctx c))
+  |> List.sort compare
+
+let ctx_reset ctx =
+  Mutex.protect ctx.ctx_mutex (fun () ->
+      Array.iter (fun cell -> Atomic.set cell 0) ctx.ctx_cells;
+      List.iter (fun (_, b) -> b := []) ctx.ctx_buffers)
+
+(* Fold [src]'s counters into [into]: [Sum] counters add, [Max] counters
+   keep the larger value.  Unconditional — this is aggregation of already
+   collected data, not instrumentation, so [into]'s counting flag is not
+   consulted.  Events are not folded; they stay with the context that
+   recorded them. *)
+let ctx_merge_into ~into src =
+  if into != src then
+    List.iter
+      (fun c ->
+        let v = peek src c in
+        if v <> 0 then
+          match c.c_merge with
+          | Sum -> ignore (Atomic.fetch_and_add (cell into c) v)
+          | Max -> max_bump (cell into c) v)
+      (registered ())
+
+(* ------------------------------------------------------------------ *)
+(* Ambient API (what pre-context call sites keep using)                *)
+(* ------------------------------------------------------------------ *)
+
+let tracing () = Atomic.get (current ()).ctx_tracing
+let counting () = Atomic.get (current ()).ctx_counting
+let set_tracing b = Atomic.set (current ()).ctx_tracing b
+let set_counting b = Atomic.set (current ()).ctx_counting b
 
 type config = { cfg_trace : string option; cfg_jsonl : string option; cfg_stats : bool }
 
@@ -21,12 +154,18 @@ let current_config = ref { cfg_trace = None; cfg_jsonl = None; cfg_stats = false
 let explicitly_configured = ref false
 let env_inited = ref false
 
-let configure cfg =
-  explicitly_configured := true;
+(* Sinks and their file paths are process-level concerns; [configure]
+   installs them and derives the collection flags of the *global*
+   context, which is the ambient context of every front end. *)
+let apply_config cfg =
   current_config := cfg;
   let tracing = cfg.cfg_trace <> None || cfg.cfg_jsonl <> None in
-  set_tracing tracing;
-  set_counting (tracing || cfg.cfg_stats)
+  Atomic.set global_ctx.ctx_tracing tracing;
+  Atomic.set global_ctx.ctx_counting (tracing || cfg.cfg_stats)
+
+let configure cfg =
+  explicitly_configured := true;
+  apply_config cfg
 
 let config () = !current_config
 
@@ -45,79 +184,43 @@ let init_from_env () =
           else { cfg_trace = Some f; cfg_jsonl = None; cfg_stats = stats }
       | _ -> { cfg_trace = None; cfg_jsonl = None; cfg_stats = stats }
     in
-    current_config := cfg;
-    let tracing = cfg.cfg_trace <> None || cfg.cfg_jsonl <> None in
-    set_tracing tracing;
-    set_counting (tracing || cfg.cfg_stats)
+    apply_config cfg
   end
 
-(* ------------------------------------------------------------------ *)
-(* Counters                                                            *)
-(* ------------------------------------------------------------------ *)
-
-type kind = Work | Diag
-
-type counter = { c_name : string; c_kind : kind; c_cell : int Atomic.t }
-
-let registry : counter list ref = ref []
-let registry_mutex = Mutex.create ()
-
-let counter ?(kind = Work) name =
-  Mutex.protect registry_mutex (fun () ->
-      match List.find_opt (fun c -> c.c_name = name) !registry with
-      | Some c -> c
-      | None ->
-          let c = { c_name = name; c_kind = kind; c_cell = Atomic.make 0 } in
-          registry := c :: !registry;
-          c)
-
-let add c n = if Atomic.get counting_flag then ignore (Atomic.fetch_and_add c.c_cell n)
-
+let add c n = if counting () then ignore (Atomic.fetch_and_add (cell (current ()) c) n)
 let incr c = add c 1
-
-let add_max c n =
-  if Atomic.get counting_flag then begin
-    let rec bump () =
-      let cur = Atomic.get c.c_cell in
-      if n > cur && not (Atomic.compare_and_set c.c_cell cur n) then bump ()
-    in
-    bump ()
-  end
-
-let value c = Atomic.get c.c_cell
-
-let counters ?kind () =
-  Mutex.protect registry_mutex (fun () ->
-      List.filter (fun c -> match kind with None -> true | Some k -> c.c_kind = k) !registry)
-  |> List.map (fun c -> (c.c_name, Atomic.get c.c_cell))
-  |> List.sort compare
+let add_max c n = if counting () then max_bump (cell (current ()) c) n
+let value c = peek (current ()) c
+let counters ?kind () = ctx_counters ?kind (current ())
+let reset () = ctx_reset (current ())
 
 (* ------------------------------------------------------------------ *)
-(* Per-domain event buffers                                            *)
+(* Events                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type event = {
-  e_ph : char;
-  e_name : string;
-  e_cat : string;
-  e_ts : int;
-  e_tid : int;
-  e_args : (string * string) list;
-}
+(* One buffer per (context, domain), found through a one-slot per-domain
+   cache: the common case — a domain recording many events into one
+   context — pays a physical-equality check, not a mutex. *)
+let buffer_cache : (ctx * event list ref) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-(* One buffer per domain, registered on the domain's first event.  Events
-   are consed locally (newest first) with no cross-domain synchronization;
-   sinks read the buffers only from the main domain, after the workers
-   have gone quiet (pool maps are synchronous).  [reset] swaps the inner
-   refs rather than the registry so stale DLS handles stay harmless. *)
-let buffers : event list ref list ref = ref []
-let buffers_mutex = Mutex.create ()
-
-let buffer_key =
-  Domain.DLS.new_key (fun () ->
-      let b = ref [] in
-      Mutex.protect buffers_mutex (fun () -> buffers := b :: !buffers);
-      b)
+let buffer_for ctx =
+  let slot = Domain.DLS.get buffer_cache in
+  match !slot with
+  | Some (c, b) when c == ctx -> b
+  | _ ->
+      let tid = (Domain.self () :> int) in
+      let b =
+        Mutex.protect ctx.ctx_mutex (fun () ->
+            match List.assoc_opt tid ctx.ctx_buffers with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                ctx.ctx_buffers <- (tid, b) :: ctx.ctx_buffers;
+                b)
+      in
+      slot := Some (ctx, b);
+      b
 
 let record ph ?(args = []) ~cat name =
   let ev =
@@ -130,30 +233,47 @@ let record ph ?(args = []) ~cat name =
       e_args = args;
     }
   in
-  let b = Domain.DLS.get buffer_key in
+  let b = buffer_for (current ()) in
   b := ev :: !b
 
-let begin_span ?(cat = "") name = if Atomic.get tracing_flag then record 'B' ~cat name
+let begin_span ?(cat = "") name = if tracing () then record 'B' ~cat name
 
-let end_span ?args name = if Atomic.get tracing_flag then record 'E' ?args ~cat:"" name
+let end_span ?args name = if tracing () then record 'E' ?args ~cat:"" name
 
 let span ?cat name f =
-  if Atomic.get tracing_flag then begin
+  if tracing () then begin
     begin_span ?cat name;
     Fun.protect ~finally:(fun () -> end_span name) f
   end
   else f ()
 
-let instant ?args name = if Atomic.get tracing_flag then record 'i' ?args ~cat:"" name
+let instant ?args name = if tracing () then record 'i' ?args ~cat:"" name
 
-let events () =
-  Mutex.protect buffers_mutex (fun () -> List.rev !buffers)
-  |> List.concat_map (fun b -> List.rev !b)
+let ctx_events ctx =
+  Mutex.protect ctx.ctx_mutex (fun () -> List.rev ctx.ctx_buffers)
+  |> List.concat_map (fun (_, b) -> List.rev !b)
 
-let reset () =
-  Mutex.protect registry_mutex (fun () ->
-      List.iter (fun c -> Atomic.set c.c_cell 0) !registry);
-  Mutex.protect buffers_mutex (fun () -> List.iter (fun b -> b := []) !buffers)
+let events () = ctx_events (current ())
+
+(* ------------------------------------------------------------------ *)
+(* The context handle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Ctx = struct
+  type t = ctx
+
+  let global = global_ctx
+  let create ?(tracing = false) ?(counting = false) () = make_ctx ~tracing ~counting
+  let tracing c = Atomic.get c.ctx_tracing
+  let counting c = Atomic.get c.ctx_counting
+  let set_tracing c b = Atomic.set c.ctx_tracing b
+  let set_counting c b = Atomic.set c.ctx_counting b
+  let value c cnt = peek c cnt
+  let counters = ctx_counters
+  let events = ctx_events
+  let reset = ctx_reset
+  let merge_into = ctx_merge_into
+end
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)

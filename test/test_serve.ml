@@ -13,6 +13,7 @@ module Protocol = Dca_serve.Protocol
 module Vcache = Dca_serve.Vcache
 module Progdigest = Dca_serve.Progdigest
 module Engine = Dca_serve.Engine
+module Metrics = Dca_serve.Metrics
 module Server = Dca_serve.Server
 module Client = Dca_serve.Client
 module Session = Dca_core.Session
@@ -105,6 +106,7 @@ let test_protocol_response_roundtrip () =
   let rp =
     {
       Protocol.rp_id = 9;
+      rp_req = 42;
       rp_ok = true;
       rp_error = None;
       rp_report = Some "DCA: 1/1 loop(s) commutative\n";
@@ -116,6 +118,7 @@ let test_protocol_response_roundtrip () =
       rp_hits = 1;
       rp_misses = 1;
       rp_counters = [ ("serve.requests", 3) ];
+      rp_metrics = None;
       rp_elapsed_ns = 12345;
     }
   in
@@ -274,6 +277,103 @@ let test_vcache_escalated_pinned () =
     (Vcache.find c ~prog_digest:"P2" "esc" = None);
   Alcotest.(check bool) "plain entry survives program change" true
     (Vcache.find c ~prog_digest:"P2" "plain" <> None)
+
+(* Four domains hammering one cache with disjoint keys: every store,
+   hit, and miss must be counted exactly once — the stats are exact
+   under concurrency, not approximate. *)
+let test_vcache_concurrent_stats_exact () =
+  let domains = 4 and per_domain = 250 in
+  let c = Vcache.create ~capacity:(domains * per_domain) () in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let key = Printf.sprintf "k%d.%d" d i in
+      Vcache.store c key (entry Driver.Commutative);
+      (match Vcache.find c ~prog_digest:"P" key with
+      | Some _ -> ()
+      | None -> Alcotest.failf "lost our own store of %s" key);
+      ignore (Vcache.find c ~prog_digest:"P" (Printf.sprintf "absent%d.%d" d i))
+    done
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join spawned;
+  let total = domains * per_domain in
+  let st = Vcache.stats c in
+  Alcotest.(check int) "every store counted once" total st.Vcache.st_stores;
+  Alcotest.(check int) "every hit counted once" total st.Vcache.st_mem_hits;
+  Alcotest.(check int) "every miss counted once" total st.Vcache.st_misses;
+  Alcotest.(check int) "no evictions below capacity" 0 st.Vcache.st_evictions;
+  Alcotest.(check int) "every entry resident" total (Vcache.size c)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_families_and_buckets () =
+  let m = Metrics.create ~counters:[ "a_total" ] ~gauges:[ "g" ] ~histograms:[ "h_seconds" ] () in
+  Metrics.add m "a_total" 3;
+  Metrics.incr m "a_total";
+  Metrics.gauge_set m "g" 7;
+  Metrics.gauge_add m "g" (-2);
+  Metrics.observe_ns m "h_seconds" 3_000_000 (* lands in le=5ms *);
+  Metrics.observe_ns m "h_seconds" 60_000_000_000 (* beyond the ladder: +Inf *);
+  Metrics.observe_ns m "h_seconds" (-1) (* clamps into the first bucket *);
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "counter" 4 (List.assoc "a_total" s.Metrics.sn_counters);
+  Alcotest.(check int) "gauge" 5 (List.assoc "g" s.Metrics.sn_gauges);
+  let h = List.assoc "h_seconds" s.Metrics.sn_hists in
+  Alcotest.(check int) "observation count" 3 h.Metrics.hs_count;
+  Alcotest.(check int) "negative values do not poison the sum" (3_000_000 + 60_000_000_000)
+    h.Metrics.hs_sum_ns;
+  Alcotest.(check int) "bucket array covers bounds + overflow"
+    (Array.length h.Metrics.hs_bounds_ns + 1)
+    (Array.length h.Metrics.hs_counts);
+  Alcotest.(check int) "clamped observation in the first bucket" 1 h.Metrics.hs_counts.(0);
+  Alcotest.(check int) "3ms in the le=5ms bucket" 1 h.Metrics.hs_counts.(2);
+  Alcotest.(check int) "overflow in +Inf" 1 h.Metrics.hs_counts.(Array.length h.Metrics.hs_bounds_ns);
+  (* a misspelled family is a bug, not data *)
+  List.iter
+    (fun f -> match f () with
+      | () -> Alcotest.fail "unknown family accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Metrics.incr m "a_totall");
+      (fun () -> Metrics.gauge_set m "gg" 1);
+      (fun () -> Metrics.observe_ns m "nope" 1);
+    ]
+
+let test_metrics_json_roundtrip_and_exposition () =
+  let m = Metrics.create ~counters:[ "a_total" ] ~gauges:[ "g" ] ~histograms:[ "h_seconds" ] () in
+  Metrics.add m "a_total" 2;
+  Metrics.gauge_set m "g" 1;
+  Metrics.observe_ns m "h_seconds" 3_000_000;
+  Metrics.observe_ns m "h_seconds" 2_000_000_000;
+  let s = Metrics.snapshot m in
+  (match Metrics.snapshot_of_json (Metrics.snapshot_to_json s) with
+  | Ok s' -> Alcotest.(check bool) "snapshot round-trips through JSON" true (s = s')
+  | Error e -> Alcotest.fail e);
+  (match Metrics.snapshot_of_json (Json.Obj [ ("counters", Json.Int 3) ]) with
+  | Ok _ -> Alcotest.fail "malformed snapshot accepted"
+  | Error _ -> ());
+  let text = Metrics.exposition s in
+  let contains needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (Printf.sprintf "exposition has %S" needle) true (contains needle))
+    [
+      "# TYPE a_total counter";
+      "a_total 2";
+      "# TYPE g gauge";
+      "g 1";
+      "# TYPE h_seconds histogram";
+      "h_seconds_bucket{le=\"0.005\"} 1";
+      (* cumulative: the 2s observation joins at le=2.5s and stays *)
+      "h_seconds_bucket{le=\"2.5\"} 2";
+      "h_seconds_bucket{le=\"+Inf\"} 2";
+      "h_seconds_count 2";
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -511,6 +611,143 @@ let test_server_socket () =
     !lines
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let start_server cfg =
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  let rec wait_ready n =
+    if n = 0 then Alcotest.fail "server never became reachable";
+    match
+      Client.with_client cfg.Server.sv_socket (fun c ->
+          Client.request c { Protocol.default_request with Protocol.rq_id = 1 })
+    with
+    | Ok _ -> ()
+    | Error _ ->
+        Unix.sleepf 0.05;
+        wait_ready (n - 1)
+  in
+  wait_ready 200;
+  server
+
+(* Four persistent connections served at once, mixing warm and cold
+   programs: every reply must be byte-identical to a local cold run of
+   the same program, the server-assigned request ids must be unique, and
+   the stats verb must carry a coherent metrics snapshot. *)
+let test_server_concurrent_identical () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  (* local references: what a serial cold analysis replies *)
+  let reference source =
+    let engine = Engine.create () in
+    Fun.protect
+      ~finally:(fun () -> Engine.close engine)
+      (fun () -> report_of (handle_ok engine (analyze_rq ~jobs:1 source)))
+  in
+  let sources = [| two_funcs 2; two_funcs 3 |] in
+  let refs = Array.map reference sources in
+  let cfg = { (Server.default_config socket) with Server.sv_jobs = Some 1; sv_workers = 4 } in
+  let server = start_server cfg in
+  let clients = 4 and per_client = 4 in
+  let client_domain c =
+    Domain.spawn (fun () ->
+        match
+          Client.with_client socket (fun conn ->
+              Ok
+                (List.init per_client (fun i ->
+                     let which = (c + i) mod Array.length sources in
+                     let rq =
+                       { (analyze_rq ~jobs:1 sources.(which)) with Protocol.rq_id = (c * 100) + i }
+                     in
+                     match Client.request conn rq with
+                     | Ok rp -> (which, rq.Protocol.rq_id, rp)
+                     | Error e -> Alcotest.failf "client %d: %s" c e)))
+        with
+        | Ok replies -> replies
+        | Error e -> Alcotest.failf "client %d connect: %s" c e)
+  in
+  let replies = List.concat_map Domain.join (List.init clients client_domain) in
+  Alcotest.(check int) "every request answered" (clients * per_client) (List.length replies);
+  List.iter
+    (fun (which, id, rp) ->
+      Alcotest.(check bool) "reply ok" true rp.Protocol.rp_ok;
+      Alcotest.(check int) "id echoed" id rp.Protocol.rp_id;
+      Alcotest.(check string) "byte-identical to the serial reference" refs.(which)
+        (report_of rp))
+    replies;
+  let req_ids = List.map (fun (_, _, rp) -> rp.Protocol.rp_req) replies in
+  Alcotest.(check bool) "request ids assigned" true (List.for_all (fun r -> r > 0) req_ids);
+  Alcotest.(check int) "request ids unique" (List.length req_ids)
+    (List.length (List.sort_uniq compare req_ids));
+  (* the stats verb carries the metrics plane *)
+  let stats =
+    match
+      Client.with_client socket (fun c ->
+          Client.request c { Protocol.default_request with Protocol.rq_id = 999; rq_op = Protocol.Stats })
+    with
+    | Ok rp -> rp
+    | Error e -> Alcotest.fail e
+  in
+  let snap =
+    match stats.Protocol.rp_metrics with
+    | Some j -> (
+        match Metrics.snapshot_of_json j with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "bad metrics payload: %s" e)
+    | None -> Alcotest.fail "stats reply carries no metrics"
+  in
+  let analyzed = clients * per_client in
+  Alcotest.(check bool) "requests_total covers the analyzes" true
+    (List.assoc "dca_requests_total" snap.Metrics.sn_counters > analyzed);
+  Alcotest.(check int) "cache hits + misses = analyzed loops" (2 * analyzed)
+    (List.assoc "dca_cache_hits_total" snap.Metrics.sn_counters
+    + List.assoc "dca_cache_misses_total" snap.Metrics.sn_counters);
+  let h = List.assoc "dca_request_duration_seconds" snap.Metrics.sn_hists in
+  Alcotest.(check bool) "latency histogram populated" true (h.Metrics.hs_count >= analyzed);
+  Alcotest.(check bool) "inflight gauge present" true
+    (List.mem_assoc "dca_inflight_requests" snap.Metrics.sn_gauges);
+  (match
+     Client.with_client socket (fun c ->
+         Client.request c { Protocol.default_request with Protocol.rq_id = 1000; rq_op = Protocol.Shutdown })
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Domain.join server)
+
+(* --max-requests under concurrency: with four clients racing for the
+   tail of an 8-request budget, the daemon serves exactly 8 — replies
+   received and Server.run's count agree. *)
+let test_server_max_requests_concurrent () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let budget = 8 in
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_jobs = Some 1;
+      sv_workers = 3;
+      sv_max_requests = Some budget;
+    }
+  in
+  let server = start_server cfg in
+  (* the readiness ping spent one slot; the clients fight over the rest *)
+  let ping = { Protocol.default_request with Protocol.rq_id = 7 } in
+  let client_domain _ =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Client.with_client socket (fun c -> Client.request c ping) with
+          | Ok rp when rp.Protocol.rp_ok -> go (acc + 1)
+          | Ok _ | Error _ -> acc
+        in
+        go 0)
+  in
+  let got = List.map Domain.join (List.init 4 client_domain) in
+  let served = Domain.join server in
+  Alcotest.(check int) "daemon served exactly the budget" budget served;
+  Alcotest.(check int) "clients saw exactly the budget" budget
+    (1 + List.fold_left ( + ) 0 got)
+
+(* ------------------------------------------------------------------ *)
 (* Session.Options                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -587,6 +824,13 @@ let suites =
         Alcotest.test_case "disk persistence" `Quick test_vcache_disk_persistence;
         Alcotest.test_case "corruption degrades to recompute" `Quick test_vcache_corruption_degrades;
         Alcotest.test_case "escalated entries pinned to program" `Quick test_vcache_escalated_pinned;
+        Alcotest.test_case "stats exact under concurrency" `Quick test_vcache_concurrent_stats_exact;
+      ] );
+    ( "serve.metrics",
+      [
+        Alcotest.test_case "families and buckets" `Quick test_metrics_families_and_buckets;
+        Alcotest.test_case "JSON round-trip and exposition" `Quick
+          test_metrics_json_roundtrip_and_exposition;
       ] );
     ( "serve.engine",
       [
@@ -597,7 +841,14 @@ let suites =
         Alcotest.test_case "fault request contained" `Quick test_engine_fault_request_contained;
         Alcotest.test_case "errors are replies" `Quick test_engine_errors;
       ] );
-    ("serve.server", [ Alcotest.test_case "socket round-trip" `Quick test_server_socket ]);
+    ( "serve.server",
+      [
+        Alcotest.test_case "socket round-trip" `Quick test_server_socket;
+        Alcotest.test_case "concurrent connections, identical replies" `Quick
+          test_server_concurrent_identical;
+        Alcotest.test_case "max-requests exact under concurrency" `Quick
+          test_server_max_requests_concurrent;
+      ] );
     ( "serve.options",
       [
         Alcotest.test_case "setters and signature" `Quick test_options_setters_and_signature;

@@ -175,6 +175,78 @@ let test_fault_counters_jobs_invariant () =
       Alcotest.(check int) "the abort is attributed to the injection" 1 (v "dca.faults-injected"))
 
 (* ------------------------------------------------------------------ *)
+(* Contexts                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [with_ctx] scopes counting to one context, nests, restores on
+   exception, and [merge_into] folds one context into another under the
+   per-counter merge rule. *)
+let test_ctx_scoping_and_merge () =
+  let a = T.Ctx.create ~counting:true () in
+  let b = T.Ctx.create ~counting:true () in
+  let c = T.counter "test.ctx_scope" in
+  let peak = T.counter ~merge:T.Max "test.ctx_scope_peak" in
+  let ambient = T.current () in
+  T.with_ctx a (fun () ->
+      Alcotest.(check bool) "with_ctx switches the ambient context" true (T.current () == a);
+      T.add c 5;
+      T.add_max peak 7;
+      T.with_ctx b (fun () ->
+          T.add c 2;
+          T.add_max peak 9);
+      Alcotest.(check bool) "nested scope restored" true (T.current () == a));
+  Alcotest.(check bool) "outer scope restored" true (T.current () == ambient);
+  (try T.with_ctx b (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "scope restored after an exception" true (T.current () == ambient);
+  Alcotest.(check int) "a saw only a's work" 5 (T.Ctx.value a c);
+  Alcotest.(check int) "b saw only b's work" 2 (T.Ctx.value b c);
+  Alcotest.(check int) "ambient saw nothing" 0 (T.value c);
+  T.Ctx.merge_into ~into:a b;
+  Alcotest.(check int) "sum counters add on merge" 7 (T.Ctx.value a c);
+  Alcotest.(check int) "max counters keep the peak on merge" 9 (T.Ctx.value a peak);
+  Alcotest.(check int) "merge leaves the source intact" 2 (T.Ctx.value b c)
+
+(* Two sessions pinned to their own counting contexts, run at the same
+   time on separate domains: each context ends the run with exactly the
+   work-counter deltas of a serial reference run of the same benchmark,
+   and the global context records none of it. *)
+let test_concurrent_context_isolation () =
+  T.init_from_env ();
+  T.reset ();
+  T.set_counting false;
+  let work_keys = List.map fst (T.counters ~kind:T.Work ()) in
+  let analyze name =
+    let ctx = T.Ctx.create ~counting:true () in
+    let bm = Dca_progs.Registry.find_exn name in
+    let options =
+      Session.Options.(
+        default |> with_jobs 2 |> with_config light_config |> with_telemetry ctx)
+    in
+    let delta =
+      Session.with_session ~options (Session.Benchmark bm) (fun s ->
+          ignore (Session.dca_results s);
+          Session.telemetry s)
+    in
+    List.filter (fun (k, _) -> List.mem k work_keys) delta
+  in
+  let ref_dc = analyze "DC" in
+  let ref_tree = analyze "treeadd" in
+  Alcotest.(check bool) "references saw work" true
+    (List.assoc "dca.invocations" ref_dc > 0 && List.assoc "dca.invocations" ref_tree > 0);
+  Alcotest.(check bool) "the two benchmarks are distinguishable" true (ref_dc <> ref_tree);
+  let global_before = T.counters () in
+  let d1 = Domain.spawn (fun () -> analyze "DC") in
+  let d2 = Domain.spawn (fun () -> analyze "treeadd") in
+  let got_dc = Domain.join d1 in
+  let got_tree = Domain.join d2 in
+  Alcotest.(check (list (pair string int)))
+    "DC context: exact deltas under concurrency" ref_dc got_dc;
+  Alcotest.(check (list (pair string int)))
+    "treeadd context: exact deltas under concurrency" ref_tree got_tree;
+  Alcotest.(check (list (pair string int)))
+    "global context untouched by pinned sessions" global_before (T.counters ())
+
+(* ------------------------------------------------------------------ *)
 (* Span balance and the trace sinks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -306,6 +378,9 @@ let suites =
           test_work_counters_checkpoint_invariant;
         Alcotest.test_case "fault counters: jobs=1 = jobs=4" `Quick
           test_fault_counters_jobs_invariant;
+        Alcotest.test_case "context scoping and merge" `Quick test_ctx_scoping_and_merge;
+        Alcotest.test_case "concurrent sessions, isolated contexts" `Quick
+          test_concurrent_context_isolation;
         Alcotest.test_case "analysis trace is balanced per domain" `Quick
           test_analysis_trace_balanced;
         Alcotest.test_case "chrome trace sink" `Quick test_chrome_trace_file;
