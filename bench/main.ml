@@ -456,6 +456,83 @@ let run_serve () =
     (warm_identical && String.equal disk_report cold_report)
     rps_serial rps_concurrent concurrent_identical
 
+(* ------------------------------------------------------------------ *)
+(* Static fast-path A/B: prover on vs --no-static over the registry    *)
+(* ------------------------------------------------------------------ *)
+
+(* The harness form of the README's --no-static workflow: for every
+   registry benchmark, analyze twice and report what the prover bought —
+   proved/fissioned/bailed loop counts and the golden-run reduction —
+   while asserting the verdict lines stayed put (modulo provenance
+   annotations). *)
+let run_static () =
+  section "Static fast-path (prover on vs --no-static)";
+  let module Session = Dca_core.Session in
+  (* claim the env-driven telemetry init before the first session does,
+     so enabling counters here survives session creation *)
+  Telemetry.init_from_env ();
+  let was = Telemetry.counting () in
+  Telemetry.set_counting true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_counting was)
+    (fun () ->
+      let tracked =
+        [ "dca.golden_runs"; "dca.static-proved"; "dca.static-fission"; "dca.static-bailouts" ]
+      in
+      let counters () = List.map (fun n -> (n, Telemetry.value (Telemetry.counter n))) tracked in
+      let strip_marker l =
+        match String.rindex_opt l '[' with
+        | Some i when String.length l > 0 && l.[String.length l - 1] = ']' ->
+            String.trim (String.sub l 0 i)
+        | _ -> l
+      in
+      let verdict_lines report =
+        String.split_on_char '\n' report
+        |> List.filter (fun l -> String.length l >= 2 && String.sub l 0 2 = "  ")
+      in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      let analyze bm static =
+        let before = counters () in
+        let t0 = Telemetry.now_ns () in
+        let report =
+          Session.with_session
+            ~options:Session.Options.(default |> with_jobs 1 |> with_static static)
+            (Session.Benchmark bm) Session.report
+        in
+        let secs = seconds_since t0 in
+        let after = counters () in
+        (report, secs, fun n -> List.assoc n after - List.assoc n before)
+      in
+      Printf.printf "  %-13s %6s %7s %7s %12s %10s %6s %8s\n%!" "benchmark" "proved" "fission"
+        "bailout" "golden-saved" "on/off s" "equal" "stronger";
+      List.iter
+        (fun bm ->
+          let name = bm.Dca_progs.Benchmark.bm_name in
+          let on_report, on_s, on_d = analyze bm true in
+          let off_report, off_s, off_d = analyze bm false in
+          let saved = off_d "dca.golden_runs" - on_d "dca.golden_runs" in
+          (* verdict lines must match modulo the provenance/test markers;
+             the one legitimate difference is untestable -> statically
+             proved commutative (counted as "stronger") *)
+          let stronger = ref 0 and equal = ref true in
+          (try
+             List.iter2
+               (fun on_l off_l ->
+                 if strip_marker on_l <> strip_marker off_l then
+                   if contains off_l "untestable" && contains on_l "commutative" then
+                     incr stronger
+                   else equal := false)
+               (verdict_lines on_report) (verdict_lines off_report)
+           with Invalid_argument _ -> equal := false);
+          Printf.printf "  %-13s %6d %7d %7d %12d %5.2f/%.2f %6b %8d\n%!" name
+            (on_d "dca.static-proved") (on_d "dca.static-fission") (on_d "dca.static-bailouts")
+            saved on_s off_s !equal !stronger)
+        Dca_progs.Registry.all)
+
 let targets =
   [
     ("table1", run_table1);
@@ -470,6 +547,7 @@ let targets =
     ("interp", run_interp);
     ("jobs", run_jobs);
     ("serve", run_serve);
+    ("static", run_static);
   ]
 
 let run_all () = List.iter (fun (_, f) -> f ()) targets

@@ -30,6 +30,7 @@ type common = {
   co_faults : string option;
   co_deadline_ms : int option;
   co_heap_words : int option;
+  co_no_static : bool;
 }
 
 (* Side effects of the common flags: arm telemetry and the fault plan.
@@ -59,6 +60,7 @@ let options_of_common ?(base = Session.Options.default) co =
   |> set co.co_jobs Session.Options.with_jobs
   |> set co.co_deadline_ms Session.Options.with_deadline_ms
   |> set co.co_heap_words Session.Options.with_heap_words
+  |> Session.Options.with_static (not co.co_no_static)
 
 (* Open a session for PROG and run [f] on it, mapping the standard failure
    modes to exit codes.  The telemetry sinks are flushed on every exit
@@ -144,11 +146,23 @@ let heap_arg =
   in
   Arg.(value & opt (some int) None & info [ "heap-words" ] ~docv:"W" ~doc)
 
+let no_static_arg =
+  Arg.(
+    value & flag
+    & info [ "no-static" ]
+        ~doc:
+          "Disable the static commutativity fast-path: every accepted loop goes through the \
+           golden run and replays even when the affine prover could discharge it.  Verdicts and \
+           plans are identical either way; use for A/B comparisons of $(b,dca.golden-runs) / \
+           $(b,dca.replays) work.")
+
 let common_term =
-  let mk co_jobs co_trace co_stats co_faults co_deadline_ms co_heap_words =
-    { co_jobs; co_trace; co_stats; co_faults; co_deadline_ms; co_heap_words }
+  let mk co_jobs co_trace co_stats co_faults co_deadline_ms co_heap_words co_no_static =
+    { co_jobs; co_trace; co_stats; co_faults; co_deadline_ms; co_heap_words; co_no_static }
   in
-  Term.(const mk $ jobs_arg $ trace_arg $ stats_arg $ faults_arg $ deadline_arg $ heap_arg)
+  Term.(
+    const mk $ jobs_arg $ trace_arg $ stats_arg $ faults_arg $ deadline_arg $ heap_arg
+    $ no_static_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -538,7 +552,17 @@ let fuzz_cmd =
              one-shot crash scoped to that loop's test and assert containment: the victim must \
              abort, every other loop's verdict must be byte-identical.")
   in
-  let run seed count max_iters corpus no_metamorphic no_shrink fault_mode common =
+  let static_xcheck_arg =
+    Arg.(
+      value & flag
+      & info [ "static-xcheck" ]
+          ~doc:
+            "Differential check of the static prover: run every generated program with the \
+             fast-path on and off and fail on any divergence where a statically proved \
+             Commutative disagrees with the dynamic stage or the exhaustive permutation oracle, \
+             or where merely enabling the prover perturbs a dynamic verdict.")
+  in
+  let run seed count max_iters corpus no_metamorphic no_shrink fault_mode static_xcheck common =
     if count < 0 then begin
       Printf.eprintf "dca fuzz: --count must be non-negative (got %d)\n" count;
       2
@@ -563,6 +587,7 @@ let fuzz_cmd =
           fz_jobs = Option.value common.co_jobs ~default:1;
           fz_metamorphic = not no_metamorphic;
           fz_fault_mode = fault_mode;
+          fz_static_xcheck = static_xcheck;
           fz_shrink = not no_shrink;
           fz_corpus = corpus;
         }
@@ -580,7 +605,7 @@ let fuzz_cmd =
           with an exhaustive permutation oracle, and cross-check the DCA verdicts both ways")
     Term.(
       const run $ seed_arg $ count_arg $ max_iters_arg $ corpus_arg $ no_metamorphic_arg
-      $ no_shrink_arg $ fault_mode_arg $ common_term)
+      $ no_shrink_arg $ fault_mode_arg $ static_xcheck_arg $ common_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -750,6 +775,7 @@ let client_cmd =
               rq_heap_words = common.co_heap_words;
               rq_faults = common.co_faults;
               rq_no_cache = no_cache;
+              rq_no_static = common.co_no_static;
             }
           in
           match Dca_serve.Client.with_client socket (fun c -> Dca_serve.Client.request c rq) with

@@ -60,6 +60,14 @@ let advise ?(machine = Machine.default) info profile (results : Driver.loop_resu
           | None -> ()
         end
     | None -> ());
+    (* A statically proved loop has no outcome record; say why instead of
+       leaving an unexplained silence where the tested-invocations note
+       would be.  The recommendation logic below is provenance-blind, so
+       plans are identical with and without the fast-path. *)
+    (match (r.Driver.lr_provenance, r.Driver.lr_decision) with
+    | Driver.Static, Driver.Commutative ->
+        note "proved commutative statically (affine dependence distances); no dynamic test was run"
+    | _ -> ());
     let recommendation, pragma =
       match r.Driver.lr_decision with
       | Driver.Rejected reason -> (Keep_sequential (Candidate.rejection_to_string reason), None)

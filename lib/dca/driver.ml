@@ -17,11 +17,17 @@ type decision =
   | Subsumed of string
   | Aborted of { ab_cause : abort_cause; ab_retries : int }
 
+(* How a verdict was reached: [Static] marks a loop discharged by the
+   affine prover without any golden run or replay; everything else —
+   including rejections, subsumptions and aborts — is [Dynamic]. *)
+type provenance = Dynamic | Static
+
 type loop_result = {
   lr_loop : Loops.loop;
   lr_label : string;
   lr_decision : decision;
   lr_outcome : Commutativity.outcome option;
+  lr_provenance : provenance;
 }
 
 (* Work counters: one tick per loop outcome, always at the point where
@@ -34,6 +40,9 @@ let c_aborted = Telemetry.counter "dca.aborted"
 let c_retries = Telemetry.counter "dca.retries"
 let c_deadline_hits = Telemetry.counter "dca.deadline-hits"
 let c_faults_injected = Telemetry.counter "dca.faults-injected"
+let c_static_proved = Telemetry.counter "dca.static-proved"
+let c_static_fission = Telemetry.counter "dca.static-fission"
+let c_static_bailouts = Telemetry.counter "dca.static-bailouts"
 
 let fp_loop = Faultpoint.site "driver.loop"
 
@@ -80,7 +89,8 @@ let escalate_spec (spec : Commutativity.run_spec) =
   }
 
 let analyze_program ?(config = Commutativity.default_config)
-    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?pool ?lookup info =
+    ?(spec = Commutativity.default_run_spec) ?(hierarchical = false) ?(static = true) ?pool
+    ?lookup info =
   (* loops arrive outermost-first within each function, so a commutative
      ancestor is always decided before its descendants *)
   let commutative_ancestors : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -106,7 +116,7 @@ let analyze_program ?(config = Commutativity.default_config)
     let label = Proginfo.loop_label info loop in
     Telemetry.incr c_examined;
     Telemetry.span ~cat:"dynamic" ("loop " ^ label) (fun () ->
-        let decision, outcome =
+        let decision, outcome, provenance =
           match
             (match Faultpoint.hit ~ctx:label fp_loop with
             | Faultpoint.Pass -> ()
@@ -117,8 +127,31 @@ let analyze_program ?(config = Commutativity.default_config)
           with
           | Candidate.Rejected r ->
               Telemetry.incr c_rejected;
-              (Rejected r, None)
+              (Rejected r, None, Dynamic)
           | Candidate.Accepted sep -> (
+              (* The static fast-path runs only on loops the dynamic stage
+                 would otherwise test, so a statically-provable but
+                 dynamically-rejected loop keeps its rejection, and the
+                 examined/rejected counters are invariant under
+                 [--no-static].  A prover crash degrades to a bailout:
+                 the dynamic stage still produces the verdict. *)
+              let static_proof =
+                if not static then None
+                else
+                  Some
+                    (Telemetry.span ~cat:"static" "staticproof" (fun () ->
+                         try Staticproof.prove info fi loop
+                         with e -> Staticproof.Bail ("prover crash: " ^ Printexc.to_string e)))
+              in
+              match static_proof with
+              | Some (Staticproof.Proved _) ->
+                  Telemetry.incr c_static_proved;
+                  (Commutative, None, Static)
+              | _ -> (
+              (match static_proof with
+              | Some (Staticproof.Fission _) -> Telemetry.incr c_static_fission
+              | Some (Staticproof.Bail _) -> Telemetry.incr c_static_bailouts
+              | _ -> ());
               let rec run spec retries =
                 match Commutativity.test_loop ?pool config info spec fi sep with
                 | outcome -> Ok outcome
@@ -140,14 +173,15 @@ let analyze_program ?(config = Commutativity.default_config)
                     | Commutativity.Non_commutative why -> Non_commutative why
                     | Commutativity.Untestable why -> Untestable why
                   in
-                  (decision, Some outcome)
-              | Error (cause, retries) -> (Aborted { ab_cause = cause; ab_retries = retries }, None))
+                  (decision, Some outcome, Dynamic)
+              | Error (cause, retries) ->
+                  (Aborted { ab_cause = cause; ab_retries = retries }, None, Dynamic)))
           | exception e ->
               (* examine-stage crash, or the loop-boundary fault point:
                  classified like a test-stage escape but never retried
                  (the static stage has no resource budget to escalate) *)
               let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
-              (Aborted { ab_cause = classify_abort e bt; ab_retries = 0 }, None)
+              (Aborted { ab_cause = classify_abort e bt; ab_retries = 0 }, None, Dynamic)
         in
         (match decision with
         | Aborted { ab_cause; _ } ->
@@ -160,7 +194,13 @@ let analyze_program ?(config = Commutativity.default_config)
         | Non_commutative why | Untestable why ->
             if Faultpoint.is_injected_message why then Telemetry.incr c_faults_injected
         | _ -> ());
-        { lr_loop = loop; lr_label = label; lr_decision = decision; lr_outcome = outcome })
+        {
+          lr_loop = loop;
+          lr_label = label;
+          lr_decision = decision;
+          lr_outcome = outcome;
+          lr_provenance = provenance;
+        })
   in
   (* A cache front end resolves a loop before any work is queued for it.
      The lookup must be pure and domain-safe (it runs inside pool tasks);
@@ -213,6 +253,7 @@ let analyze_program ?(config = Commutativity.default_config)
                           lr_label = Proginfo.loop_label info loop;
                           lr_decision = Subsumed anc.Loops.l_id;
                           lr_outcome = None;
+                          lr_provenance = Dynamic;
                         };
                       false
                   | None -> true)
@@ -238,6 +279,7 @@ let analyze_program ?(config = Commutativity.default_config)
                 lr_label = Proginfo.loop_label info loop;
                 lr_decision = Subsumed anc.Loops.l_id;
                 lr_outcome = None;
+                lr_provenance = Dynamic;
               }
           | None ->
               let r = resolve (fi, loop) in
@@ -245,10 +287,10 @@ let analyze_program ?(config = Commutativity.default_config)
               r)
         loops
 
-let analyze_source ?config ?spec ?hierarchical ?pool ~file src =
+let analyze_source ?config ?spec ?hierarchical ?static ?pool ~file src =
   let prog = Dca_ir.Lower.compile ~file src in
   let info = Proginfo.analyze prog in
-  (info, analyze_program ?config ?spec ?hierarchical ?pool info)
+  (info, analyze_program ?config ?spec ?hierarchical ?static ?pool info)
 
 let is_commutative r = match r.lr_decision with Commutative -> true | _ -> false
 

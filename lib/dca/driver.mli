@@ -29,17 +29,25 @@ type decision =
 
 val abort_cause_to_string : abort_cause -> string
 
+type provenance =
+  | Dynamic  (** verdict from the golden-run + replay stage (or its rejection/abort paths) *)
+  | Static
+      (** verdict proved by {!Dca_analysis.Staticproof} — no golden run or
+          replay was executed for this loop *)
+
 type loop_result = {
   lr_loop : Dca_analysis.Loops.loop;
   lr_label : string;
   lr_decision : decision;
   lr_outcome : Commutativity.outcome option;  (** present when the dynamic stage ran *)
+  lr_provenance : provenance;
 }
 
 val analyze_program :
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
   ?hierarchical:bool ->
+  ?static:bool ->
   ?pool:Dca_support.Pool.t ->
   ?lookup:(Dca_analysis.Proginfo.func_info -> Dca_analysis.Loops.loop -> loop_result option) ->
   Dca_analysis.Proginfo.t ->
@@ -54,6 +62,22 @@ val analyze_program :
     worker domains.  Subsumption is decided {e before} the lookup, so a
     cached verdict never resurrects a loop the sequential engine would
     have skipped.
+
+    With [~static:true] (the default), every loop the static candidate
+    stage {e accepts} first goes to the {!Dca_analysis.Staticproof}
+    prover; a [Proved] loop is decided [Commutative] with [Static]
+    provenance and skips the golden run and every replay.  The prover
+    runs {e inside} the per-loop containment boundary, after the
+    [driver.loop] fault point and after [Candidate.examine] — so
+    rejected loops keep their rejections, injected faults fire exactly
+    as without the prover, and a prover crash degrades to a bailout that
+    falls through to the dynamic stage.  Statically proved loops
+    participate in hierarchical subsumption like any other commutative
+    verdict.  Cache [?lookup] still runs first: a cached verdict —
+    whatever its provenance — short-circuits the prover too.
+    [~static:false] ([--no-static]) disables the fast-path for A/B runs;
+    verdicts must not change, only [dca.golden-runs]/[dca.replays] work
+    and the provenance markers do.
     With [~hierarchical:true] (default [false]), loops nested inside a
     loop already found commutative are not tested and come back
     [Subsumed] — the paper's top-down exploration, which saves dynamic
@@ -81,6 +105,7 @@ val analyze_source :
   ?config:Commutativity.config ->
   ?spec:Commutativity.run_spec ->
   ?hierarchical:bool ->
+  ?static:bool ->
   ?pool:Dca_support.Pool.t ->
   file:string ->
   string ->

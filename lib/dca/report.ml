@@ -3,10 +3,15 @@
 
 open Dca_analysis
 
-type provenance = Dynamic | Static
+type provenance = Driver.provenance = Dynamic | Static
 
 let provenance_to_string = function Dynamic -> "dynamic" | Static -> "static"
 
+(* Every verdict line carries its provenance: [Static] prints an explicit
+   " [static]" marker; [Dynamic] prints nothing extra, because the
+   dynamic stage's own " [tested N invocation(s)...]" annotation (when an
+   outcome exists) is the dynamic marker — and because Dynamic-only
+   reports must stay byte-identical to pre-fast-path reports. *)
 let summary_line (r : Driver.loop_result) =
   let extra =
     match r.Driver.lr_outcome with
@@ -16,7 +21,8 @@ let summary_line (r : Driver.loop_result) =
           (if oc.Commutativity.oc_promotions > 0 then
              Printf.sprintf ", %d worklist promotion(s)" oc.Commutativity.oc_promotions
            else "")
-    | None -> ""
+    | None -> (
+        match r.Driver.lr_provenance with Static -> " [static]" | Dynamic -> "")
   in
   Printf.sprintf "%-24s depth=%d  %s%s" r.Driver.lr_label r.Driver.lr_loop.Loops.l_depth
     (Driver.decision_to_string r.Driver.lr_decision)

@@ -1,22 +1,24 @@
 (** Human-readable reports of DCA results (the "auxiliary reports" of
     paper §IV-A4). *)
 
-type provenance = Dynamic | Static
-(** How a verdict was established.  [Dynamic] — the record/replay stage
-    of this reproduction actually ran (today's only producer).  [Static]
-    is reserved for the planned static fast-path (affine
-    dependence-distance and DILD-step proofs, see ROADMAP): a verdict
-    proved without running.  The serve daemon's verdict cache stores a
-    provenance with every entry, so statically-proved verdicts will slot
-    in beside dynamic ones without a cache-format change.  Provenance is
-    metadata — it never appears in {!to_string} output, which must stay
-    byte-identical between a cached and a freshly computed result. *)
+type provenance = Driver.provenance = Dynamic | Static
+(** How a verdict was established (re-exported from {!Driver}, which now
+    stamps it on every result).  [Dynamic] — the record/replay stage ran
+    (or its rejection/abort paths).  [Static] — the
+    {!Dca_analysis.Staticproof} affine prover discharged the loop
+    without running it.  The serve daemon's verdict cache stores the
+    provenance with every entry, so a cached static verdict renders
+    byte-identically to a freshly proved one. *)
 
 val provenance_to_string : provenance -> string
 
 val summary_line : Driver.loop_result -> string
-(** One line per loop: label, depth, decision, and the tested-invocation
-    annotation for loops that reached the dynamic stage. *)
+(** One line per loop: label, depth, decision, and a provenance marker —
+    the " [tested N invocation(s)...]" annotation for loops that reached
+    the dynamic stage, an explicit " [static]" for statically proved
+    ones.  Dynamic verdicts carry no extra marker beyond the outcome
+    annotation, keeping Dynamic-only reports byte-identical to seed
+    reports. *)
 
 val counters : Driver.loop_result list -> (string * int) list
 (** Work counters aggregated from the outcome records, in a fixed order:

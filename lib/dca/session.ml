@@ -16,6 +16,7 @@ module Options = struct
     deadline_ms : int option;
     heap_words : int option;
     hierarchical : bool;
+    static : bool;
     telemetry : Telemetry.Ctx.t option;
   }
 
@@ -27,6 +28,7 @@ module Options = struct
       deadline_ms = None;
       heap_words = None;
       hierarchical = false;
+      static = true;
       telemetry = None;
     }
 
@@ -36,6 +38,7 @@ module Options = struct
   let with_deadline_ms ms t = { t with deadline_ms = Some ms }
   let with_heap_words w t = { t with heap_words = Some w }
   let with_hierarchical h t = { t with hierarchical = h }
+  let with_static s t = { t with static = s }
   let with_telemetry ctx t = { t with telemetry = Some ctx }
 
   (* A short deterministic signature of everything that can change an
@@ -70,6 +73,7 @@ module Options = struct
         opt string_of_int t.deadline_ms;
         opt string_of_int t.heap_words;
         string_of_bool t.hierarchical;
+        string_of_bool t.static;
       ]
 end
 
@@ -259,7 +263,8 @@ let dca_results t =
       in_ctx t (fun () ->
           Telemetry.span ~cat:"dynamic" "session.dca" (fun () ->
               Driver.analyze_program ~config:t.s_config ~spec:t.s_spec
-                ~hierarchical:t.s_hierarchical ?pool:(pool_of t) info)))
+                ~hierarchical:t.s_hierarchical ~static:t.s_options.Options.static
+                ?pool:(pool_of t) info)))
     (fun v -> t.s_results <- Some v)
 
 let compute_plan t ~machine ~strategy =

@@ -71,6 +71,12 @@ module Options : sig
     hierarchical : bool;
         (** explore loops top-down, skipping loops subsumed by a
             commutative ancestor (default [false]) *)
+    static : bool;
+        (** run the {!Dca_analysis.Staticproof} fast-path before the
+            dynamic stage (default [true]); [false] ([--no-static])
+            forces every accepted loop through golden+replay for A/B
+            comparisons — verdicts must not change, only work counters
+            and provenance markers do *)
     telemetry : Dca_support.Telemetry.Ctx.t option;
         (** pin the session to a telemetry context: every stage
             computation runs under it (via
@@ -87,6 +93,7 @@ module Options : sig
   val with_deadline_ms : int -> t -> t
   val with_heap_words : int -> t -> t
   val with_hierarchical : bool -> t -> t
+  val with_static : bool -> t -> t
   val with_telemetry : Dca_support.Telemetry.Ctx.t -> t -> t
 
   val signature : t -> string

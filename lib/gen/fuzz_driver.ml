@@ -14,6 +14,7 @@ type violation_kind =
   | Jobs_report_divergence
   | Checkpoint_report_divergence
   | Containment_breach
+  | Static_divergence
 
 let violation_kind_to_string = function
   | Roundtrip_drift -> "printer/parser round-trip drift"
@@ -24,6 +25,9 @@ let violation_kind_to_string = function
   | Jobs_report_divergence -> "report differs between jobs=1 and jobs=4"
   | Checkpoint_report_divergence -> "report differs between DCA_CHECKPOINT=journal and deep"
   | Containment_breach -> "an injected fault leaked outside its loop's containment boundary"
+  | Static_divergence ->
+      "static prover divergence: a statically proved verdict disagrees with the dynamic stage or \
+       the oracle"
 
 let kind_slug = function
   | Roundtrip_drift -> "roundtrip"
@@ -34,6 +38,7 @@ let kind_slug = function
   | Jobs_report_divergence -> "jobs-divergence"
   | Checkpoint_report_divergence -> "checkpoint-divergence"
   | Containment_breach -> "containment-breach"
+  | Static_divergence -> "static-divergence"
 
 type violation = {
   vi_program : int;
@@ -49,6 +54,7 @@ type config = {
   fz_jobs : int;
   fz_metamorphic : bool;
   fz_fault_mode : bool;
+  fz_static_xcheck : bool;
   fz_shrink : bool;
   fz_corpus : string option;
   fz_eps : float;
@@ -62,6 +68,7 @@ let default_config =
     fz_jobs = 1;
     fz_metamorphic = true;
     fz_fault_mode = false;
+    fz_static_xcheck = false;
     fz_shrink = true;
     fz_corpus = None;
     fz_eps = 1e-6;
@@ -80,9 +87,9 @@ let with_checkpoint mode f =
 
 (* One full DCA session over [source]; returns the report and the
    decision of the loop whose header sits on [line] of main. *)
-let dca_run ~jobs ~line source =
+let dca_run ?(static = true) ~jobs ~line source =
   Session.with_session
-    ~options:Session.Options.(default |> with_jobs jobs)
+    ~options:Session.Options.(default |> with_jobs jobs |> with_static static)
     (Session.Source { file = "<fuzz>"; source; input = [] })
     (fun s ->
       let results = Session.dca_results s in
@@ -97,15 +104,15 @@ let dca_run ~jobs ~line source =
       (report, dec))
 
 (* Every loop of one full DCA session over [source], as
-   (label, decision string) rows in report order. *)
-let dca_run_all ~jobs source =
+   (label, decision string, provenance) rows in report order. *)
+let dca_run_all ?(static = true) ~jobs source =
   Session.with_session
-    ~options:Session.Options.(default |> with_jobs jobs)
+    ~options:Session.Options.(default |> with_jobs jobs |> with_static static)
     (Session.Source { file = "<fuzz>"; source; input = [] })
     (fun s ->
       List.map
         (fun (r : Driver.loop_result) ->
-          (r.Driver.lr_label, Driver.decision_to_string r.Driver.lr_decision))
+          (r.Driver.lr_label, Driver.decision_to_string r.Driver.lr_decision, r.Driver.lr_provenance))
         (Session.dca_results s))
 
 (* ------------------------------------------------------------------ *)
@@ -144,7 +151,7 @@ let containment_violations ~jobs ~index source =
   match dca_run_all ~jobs source with
   | exception _ -> [] (* the primary run already reported this as Dca_crash *)
   | base ->
-      let check_victim (victim, _) =
+      let check_victim (victim, _, _) =
         Faultpoint.arm
           [
             {
@@ -168,7 +175,7 @@ let containment_violations ~jobs ~index source =
             | faulted ->
                 List.concat
                   (List.map2
-                     (fun (bl, bd) (fl, fd) ->
+                     (fun (bl, bd, _) (fl, fd, _) ->
                        if fl <> bl then
                          [ vio (Printf.sprintf "loop order changed at %s (victim %s)" bl victim) ]
                        else if fl = victim then
@@ -191,6 +198,84 @@ let containment_violations ~jobs ~index source =
       List.concat_map check_victim base
 
 (* ------------------------------------------------------------------ *)
+(* Static-prover differential mode                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the whole program with the static fast-path on and off and fail on
+   any divergence a correct prover cannot produce:
+
+   - a statically proved Commutative whose dynamic verdict (prover off)
+     is non-commutative — the unsoundness the prover must never commit;
+   - any verdict change at all on a loop the prover did *not* discharge
+     (the prover is a pure pre-stage; enabling it must not perturb
+     dynamic results);
+   - a changed loop set, or a session death in either mode.
+
+   A statically proved loop whose dynamic twin is [Untestable] (the loop
+   was never executed by the workload) is *not* a divergence: the proof
+   legitimately strengthens "could not test" into a verdict.  Finally,
+   when the exhaustive oracle found a distinguishing permutation for the
+   marked loop, a static proof of that loop is a divergence even if the
+   sampled dynamic stage missed it too. *)
+let static_xcheck_violations ~jobs ~index ~line ~oracle source =
+  let vio detail =
+    { vi_program = index; vi_kind = Static_divergence; vi_detail = detail; vi_source = source }
+  in
+  let is_noncomm d = String.length d >= 15 && String.sub d 0 15 = "non-commutative" in
+  match (dca_run_all ~jobs source, dca_run_all ~static:false ~jobs source) with
+  | exception e ->
+      [ vio (Printf.sprintf "session raised during the on/off sweep: %s" (Printexc.to_string e)) ]
+  | rows_on, rows_off ->
+      if
+        List.map (fun (l, _, _) -> l) rows_on <> List.map (fun (l, _, _) -> l) rows_off
+      then [ vio "loop set differs between prover on and off" ]
+      else
+        List.concat
+          (List.map2
+             (fun (lab, d_on, prov) (_, d_off, _) ->
+               match prov with
+               | Driver.Static ->
+                   if is_noncomm d_off then
+                     [
+                       vio
+                         (Printf.sprintf "loop %s: statically proved commutative, dynamic says %S"
+                            lab d_off);
+                     ]
+                   else []
+               | Driver.Dynamic ->
+                   if d_on <> d_off then
+                     [
+                       vio
+                         (Printf.sprintf
+                            "loop %s: dynamic verdict changed %S -> %S when the prover was \
+                             disabled"
+                            lab d_on d_off);
+                     ]
+                   else [])
+             rows_on rows_off)
+        @
+        match oracle with
+        | Oracle.Non_commutative _ ->
+            let prefix = Printf.sprintf "main:%d(" line in
+            let plen = String.length prefix in
+            List.filter_map
+              (fun (lab, d_on, prov) ->
+                if
+                  String.length lab >= plen
+                  && String.sub lab 0 plen = prefix
+                  && prov = Driver.Static && d_on = "commutative"
+                then
+                  Some
+                    (vio
+                       (Printf.sprintf
+                          "loop %s: statically proved commutative, but the exhaustive oracle \
+                           found a distinguishing permutation"
+                          lab))
+                else None)
+              rows_on
+        | _ -> []
+
+(* ------------------------------------------------------------------ *)
 (* Per-program cross-check                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -203,8 +288,8 @@ type program_outcome = {
 (* Cross-check one source string.  All failure modes are turned into
    violations or counted outcomes; exceptions escape only for internal
    errors. *)
-let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ?(fault_mode = false) ~index
-    source =
+let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ?(fault_mode = false)
+    ?(static_xcheck = false) ~index source =
   let vio kind detail = { vi_program = index; vi_kind = kind; vi_detail = detail; vi_source = source } in
   match Parser.parse_program ~file:"<fuzz>" source with
   | exception Loc.Error (l, msg) ->
@@ -301,10 +386,15 @@ let check_source ?(eps = 1e-6) ?(jobs = 1) ?(metamorphic = true) ?(fault_mode = 
               let containment_v =
                 if not fault_mode then [] else containment_violations ~jobs ~index source
               in
+              let static_v =
+                if not static_xcheck then []
+                else
+                  static_xcheck_violations ~jobs ~index ~line:spec.Oracle.sp_line ~oracle source
+              in
               {
                 po_oracle = oracle;
                 po_dca = dec;
-                po_violations = roundtrip @ soundness @ metamorphic_v @ containment_v;
+                po_violations = roundtrip @ soundness @ metamorphic_v @ containment_v @ static_v;
               }))
 
 (* ------------------------------------------------------------------ *)
@@ -333,6 +423,11 @@ let still_fails ~eps ~kind (p : Ast.program) =
                 | exception Loc.Error _ -> false
                 | exception _ -> true)
             | Containment_breach -> containment_violations ~jobs:1 ~index:0 src <> []
+            | Static_divergence ->
+                static_xcheck_violations ~jobs:1 ~index:0 ~line:spec.Oracle.sp_line
+                  ~oracle:(Oracle.decide ~eps ~input:[] ast spec)
+                  src
+                <> []
             | False_non_commutative -> (
                 match dca_run ~jobs:1 ~line:spec.Oracle.sp_line src with
                 | _, Some (Driver.Non_commutative _) ->
@@ -427,7 +522,8 @@ let run cfg =
     bump trip_counts g.Gen_program.g_trip;
     let out =
       check_source ~eps:cfg.fz_eps ~jobs:cfg.fz_jobs ~metamorphic:cfg.fz_metamorphic
-        ~fault_mode:cfg.fz_fault_mode ~index g.Gen_program.g_source
+        ~fault_mode:cfg.fz_fault_mode ~static_xcheck:cfg.fz_static_xcheck ~index
+        g.Gen_program.g_source
     in
     (match out.po_oracle with
     | Oracle.Commutative -> incr oracle_comm
@@ -456,10 +552,13 @@ let run cfg =
   let violations = List.rev !violations in
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "dca fuzz: seed=%d count=%d max-iters=%d metamorphic=%s fault-mode=%s shrink=%s" cfg.fz_seed
-    cfg.fz_count max_iters
+  line
+    "dca fuzz: seed=%d count=%d max-iters=%d metamorphic=%s fault-mode=%s static-xcheck=%s \
+     shrink=%s"
+    cfg.fz_seed cfg.fz_count max_iters
     (if cfg.fz_metamorphic then "on" else "off")
     (if cfg.fz_fault_mode then "on" else "off")
+    (if cfg.fz_static_xcheck then "on" else "off")
     (if cfg.fz_shrink then "on" else "off");
   line "recipes: %s"
     (String.concat " "

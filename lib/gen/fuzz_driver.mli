@@ -41,6 +41,13 @@ type violation_kind =
       (** fault-plan mode only: an injected one-loop fault changed
           another loop's verdict, reordered the report, or killed the
           session *)
+  | Static_divergence
+      (** static-xcheck mode only: a statically proved Commutative whose
+          dynamic (prover-off) verdict is non-commutative, any verdict
+          perturbed by merely enabling the prover, or a static proof of
+          a loop the exhaustive oracle found non-commutative.  A
+          [Static] verdict whose dynamic twin is [Untestable] (loop not
+          executed) is not a divergence. *)
 
 val violation_kind_to_string : violation_kind -> string
 
@@ -61,6 +68,10 @@ type config = {
       (** for each loop of each program, re-run the session with an
           injected one-shot crash scoped to that loop's test and assert
           containment (victim aborted, siblings byte-identical) *)
+  fz_static_xcheck : bool;
+      (** run every program with the static fast-path on and off and
+          fail on any {!Static_divergence} — the differential harness
+          that keeps the prover honest *)
   fz_shrink : bool;
   fz_corpus : string option;  (** write shrunk reproducers here *)
   fz_eps : float;
@@ -68,7 +79,7 @@ type config = {
 
 val default_config : config
 (** seed 42, count 100, max-iters 4, jobs 1, metamorphic and shrinking
-    on, fault mode off, no corpus directory, eps 1e-6. *)
+    on, fault mode and static-xcheck off, no corpus directory, eps 1e-6. *)
 
 type result = { r_report : string; r_violations : violation list }
 
@@ -84,6 +95,13 @@ type program_outcome = {
 }
 
 val check_source :
-  ?eps:float -> ?jobs:int -> ?metamorphic:bool -> ?fault_mode:bool -> index:int -> string -> program_outcome
+  ?eps:float ->
+  ?jobs:int ->
+  ?metamorphic:bool ->
+  ?fault_mode:bool ->
+  ?static_xcheck:bool ->
+  index:int ->
+  string ->
+  program_outcome
 (** Cross-check a single MiniC source containing a marked loop — the
     corpus-replay entry point used by the test suite. *)

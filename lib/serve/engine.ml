@@ -195,7 +195,9 @@ let options_of_request t (rq : Protocol.request) =
   in
   let base =
     Session.Options.(
-      default |> with_config config |> with_hierarchical rq.Protocol.rq_hierarchical)
+      default |> with_config config
+      |> with_hierarchical rq.Protocol.rq_hierarchical
+      |> with_static (not rq.Protocol.rq_no_static))
   in
   let set v f o = match v with None -> o | Some v -> f v o in
   base
@@ -303,8 +305,9 @@ let analyze_with_cache t w (rq : Protocol.request) =
   let info = Session.proginfo s in
   let pd = Lazy.force w.w_digest in
   let prog_digest = Progdigest.program_digest pd in
+  let static = (Session.options s).Session.Options.static in
   let config_digest =
-    Progdigest.config_digest ~hierarchical:(Session.hierarchical s) (Session.config s)
+    Progdigest.config_digest ~hierarchical:(Session.hierarchical s) ~static (Session.config s)
   in
   let spec_digest = Progdigest.spec_digest (Session.spec s) in
   let key_of (loop : Dca_analysis.Loops.loop) =
@@ -318,19 +321,20 @@ let analyze_with_cache t w (rq : Protocol.request) =
   (* probe phase: sequential, before any parallel work — the resolved
      table is read-only by the time worker domains consult it *)
   let resolved : (string, Driver.loop_result) Hashtbl.t = Hashtbl.create 16 in
-  let provenances : (string, Report.provenance) Hashtbl.t = Hashtbl.create 16 in
   if cache_on && not rq.Protocol.rq_no_cache then
     List.iter
       (fun ((_, loop) : Dca_analysis.Proginfo.func_info * Dca_analysis.Loops.loop) ->
         match Vcache.find t.cache ~prog_digest (key_of loop) with
         | Some e ->
-            Hashtbl.replace provenances loop.Dca_analysis.Loops.l_id e.Vcache.e_provenance;
             Hashtbl.replace resolved loop.Dca_analysis.Loops.l_id
               {
                 Driver.lr_loop = loop;
                 lr_label = Dca_analysis.Proginfo.loop_label info loop;
                 lr_decision = e.Vcache.e_decision;
                 lr_outcome = e.Vcache.e_outcome;
+                (* restored provenance: a cached static verdict renders
+                   byte-identically to a freshly proved one *)
+                lr_provenance = e.Vcache.e_provenance;
               }
         | None -> ())
       (Dca_analysis.Proginfo.all_loops info);
@@ -339,7 +343,7 @@ let analyze_with_cache t w (rq : Protocol.request) =
   in
   let results =
     Driver.analyze_program ~config:(Session.config s) ~spec:(Session.spec s)
-      ~hierarchical:(Session.hierarchical s) ?pool:(Session.pool s) ~lookup info
+      ~hierarchical:(Session.hierarchical s) ~static ?pool:(Session.pool s) ~lookup info
   in
   (* store phase: every freshly computed, non-subsumed verdict.  Subsumed
      results are skipped — they are free to recompute and derive from
@@ -350,9 +354,6 @@ let analyze_with_cache t w (rq : Protocol.request) =
       (fun (r : Driver.loop_result) ->
         let id = r.Driver.lr_loop.Dca_analysis.Loops.l_id in
         let cached = Hashtbl.mem resolved id in
-        let provenance =
-          Option.value (Hashtbl.find_opt provenances id) ~default:Report.Dynamic
-        in
         if cached then incr hits
         else if not (subsumed r) then begin
           incr misses;
@@ -361,7 +362,7 @@ let analyze_with_cache t w (rq : Protocol.request) =
             {
               Vcache.e_decision = r.Driver.lr_decision;
               e_outcome = r.Driver.lr_outcome;
-              e_provenance = Report.Dynamic;
+              e_provenance = r.Driver.lr_provenance;
               e_prog_digest = prog_digest;
             }
         end;
@@ -369,7 +370,7 @@ let analyze_with_cache t w (rq : Protocol.request) =
           Protocol.li_label = r.Driver.lr_label;
           li_decision = Driver.decision_to_string r.Driver.lr_decision;
           li_cached = cached;
-          li_provenance = provenance;
+          li_provenance = r.Driver.lr_provenance;
         })
       results
   in

@@ -124,12 +124,17 @@ let spec_digest (s : Commutativity.run_spec) =
        (opt_int s.Commutativity.rs_deadline_ns)
        (opt_int s.Commutativity.rs_heap_words))
 
-let config_digest ~hierarchical (c : Commutativity.config) =
+(* The static flag is digested as the *prover version* when enabled: a
+   cached verdict proved under weaker obligations must never satisfy a
+   binary whose prover changed, and static/dynamic runs of the same
+   program must not share entries. *)
+let config_digest ~hierarchical ?(static = true) (c : Commutativity.config) =
   hex
-    (Printf.sprintf "schedules=%s eps=%h escalate=%b inv=%d promote=%d hier=%b"
+    (Printf.sprintf "schedules=%s eps=%h escalate=%b inv=%d promote=%d hier=%b static=%s"
        (String.concat "," (List.map Schedule.to_string c.Commutativity.cc_schedules))
        c.Commutativity.cc_eps c.Commutativity.cc_escalate c.Commutativity.cc_max_invocations
-       c.Commutativity.cc_promote_rounds hierarchical)
+       c.Commutativity.cc_promote_rounds hierarchical
+       (if static then string_of_int Dca_analysis.Staticproof.version else "off"))
 
 let loop_key t ~config_digest ~spec_digest ~func ~loop_id =
   let fd = match func_digest t func with Some d -> d | None -> "?" in

@@ -30,9 +30,12 @@ val func_digest : t -> string -> string option
 val spec_digest : Dca_core.Commutativity.run_spec -> string
 (** Input stream + fuel + deadline + heap budgets. *)
 
-val config_digest : hierarchical:bool -> Dca_core.Commutativity.config -> string
+val config_digest : hierarchical:bool -> ?static:bool -> Dca_core.Commutativity.config -> string
 (** Schedule list, tolerance, escalation, invocation budget, promotion
-    budget, and the hierarchical-exploration flag. *)
+    budget, the hierarchical-exploration flag, and the static fast-path:
+    digested as {!Dca_analysis.Staticproof.version} when enabled
+    (default) or as ["off"], so verdicts from different prover versions
+    — or from [--no-static] runs — never share cache entries. *)
 
 val loop_key :
   t -> config_digest:string -> spec_digest:string -> func:string -> loop_id:string -> string

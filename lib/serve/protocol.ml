@@ -23,6 +23,7 @@ type request = {
   rq_heap_words : int option;
   rq_faults : string option;  (** fault plan scoped to this request *)
   rq_no_cache : bool;  (** bypass the verdict cache (still stores) *)
+  rq_no_static : bool;  (** disable the static fast-path for this request *)
 }
 
 let default_request =
@@ -38,6 +39,7 @@ let default_request =
     rq_heap_words = None;
     rq_faults = None;
     rq_no_cache = false;
+    rq_no_static = false;
   }
 
 type loop_info = {
@@ -137,7 +139,8 @@ let request_to_json r =
     @ opt "deadline_ms" (fun n -> Json.Int n) r.rq_deadline_ms
     @ opt "heap_words" (fun n -> Json.Int n) r.rq_heap_words
     @ opt "faults" (fun s -> Json.Str s) r.rq_faults
-    @ flag "no_cache" r.rq_no_cache)
+    @ flag "no_cache" r.rq_no_cache
+    @ flag "no_static" r.rq_no_static)
 
 let request_of_json j =
   let int_field name = Option.bind (Json.member name j) Json.to_int_opt in
@@ -172,6 +175,7 @@ let request_of_json j =
                     rq_heap_words = int_field "heap_words";
                     rq_faults = str_field "faults";
                     rq_no_cache = bool_field "no_cache";
+                    rq_no_static = bool_field "no_static";
                   }))
 
 let loop_info_to_json li =

@@ -27,6 +27,10 @@ type request = {
   rq_faults : string option;
       (** {!Dca_support.Faultpoint} plan armed for this request only *)
   rq_no_cache : bool;  (** bypass cache lookup (the result is still stored) *)
+  rq_no_static : bool;
+      (** disable the {!Dca_analysis.Staticproof} fast-path, as
+          [dca analyze --no-static]; part of the config digest, so
+          static and dynamic verdicts never share cache entries *)
 }
 
 val default_request : request

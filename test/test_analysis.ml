@@ -430,6 +430,93 @@ let test_may_alias () =
   Alcotest.(check bool) "unknown vs anything" true (Deptest.may_alias Affine.Runknown (Affine.Rglobal 0));
   Alcotest.(check bool) "param vs global" true (Deptest.may_alias (Affine.Rparam 3) (Affine.Rglobal 0))
 
+(* The full ZIV / strong-SIV / GCD matrix the static prover leans on,
+   normalized through the same affine arithmetic the analysis uses. *)
+let zero_aff = { Affine.coeffs = []; const = 0 }
+let norm_aff coeffs const = Affine.affine_sub { Affine.coeffs; const } zero_aff
+
+let test_deptest_table () =
+  let lid = "main#1" in
+  let g = Affine.Rglobal 0 in
+  let acc ?(write = false) coeffs const = mk_access ~write g (Some (norm_aff coeffs const)) in
+  let iv c = (Affine.Tiv lid, c) in
+  let sym v c = (Affine.Tsym v, c) in
+  let cases =
+    [
+      (* ZIV: both subscripts loop-invariant constants *)
+      ("ziv a[3] w vs a[5] r", "no", acc ~write:true [] 3, acc [] 5);
+      ("ziv a[4] w vs a[4] r", "dep", acc ~write:true [] 4, acc [] 4);
+      (* strong SIV: equal strides, constant distance *)
+      ("siv a[i] w vs a[i] r", "no", acc ~write:true [ iv 1 ] 0, acc [ iv 1 ] 0);
+      ("siv a[i] w vs a[i+1] r", "dep", acc ~write:true [ iv 1 ] 0, acc [ iv 1 ] 1);
+      ("siv a[4i] w vs a[4i+2] r", "no", acc ~write:true [ iv 4 ] 0, acc [ iv 4 ] 2);
+      ("siv a[4i] w vs a[4i+8] r", "dep", acc ~write:true [ iv 4 ] 0, acc [ iv 4 ] 8);
+      ("siv a[-i] w vs a[-i-3] r", "dep", acc ~write:true [ iv (-1) ] 0, acc [ iv (-1) ] (-3));
+      (* GCD: differing strides, decided on divisibility of the offset *)
+      ("gcd a[2i] w vs a[4i+1] r", "no", acc ~write:true [ iv 2 ] 0, acc [ iv 4 ] 1);
+      ("gcd a[2i] w vs a[4i+2] r", "dep", acc ~write:true [ iv 2 ] 0, acc [ iv 4 ] 2);
+      ("gcd a[3i+1] w vs a[6i] r", "no", acc ~write:true [ iv 3 ] 1, acc [ iv 6 ] 0);
+      ("gcd a[0] w vs a[i] r", "dep", acc ~write:true [] 0, acc [ iv 1 ] 0);
+      (* symbolic remainders: equal symbolic parts cancel, differing
+         ones are conservatively a dependence *)
+      ("sym a[2i+n] w vs a[2i+n+1] r", "no", acc ~write:true [ iv 2; sym 7 1 ] 0,
+        acc [ iv 2; sym 7 1 ] 1);
+      ("sym a[i+n] w vs a[i+m] r", "dep", acc ~write:true [ iv 1; sym 7 1 ] 0,
+        acc [ iv 1; sym 8 1 ] 0);
+      ("sym a[2i+n] w vs a[3i] r", "dep", acc ~write:true [ iv 2; sym 7 1 ] 0, acc [ iv 3 ] 0);
+      (* symbolic-bound conservatism: the test does not know the trip
+         count, so even an offset far beyond any plausible bound stays a
+         dependence — this is what sends wraparound shapes to the
+         dynamic stage instead of a bogus static proof *)
+      ("bound a[i] w vs a[i+100] r", "dep", acc ~write:true [ iv 1 ] 0, acc [ iv 1 ] 100);
+      (* non-affine on either side defeats the test *)
+      ("non-affine lhs", "dep", mk_access ~write:true g None, acc [ iv 1 ] 0);
+      ("non-affine rhs", "dep", acc ~write:true [ iv 1 ] 0, mk_access g None);
+    ]
+  in
+  List.iter
+    (fun (name, expected, a, b) ->
+      let verdict =
+        match Deptest.cross_iteration ~loop_id:lid a b with
+        | Deptest.No_dep -> "no"
+        | Deptest.Dep _ -> "dep"
+      in
+      Alcotest.(check string) name expected verdict)
+    cases
+
+(* Soundness of the static tests, the property the prover's safety rests
+   on: whenever two subscripts actually collide at distinct concrete
+   iterations (under any valuation of the shared symbol), the static
+   test must NOT refute the dependence.  The converse — reporting a
+   dependence that never materializes — is mere conservatism. *)
+let prop_concrete_dep_never_refuted =
+  QCheck.Test.make ~count:1000 ~name:"concrete-index dependence never statically refuted"
+    QCheck.(
+      pair
+        (triple (int_range (-4) 4) (int_range (-4) 4) (int_range (-8) 8))
+        (triple (int_range (-4) 4) (int_range (-4) 4) (int_range (-8) 8)))
+    (fun ((c1, s1, k1), (c2, s2, k2)) ->
+      let lid = "main#1" in
+      let mk w c s k =
+        mk_access ~write:w (Affine.Rglobal 0)
+          (Some (norm_aff [ (Affine.Tiv lid, c); (Affine.Tsym 7, s) ] k))
+      in
+      let refuted =
+        Deptest.cross_iteration ~loop_id:lid (mk true c1 s1 k1) (mk false c2 s2 k2)
+        = Deptest.No_dep
+      in
+      let collision = ref false in
+      (* x, y: iteration indices; w: any value of the invariant symbol *)
+      for x = 0 to 9 do
+        for y = 0 to 9 do
+          for w = -4 to 4 do
+            if x <> y && (c1 * x) + (s1 * w) + k1 = (c2 * y) + (s2 * w) + k2 then
+              collision := true
+          done
+        done
+      done;
+      not (!collision && refuted))
+
 (* --------------------------------------------------------------- *)
 (* Scalars                                                           *)
 (* --------------------------------------------------------------- *)
@@ -590,6 +677,8 @@ let suites =
       [
         Alcotest.test_case "siv/ziv cases" `Quick test_deptest_cases;
         Alcotest.test_case "may_alias" `Quick test_may_alias;
+        Alcotest.test_case "ziv/siv/gcd table" `Quick test_deptest_table;
+        QCheck_alcotest.to_alcotest prop_concrete_dep_never_refuted;
       ] );
     ( "scalars",
       [

@@ -4,7 +4,7 @@
 open Dca_analysis
 open Dca_core
 
-let analyze ?config src = Driver.analyze_source ?config ~file:"<test>" src
+let analyze ?config ?static src = Driver.analyze_source ?config ?static ~file:"<test>" src
 
 (* The single deepest tested loop result in function [f]. *)
 let results_in f (results : Driver.loop_result list) =
@@ -249,22 +249,34 @@ let test_bfs_promotion_recorded () =
 
 (* Loops never executed by the workload are untestable (paper §V-C1, MG). *)
 let test_unexecuted_loop () =
-  let _, results =
-    analyze
-      {|
-      int flag;
-      int a[4];
-      void main() {
-        int i;
-        if (flag) {
-          for (i = 0; i < 4; i = i + 1) { a[i] = i; }
-        }
-        printi(flag);
+  let src =
+    {|
+    int flag;
+    int a[4];
+    void main() {
+      int i;
+      if (flag) {
+        for (i = 0; i < 4; i = i + 1) { a[i] = i; }
       }
-      |}
+      printi(flag);
+    }
+    |}
   in
-  match results_in "main" results with
-  | [ r ] -> check_verdict "unexecuted loop" "untestable" r
+  (* Dynamically the loop never runs (flag is 0), so the dynamic stage
+     alone must say untestable ... *)
+  let _, dynamic = analyze ~static:false src in
+  (match results_in "main" dynamic with
+  | [ r ] ->
+      check_verdict "unexecuted loop, prover off" "untestable" r;
+      Alcotest.(check bool) "provenance dynamic" true (r.Driver.lr_provenance = Driver.Dynamic)
+  | rs -> Alcotest.failf "expected 1 loop, got %d" (List.length rs));
+  (* ... while the static prover decides without executing: a[i] = i is
+     affinely independent, so the default pipeline proves it. *)
+  let _, proved = analyze src in
+  match results_in "main" proved with
+  | [ r ] ->
+      check_verdict "unexecuted loop, prover on" "commutative" r;
+      Alcotest.(check bool) "provenance static" true (r.Driver.lr_provenance = Driver.Static)
   | rs -> Alcotest.failf "expected 1 loop, got %d" (List.length rs)
 
 (* Iterator/payload separation on the motivating shapes. *)
@@ -622,7 +634,8 @@ let test_per_invocation_verdicts () =
 let skeleton_of src =
   let prog = Dca_ir.Lower.compile ~file:"<test>" src in
   let info = Proginfo.analyze prog in
-  let results = Driver.analyze_program info in
+  (* prover off: skeleton classification consumes the dynamic outcome *)
+  let results = Driver.analyze_program ~static:false info in
   let r =
     List.find
       (fun r -> Driver.is_commutative r && r.Driver.lr_loop.Loops.l_depth = 1)

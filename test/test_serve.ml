@@ -76,6 +76,7 @@ let test_protocol_request_roundtrip () =
       rq_heap_words = Some 4096;
       rq_faults = Some "driver.loop@1=raise";
       rq_no_cache = true;
+      rq_no_static = true;
     }
   in
   (match Protocol.parse_request (Protocol.request_line rq) with
@@ -247,7 +248,8 @@ let test_vcache_escalated_pinned () =
   (* borrow a real outcome from a tiny analysis, then mark it escalated *)
   let outcome =
     Session.with_session
-      ~options:Session.Options.(default |> with_jobs 1)
+      (* prover off: we need a *dynamic* outcome record to borrow *)
+      ~options:Session.Options.(default |> with_jobs 1 |> with_static false)
       (Session.Source { file = "t.mc"; source = two_funcs 2; input = [] })
       (fun s ->
         match
@@ -379,7 +381,7 @@ let test_metrics_json_roundtrip_and_exposition () =
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let analyze_rq ?jobs ?faults ?(no_cache = false) source =
+let analyze_rq ?jobs ?faults ?(no_cache = false) ?(no_static = false) source =
   {
     Protocol.default_request with
     Protocol.rq_op = Protocol.Analyze;
@@ -387,6 +389,7 @@ let analyze_rq ?jobs ?faults ?(no_cache = false) source =
     rq_jobs = jobs;
     rq_faults = faults;
     rq_no_cache = no_cache;
+    rq_no_static = no_static;
   }
 
 let handle_ok engine rq =
@@ -416,11 +419,16 @@ let test_engine_cold_then_warm () =
   Fun.protect
     ~finally:(fun () -> Engine.close engine)
     (fun () ->
-      let cold, cold_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      (* prover off: this test asserts the *dynamic* stage's cache behaviour *)
+      let cold, cold_golden =
+        with_golden_delta (fun () -> handle_ok engine (analyze_rq ~no_static:true (two_funcs 2)))
+      in
       Alcotest.(check int) "cold: no hits" 0 cold.Protocol.rp_hits;
       Alcotest.(check int) "cold: every loop computed" 2 cold.Protocol.rp_misses;
       Alcotest.(check bool) "cold ran the dynamic stage" true (cold_golden > 0);
-      let warm, warm_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      let warm, warm_golden =
+        with_golden_delta (fun () -> handle_ok engine (analyze_rq ~no_static:true (two_funcs 2)))
+      in
       Alcotest.(check int) "warm: every loop from cache" 2 warm.Protocol.rp_hits;
       Alcotest.(check int) "warm: nothing computed" 0 warm.Protocol.rp_misses;
       Alcotest.(check int) "warm ticked no work counters" 0 warm_golden;
@@ -436,9 +444,11 @@ let test_engine_invalidation_granularity () =
   Fun.protect
     ~finally:(fun () -> Engine.close engine)
     (fun () ->
-      let _, cold_golden = with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 2))) in
+      let _, cold_golden =
+        with_golden_delta (fun () -> handle_ok engine (analyze_rq ~no_static:true (two_funcs 2)))
+      in
       let edited, edit_golden =
-        with_golden_delta (fun () -> handle_ok engine (analyze_rq (two_funcs 3)))
+        with_golden_delta (fun () -> handle_ok engine (analyze_rq ~no_static:true (two_funcs 3)))
       in
       Alcotest.(check int) "fa's loop still cached" 1 edited.Protocol.rp_hits;
       Alcotest.(check int) "only fb's loop recomputed" 1 edited.Protocol.rp_misses;
@@ -507,16 +517,17 @@ let test_engine_fault_request_contained () =
   Fun.protect
     ~finally:(fun () -> Engine.close engine)
     (fun () ->
-      let cold = handle_ok engine (analyze_rq (two_funcs 2)) in
+      let cold = handle_ok engine (analyze_rq ~no_static:true (two_funcs 2)) in
       let faulty =
-        handle_ok engine (analyze_rq ~faults:"commutativity.replay@1=raise" (two_funcs 2))
+        handle_ok engine
+          (analyze_rq ~no_static:true ~faults:"commutativity.replay@1=raise" (two_funcs 2))
       in
       Alcotest.(check int) "fault request skips the cache" 0 faulty.Protocol.rp_hits;
       let is_aborted li =
         String.length li.Protocol.li_decision >= 7 && String.sub li.Protocol.li_decision 0 7 = "aborted"
       in
       Alcotest.(check bool) "a loop aborted" true (List.exists is_aborted faulty.Protocol.rp_loops);
-      let after = handle_ok engine (analyze_rq (two_funcs 2)) in
+      let after = handle_ok engine (analyze_rq ~no_static:true (two_funcs 2)) in
       Alcotest.(check int) "cache not poisoned" 2 after.Protocol.rp_hits;
       Alcotest.(check string) "post-fault reply identical to cold" (report_of cold) (report_of after))
 
