@@ -296,7 +296,7 @@ let run_serve () =
   let analyze engine =
     let t0 = Telemetry.now_ns () in
     match Engine.handle engine { rq with Protocol.rq_id = Telemetry.now_ns () land 0xffff } with
-    | { Protocol.rp_ok = true; rp_report = Some report; rp_hits; rp_misses; _ } ->
+    | { Protocol.rp_status = Protocol.Ok; rp_report = Some report; rp_hits; rp_misses; _ } ->
         (float_of_int (Telemetry.now_ns () - t0), report, rp_hits, rp_misses)
     | { Protocol.rp_error; _ } ->
         failwith ("serve bench: " ^ Option.value rp_error ~default:"analyze failed")
@@ -369,7 +369,7 @@ let run_serve () =
     wait_ready 200;
     (* pre-warm: DC's verdicts enter the cache before the clock starts *)
     (match one { warm_rq with Protocol.rq_id = 2 } with
-    | Some { Protocol.rp_ok = true; _ } -> ()
+    | Some { Protocol.rp_status = Protocol.Ok; _ } -> ()
     | _ -> failwith "serve bench: pre-warm failed");
     let t0 = Telemetry.now_ns () in
     let client_domain c =
@@ -393,7 +393,7 @@ let run_serve () =
                        in
                        let rp =
                          match Client.request conn rq with
-                         | Ok rp when rp.Protocol.rp_ok -> rp
+                         | Ok rp when Protocol.ok rp -> rp
                          | Ok rp ->
                              failwith
                                ("serve bench: "

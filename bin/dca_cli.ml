@@ -672,8 +672,42 @@ let serve_cmd =
             "Rewrite a Prometheus-style text exposition of the daemon's metrics to $(docv) \
              (atomically, temp + rename) after every request — point a file-based scraper at it.")
   in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Overload bound: a connection arriving while $(docv) are already queued is shed with \
+             an immediate $(b,busy) reply (nothing is admitted, so retrying is always safe).")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Reply deadline per request: past it the client gets a structured timeout error and \
+             the connection is closed, while the analysis finishes (and is cached) server-side.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "On SIGTERM/SIGINT the daemon stops accepting and finishes in-flight requests; \
+             stragglers still running past $(docv) are abandoned instead of blocking the exit.")
+  in
+  let slow_request_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-request-ms" ] ~docv:"MS"
+          ~doc:
+            "Mark requests slower than $(docv) in the access log ($(b,\"slow\": true)) and count \
+             them in $(b,dca_slow_requests_total).")
+  in
   let run socket cache_dir cache_capacity sessions workers access_log metrics_file max_requests
-      common =
+      max_queue request_timeout drain_timeout slow_request common =
     apply_common common;
     let cfg =
       {
@@ -686,6 +720,13 @@ let serve_cmd =
         sv_access_log = access_log;
         sv_metrics_file = metrics_file;
         sv_max_requests = max_requests;
+        sv_max_queue = max_queue;
+        sv_request_timeout_ms = request_timeout;
+        sv_drain_timeout_s = drain_timeout;
+        sv_slow_request_ms = slow_request;
+        (* the CLI daemon drains gracefully on SIGTERM/SIGINT; embedders
+           of Server.run opt in explicitly *)
+        sv_handle_signals = true;
       }
     in
     match Dca_serve.Server.run cfg with
@@ -704,7 +745,8 @@ let serve_cmd =
           answered from a content-addressed verdict cache when the program has not changed")
     Term.(
       const run $ socket_arg $ cache_dir_arg $ cache_capacity_arg $ sessions_arg $ workers_arg
-      $ access_log_arg $ metrics_file_arg $ max_requests_arg $ common_term)
+      $ access_log_arg $ metrics_file_arg $ max_requests_arg $ max_queue_arg
+      $ request_timeout_arg $ drain_timeout_arg $ slow_request_arg $ common_term)
 
 (* dca client: one request against a running daemon.  The session-shaped
    common flags travel in the request (--jobs, --deadline-ms,
@@ -734,7 +776,31 @@ let client_cmd =
              (latency histogram, cache hit/miss counters, in-flight gauge) instead of the plain \
              counter table.")
   in
-  let run socket op prog shuffles no_escalate hierarchical no_cache metrics common =
+  let retries_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Total attempts (including the first) against a busy, overloaded, or not-yet-listening \
+             daemon, with capped-exponential backoff between them.  $(b,--retries 1) disables \
+             retrying.")
+  in
+  let retry_base_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "retry-base-ms" ] ~docv:"MS"
+          ~doc:"First backoff delay; each retry doubles it (capped at 2000 ms) before jitter.")
+  in
+  let retry_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:
+            "Jitter seed: equal seeds give equal backoff schedules; concurrent clients should \
+             pick different seeds to decorrelate their retries.")
+  in
+  let run socket op prog shuffles no_escalate hierarchical no_cache metrics retries retry_base
+      retry_seed common =
     apply_common common;
     match Dca_serve.Protocol.op_of_string op with
     | None ->
@@ -778,13 +844,26 @@ let client_cmd =
               rq_no_static = common.co_no_static;
             }
           in
-          match Dca_serve.Client.with_client socket (fun c -> Dca_serve.Client.request c rq) with
+          let backoff =
+            {
+              Dca_serve.Client.default_backoff with
+              Dca_serve.Client.bo_attempts = max 1 retries;
+              bo_base_ms = retry_base;
+              bo_seed = retry_seed;
+            }
+          in
+          match Dca_serve.Client.request_retry ~backoff socket rq with
           | Error msg ->
               Printf.eprintf "dca client: %s\n" msg;
               1
           | Ok rp ->
               let open Dca_serve.Protocol in
-              if not rp.rp_ok then begin
+              if rp.rp_status = Busy then begin
+                Printf.eprintf "dca client: server busy: %s\n"
+                  (Option.value rp.rp_error ~default:"overloaded");
+                1
+              end
+              else if not (Dca_serve.Protocol.ok rp) then begin
                 Printf.eprintf "dca client: server error: %s\n"
                   (Option.value rp.rp_error ~default:"unknown");
                 1
@@ -799,7 +878,22 @@ let client_cmd =
                        | Error msg -> Printf.eprintf "dca client: bad metrics payload: %s\n" msg)
                    | None ->
                        Printf.eprintf "dca client: --metrics needs a stats reply (op was %s)\n" op
-                 else List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) rp.rp_counters);
+                 else begin
+                   List.iter (fun (k, v) -> Printf.printf "%-24s %d\n" k v) rp.rp_counters;
+                   (* latency summary straight from the histogram buckets *)
+                   match Option.map Dca_serve.Metrics.snapshot_of_json rp.rp_metrics with
+                   | Some (Ok snap) -> (
+                       match
+                         List.assoc_opt "dca_request_duration_seconds"
+                           snap.Dca_serve.Metrics.sn_hists
+                       with
+                       | Some h when h.Dca_serve.Metrics.hs_count > 0 ->
+                           let q p = Dca_serve.Metrics.quantile h p *. 1000. in
+                           Printf.printf "%-24s p50=%.1f p90=%.1f p99=%.1f\n" "latency(ms)"
+                             (q 0.5) (q 0.9) (q 0.99)
+                       | _ -> ())
+                   | _ -> ()
+                 end);
                 if rp.rp_loops <> [] then
                   Printf.eprintf "dca client: %d loop(s), %d from cache, %d computed, %.1f ms\n"
                     (List.length rp.rp_loops) rp.rp_hits rp.rp_misses
@@ -815,7 +909,8 @@ let client_cmd =
           $(b,analyze) is byte-identical to running $(b,dca analyze) locally)")
     Term.(
       const run $ socket_arg $ op_arg $ prog_opt_arg $ shuffles_arg $ no_escalate_arg
-      $ hierarchical_arg $ no_cache_arg $ metrics_arg $ common_term)
+      $ hierarchical_arg $ no_cache_arg $ metrics_arg $ retries_arg $ retry_base_arg
+      $ retry_seed_arg $ common_term)
 
 (* Top-level exit-code contract: 0 = success, 1 = analysis/program
    failure, 2 = usage error (including a malformed fault plan), 3 =

@@ -1,4 +1,15 @@
-(* Blocking JSON-lines client for the dca serve socket. *)
+(* Blocking JSON-lines client for the dca serve socket.
+
+   The retry layer rides on the daemon's shed/crash/timeout semantics:
+   every condition it retries — connect refused, busy reply, timeout
+   reply, connection closed — is one where the daemon guarantees the
+   request either never ran or ran without caching a wrong answer, so
+   re-sending is safe and converges to the same byte-identical report.
+   Backoff delays are capped-exponential with jitter from a seeded
+   Prng: deterministic for tests, decorrelated between clients that
+   pick different seeds. *)
+
+module Prng = Dca_support.Prng
 
 type t = { sock : Unix.file_descr; ic : in_channel; oc : out_channel }
 
@@ -27,3 +38,71 @@ let with_client path f =
   match connect path with
   | Error _ as e -> e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Retry with capped-exponential backoff                               *)
+(* ------------------------------------------------------------------ *)
+
+type backoff = {
+  bo_attempts : int;
+  bo_base_ms : float;
+  bo_cap_ms : float;
+  bo_seed : int;
+}
+
+let default_backoff = { bo_attempts = 6; bo_base_ms = 50.; bo_cap_ms = 2000.; bo_seed = 0 }
+
+(* Delay before retry k (k = 0 after the first failure): the capped
+   exponential base *. 2^k, scaled by a jitter factor in [0.5, 1) drawn
+   from the seeded generator — equal seeds give equal schedules. *)
+let backoff_schedule b =
+  let rng = Prng.create b.bo_seed in
+  Array.init
+    (max 0 (b.bo_attempts - 1))
+    (fun k ->
+      let ideal = Float.min b.bo_cap_ms (b.bo_base_ms *. (2. ** float_of_int k)) in
+      ideal *. (0.5 +. 0.5 *. Prng.float rng))
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Transport failures where the request provably never reached an
+   engine: the daemon is not up yet, went away, or dropped the
+   connection before replying. *)
+let retryable_error msg =
+  has_prefix "cannot connect" msg
+  || has_prefix "server closed the connection" msg
+  || has_prefix "connection error" msg
+
+(* Replies that invite a retry: [busy] (shed or worker crash — nothing
+   ran, nothing was cached) and the watchdog's timeout error (the
+   analysis finished server-side, so the retry usually hits the
+   verdict cache). *)
+let retryable_reply (rp : Protocol.response) =
+  match rp.Protocol.rp_status with
+  | Protocol.Busy -> true
+  | Protocol.Error -> (
+      match rp.Protocol.rp_error with
+      | Some msg -> has_prefix "request timed out" msg
+      | None -> false)
+  | Protocol.Ok -> false
+
+let request_retry ?(backoff = default_backoff) path rq =
+  let delays = backoff_schedule backoff in
+  let attempts = max 1 backoff.bo_attempts in
+  let rec go k =
+    let outcome = with_client path (fun t -> request t rq) in
+    let retryable =
+      match outcome with
+      | Ok rp -> retryable_reply rp
+      | Error msg -> retryable_error msg
+    in
+    if (not retryable) || k + 1 >= attempts then
+      match outcome with
+      | Error msg when retryable -> Error (Printf.sprintf "%s (after %d attempts)" msg attempts)
+      | r -> r
+    else begin
+      Unix.sleepf (delays.(k) /. 1000.);
+      go (k + 1)
+    end
+  in
+  go 0

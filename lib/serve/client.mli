@@ -12,3 +12,37 @@ val close : t -> unit
 
 val with_client : string -> (t -> ('a, string) result) -> ('a, string) result
 (** [connect], run, then {!close} (also on exception). *)
+
+(** {1 Retry with capped-exponential backoff}
+
+    Every condition {!request_retry} retries is one where the daemon
+    guarantees the request either never ran (connect refused, [busy]
+    shed, worker crash) or ran without caching a wrong answer (watchdog
+    timeout — the analysis finished server-side, so the retry usually
+    hits the verdict cache).  Re-sending therefore always converges to
+    the same byte-identical report. *)
+
+type backoff = {
+  bo_attempts : int;  (** total attempts, including the first (default 6) *)
+  bo_base_ms : float;  (** first delay before jitter (default 50) *)
+  bo_cap_ms : float;  (** exponential ceiling before jitter (default 2000) *)
+  bo_seed : int;
+      (** jitter seed ({!Dca_support.Prng}): equal seeds give equal
+          delay schedules — deterministic tests, decorrelated clients *)
+}
+
+val default_backoff : backoff
+
+val backoff_schedule : backoff -> float array
+(** The delays in milliseconds before retries 1 .. attempts-1: the
+    capped exponential [base *. 2^k] scaled by a seeded jitter factor
+    in [\[0.5, 1)]. *)
+
+val request_retry :
+  ?backoff:backoff -> string -> Protocol.request -> (Protocol.response, string) result
+(** [request_retry path rq] runs [rq] over a fresh connection per
+    attempt, retrying (after the backoff schedule) on connect errors,
+    closed connections, [busy] replies, and timeout error replies.  On
+    exhaustion the last outcome is returned as-is — a final [busy]
+    reply surfaces as [Ok] with [rp_status = Busy] — except transport
+    errors, which are annotated with the attempt count. *)

@@ -57,6 +57,11 @@ module Schedule = Dca_core.Schedule
 module Faultpoint = Dca_support.Faultpoint
 module Telemetry = Dca_support.Telemetry
 
+(* Fault site at the mouth of the analysis pipeline: an injected raise
+   here models the engine blowing up before any containment layer
+   exists, and must become an error *reply*, never a dead daemon. *)
+let fp_analyze = Faultpoint.site "engine.analyze"
+
 type warm = {
   w_session : Session.t;
   w_digest : Progdigest.t Lazy.t;
@@ -92,15 +97,26 @@ let metric_names =
       "dca_analyze_requests_total";
       "dca_cache_hits_total";
       "dca_cache_misses_total";
+      "dca_requests_shed_total";
+      "dca_requests_timeout_total";
+      "dca_worker_restarts_total";
+      "dca_cache_degraded_total";
+      "dca_slow_requests_total";
     ],
     [ "dca_inflight_requests"; "dca_queue_depth"; "dca_warm_sessions" ],
     [ "dca_request_duration_seconds" ] )
 
 let create ?cache_dir ?cache_capacity ?(sessions = 8) ?jobs () =
   let counters, gauges, histograms = metric_names in
+  let metrics = Metrics.create ~counters ~gauges ~histograms () in
+  let on_degrade msg =
+    (* log-once is guaranteed by the Vcache latch *)
+    Metrics.incr metrics "dca_cache_degraded_total";
+    Printf.eprintf "dca serve: disk cache write failed (%s); continuing memory-only\n%!" msg
+  in
   {
-    cache = Vcache.create ?dir:cache_dir ?capacity:cache_capacity ();
-    metrics = Metrics.create ~counters ~gauges ~histograms ();
+    cache = Vcache.create ?dir:cache_dir ?capacity:cache_capacity ~on_degrade ();
+    metrics;
     tele = Telemetry.current ();
     lock = Mutex.create ();
     gate_cond = Condition.create ();
@@ -403,6 +419,8 @@ let stats t =
     ("cache.stores", c.Vcache.st_stores);
     ("cache.corrupt", c.Vcache.st_corrupt);
     ("cache.evictions", c.Vcache.st_evictions);
+    ("cache.write_errors", c.Vcache.st_write_errors);
+    ("cache.degraded", if Vcache.degraded t.cache then 1 else 0);
   ]
 
 (* Per-request fault containment: a request's fault plan is armed for
@@ -418,6 +436,7 @@ let run_analyze t (rq : Protocol.request) =
         Faultpoint.arm_string plan;
         Faultpoint.reset_hits ()
     | None -> ());
+    Faultpoint.hit_unit fp_analyze;
     match resolve_program (Option.get rq.Protocol.rq_program) with
     | Error msg -> Error msg
     | Ok (file, source, input) ->
@@ -427,6 +446,7 @@ let run_analyze t (rq : Protocol.request) =
           ~finally:(fun () -> release_session t w slot)
           (fun () -> Ok (analyze_with_cache t w rq))
   with
+  | Faultpoint.Injected msg -> Error ("crash: " ^ msg)
   | Faultpoint.Bad_plan msg -> Error ("invalid fault plan: " ^ msg)
   | Dca_frontend.Loc.Error (loc, msg) -> Error (Dca_frontend.Loc.to_string loc ^ ": " ^ msg)
   | Dca_interp.Eval.Trap msg -> Error ("runtime trap: " ^ msg)
@@ -449,7 +469,7 @@ let handle t (rq : Protocol.request) =
   let finish rp =
     let elapsed = Telemetry.now_ns () - t0 in
     Metrics.observe_ns t.metrics "dca_request_duration_seconds" elapsed;
-    if not rp.Protocol.rp_ok then Metrics.incr t.metrics "dca_requests_errors_total";
+    if not (Protocol.ok rp) then Metrics.incr t.metrics "dca_requests_errors_total";
     Metrics.gauge_add t.metrics "dca_inflight_requests" (-1);
     { rp with Protocol.rp_req = req; rp_elapsed_ns = elapsed }
   in

@@ -119,6 +119,35 @@ let snapshot t =
         t.m_hists;
   }
 
+(* Quantile estimate from the bucket counts, the standard Prometheus
+   [histogram_quantile] interpolation: find the bucket holding the
+   rank-th observation, assume observations are uniform inside it, and
+   interpolate between its bounds.  The +Inf bucket has no upper bound
+   to interpolate toward, so it clamps to the last finite bound — a
+   deliberate under-estimate, like Prometheus. *)
+let quantile h q =
+  if h.hs_count <= 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.hs_count))) in
+    let n_bounds = Array.length h.hs_bounds_ns in
+    let rec find i cum =
+      let cum' = cum + h.hs_counts.(i) in
+      if cum' >= rank || i = n_bounds then (i, cum, h.hs_counts.(i))
+      else find (i + 1) cum'
+    in
+    let i, below, in_bucket = find 0 0 in
+    let lo = if i = 0 then 0 else h.hs_bounds_ns.(i - 1) in
+    let hi = if i < n_bounds then h.hs_bounds_ns.(i) else h.hs_bounds_ns.(n_bounds - 1) in
+    let ns =
+      if i >= n_bounds || in_bucket <= 0 then float_of_int hi
+      else
+        float_of_int lo
+        +. (float_of_int (hi - lo) *. (float_of_int (rank - below) /. float_of_int in_bucket))
+    in
+    ns /. 1e9
+  end
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -51,6 +51,13 @@ val snapshot : t -> snapshot
     one histogram (count visible, sum not yet), which the next snapshot
     repairs — totals never drift. *)
 
+val quantile : hist_snapshot -> float -> float
+(** [quantile h q] estimates the [q]-quantile (e.g. [0.99]) in {e
+    seconds} by linear interpolation inside the bucket holding the
+    rank, the same estimate as Prometheus' [histogram_quantile].
+    Observations in the +Inf overflow bucket clamp to the last finite
+    bound; an empty histogram yields [0.0]. *)
+
 val snapshot_to_json : snapshot -> Json.t
 val snapshot_of_json : Json.t -> (snapshot, string) result
 

@@ -11,6 +11,14 @@ type program_source =
 
 type op = Analyze | Ping | Stats | Shutdown
 
+(* [Busy] is the overload-shedding reply: the daemon refused to take the
+   request (queue full, worker crash mid-request) and the client should
+   retry after a backoff — nothing was analyzed and nothing was cached,
+   so a retry is always safe.  Parsers map unknown wire statuses to
+   [Error] so an older client degrades gracefully against a newer
+   daemon. *)
+type status = Ok | Busy | Error
+
 type request = {
   rq_id : int;
   rq_op : op;
@@ -52,7 +60,7 @@ type loop_info = {
 type response = {
   rp_id : int;
   rp_req : int;  (** server-assigned request id (0 = unassigned) *)
-  rp_ok : bool;
+  rp_status : status;
   rp_error : string option;
   rp_report : string option;
   rp_loops : loop_info list;
@@ -67,7 +75,7 @@ let ok_response ~id =
   {
     rp_id = id;
     rp_req = 0;
-    rp_ok = true;
+    rp_status = Ok;
     rp_error = None;
     rp_report = None;
     rp_loops = [];
@@ -78,7 +86,12 @@ let ok_response ~id =
     rp_elapsed_ns = 0;
   }
 
-let error_response ~id msg = { (ok_response ~id) with rp_ok = false; rp_error = Some msg }
+let error_response ~id msg = { (ok_response ~id) with rp_status = Error; rp_error = Some msg }
+let busy_response ~id msg = { (ok_response ~id) with rp_status = Busy; rp_error = Some msg }
+let ok r = r.rp_status = Ok
+
+let status_to_string = function Ok -> "ok" | Busy -> "busy" | Error -> "error"
+let status_of_string = function "ok" -> Ok | "busy" -> Busy | _ -> Error
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -107,9 +120,11 @@ let program_to_json = function
           ("input", Json.List (List.map (fun n -> Json.Int n) input));
         ]
 
+(* [status]'s [Ok]/[Error] shadow [result]'s constructors from here on
+   down, so the parsing code below qualifies the latter with [Stdlib]. *)
 let program_of_json j =
   match j with
-  | Json.Str n -> Ok (Named n)
+  | Json.Str n -> Stdlib.Ok (Named n)
   | Json.Obj _ -> (
       match Json.member "source" j with
       | Some (Json.Str source) ->
@@ -121,9 +136,9 @@ let program_of_json j =
             | Some (Json.List xs) -> List.filter_map Json.to_int_opt xs
             | _ -> []
           in
-          Ok (Inline { file; source; input })
-      | _ -> Error "program object needs a \"source\" string")
-  | _ -> Error "\"program\" must be a string or an object"
+          Stdlib.Ok (Inline { file; source; input })
+      | _ -> Stdlib.Error "program object needs a \"source\" string")
+  | _ -> Stdlib.Error "\"program\" must be a string or an object"
 
 let request_to_json r =
   let base = [ ("id", Json.Int r.rq_id); ("op", Json.Str (op_to_string r.rq_op)) ] in
@@ -147,22 +162,23 @@ let request_of_json j =
   let bool_field name = match Json.member name j with Some (Json.Bool b) -> b | _ -> false in
   let str_field name = Option.bind (Json.member name j) Json.to_str_opt in
   match Json.member "op" j with
-  | None -> Error "missing \"op\""
+  | None -> Stdlib.Error "missing \"op\""
   | Some op_j -> (
       match Option.bind (Json.to_str_opt op_j) op_of_string with
-      | None -> Error "unknown \"op\" (expected analyze|ping|stats|shutdown)"
+      | None -> Stdlib.Error "unknown \"op\" (expected analyze|ping|stats|shutdown)"
       | Some op -> (
           let program =
             match Json.member "program" j with
-            | None -> Ok None
+            | None -> Stdlib.Ok None
             | Some pj -> Result.map Option.some (program_of_json pj)
           in
           match program with
-          | Error e -> Error e
-          | Ok rq_program ->
-              if op = Analyze && rq_program = None then Error "analyze needs a \"program\""
+          | Stdlib.Error e -> Stdlib.Error e
+          | Stdlib.Ok rq_program ->
+              if op = Analyze && rq_program = None then
+                Stdlib.Error "analyze needs a \"program\""
               else
-                Ok
+                Stdlib.Ok
                   {
                     rq_id = Option.value (int_field "id") ~default:0;
                     rq_op = op;
@@ -210,7 +226,7 @@ let response_to_json r =
   Json.Obj
     ([ ("id", Json.Int r.rp_id) ]
     @ (if r.rp_req = 0 then [] else [ ("req", Json.Int r.rp_req) ])
-    @ [ ("status", Json.Str (if r.rp_ok then "ok" else "error")) ]
+    @ [ ("status", Json.Str (status_to_string r.rp_status)) ]
     @ (match r.rp_error with Some e -> [ ("error", Json.Str e) ] | None -> [])
     @ (match r.rp_report with Some s -> [ ("report", Json.Str s) ] | None -> [])
     @ (match r.rp_loops with
@@ -225,14 +241,14 @@ let response_to_json r =
 
 let response_of_json j =
   match Option.bind (Json.member "status" j) Json.to_str_opt with
-  | None -> Error "missing \"status\""
+  | None -> Stdlib.Error "missing \"status\""
   | Some status ->
       let int_field name = Option.value (Option.bind (Json.member name j) Json.to_int_opt) ~default:0 in
-      Ok
+      Stdlib.Ok
         {
           rp_id = int_field "id";
           rp_req = int_field "req";
-          rp_ok = status = "ok";
+          rp_status = status_of_string status;
           rp_error = Option.bind (Json.member "error" j) Json.to_str_opt;
           rp_report = Option.bind (Json.member "report" j) Json.to_str_opt;
           rp_loops =
@@ -257,10 +273,10 @@ let response_line r = Json.to_string (response_to_json r)
 
 let parse_request line =
   match Json.of_string_result line with
-  | Error e -> Error ("malformed JSON: " ^ e)
-  | Ok j -> request_of_json j
+  | Stdlib.Error e -> Stdlib.Error ("malformed JSON: " ^ e)
+  | Stdlib.Ok j -> request_of_json j
 
 let parse_response line =
   match Json.of_string_result line with
-  | Error e -> Error ("malformed JSON: " ^ e)
-  | Ok j -> response_of_json j
+  | Stdlib.Error e -> Stdlib.Error ("malformed JSON: " ^ e)
+  | Stdlib.Ok j -> response_of_json j

@@ -14,6 +14,22 @@ type op =
   | Stats  (** server + cache counters *)
   | Shutdown  (** reply, then stop accepting and exit the serve loop *)
 
+type status =
+  | Ok
+  | Busy
+      (** overload shed: the daemon refused the request (queue beyond
+          [--max-queue], or a worker crashed mid-request).  Nothing was
+          analyzed or cached, so retrying after a backoff is always
+          safe — {!Client.request_retry} does exactly that. *)
+  | Error
+
+val status_to_string : status -> string
+
+val status_of_string : string -> status
+(** ["ok"] and ["busy"] map to their constructors; anything else —
+    including statuses a future daemon might add — degrades to
+    [Error]. *)
+
 type request = {
   rq_id : int;
   rq_op : op;
@@ -52,8 +68,8 @@ type response = {
           in the access log's [req] field and as the [req] argument of
           the request's trace span, so one request can be followed
           across all three sinks *)
-  rp_ok : bool;
-  rp_error : string option;
+  rp_status : status;
+  rp_error : string option;  (** reason for [Busy] and [Error] replies *)
   rp_report : string option;  (** byte-identical to [dca analyze] output *)
   rp_loops : loop_info list;
   rp_hits : int;  (** per-request verdict-cache hits *)
@@ -65,6 +81,13 @@ type response = {
 
 val ok_response : id:int -> response
 val error_response : id:int -> string -> response
+
+val busy_response : id:int -> string -> response
+(** An overload-shed reply; the message explains why (queue full, worker
+    crash) and is carried in [rp_error]. *)
+
+val ok : response -> bool
+(** [rp_status = Ok]. *)
 
 val op_to_string : op -> string
 val op_of_string : string -> op option

@@ -1,4 +1,5 @@
-(* Unix-domain-socket transport for the serve engine.
+(* Unix-domain-socket transport for the serve engine, with a
+   self-healing supervision layer (DESIGN.md §15).
 
    One accept loop feeding a pool of worker domains: accepted
    connections are queued; each worker owns one connection at a time
@@ -13,20 +14,63 @@
    under the state lock *before* handing the line to the engine and
    counts the completion exactly once afterwards — with [--max-requests n]
    the daemon serves exactly [n] requests no matter how many
-   connections race for the tail of the budget.  Once stopped (budget
+   connections race for the tail of the budget, and a crashed request
+   still consumes the slot it reserved.  Once stopped (budget
    exhausted or a [shutdown] request), the accept loop is woken by a
    dummy connect and every active connection is read-shutdown so a
    worker blocked on an idle persistent connection cannot stall the
    exit.
 
+   The supervision layer adds four defenses, each observable through
+   the metrics plane:
+
+   - *Overload shedding.*  The accept loop bounds the connection queue
+     at [sv_max_queue]; beyond it a connection gets an immediate [busy]
+     reply and is closed ([dca_requests_shed_total]).  Nothing was
+     admitted, so a client retry is always safe.
+
+   - *Request timeouts.*  With [sv_request_timeout_ms] a watchdog
+     domain scans the in-flight registry and replaces the reply of an
+     overdue request with a structured error, then shuts the
+     connection ([dca_requests_timeout_total]).  The engine call is
+     *not* interrupted: it runs to natural completion so its verdicts
+     stay correct and cacheable — only the reply is forfeited.  Reply
+     ownership is decided by winning the Running→Replied/Timed_out
+     transition under the request's own lock, so exactly one side ever
+     writes, and the watchdog only touches a descriptor while holding
+     that lock (the worker cannot close it concurrently).
+
+   - *Worker crash recovery.*  An exception that escapes a worker's
+     serving loop (the [serve.worker] fault site models this) ends the
+     domain: its last rites give the in-flight request a [busy] reply —
+     retrying clients converge to byte-identical reports — close the
+     connection, and hand the slot to a supervisor domain, which joins
+     the corpse and spawns a replacement
+     ([dca_worker_restarts_total]).
+
+   - *Graceful drain.*  With [sv_handle_signals], SIGTERM/SIGINT set an
+     atomic flag and poke the accept loop (nothing that could deadlock
+     a handler): the daemon stops accepting, lets in-flight requests
+     finish — bounded by [sv_drain_timeout_s] — flushes the metrics
+     file, removes the socket, and returns normally.
+
    Every request is wrapped in a Telemetry span carrying the
    server-assigned request id and appended to the JSONL access log (one
    object per request: timestamp, ids, op, program, status,
-   loop/hit/miss counts, elapsed time), and the metrics exposition is
-   rewritten to [sv_metrics_file] (atomically, temp + rename) after
-   every request — the same id threads the access log, the trace, and
-   the reply ([rp_req]), so one request can be followed across all
-   three sinks. *)
+   loop/hit/miss counts, elapsed time, and a ["slow"] marker past
+   [sv_slow_request_ms]), and the metrics exposition is rewritten to
+   [sv_metrics_file] (atomically, temp + rename) after every request —
+   the same id threads the access log, the trace, and the reply
+   ([rp_req]), so one request can be followed across all three sinks.
+   A metrics file that stops being writable (full disk, revoked
+   permissions) is logged once and otherwise ignored. *)
+
+module Faultpoint = Dca_support.Faultpoint
+
+(* Fault site inside the worker's serving loop, hit with a request in
+   flight: an injected raise models a worker-domain crash and must take
+   the busy-reply + respawn path, never the whole daemon. *)
+let fp_worker = Faultpoint.site "serve.worker"
 
 type config = {
   sv_socket : string;
@@ -38,6 +82,11 @@ type config = {
   sv_access_log : string option;
   sv_metrics_file : string option;  (* Prometheus-style exposition, rewritten per request *)
   sv_max_requests : int option;  (* stop after N requests: tests, smoke runs *)
+  sv_max_queue : int;  (* shed (busy-reply) connections beyond this queue depth *)
+  sv_request_timeout_ms : int option;  (* watchdog bound on a single request's reply *)
+  sv_drain_timeout_s : float;  (* graceful-exit bound on in-flight stragglers *)
+  sv_slow_request_ms : int option;  (* access-log + counter threshold *)
+  sv_handle_signals : bool;  (* SIGTERM/SIGINT trigger a graceful drain *)
 }
 
 let default_config socket =
@@ -51,6 +100,11 @@ let default_config socket =
     sv_access_log = None;
     sv_metrics_file = None;
     sv_max_requests = None;
+    sv_max_queue = 64;
+    sv_request_timeout_ms = None;
+    sv_drain_timeout_s = 30.;
+    sv_slow_request_ms = None;
+    sv_handle_signals = false;
   }
 
 (* A leftover socket file from a crashed daemon would make bind fail.
@@ -73,13 +127,43 @@ let program_name = function
   | Some (Protocol.Inline { file; _ }) -> file ^ " (inline)"
   | None -> ""
 
+(* The reply to an in-flight request has exactly one writer, decided by
+   who wins the [Running] → terminal transition under [if_lock]: the
+   worker (normal reply), the watchdog (timeout error), or the crashed
+   worker's last rites (busy).  The losers never touch the channel, and
+   the descriptor is only closed by the worker after its transition
+   attempt resolved — so the watchdog can never write into a recycled
+   fd. *)
+type req_state = Running | Replied | Timed_out
+
+type inflight = {
+  if_id : int;  (* client-side request id, echoed in the substitute reply *)
+  if_fd : Unix.file_descr;
+  if_start_ns : int;
+  if_lock : Mutex.t;
+  mutable if_state : req_state;
+}
+
+(* One per worker domain, reused across respawns: the supervisor joins
+   the dead domain and installs its replacement in the same slot. *)
+type slot = {
+  mutable s_domain : unit Domain.t option;
+  mutable s_fd : Unix.file_descr option;  (* connection being served (under st.lock) *)
+  mutable s_inflight : (Protocol.request * inflight) option;  (* under st.lock *)
+}
+
 type state = {
   engine : Engine.t;
   cfg : config;
   lock : Mutex.t;
-  cond : Condition.t;  (* queue arrivals and shutdown, for the workers *)
+  cond : Condition.t;  (* queue arrivals, crashes, shutdown — everyone re-checks *)
   queue : Unix.file_descr Queue.t;
   active : (Unix.file_descr, unit) Hashtbl.t;  (* connections being served *)
+  slots : slot list;
+  crashed : slot Queue.t;  (* dead workers awaiting supervisor pickup *)
+  drain : bool Atomic.t;  (* set by signal handlers; atomic on purpose *)
+  tele : Dca_support.Telemetry.Ctx.t;  (* daemon context, for respawned workers *)
+  mutable live_workers : int;
   mutable reserved : int;  (* budget slots handed out *)
   mutable served : int;  (* requests completed (replied or reply attempted) *)
   mutable stop : bool;  (* no further admissions *)
@@ -87,26 +171,43 @@ type state = {
   access : out_channel option;
   log_lock : Mutex.t;
   metrics_lock : Mutex.t;
+  mutable metrics_warned : bool;  (* metrics-file write failures log once *)
 }
 
-let log_request st (rq : Protocol.request) (rp : Protocol.response) =
+(* Direct-to-fd line write for the paths that cannot share a worker's
+   out_channel: shed replies (no worker yet), watchdog replies, and
+   crash last rites (the worker's channel state is unknown). *)
+let write_line_fd fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let log_request st (rq : Protocol.request) (rp : Protocol.response) ~status =
+  let slow =
+    match st.cfg.sv_slow_request_ms with
+    | Some ms -> rp.Protocol.rp_elapsed_ns >= ms * 1_000_000
+    | None -> false
+  in
+  if slow then Metrics.incr (Engine.metrics st.engine) "dca_slow_requests_total";
   match st.access with
   | None -> ()
   | Some oc ->
       let entry =
         Json.Obj
-          [
-            ("ts_ns", Json.Int (Dca_support.Telemetry.now_ns ()));
-            ("id", Json.Int rq.Protocol.rq_id);
-            ("req", Json.Int rp.Protocol.rp_req);
-            ("op", Json.Str (Protocol.op_to_string rq.Protocol.rq_op));
-            ("program", Json.Str (program_name rq.Protocol.rq_program));
-            ("status", Json.Str (if rp.Protocol.rp_ok then "ok" else "error"));
-            ("loops", Json.Int (List.length rp.Protocol.rp_loops));
-            ("hits", Json.Int rp.Protocol.rp_hits);
-            ("misses", Json.Int rp.Protocol.rp_misses);
-            ("elapsed_ns", Json.Int rp.Protocol.rp_elapsed_ns);
-          ]
+          ([
+             ("ts_ns", Json.Int (Dca_support.Telemetry.now_ns ()));
+             ("id", Json.Int rq.Protocol.rq_id);
+             ("req", Json.Int rp.Protocol.rp_req);
+             ("op", Json.Str (Protocol.op_to_string rq.Protocol.rq_op));
+             ("program", Json.Str (program_name rq.Protocol.rq_program));
+             ("status", Json.Str status);
+             ("loops", Json.Int (List.length rp.Protocol.rp_loops));
+             ("hits", Json.Int rp.Protocol.rp_hits);
+             ("misses", Json.Int rp.Protocol.rp_misses);
+             ("elapsed_ns", Json.Int rp.Protocol.rp_elapsed_ns);
+           ]
+          @ if slow then [ ("slow", Json.Bool true) ] else [])
       in
       Mutex.protect st.log_lock (fun () ->
           output_string oc (Json.to_string entry);
@@ -126,10 +227,19 @@ let write_metrics_file st =
               ~finally:(fun () -> close_out_noerr oc)
               (fun () -> output_string oc data);
             Sys.rename tmp file
-          with Sys_error _ -> ())
+          with (Sys_error _ | Unix.Unix_error _) as e ->
+            (* an unwritable scrape target must not take the daemon down;
+               keep trying — the disk may come back — but log only once *)
+            if not st.metrics_warned then begin
+              st.metrics_warned <- true;
+              Printf.eprintf "dca serve: cannot write metrics file %s (%s); continuing\n%!"
+                file (Printexc.to_string e)
+            end)
 
 (* Wake the accept loop out of a blocking [accept]: connect and hang up.
-   The accepted descriptor is discarded by the stopped loop. *)
+   The accepted descriptor is discarded by the stopped loop.  Also the
+   only thing (besides an atomic store) a signal handler does — it
+   takes no lock a handler could already be holding. *)
 let wake_accept st =
   let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect s (Unix.ADDR_UNIX st.cfg.sv_socket) with Unix.Unix_error _ -> ());
@@ -178,59 +288,93 @@ let note_served st (rq : Protocol.request) =
   in
   if stopped then enter_stop st
 
-let handle_line st rq_line =
-  match Protocol.parse_request rq_line with
-  | Error msg ->
-      (Protocol.default_request, Protocol.error_response ~id:0 ("bad request: " ^ msg))
-  | Ok rq ->
-      let module T = Dca_support.Telemetry in
-      let name = "serve." ^ Protocol.op_to_string rq.Protocol.rq_op in
-      let traced = T.tracing () in
-      if traced then T.begin_span ~cat:"serve" name;
-      let rp =
-        match Engine.handle st.engine rq with
-        | rp ->
-            if traced then
-              T.end_span
-                ~args:
-                  [
-                    ("req", string_of_int rp.Protocol.rp_req);
-                    ("id", string_of_int rq.Protocol.rq_id);
-                    ("status", if rp.Protocol.rp_ok then "ok" else "error");
-                  ]
-                name;
-            rp
-        | exception e ->
-            if traced then T.end_span name;
-            raise e
-      in
-      (rq, rp)
+let handle_request st (rq : Protocol.request) =
+  let module T = Dca_support.Telemetry in
+  let name = "serve." ^ Protocol.op_to_string rq.Protocol.rq_op in
+  let traced = T.tracing () in
+  if traced then T.begin_span ~cat:"serve" name;
+  match Engine.handle st.engine rq with
+  | rp ->
+      if traced then
+        T.end_span
+          ~args:
+            [
+              ("req", string_of_int rp.Protocol.rp_req);
+              ("id", string_of_int rq.Protocol.rq_id);
+              ("status", Protocol.status_to_string rp.Protocol.rp_status);
+            ]
+          name;
+      rp
+  | exception e ->
+      if traced then T.end_span name;
+      raise e
 
-let serve_connection st fd =
+let serve_connection st slot fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  let send rp =
+    try
+      output_string oc (Protocol.response_line rp);
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> ()
+  in
   let continue = ref true in
   while !continue do
     match input_line ic with
     | line ->
         if String.trim line <> "" then
           if admit st then begin
-            let rq, rp = handle_line st line in
-            (try
-               output_string oc (Protocol.response_line rp);
-               output_char oc '\n';
-               flush oc
-             with Sys_error _ -> ());
-            log_request st rq rp;
-            write_metrics_file st;
-            note_served st rq
+            match Protocol.parse_request line with
+            | Error msg ->
+                let rp = Protocol.error_response ~id:0 ("bad request: " ^ msg) in
+                send rp;
+                log_request st Protocol.default_request rp
+                  ~status:(Protocol.status_to_string rp.Protocol.rp_status);
+                write_metrics_file st;
+                note_served st Protocol.default_request
+            | Ok rq ->
+                let inf =
+                  {
+                    if_id = rq.Protocol.rq_id;
+                    if_fd = fd;
+                    if_start_ns = Dca_support.Telemetry.now_ns ();
+                    if_lock = Mutex.create ();
+                    if_state = Running;
+                  }
+                in
+                Mutex.protect st.lock (fun () -> slot.s_inflight <- Some (rq, inf));
+                (* crash site: an injected raise ends this worker domain
+                   with the request in flight — exercising the
+                   busy-reply + respawn supervision path *)
+                Faultpoint.hit_unit fp_worker;
+                let rp = handle_request st rq in
+                (* reply ownership: losing to the watchdog means the
+                   timeout error already went out and the flow is shut *)
+                let timed_out =
+                  Mutex.protect inf.if_lock (fun () ->
+                      if inf.if_state = Running then begin
+                        inf.if_state <- Replied;
+                        false
+                      end
+                      else true)
+                in
+                Mutex.protect st.lock (fun () -> slot.s_inflight <- None);
+                if not timed_out then send rp;
+                log_request st rq rp
+                  ~status:
+                    (if timed_out then "timeout"
+                     else Protocol.status_to_string rp.Protocol.rp_status);
+                write_metrics_file st;
+                note_served st rq;
+                if timed_out then continue := false
           end
           else continue := false
     | exception End_of_file -> continue := false
     | exception Sys_error _ -> continue := false
   done
 
-let worker_loop st =
+let worker_loop st slot =
   let running = ref true in
   while !running do
     Mutex.lock st.lock;
@@ -240,17 +384,154 @@ let worker_loop st =
       | None -> if st.closed then None else (Condition.wait st.cond st.lock; take ())
     in
     let item = take () in
-    (match item with Some fd -> Hashtbl.replace st.active fd () | None -> ());
+    (match item with
+    | Some fd ->
+        Hashtbl.replace st.active fd ();
+        slot.s_fd <- Some fd
+    | None -> ());
     Mutex.unlock st.lock;
     match item with
     | Some fd ->
         Metrics.gauge_add (Engine.metrics st.engine) "dca_queue_depth" (-1);
-        Fun.protect
-          ~finally:(fun () ->
-            Mutex.protect st.lock (fun () -> Hashtbl.remove st.active fd);
-            try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () -> serve_connection st fd)
+        serve_connection st slot fd;
+        Mutex.protect st.lock (fun () ->
+            Hashtbl.remove st.active fd;
+            slot.s_fd <- None);
+        (try Unix.close fd with Unix.Unix_error _ -> ())
     | None -> running := false
+  done
+
+(* Last rites of a crashed worker, run on the dying domain itself: give
+   the in-flight request a [busy] reply (nothing was cached, a retry is
+   safe and converges to a byte-identical report), account for the
+   budget slot it reserved, close the connection, and hand the slot to
+   the supervisor. *)
+let worker_crashed st slot exn =
+  let inflight =
+    Mutex.protect st.lock (fun () ->
+        let i = slot.s_inflight in
+        slot.s_inflight <- None;
+        i)
+  in
+  (match inflight with
+  | Some (rq, inf) ->
+      let rp =
+        Protocol.busy_response ~id:inf.if_id
+          ("worker crashed mid-request (" ^ Printexc.to_string exn
+         ^ "); nothing was cached, retrying is safe")
+      in
+      let reply =
+        Mutex.protect inf.if_lock (fun () ->
+            if inf.if_state = Running then begin
+              inf.if_state <- Replied;
+              true
+            end
+            else false)
+      in
+      if reply then (
+        try write_line_fd inf.if_fd (Protocol.response_line rp)
+        with Unix.Unix_error _ | Sys_error _ -> ());
+      log_request st rq rp ~status:(Protocol.status_to_string rp.Protocol.rp_status);
+      write_metrics_file st;
+      (* the crashed request consumed the budget slot it reserved *)
+      note_served st rq
+  | None -> ());
+  (* the connection dies with its worker; a retrying client reconnects *)
+  let fd =
+    Mutex.protect st.lock (fun () ->
+        let f = slot.s_fd in
+        slot.s_fd <- None;
+        Option.iter (fun fd -> Hashtbl.remove st.active fd) f;
+        f)
+  in
+  (match fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  Mutex.protect st.lock (fun () ->
+      Queue.add slot st.crashed;
+      Condition.broadcast st.cond)
+
+let worker_body st slot =
+  (try worker_loop st slot with exn -> worker_crashed st slot exn);
+  Mutex.protect st.lock (fun () ->
+      st.live_workers <- st.live_workers - 1;
+      Condition.broadcast st.cond)
+
+(* The supervisor joins crashed worker domains and spawns replacements
+   into their slots.  During shutdown it still joins the corpses but
+   stops respawning; it exits once [closed] is set and the crash queue
+   is empty. *)
+let supervisor_loop st =
+  let running = ref true in
+  while !running do
+    Mutex.lock st.lock;
+    while Queue.is_empty st.crashed && not st.closed do
+      Condition.wait st.cond st.lock
+    done;
+    let item = Queue.take_opt st.crashed in
+    let closing = st.closed in
+    Mutex.unlock st.lock;
+    match item with
+    | Some slot -> (
+        (* the dead domain already ran its last rites; joining is quick *)
+        (match slot.s_domain with Some d -> Domain.join d | None -> ());
+        if closing then slot.s_domain <- None
+        else begin
+          Metrics.incr (Engine.metrics st.engine) "dca_worker_restarts_total";
+          Printf.eprintf "dca serve: worker crashed; respawning\n%!";
+          let d =
+            Domain.spawn (fun () ->
+                Dca_support.Telemetry.with_ctx st.tele (fun () -> worker_body st slot))
+          in
+          Mutex.protect st.lock (fun () ->
+              slot.s_domain <- Some d;
+              st.live_workers <- st.live_workers + 1)
+        end)
+    | None -> if closing then running := false
+  done
+
+(* The request-timeout watchdog.  It scans the in-flight registry on a
+   short period; an overdue request whose Running→Timed_out transition
+   it wins gets a structured error reply and its flow shut — all while
+   holding the request's lock, so the worker can neither reply nor
+   close the descriptor concurrently.  The engine call itself is left
+   to finish: interrupting it could only produce timing-dependent
+   verdicts, which must never exist (let alone get cached). *)
+let watchdog_loop st ~timeout_ms ~stop =
+  let timeout_ns = timeout_ms * 1_000_000 in
+  let interval = Float.max 0.002 (Float.min 0.05 (float_of_int timeout_ms /. 4000.)) in
+  while not (Atomic.get stop) do
+    Unix.sleepf interval;
+    let now = Dca_support.Telemetry.now_ns () in
+    let expired =
+      Mutex.protect st.lock (fun () ->
+          List.filter_map
+            (fun slot ->
+              match slot.s_inflight with
+              | Some (_, inf) when now - inf.if_start_ns >= timeout_ns -> Some inf
+              | _ -> None)
+            st.slots)
+    in
+    List.iter
+      (fun inf ->
+        let fired =
+          Mutex.protect inf.if_lock (fun () ->
+              if inf.if_state = Running then begin
+                inf.if_state <- Timed_out;
+                let rp =
+                  Protocol.error_response ~id:inf.if_id
+                    (Printf.sprintf "request timed out after %d ms" timeout_ms)
+                in
+                (try write_line_fd inf.if_fd (Protocol.response_line rp)
+                 with Unix.Unix_error _ | Sys_error _ -> ());
+                (try Unix.shutdown inf.if_fd Unix.SHUTDOWN_ALL
+                 with Unix.Unix_error _ -> ());
+                true
+              end
+              else false)
+        in
+        if fired then Metrics.incr (Engine.metrics st.engine) "dca_requests_timeout_total")
+      expired
   done
 
 let run cfg =
@@ -277,6 +558,11 @@ let run cfg =
       cond = Condition.create ();
       queue = Queue.create ();
       active = Hashtbl.create 16;
+      slots = List.init (max 1 cfg.sv_workers) (fun _ -> { s_domain = None; s_fd = None; s_inflight = None });
+      crashed = Queue.create ();
+      drain = Atomic.make false;
+      tele = Dca_support.Telemetry.current ();
+      live_workers = 0;
       reserved = 0;
       served = 0;
       stop = false;
@@ -284,10 +570,34 @@ let run cfg =
       access;
       log_lock = Mutex.create ();
       metrics_lock = Mutex.create ();
+      metrics_warned = false;
     }
+  in
+  (* A client hanging up mid-reply must be the client's problem, not a
+     daemon-killing SIGPIPE; writes report EPIPE instead, which every
+     reply path already swallows. *)
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore_signals =
+    if cfg.sv_handle_signals then begin
+      (* async-safety: an atomic store plus a self-connect — never a
+         lock, which a handler interrupting its own holder would
+         deadlock on *)
+      let on_signal _ =
+        Atomic.set st.drain true;
+        wake_accept st
+      in
+      let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+      let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+      fun () ->
+        Sys.set_signal Sys.sigterm old_term;
+        Sys.set_signal Sys.sigint old_int
+    end
+    else fun () -> ()
   in
   Fun.protect
     ~finally:(fun () ->
+      restore_signals ();
+      Sys.set_signal Sys.sigpipe old_pipe;
       Engine.close engine;
       write_metrics_file st;
       Option.iter close_out_noerr access;
@@ -296,34 +606,99 @@ let run cfg =
     (fun () ->
       (* Workers inherit the acceptor's telemetry context, exactly like
          pool tasks: daemon-level spans land in the daemon's context. *)
-      let tele = Dca_support.Telemetry.current () in
-      let workers =
-        List.init
-          (max 1 cfg.sv_workers)
-          (fun _ -> Domain.spawn (fun () -> Dca_support.Telemetry.with_ctx tele (fun () -> worker_loop st)))
+      List.iter
+        (fun slot ->
+          (* count the worker live before it exists: its own exit
+             decrement can then never race the increment *)
+          Mutex.protect st.lock (fun () -> st.live_workers <- st.live_workers + 1);
+          let d =
+            Domain.spawn (fun () ->
+                Dca_support.Telemetry.with_ctx st.tele (fun () -> worker_body st slot))
+          in
+          slot.s_domain <- Some d)
+        st.slots;
+      let supervisor = Domain.spawn (fun () -> supervisor_loop st) in
+      let watchdog_stop = Atomic.make false in
+      let watchdog =
+        Option.map
+          (fun ms -> Domain.spawn (fun () -> watchdog_loop st ~timeout_ms:ms ~stop:watchdog_stop))
+          cfg.sv_request_timeout_ms
       in
-      (* The accept loop: enqueue until stopped.  A stop flipped by a
-         worker wakes a blocking [accept] through [wake_accept]. *)
-      while Mutex.protect st.lock (fun () -> not st.stop) do
-        match Unix.accept sock with
-        | fd, _ ->
-            let enq =
-              Mutex.protect st.lock (fun () ->
-                  if st.stop then false
-                  else begin
-                    Queue.add fd st.queue;
-                    Condition.broadcast st.cond;
-                    true
-                  end)
-            in
-            if enq then Metrics.gauge_add (Engine.metrics st.engine) "dca_queue_depth" 1
-            else ( try Unix.close fd with Unix.Unix_error _ -> ())
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      (* The accept loop: enqueue until stopped or draining.  A stop
+         flipped by a worker — or a drain flipped by a signal handler —
+         wakes a blocking [accept] through [wake_accept]. *)
+      let accepting = ref true in
+      while !accepting do
+        if Atomic.get st.drain || Mutex.protect st.lock (fun () -> st.stop) then
+          accepting := false
+        else
+          match Unix.accept sock with
+          | fd, _ ->
+              if Atomic.get st.drain then (
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              else begin
+                let verdict =
+                  Mutex.protect st.lock (fun () ->
+                      if st.stop then `Drop
+                      else if Queue.length st.queue >= max 1 cfg.sv_max_queue then `Shed
+                      else begin
+                        Queue.add fd st.queue;
+                        Condition.broadcast st.cond;
+                        `Enqueued
+                      end)
+                in
+                match verdict with
+                | `Enqueued -> Metrics.gauge_add (Engine.metrics st.engine) "dca_queue_depth" 1
+                | `Shed ->
+                    (* refuse before reading anything: the client gets an
+                       immediate busy line it can back off on *)
+                    Metrics.incr (Engine.metrics st.engine) "dca_requests_shed_total";
+                    let rp =
+                      Protocol.busy_response ~id:0
+                        (Printf.sprintf "server overloaded: request queue is full (max %d)"
+                           (max 1 cfg.sv_max_queue))
+                    in
+                    (try write_line_fd fd (Protocol.response_line rp)
+                     with Unix.Unix_error _ | Sys_error _ -> ());
+                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                | `Drop -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+              end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
+      if Atomic.get st.drain then begin
+        Printf.eprintf "dca serve: drain requested; finishing in-flight requests\n%!";
+        Mutex.protect st.lock (fun () -> st.stop <- true);
+        shutdown_active st
+      end;
       (* Drain: workers finish in-flight connections (admission is shut),
-         discard the queued rest, and exit. *)
+         discard the queued rest, and exit — within the drain budget. *)
       Mutex.protect st.lock (fun () ->
           st.closed <- true;
           Condition.broadcast st.cond);
-      List.iter Domain.join workers;
+      let deadline =
+        Dca_support.Telemetry.now_ns () + int_of_float (cfg.sv_drain_timeout_s *. 1e9)
+      in
+      let rec await () =
+        let live = Mutex.protect st.lock (fun () -> st.live_workers) in
+        if live = 0 then 0
+        else if Dca_support.Telemetry.now_ns () >= deadline then live
+        else begin
+          Unix.sleepf 0.02;
+          await ()
+        end
+      in
+      let leftover = await () in
+      if leftover > 0 then
+        Printf.eprintf
+          "dca serve: drain timeout (%.1fs) exceeded; abandoning %d in-flight worker(s)\n%!"
+          cfg.sv_drain_timeout_s leftover;
+      (* the supervisor exits once closed + crash queue empty; joining it
+         first means nobody else is joining worker domains concurrently *)
+      Domain.join supervisor;
+      if leftover = 0 then
+        List.iter
+          (fun slot -> match slot.s_domain with Some d -> Domain.join d | None -> ())
+          st.slots;
+      Atomic.set watchdog_stop true;
+      Option.iter Domain.join watchdog;
       st.served)

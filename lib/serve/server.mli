@@ -1,4 +1,5 @@
-(** Unix-domain-socket transport for the serve {!Engine}.
+(** Unix-domain-socket transport for the serve {!Engine}, plus the
+    self-healing supervision layer (DESIGN.md §15).
 
     One accept loop feeding [sv_workers] worker domains: each worker
     owns one connection at a time and answers its request lines in
@@ -7,7 +8,19 @@
     concurrency-safe (per-request telemetry contexts, a locked verdict
     cache, an exclusive gate for fault-carrying requests), so every
     reply is byte-identical to a serial daemon's.  [sv_workers = 1]
-    recovers the old one-connection-at-a-time behavior. *)
+    recovers the old one-connection-at-a-time behavior.
+
+    Supervision: connections beyond [sv_max_queue] are shed with an
+    immediate [busy] reply; a request running past
+    [sv_request_timeout_ms] has its reply replaced by a structured
+    error (the engine call finishes on its own — verdicts must never
+    depend on timing); a worker domain that dies mid-request
+    busy-replies the in-flight request and is respawned by a supervisor
+    domain; SIGTERM/SIGINT (with [sv_handle_signals]) trigger a
+    graceful drain bounded by [sv_drain_timeout_s].  Each defense ticks
+    its own counter ([dca_requests_shed_total],
+    [dca_requests_timeout_total], [dca_worker_restarts_total],
+    [dca_slow_requests_total]). *)
 
 type config = {
   sv_socket : string;  (** Unix-domain socket path *)
@@ -19,25 +32,56 @@ type config = {
   sv_access_log : string option;
       (** JSONL access log, one object per request (appended); each
           entry carries the server-assigned [req] id also found in the
-          reply's [rp_req] and the request's trace span *)
+          reply's [rp_req] and the request's trace span.  Timed-out
+          requests log status ["timeout"]; requests slower than
+          [sv_slow_request_ms] carry ["slow": true]. *)
   sv_metrics_file : string option;
       (** Prometheus-style {!Metrics.exposition}, atomically rewritten
           (temp + rename) after every request and on shutdown — a
-          scrape target *)
+          scrape target.  A file that stops being writable is logged
+          once to stderr and otherwise ignored. *)
   sv_max_requests : int option;
       (** stop after serving this many requests — tests and smoke runs.
-          Exact under concurrency: admission reserves a budget slot
-          before the engine runs, completions are counted once. *)
+          Exact under concurrency and crashes: admission reserves a
+          budget slot before the engine runs, completions are counted
+          once, and a crashed request still consumes its slot (its
+          reply is the [busy] the supervision layer sent). *)
+  sv_max_queue : int;
+      (** overload bound (default 64): a connection accepted while this
+          many are already queued gets an immediate [busy] reply and is
+          closed — nothing was admitted, so a retry is always safe *)
+  sv_request_timeout_ms : int option;
+      (** per-request reply deadline, enforced by a watchdog domain:
+          past it the client gets an error reply ("request timed out
+          after N ms") and the connection is closed, while the engine
+          call runs to completion server-side *)
+  sv_drain_timeout_s : float;
+      (** graceful-drain bound (default 30s): in-flight workers still
+          running past it are abandoned with a stderr note instead of
+          blocking the exit forever *)
+  sv_slow_request_ms : int option;
+      (** threshold for the ["slow"] access-log marker and the
+          [dca_slow_requests_total] counter *)
+  sv_handle_signals : bool;
+      (** install SIGTERM/SIGINT handlers that trigger a graceful
+          drain: stop accepting, finish in-flight requests, flush the
+          metrics file, remove the socket, return normally.  Default
+          [false] — embedders (tests) opt in. *)
 }
 
 val default_config : string -> config
 (** Defaults for the given socket path: memory-only cache, 8 warm
-    sessions, 4 workers, no access log, no metrics file, serve until
-    [shutdown]. *)
+    sessions, 4 workers, queue bound 64, no request timeout, 30s drain
+    budget, no access log, no metrics file, no signal handling, serve
+    until [shutdown]. *)
 
 val run : config -> int
 (** Bind (reclaiming a stale socket file from a crashed daemon first,
-    but never a live one), then serve until a [shutdown] request or the
-    request budget is exhausted.  Returns the number of requests served.
-    The socket file is removed and all warm sessions closed on the way
-    out, also on exception. *)
+    but never a live one), then serve until a [shutdown] request, the
+    request budget is exhausted, or a drain signal arrives.  Returns
+    the number of requests served (admitted requests exactly — crashed
+    and timed-out requests count, shed connections do not).  The socket
+    file is removed and all warm sessions closed on the way out, also
+    on exception.  SIGPIPE is ignored for the daemon's lifetime: a
+    client hanging up mid-reply surfaces as a swallowed [EPIPE], never
+    a dead daemon. *)

@@ -32,6 +32,12 @@
 module Driver = Dca_core.Driver
 module Commutativity = Dca_core.Commutativity
 module Report = Dca_core.Report
+module Faultpoint = Dca_support.Faultpoint
+
+(* Fault site for the disk-write path: an injected raise here models
+   ENOSPC/EIO and must downgrade the cache to memory-only, never fail
+   the request. *)
+let fp_write = Faultpoint.site "vcache.write"
 
 type entry = {
   e_decision : Driver.decision;
@@ -49,11 +55,13 @@ type stats = {
   st_stores : int;
   st_corrupt : int;
   st_evictions : int;
+  st_write_errors : int;
 }
 
 type t = {
   dir : string option;
   capacity : int;
+  on_degrade : string -> unit;
   lock : Mutex.t;
   mem : (string, entry * int ref) Hashtbl.t;  (* key → entry, last-use tick *)
   mutable clock : int;
@@ -63,11 +71,13 @@ type t = {
   mutable stores : int;
   mutable corrupt : int;
   mutable evictions : int;
+  mutable write_errors : int;
+  mutable degraded : bool;  (* disk writes disabled after the first failure *)
 }
 
 let magic = "DCAV1"
 
-let create ?dir ?(capacity = 4096) () =
+let create ?dir ?(capacity = 4096) ?(on_degrade = fun _ -> ()) () =
   (match dir with
   | Some d when not (Sys.file_exists d) -> (
       try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
@@ -75,6 +85,7 @@ let create ?dir ?(capacity = 4096) () =
   {
     dir;
     capacity = max 1 capacity;
+    on_degrade;
     lock = Mutex.create ();
     mem = Hashtbl.create 256;
     clock = 0;
@@ -84,6 +95,8 @@ let create ?dir ?(capacity = 4096) () =
     stores = 0;
     corrupt = 0;
     evictions = 0;
+    write_errors = 0;
+    degraded = false;
   }
 
 let tick t =
@@ -146,26 +159,38 @@ let disk_read t key =
             None
       end
 
+(* A failed disk write (ENOSPC, EIO, read-only directory, injected
+   [vcache.write] fault) latches [degraded]: the cache downgrades to
+   memory-only operation — later stores skip the disk entirely rather
+   than paying a doomed syscall per verdict — and [on_degrade] fires
+   exactly once so the embedder can log and count the event.  Reads keep
+   probing the disk: a read-only directory still serves its old entries.
+   A daemon restart re-probes the disk (degradation is per-instance). *)
 let disk_write t key entry =
   match path t key with
   | None -> ()
   | Some file -> (
-      try
-        let payload = Marshal.to_string entry [] in
-        let tmp = file ^ ".tmp" in
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            output_string oc magic;
-            output_char oc '\n';
-            output_string oc (Digest.to_hex (Digest.string payload));
-            output_char oc '\n';
-            output_string oc payload);
-        Sys.rename tmp file
-      with _ ->
-        (* a full or read-only disk degrades the cache, never the reply *)
-        ())
+      if not t.degraded then
+        try
+          Faultpoint.hit_unit fp_write;
+          let payload = Marshal.to_string entry [] in
+          let tmp = file ^ ".tmp" in
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc magic;
+              output_char oc '\n';
+              output_string oc (Digest.to_hex (Digest.string payload));
+              output_char oc '\n';
+              output_string oc payload);
+          Sys.rename tmp file
+        with e ->
+          (* a full or read-only disk degrades the cache, never the reply *)
+          t.write_errors <- t.write_errors + 1;
+          t.degraded <- true;
+          (try Sys.remove (file ^ ".tmp") with Sys_error _ -> ());
+          t.on_degrade (Printexc.to_string e))
 
 (* An entry that escalated to whole-program verification had its verdict
    decided by the *whole* program's outputs, so the per-function closure
@@ -212,6 +237,8 @@ let stats t =
         st_stores = t.stores;
         st_corrupt = t.corrupt;
         st_evictions = t.evictions;
+        st_write_errors = t.write_errors;
       })
 
 let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.mem)
+let degraded t = Mutex.protect t.lock (fun () -> t.degraded)

@@ -35,14 +35,20 @@ type stats = {
   st_stores : int;
   st_corrupt : int;  (** on-disk entries rejected by the integrity check *)
   st_evictions : int;  (** in-memory LRU evictions (the disk copy remains) *)
+  st_write_errors : int;  (** failed disk writes (the trigger of {!degraded}) *)
 }
 
 type t
 
-val create : ?dir:string -> ?capacity:int -> unit -> t
+val create : ?dir:string -> ?capacity:int -> ?on_degrade:(string -> unit) -> unit -> t
 (** [dir] enables the on-disk level (created if missing); without it the
     cache is memory-only.  [capacity] bounds the in-memory level
-    (default 4096 entries); disk is unbounded. *)
+    (default 4096 entries); disk is unbounded.  [on_degrade] fires
+    exactly once, on the first failed disk write (ENOSPC, EIO, read-only
+    directory, or an injected [vcache.write] fault), with the failure
+    message — the cache then runs memory-only ({!degraded}).  The
+    callback runs under the cache's internal lock: log and count, do not
+    call back into the cache. *)
 
 val find : t -> prog_digest:string -> string -> entry option
 (** Probe both levels for a key ({!Progdigest.loop_key}).  A disk hit is
@@ -50,9 +56,17 @@ val find : t -> prog_digest:string -> string -> entry option
     digest, used to invalidate escalated entries. *)
 
 val store : t -> string -> entry -> unit
-(** Insert into both levels.  Disk-write failures (full disk, read-only
-    directory) are swallowed: the cache degrades, the reply does not. *)
+(** Insert into both levels.  A disk-write failure (full disk, read-only
+    directory, injected fault) is swallowed and latches {!degraded}:
+    this and all later stores are memory-only, the reply is never
+    affected.  Disk {e reads} keep working — a read-only directory still
+    serves the entries it already holds. *)
 
 val stats : t -> stats
 val size : t -> int
 (** Entries currently resident in memory. *)
+
+val degraded : t -> bool
+(** Has the cache downgraded to memory-only operation after a failed
+    disk write?  Latched for the lifetime of this instance; a fresh
+    {!create} over the same directory probes the disk again. *)

@@ -2,7 +2,10 @@
 
     A {e fault point} is a named site in the analyzer (e.g.
     [eval.step], [store.snapshot], [pool.task], [commutativity.replay],
-    [driver.loop]) that consults a process-wide {e fault plan} each time
+    [driver.loop]) or the serve plane ([serve.worker] models a worker
+    domain crash, [engine.analyze] an engine failure, [vcache.write] a
+    full or read-only cache disk) that consults a process-wide {e fault
+    plan} each time
     execution passes through it.  A plan entry fires at the Nth hit of a
     site — optionally filtered to one {e context} (a loop label, a
     schedule name) — and injects one of four actions:

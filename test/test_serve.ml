@@ -21,12 +21,16 @@ module Driver = Dca_core.Driver
 module Report = Dca_core.Report
 module Commutativity = Dca_core.Commutativity
 module Telemetry = Dca_support.Telemetry
+module Faultpoint = Dca_support.Faultpoint
+module Prng = Dca_support.Prng
 
 let fresh_dir prefix =
   let d = Filename.temp_file prefix "" in
   Sys.remove d;
   Unix.mkdir d 0o700;
   d
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec                                                          *)
@@ -108,7 +112,7 @@ let test_protocol_response_roundtrip () =
     {
       Protocol.rp_id = 9;
       rp_req = 42;
-      rp_ok = true;
+      rp_status = Protocol.Ok;
       rp_error = None;
       rp_report = Some "DCA: 1/1 loop(s) commutative\n";
       rp_loops =
@@ -125,6 +129,33 @@ let test_protocol_response_roundtrip () =
   in
   match Protocol.parse_response (Protocol.response_line rp) with
   | Ok rp' -> Alcotest.(check bool) "response round-trips" true (rp = rp')
+  | Error e -> Alcotest.fail e
+
+(* The [busy] status (overload shed, worker crash) survives the wire,
+   and an unknown status from a newer daemon degrades to [Error] — an
+   older client never mistakes it for success. *)
+let test_protocol_status () =
+  List.iter
+    (fun st ->
+      Alcotest.(check bool)
+        (Protocol.status_to_string st ^ " round-trips")
+        true
+        (Protocol.status_of_string (Protocol.status_to_string st) = st))
+    [ Protocol.Ok; Protocol.Busy; Protocol.Error ];
+  let busy = Protocol.busy_response ~id:3 "server overloaded: request queue is full (max 64)" in
+  Alcotest.(check bool) "busy is not ok" false (Protocol.ok busy);
+  (match Protocol.parse_response (Protocol.response_line busy) with
+  | Ok rp ->
+      Alcotest.(check bool) "busy survives the wire" true (rp.Protocol.rp_status = Protocol.Busy);
+      Alcotest.(check bool) "busy carries its message" true
+        (match rp.Protocol.rp_error with
+        | Some m -> has_prefix "server overloaded" m
+        | None -> false)
+  | Error e -> Alcotest.fail e);
+  match Protocol.parse_response "{\"id\":1,\"status\":\"throttled\"}" with
+  | Ok rp ->
+      Alcotest.(check bool) "unknown status degrades to error" true
+        (rp.Protocol.rp_status = Protocol.Error && not (Protocol.ok rp))
   | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
@@ -306,6 +337,39 @@ let test_vcache_concurrent_stats_exact () =
   Alcotest.(check int) "no evictions below capacity" 0 st.Vcache.st_evictions;
   Alcotest.(check int) "every entry resident" total (Vcache.size c)
 
+(* A failed disk write (here injected at the [vcache.write] site, in the
+   field ENOSPC or a read-only directory) latches memory-only operation:
+   [on_degrade] fires exactly once, later stores skip the disk, reads
+   keep serving from memory, and a fresh instance over the same
+   directory probes the disk again. *)
+let test_vcache_write_failure_degrades () =
+  let dir = fresh_dir "vcache" in
+  let degrades = ref 0 in
+  Faultpoint.arm_string "vcache.write@1=raise";
+  Fun.protect
+    ~finally:Faultpoint.disarm
+    (fun () ->
+      let c = Vcache.create ~dir ~on_degrade:(fun _ -> incr degrades) () in
+      Vcache.store c "k1" (entry Driver.Commutative);
+      Alcotest.(check bool) "degraded latched" true (Vcache.degraded c);
+      Alcotest.(check int) "on_degrade fired once" 1 !degrades;
+      Alcotest.(check int) "write error counted" 1 (Vcache.stats c).Vcache.st_write_errors;
+      (* later stores go memory-only without another degrade event *)
+      Vcache.store c "k2" (entry Driver.Commutative);
+      Alcotest.(check int) "no second degrade" 1 !degrades;
+      Alcotest.(check int) "one write error total" 1 (Vcache.stats c).Vcache.st_write_errors;
+      Alcotest.(check bool) "k1 served from memory" true
+        (Vcache.find c ~prog_digest:"P" "k1" <> None);
+      Alcotest.(check bool) "k2 served from memory" true
+        (Vcache.find c ~prog_digest:"P" "k2" <> None);
+      Alcotest.(check int) "nothing reached the disk" 0
+        (Array.fold_left
+           (fun n f -> if Filename.check_suffix f ".v" then n + 1 else n)
+           0 (Sys.readdir dir));
+      (* degradation is per-instance: a restart re-probes the disk *)
+      let c2 = Vcache.create ~dir () in
+      Alcotest.(check bool) "fresh instance not degraded" false (Vcache.degraded c2))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -377,6 +441,33 @@ let test_metrics_json_roundtrip_and_exposition () =
       "h_seconds_count 2";
     ]
 
+(* Prometheus-style quantile interpolation over the fixed bucket ladder:
+   uniform-in-bucket estimates, +Inf observations clamped to the last
+   finite bound, the empty histogram at zero. *)
+let test_metrics_quantiles () =
+  let snap_of m = List.assoc "h" (Metrics.snapshot m).Metrics.sn_hists in
+  let m = Metrics.create ~counters:[] ~gauges:[] ~histograms:[ "h" ] () in
+  Alcotest.(check (float 1e-12)) "empty histogram" 0.0 (Metrics.quantile (snap_of m) 0.99);
+  (* 100 observations in the (2.5ms, 5ms] bucket: rank interpolation *)
+  for _ = 1 to 100 do
+    Metrics.observe_ns m "h" 4_000_000
+  done;
+  let h = snap_of m in
+  Alcotest.(check (float 1e-9)) "p50 interpolates to the bucket middle" 0.00375
+    (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99 near the upper bound" 0.004975 (Metrics.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p100 is the upper bound" 0.005 (Metrics.quantile h 1.0);
+  Alcotest.(check bool) "quantiles are monotone" true
+    (Metrics.quantile h 0.1 <= Metrics.quantile h 0.5
+    && Metrics.quantile h 0.5 <= Metrics.quantile h 0.9);
+  (* overflow observations clamp to the last finite bound (10s) *)
+  let m2 = Metrics.create ~counters:[] ~gauges:[] ~histograms:[ "h" ] () in
+  for _ = 1 to 3 do
+    Metrics.observe_ns m2 "h" 60_000_000_000
+  done;
+  Alcotest.(check (float 1e-9)) "+Inf clamps to the last bound" 10.0
+    (Metrics.quantile (snap_of m2) 0.5)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -394,7 +485,7 @@ let analyze_rq ?jobs ?faults ?(no_cache = false) ?(no_static = false) source =
 
 let handle_ok engine rq =
   let rp = Engine.handle engine rq in
-  if not rp.Protocol.rp_ok then
+  if not (Protocol.ok rp) then
     Alcotest.failf "request failed: %s" (Option.value rp.Protocol.rp_error ~default:"?");
   rp
 
@@ -540,12 +631,63 @@ let test_engine_errors () =
         Engine.handle engine
           { Protocol.default_request with Protocol.rq_op = Protocol.Analyze; rq_program = Some (Protocol.Named "no-such-program") }
       in
-      Alcotest.(check bool) "unknown program is an error reply" false unknown.Protocol.rp_ok;
+      Alcotest.(check bool) "unknown program is an error reply" false (Protocol.ok unknown);
       let parse_error = Engine.handle engine (analyze_rq "void main( {") in
-      Alcotest.(check bool) "parse error is an error reply" false parse_error.Protocol.rp_ok;
+      Alcotest.(check bool) "parse error is an error reply" false (Protocol.ok parse_error);
       (* the engine survives both *)
       let ping = Engine.handle engine Protocol.default_request in
-      Alcotest.(check bool) "engine alive" true ping.Protocol.rp_ok)
+      Alcotest.(check bool) "engine alive" true (Protocol.ok ping))
+
+(* A cache whose disk writes fail (injected [vcache.write]) downgrades
+   to memory-only mid-flight: the degrade is logged and counted exactly
+   once, and warm replies are still byte-identical to the cold ones. *)
+let test_engine_degraded_cache_still_serves () =
+  let dir = fresh_dir "engine" in
+  Faultpoint.arm_string "vcache.write@1=raise";
+  Fun.protect
+    ~finally:Faultpoint.disarm
+    (fun () ->
+      let engine = Engine.create ~cache_dir:dir () in
+      Fun.protect
+        ~finally:(fun () -> Engine.close engine)
+        (fun () ->
+          let cold = handle_ok engine (analyze_rq (two_funcs 2)) in
+          let stats = Engine.stats engine in
+          Alcotest.(check int) "cache degraded" 1 (List.assoc "cache.degraded" stats);
+          Alcotest.(check int) "one write error" 1 (List.assoc "cache.write_errors" stats);
+          let snap = Metrics.snapshot (Engine.metrics engine) in
+          Alcotest.(check int) "degrade metric ticked once" 1
+            (List.assoc "dca_cache_degraded_total" snap.Metrics.sn_counters);
+          let warm = handle_ok engine (analyze_rq (two_funcs 2)) in
+          Alcotest.(check int) "warm served from memory" 2 warm.Protocol.rp_hits;
+          Alcotest.(check string) "degraded warm reply byte-identical" (report_of cold)
+            (report_of warm)))
+
+(* An injected crash at the mouth of the analysis pipeline
+   ([engine.analyze], via the request's own fault plan) becomes an
+   error *reply* with the crash prefix — and the next request runs on a
+   clean engine. *)
+let test_engine_analyze_crash_is_a_reply () =
+  let engine = Engine.create () in
+  Fun.protect
+    ~finally:(fun () -> Engine.close engine)
+    (fun () ->
+      let rp = Engine.handle engine (analyze_rq ~faults:"engine.analyze@1=raise" (two_funcs 2)) in
+      Alcotest.(check bool) "crash is an error reply" false (Protocol.ok rp);
+      (match rp.Protocol.rp_error with
+      | Some msg -> Alcotest.(check bool) "crash-prefixed message" true (has_prefix "crash:" msg)
+      | None -> Alcotest.fail "crash reply carries no message");
+      let after = handle_ok engine (analyze_rq (two_funcs 2)) in
+      Alcotest.(check int) "next request computes cleanly" 2
+        (after.Protocol.rp_hits + after.Protocol.rp_misses))
+
+(* The serve-plane fault sites exist under their documented names — a
+   fault plan naming them is exercising real code, not a typo. *)
+let test_fault_sites_registered () =
+  let sites = Faultpoint.known_sites () in
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " registered") true (List.mem s sites))
+    [ "serve.worker"; "engine.analyze"; "vcache.write" ]
 
 (* ------------------------------------------------------------------ *)
 (* Socket server                                                       *)
@@ -589,7 +731,7 @@ let test_server_socket () =
     | Ok rp -> rp
     | Error e -> Alcotest.fail e
   in
-  Alcotest.(check bool) "ping ok" true ping.Protocol.rp_ok;
+  Alcotest.(check bool) "ping ok" true (Protocol.ok ping);
   Alcotest.(check int) "id echoed" 1 ping.Protocol.rp_id;
   let analyze = { (analyze_rq (two_funcs 2)) with Protocol.rq_id = 2 } in
   let cold = request analyze in
@@ -601,7 +743,7 @@ let test_server_socket () =
   Alcotest.(check bool) "stats counters present" true
     (List.mem_assoc "serve.requests" stats.Protocol.rp_counters);
   let bye = request { Protocol.default_request with Protocol.rq_id = 5; rq_op = Protocol.Shutdown } in
-  Alcotest.(check bool) "shutdown acknowledged" true bye.Protocol.rp_ok;
+  Alcotest.(check bool) "shutdown acknowledged" true (Protocol.ok bye);
   let served = Domain.join server in
   Alcotest.(check int) "served all five requests" 5 served;
   Alcotest.(check bool) "socket removed on exit" true (not (Sys.file_exists socket));
@@ -681,7 +823,7 @@ let test_server_concurrent_identical () =
   Alcotest.(check int) "every request answered" (clients * per_client) (List.length replies);
   List.iter
     (fun (which, id, rp) ->
-      Alcotest.(check bool) "reply ok" true rp.Protocol.rp_ok;
+      Alcotest.(check bool) "reply ok" true (Protocol.ok rp);
       Alcotest.(check int) "id echoed" id rp.Protocol.rp_id;
       Alcotest.(check string) "byte-identical to the serial reference" refs.(which)
         (report_of rp))
@@ -747,7 +889,7 @@ let test_server_max_requests_concurrent () =
     Domain.spawn (fun () ->
         let rec go acc =
           match Client.with_client socket (fun c -> Client.request c ping) with
-          | Ok rp when rp.Protocol.rp_ok -> go (acc + 1)
+          | Ok rp when Protocol.ok rp -> go (acc + 1)
           | Ok _ | Error _ -> acc
         in
         go 0)
@@ -757,6 +899,343 @@ let test_server_max_requests_concurrent () =
   Alcotest.(check int) "daemon served exactly the budget" budget served;
   Alcotest.(check int) "clients saw exactly the budget" budget
     (1 + List.fold_left ( + ) 0 got)
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing serve plane                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw-socket access for the tests that need to hold a connection open
+   mid-request or feed the daemon bytes no Client would ever send. *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let send_line fd line = write_all fd (line ^ "\n")
+
+(* Busy-tolerant helpers: right after an overload or crash scenario the
+   queue may still hold corpses of closed connections, so a fresh
+   request can be shed — the retry layer is exactly the cure. *)
+let test_backoff = { Client.default_backoff with Client.bo_attempts = 10; bo_base_ms = 50. }
+
+let request_stats socket =
+  match
+    Client.request_retry ~backoff:test_backoff socket
+      { Protocol.default_request with Protocol.rq_id = 900; rq_op = Protocol.Stats }
+  with
+  | Ok rp when Protocol.ok rp -> rp
+  | Ok rp -> Alcotest.failf "stats request refused: %s" (Option.value rp.Protocol.rp_error ~default:"?")
+  | Error e -> Alcotest.fail e
+
+let metrics_counter rp name =
+  match rp.Protocol.rp_metrics with
+  | Some j -> (
+      match Metrics.snapshot_of_json j with
+      | Ok s -> List.assoc name s.Metrics.sn_counters
+      | Error e -> Alcotest.failf "bad metrics payload: %s" e)
+  | None -> Alcotest.fail "stats reply carries no metrics"
+
+let request_shutdown socket =
+  match
+    Client.request_retry ~backoff:test_backoff socket
+      { Protocol.default_request with Protocol.rq_id = 901; rq_op = Protocol.Shutdown }
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* Overload shedding: with one worker held mid-request (an injected
+   engine delay) and a queue bound of one, a third connection gets an
+   immediate [busy] line and a close — while the held request still
+   completes normally. *)
+let test_server_sheds_when_overloaded () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_jobs = Some 1;
+      sv_workers = 1;
+      sv_max_queue = 1;
+    }
+  in
+  let server = start_server cfg in
+  let slow =
+    { (analyze_rq ~faults:"engine.analyze@1=delay:600" (two_funcs 2)) with Protocol.rq_id = 11 }
+  in
+  let fd_a = raw_connect socket in
+  send_line fd_a (Protocol.request_line slow);
+  Unix.sleepf 0.2 (* the only worker is now busy inside the delay *);
+  let fd_b = raw_connect socket in
+  Unix.sleepf 0.1 (* b sits in the queue, filling it *);
+  let fd_c = raw_connect socket in
+  let ic_c = Unix.in_channel_of_descr fd_c in
+  (match Protocol.parse_response (input_line ic_c) with
+  | Ok rp ->
+      Alcotest.(check bool) "shed reply is busy" true (rp.Protocol.rp_status = Protocol.Busy);
+      Alcotest.(check bool) "overload message" true
+        (match rp.Protocol.rp_error with
+        | Some m -> has_prefix "server overloaded" m
+        | None -> false)
+  | Error e -> Alcotest.fail e);
+  (match input_line ic_c with
+  | _ -> Alcotest.fail "shed connection not closed"
+  | exception End_of_file -> ());
+  let ic_a = Unix.in_channel_of_descr fd_a in
+  (match Protocol.parse_response (input_line ic_a) with
+  | Ok rp -> Alcotest.(check bool) "held request still replied ok" true (Protocol.ok rp)
+  | Error e -> Alcotest.fail e);
+  Unix.close fd_a;
+  Unix.close fd_b;
+  Unix.close fd_c;
+  let stats = request_stats socket in
+  Alcotest.(check bool) "shed counted" true (metrics_counter stats "dca_requests_shed_total" >= 1);
+  request_shutdown socket;
+  ignore (Domain.join server)
+
+(* Request timeout: the watchdog replaces an overdue reply with a
+   structured error and shuts the connection; the engine call finishes
+   on its own time and the daemon keeps serving. *)
+let test_server_request_timeout () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_jobs = Some 1;
+      sv_workers = 1;
+      sv_request_timeout_ms = Some 100;
+    }
+  in
+  let server = start_server cfg in
+  let slow =
+    { (analyze_rq ~faults:"engine.analyze@1=delay:700" (two_funcs 2)) with Protocol.rq_id = 21 }
+  in
+  let fd = raw_connect socket in
+  send_line fd (Protocol.request_line slow);
+  let ic = Unix.in_channel_of_descr fd in
+  (match Protocol.parse_response (input_line ic) with
+  | Ok rp ->
+      Alcotest.(check bool) "timeout reply is an error" false (Protocol.ok rp);
+      Alcotest.(check int) "timeout reply echoes the id" 21 rp.Protocol.rp_id;
+      Alcotest.(check bool) "structured timeout message" true
+        (match rp.Protocol.rp_error with
+        | Some m -> has_prefix "request timed out after 100 ms" m
+        | None -> false)
+  | Error e -> Alcotest.fail e);
+  (match input_line ic with
+  | _ -> Alcotest.fail "timed-out connection not closed"
+  | exception End_of_file -> ());
+  Unix.close fd;
+  (* the worker finishes the delayed engine call and serves on *)
+  (match
+     Client.with_client socket (fun c ->
+         Client.request c { Protocol.default_request with Protocol.rq_id = 22 })
+   with
+  | Ok rp -> Alcotest.(check bool) "daemon alive after timeout" true (Protocol.ok rp)
+  | Error e -> Alcotest.fail e);
+  let stats = request_stats socket in
+  Alcotest.(check bool) "timeout counted" true
+    (metrics_counter stats "dca_requests_timeout_total" >= 1);
+  request_shutdown socket;
+  ignore (Domain.join server)
+
+(* Worker crash recovery: an injected [serve.worker] crash busy-replies
+   the in-flight request and the supervisor respawns the domain; a
+   retrying client converges to the normal reply, and the crashed
+   request still consumed its budget slot. *)
+let test_server_worker_crash_respawns () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg = { (Server.default_config socket) with Server.sv_jobs = Some 1; sv_workers = 1 } in
+  let server = start_server cfg in
+  Faultpoint.arm_string "serve.worker@1=raise";
+  Fun.protect
+    ~finally:Faultpoint.disarm
+    (fun () ->
+      let backoff =
+        { Client.default_backoff with Client.bo_attempts = 8; bo_base_ms = 100.; bo_seed = 1 }
+      in
+      let rq = { (analyze_rq (two_funcs 2)) with Protocol.rq_id = 31 } in
+      match Client.request_retry ~backoff socket rq with
+      | Ok rp ->
+          Alcotest.(check bool) "retry converged to ok" true (Protocol.ok rp);
+          Alcotest.(check int) "nothing was cached by the crashed attempt" 2
+            rp.Protocol.rp_misses
+      | Error e -> Alcotest.fail e);
+  let stats = request_stats socket in
+  Alcotest.(check int) "exactly one respawn" 1
+    (metrics_counter stats "dca_worker_restarts_total");
+  request_shutdown socket;
+  let served = Domain.join server in
+  (* ready ping + crashed attempt + retried analyze + stats + shutdown *)
+  Alcotest.(check int) "crashed request consumed its slot" 5 served
+
+(* --max-requests accounting across a crash: ok and busy replies
+   together exhaust the budget exactly, and Server.run agrees. *)
+let test_server_max_requests_with_crash () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let budget = 6 in
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_jobs = Some 1;
+      sv_workers = 2;
+      sv_max_requests = Some budget;
+    }
+  in
+  let server = start_server cfg in
+  (* the readiness ping took slot 1; the third post-arm request crashes *)
+  Faultpoint.arm_string "serve.worker@3=raise";
+  let ok = ref 0 and busy = ref 0 in
+  Fun.protect
+    ~finally:Faultpoint.disarm
+    (fun () ->
+      for i = 2 to budget do
+        match
+          Client.with_client socket (fun c ->
+              Client.request c { Protocol.default_request with Protocol.rq_id = i })
+        with
+        | Ok rp when Protocol.ok rp -> incr ok
+        | Ok rp when rp.Protocol.rp_status = Protocol.Busy -> incr busy
+        | Ok _ -> Alcotest.fail "unexpected error reply"
+        | Error e -> Alcotest.failf "request %d: %s" i e
+      done);
+  let served = Domain.join server in
+  Alcotest.(check int) "daemon served exactly the budget" budget served;
+  Alcotest.(check int) "one crash became a busy reply" 1 !busy;
+  Alcotest.(check int) "every other request was served" (budget - 2) !ok
+
+(* Graceful drain: SIGTERM mid-request stops admissions, lets the
+   in-flight request finish, removes the socket, and Server.run returns
+   normally. *)
+let test_server_sigterm_drains () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg =
+    {
+      (Server.default_config socket) with
+      Server.sv_jobs = Some 1;
+      sv_workers = 1;
+      sv_handle_signals = true;
+    }
+  in
+  let server = start_server cfg in
+  let slow =
+    { (analyze_rq ~faults:"engine.analyze@1=delay:400" (two_funcs 2)) with Protocol.rq_id = 41 }
+  in
+  let fd = raw_connect socket in
+  send_line fd (Protocol.request_line slow);
+  Unix.sleepf 0.15 (* the request is in flight *);
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  let ic = Unix.in_channel_of_descr fd in
+  (match Protocol.parse_response (input_line ic) with
+  | Ok rp -> Alcotest.(check bool) "in-flight request finished" true (Protocol.ok rp)
+  | Error e -> Alcotest.fail e);
+  Unix.close fd;
+  let served = Domain.join server in
+  Alcotest.(check int) "ready ping + drained request" 2 served;
+  Alcotest.(check bool) "socket removed on drain" true (not (Sys.file_exists socket))
+
+(* Protocol hardening: seeded garbage over a real socket — malformed,
+   truncated, oversized, binary — must always produce an error reply or
+   a clean close, never a dead or hung daemon. *)
+let test_server_survives_fuzzed_input () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg = { (Server.default_config socket) with Server.sv_jobs = Some 1; sv_workers = 2 } in
+  let server = start_server cfg in
+  let rng = Prng.create 20260809 in
+  let garbage_line () =
+    String.init (1 + Prng.int rng 80) (fun _ -> Char.chr (32 + Prng.int rng 95)) ^ "\n"
+  in
+  let binary_line () = String.init (1 + Prng.int rng 64) (fun _ -> Char.chr (Prng.int rng 256)) in
+  let payload i =
+    match i mod 6 with
+    | 0 -> garbage_line ()
+    | 1 -> "123\n" (* valid JSON, not an object *)
+    | 2 -> "{\"op\":\"frobnicate\"}\n" (* unknown op *)
+    | 3 -> "{\"op\":\"ana" (* truncated mid-token, no newline *)
+    | 4 -> String.make 262144 'a' ^ "\n" (* one oversized line *)
+    | _ -> binary_line ()
+  in
+  for i = 0 to 23 do
+    let fd = raw_connect socket in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+    write_all fd (payload i);
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    (* the daemon must error-reply and/or close — never leave us hanging *)
+    let buf = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | _ -> drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Alcotest.failf "fuzz payload %d: daemon neither replied nor closed" i
+    in
+    drain ();
+    Unix.close fd
+  done;
+  (* still standing, still serving *)
+  (match
+     Client.with_client socket (fun c ->
+         Client.request c { Protocol.default_request with Protocol.rq_id = 51 })
+   with
+  | Ok rp -> Alcotest.(check bool) "daemon alive after fuzzing" true (Protocol.ok rp)
+  | Error e -> Alcotest.fail e);
+  request_shutdown socket;
+  ignore (Domain.join server)
+
+(* ------------------------------------------------------------------ *)
+(* Client retry/backoff                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_backoff_schedule () =
+  let b = { Client.bo_attempts = 6; bo_base_ms = 50.; bo_cap_ms = 2000.; bo_seed = 42 } in
+  let d1 = Client.backoff_schedule b in
+  let d2 = Client.backoff_schedule b in
+  Alcotest.(check bool) "equal seeds, equal schedules" true (d1 = d2);
+  Alcotest.(check bool) "different seeds decorrelate" false
+    (d1 = Client.backoff_schedule { b with Client.bo_seed = 43 });
+  Alcotest.(check int) "one delay per retry" (b.Client.bo_attempts - 1) (Array.length d1);
+  Array.iteri
+    (fun k d ->
+      let ideal = Float.min b.Client.bo_cap_ms (b.Client.bo_base_ms *. (2. ** float_of_int k)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d within the jitter band" k)
+        true
+        (d >= 0.5 *. ideal && d <= ideal))
+    d1;
+  (* the cap bounds the tail even for absurd attempt counts *)
+  let long = Client.backoff_schedule { b with Client.bo_attempts = 12 } in
+  Array.iter (fun d -> Alcotest.(check bool) "capped" true (d <= b.Client.bo_cap_ms)) long
+
+(* request_retry keeps knocking while the daemon is still coming up:
+   connect-refused is retryable, and the eventual reply is a normal
+   one. *)
+let test_client_retry_waits_for_daemon () =
+  let dir = fresh_dir "server" in
+  let socket = Filename.concat dir "dca.sock" in
+  let cfg = { (Server.default_config socket) with Server.sv_jobs = Some 1; sv_workers = 1 } in
+  let server =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3 (* the daemon is late to the party *);
+        Server.run cfg)
+  in
+  let backoff =
+    { Client.default_backoff with Client.bo_attempts = 20; bo_base_ms = 60.; bo_seed = 7 }
+  in
+  (match Client.request_retry ~backoff socket { Protocol.default_request with Protocol.rq_id = 61 } with
+  | Ok rp -> Alcotest.(check bool) "retry outlasted the slow start" true (Protocol.ok rp)
+  | Error e -> Alcotest.fail e);
+  request_shutdown socket;
+  ignore (Domain.join server)
 
 (* ------------------------------------------------------------------ *)
 (* Session.Options                                                     *)
@@ -823,6 +1302,7 @@ let suites =
         Alcotest.test_case "request round-trip" `Quick test_protocol_request_roundtrip;
         Alcotest.test_case "request validation" `Quick test_protocol_request_rejects;
         Alcotest.test_case "response round-trip" `Quick test_protocol_response_roundtrip;
+        Alcotest.test_case "status wire semantics" `Quick test_protocol_status;
       ] );
     ( "serve.digest",
       [
@@ -836,12 +1316,15 @@ let suites =
         Alcotest.test_case "corruption degrades to recompute" `Quick test_vcache_corruption_degrades;
         Alcotest.test_case "escalated entries pinned to program" `Quick test_vcache_escalated_pinned;
         Alcotest.test_case "stats exact under concurrency" `Quick test_vcache_concurrent_stats_exact;
+        Alcotest.test_case "write failure degrades to memory" `Quick
+          test_vcache_write_failure_degrades;
       ] );
     ( "serve.metrics",
       [
         Alcotest.test_case "families and buckets" `Quick test_metrics_families_and_buckets;
         Alcotest.test_case "JSON round-trip and exposition" `Quick
           test_metrics_json_roundtrip_and_exposition;
+        Alcotest.test_case "latency quantiles" `Quick test_metrics_quantiles;
       ] );
     ( "serve.engine",
       [
@@ -851,6 +1334,10 @@ let suites =
         Alcotest.test_case "corrupt entry recomputes" `Quick test_engine_corrupt_entry_recomputes;
         Alcotest.test_case "fault request contained" `Quick test_engine_fault_request_contained;
         Alcotest.test_case "errors are replies" `Quick test_engine_errors;
+        Alcotest.test_case "degraded cache still serves" `Quick
+          test_engine_degraded_cache_still_serves;
+        Alcotest.test_case "analyze crash is a reply" `Quick test_engine_analyze_crash_is_a_reply;
+        Alcotest.test_case "serve fault sites registered" `Quick test_fault_sites_registered;
       ] );
     ( "serve.server",
       [
@@ -859,6 +1346,19 @@ let suites =
           test_server_concurrent_identical;
         Alcotest.test_case "max-requests exact under concurrency" `Quick
           test_server_max_requests_concurrent;
+        Alcotest.test_case "sheds when overloaded" `Quick test_server_sheds_when_overloaded;
+        Alcotest.test_case "request timeout" `Quick test_server_request_timeout;
+        Alcotest.test_case "worker crash respawns" `Quick test_server_worker_crash_respawns;
+        Alcotest.test_case "max-requests exact across a crash" `Quick
+          test_server_max_requests_with_crash;
+        Alcotest.test_case "SIGTERM drains gracefully" `Quick test_server_sigterm_drains;
+        Alcotest.test_case "survives fuzzed input" `Quick test_server_survives_fuzzed_input;
+      ] );
+    ( "serve.client",
+      [
+        Alcotest.test_case "backoff schedule deterministic" `Quick test_client_backoff_schedule;
+        Alcotest.test_case "retry waits for a slow daemon" `Quick
+          test_client_retry_waits_for_daemon;
       ] );
     ( "serve.options",
       [
